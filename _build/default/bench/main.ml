@@ -1,0 +1,494 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5), plus ablations of Morty's design choices and a
+   Bechamel micro-benchmark suite for the core data structures.
+
+   Usage:  dune exec bench/main.exe [-- TARGET ...]
+   Targets: table1 table2 table3 fig6 fig7 fig8 fig9 headline ablation
+            micro all (default: all)
+
+   Environment: MORTY_BENCH_MEASURE_MS overrides the per-point
+   measurement window (virtual milliseconds, default 1000);
+   MORTY_BENCH_CSV_DIR, when set, additionally writes one CSV per
+   section into that directory (for plotting). *)
+
+open Harness
+
+let measure_us =
+  match Sys.getenv_opt "MORTY_BENCH_MEASURE_MS" with
+  | Some s -> (try int_of_string s * 1000 with Failure _ -> 1_000_000)
+  | None -> 1_000_000
+
+let base_exp =
+  {
+    Run.default_exp with
+    e_warmup_us = 300_000;
+    e_measure_us = measure_us;
+    e_seed = 42;
+  }
+
+let tpcc_conf = Workload.Tpcc.default_conf
+
+let retwis_conf theta = { Workload.Retwis.n_keys = 100_000; theta }
+
+let csv_dir = Sys.getenv_opt "MORTY_BENCH_CSV_DIR"
+
+let csv_channel = ref None
+
+let open_csv name =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    (match !csv_channel with Some oc -> close_out oc | None -> ());
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+    output_string oc (Stats.csv_header ^ "\n");
+    csv_channel := Some oc
+
+let header () = Fmt.pr "%a@." Stats.pp_result_header ()
+
+let show r =
+  Fmt.pr "%a@." Stats.pp_result r;
+  match !csv_channel with
+  | Some oc ->
+    output_string oc (Stats.to_csv_row r ^ "\n");
+    flush oc
+  | None -> ()
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: coordinator vote aggregation rules.                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: vote aggregation (f = 1, 2f+1 = 3 replicas)";
+  Fmt.pr "%-40s -> %s@." "votes received" "decision";
+  let show votes label =
+    let agg = Morty.Vote.aggregate ~f:1 ~force:false votes in
+    Fmt.pr "%-40s -> %a@." label Morty.Vote.pp_aggregate agg
+  in
+  show [ Commit; Commit; Commit ] "3x Commit (2f+1)";
+  show [ Commit; Commit ] "2x Commit (f+1, waiting)";
+  let forced = Morty.Vote.aggregate ~f:1 ~force:true [ Commit; Commit ] in
+  Fmt.pr "%-40s -> %a@." "2x Commit (f+1, all in / timeout)"
+    Morty.Vote.pp_aggregate forced;
+  show [ Commit; Commit; Abandon_tentative ] "2x Commit + 1x Abandon-Tentative";
+  show [ Abandon_final ] "1x Abandon-Final";
+  show
+    [ Commit; Abandon_tentative; Abandon_tentative ]
+    "1x Commit + 2x Abandon-Tentative"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: cross-region RTTs.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: cross-region RTTs in emulated networks (ms)";
+  List.iter
+    (fun (row, cols) ->
+      Fmt.pr "%-12s" row;
+      List.iter (fun (_, ms) -> Fmt.pr " %6d" ms) cols;
+      Fmt.pr "@.")
+    Simnet.Latency.table2;
+  Fmt.pr
+    "setups: REG = 3 AZs at 10ms RTT; CON = us-east-1/us-west-1/us-west-2; \
+     GLO = us-east-1/us-west-1/eu-west-1@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: transaction mixes.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3a: TPC-C transaction mix";
+  List.iter
+    (fun (k, pct) -> Fmt.pr "  %-14s %3d%%@." (Workload.Tpcc.kind_name k) pct)
+    Workload.Tpcc.mix;
+  section "Table 3b: Retwis transaction mix";
+  List.iter
+    (fun (k, pct) -> Fmt.pr "  %-14s %3d%%@." (Workload.Retwis.kind_name k) pct)
+    Workload.Retwis.mix
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6 and 7: goodput vs latency curves.                         *)
+(* ------------------------------------------------------------------ *)
+
+let curve ~workload ~wl_name ~clients_grid () =
+  List.iter
+    (fun setup ->
+      Fmt.pr "@.--- %s, %s ---@." wl_name (Simnet.Latency.setup_name setup);
+      header ();
+      List.iter
+        (fun sys ->
+          List.iter
+            (fun n ->
+              let e =
+                {
+                  base_exp with
+                  e_system = sys;
+                  e_setup = setup;
+                  e_workload = workload;
+                  e_clients = n;
+                  e_label =
+                    Printf.sprintf "%s %s c=%d" (Run.system_name sys)
+                      (Simnet.Latency.setup_name setup) n;
+                }
+              in
+              show (Run.run_exp e))
+            clients_grid)
+        Run.all_systems)
+    [ Simnet.Latency.Reg; Simnet.Latency.Con; Simnet.Latency.Glo ]
+
+let fig6 () =
+  open_csv "fig6";
+  section "Figure 6: TPC-C goodput vs latency (10 warehouses scaled)";
+  curve ~workload:(Run.Tpcc tpcc_conf) ~wl_name:"tpcc"
+    ~clients_grid:[ 32; 128; 384 ] ()
+
+let fig7 () =
+  open_csv "fig7";
+  section "Figure 7: Retwis goodput vs latency (100k keys, zipf 0.9)";
+  curve
+    ~workload:(Run.Retwis (retwis_conf 0.9))
+    ~wl_name:"retwis" ~clients_grid:[ 32; 128; 384 ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: multi-core scalability.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  open_csv "fig8";
+  section "Figure 8: multi-core scalability on Retwis (REG)";
+  List.iter
+    (fun theta ->
+      Fmt.pr "@.--- zipf theta = %.1f ---@." theta;
+      header ();
+      let systems =
+        if theta = 0. then Run.all_systems @ [ Run.Tapir_nodist ]
+        else Run.all_systems
+      in
+      List.iter
+        (fun sys ->
+          List.iter
+            (fun cores ->
+              let e =
+                {
+                  base_exp with
+                  e_system = sys;
+                  e_workload = Run.Retwis (retwis_conf theta);
+                  e_cores = cores;
+                  e_clients = 56 * cores;
+                  e_label =
+                    Printf.sprintf "%s cores=%d" (Run.system_name sys) cores;
+                }
+              in
+              show (Run.run_exp e))
+            [ 1; 2; 4; 8 ])
+        systems)
+    [ 0.0; 0.9 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: varying contention.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  open_csv "fig9";
+  section "Figure 9: goodput and commit rate vs Zipf coefficient (REG)";
+  header ();
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun theta ->
+          let e =
+            {
+              base_exp with
+              e_system = sys;
+              e_workload = Run.Retwis (retwis_conf theta);
+              e_clients = 192;
+              e_label = Printf.sprintf "%s theta=%.1f" (Run.system_name sys) theta;
+            }
+          in
+          show (Run.run_exp e))
+        [ 0.0; 0.3; 0.6; 0.9; 1.2 ])
+    Run.all_systems
+
+(* ------------------------------------------------------------------ *)
+(* Headline: the abstract's throughput ratios.                         *)
+(* ------------------------------------------------------------------ *)
+
+let peak sys workload label =
+  Run.find_peak
+    (fun n ->
+      {
+        base_exp with
+        e_system = sys;
+        e_workload = workload;
+        e_clients = n;
+        e_label = label;
+      })
+    ~client_counts:[ 64; 128; 256 ]
+
+let headline () =
+  open_csv "headline";
+  section "Headline (paper abstract): peak TPC-C goodput ratios";
+  header ();
+  let results =
+    List.map
+      (fun sys ->
+        let r = peak sys (Run.Tpcc tpcc_conf) (Run.system_name sys) in
+        show r;
+        (sys, r))
+      Run.all_systems
+  in
+  match List.assoc_opt Run.Morty results with
+  | Some m ->
+    List.iter
+      (fun (sys, r) ->
+        if sys <> Run.Morty && r.Stats.r_goodput > 0. then
+          Fmt.pr "Morty / %-8s = %5.1fx  (paper: %s)@." (Run.system_name sys)
+            (m.Stats.r_goodput /. r.Stats.r_goodput)
+            (match sys with
+             | Run.Mvtso -> "1.7x"
+             | Run.Tapir -> "4.4x"
+             | Run.Spanner -> "7.4x"
+             | Run.Morty | Run.Tapir_nodist -> "-"))
+      results
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of Morty's design choices.                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  open_csv "ablation";
+  section "Ablations (Retwis zipf 0.9, REG, 128 clients, 4 cores)";
+  header ();
+  let e label =
+    {
+      base_exp with
+      e_workload = Run.Retwis (retwis_conf 0.9);
+      e_clients = 128;
+      e_label = label;
+    }
+  in
+  let run label cfg = show (Run.run_morty_with_config (e label) cfg) in
+  let d = Morty.Config.default in
+  run "morty (full)" d;
+  run "no re-execution (mvtso)" { d with reexecution = false };
+  run "commit-time visibility" { d with eager_writes = false };
+  run "re-exec cap = 1" { d with max_reexecs = 1 };
+  run "no fast path" { d with always_slow_path = true };
+  Fmt.pr "@.backoff policy (MVTSO baseline, same workload):@.";
+  let mv = { d with Morty.Config.reexecution = false } in
+  List.iter
+    (fun (label, base) ->
+      show
+        (Run.run_morty_with_config { (e label) with e_backoff_base_us = base } mv))
+    [
+      ("backoff base 0 (immediate retry)", 0);
+      ("backoff base 10ms", 10_000);
+      ("backoff base 100ms", 100_000);
+      ("backoff base 500ms", 500_000);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* YCSB extension: conflict-rate sweep (read% x all four systems).     *)
+(* ------------------------------------------------------------------ *)
+
+let ycsb () =
+  open_csv "ycsb";
+  section "YCSB extension: goodput vs write fraction (theta 0.9, REG, 128 clients)";
+  header ();
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun read_pct ->
+          let e =
+            {
+              base_exp with
+              e_system = sys;
+              e_workload =
+                Run.Ycsb { Workload.Ycsb.default_conf with read_pct };
+              e_clients = 128;
+              e_label =
+                Printf.sprintf "%s reads=%d%%" (Run.system_name sys) read_pct;
+            }
+          in
+          show (Run.run_exp e))
+        [ 100; 95; 50; 0 ])
+    Run.all_systems
+
+(* ------------------------------------------------------------------ *)
+(* Failover timeline (extension): goodput around a replica outage.     *)
+(* ------------------------------------------------------------------ *)
+
+let failover () =
+  section "Failover extension: Morty goodput around a 1s replica outage (REG)";
+  let e =
+    {
+      base_exp with
+      e_workload = Run.Retwis (retwis_conf 0.5);
+      e_clients = 96;
+      e_warmup_us = 0;
+      e_measure_us = 4_000_000;
+    }
+  in
+  let buckets =
+    Run.run_failover e ~crash_at_us:1_000_000 ~recover_at_us:2_000_000
+      ~bucket_us:250_000
+  in
+  Fmt.pr "time(ms)  committed/bucket   (replica down between 1000ms and 2000ms)@.";
+  List.iter
+    (fun (t, c) ->
+      let marker = if t >= 1_000_000 && t < 2_000_000 then " <- outage" else "" in
+      Fmt.pr "%8d  %6d%s@." (t / 1000) c marker)
+    buckets;
+  Fmt.pr
+    "With 2f+1 = 3 replicas, losing one forces the slow path (Finalize)@.\
+     but goodput recovers immediately after the outage heals.@."
+
+(* ------------------------------------------------------------------ *)
+(* SmallBank extension: the write-skew banking mix on all systems.     *)
+(* ------------------------------------------------------------------ *)
+
+let smallbank () =
+  open_csv "smallbank";
+  section "SmallBank extension (1000 customers, REG, 64 clients)";
+  header ();
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun sys ->
+          let e =
+            {
+              base_exp with
+              e_system = sys;
+              e_workload =
+                Run.Smallbank { Workload.Smallbank.default_conf with theta };
+              e_clients = 64;
+              e_label =
+                Printf.sprintf "%s theta=%.1f" (Run.system_name sys) theta;
+            }
+          in
+          show (Run.run_exp e))
+        Run.all_systems)
+    [ 0.5; 0.9 ];
+  Fmt.pr
+    "@.At theta=0.5 re-execution wins; at theta=0.9 SmallBank's multi-key@.\
+     RMWs on a ~10%%-hot customer sit past the convoy crossover where@.\
+     abort-and-retry (MVTSO) outruns chained re-execution — see@.\
+     EXPERIMENTS.md, known divergence 2.@." 
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks for the core data structures.             *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel; ns per run)";
+  let open Bechamel in
+  let test_heap =
+    Test.make ~name:"event-heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Sim.Heap.create () in
+           for i = 0 to 99 do
+             Sim.Heap.push h ~time:(i * 7919 mod 1000) ~seq:i ()
+           done;
+           let rec drain () =
+             match Sim.Heap.pop h with Some _ -> drain () | None -> ()
+           in
+           drain ()))
+  in
+  let zipf = Sim.Dist.zipf ~n:100_000 ~theta:0.9 in
+  let zrng = Sim.Rng.create 17 in
+  let test_zipf =
+    Test.make ~name:"zipf sample (n=100k)"
+      (Staged.stage (fun () -> ignore (Sim.Dist.zipf_sample zipf zrng)))
+  in
+  let rng = Sim.Rng.create 3 in
+  let test_rng =
+    Test.make ~name:"splitmix64 next"
+      (Staged.stage (fun () -> ignore (Sim.Rng.int64 rng)))
+  in
+  let vr = Mvstore.Vrecord.create () in
+  let () =
+    for i = 1 to 64 do
+      Mvstore.Vrecord.commit_write vr
+        ~ver:(Cc_types.Version.make ~ts:i ~id:0)
+        (string_of_int i)
+    done
+  in
+  let test_vrecord =
+    Test.make ~name:"vrecord latest_before (64 versions)"
+      (Staged.stage (fun () ->
+           ignore
+             (Mvstore.Vrecord.latest_before vr (Cc_types.Version.make ~ts:40 ~id:0))))
+  in
+  let test_engine =
+    Test.make ~name:"engine schedule+run x100"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           for i = 1 to 100 do
+             ignore (Sim.Engine.schedule e ~after:i (fun () -> ()))
+           done;
+           Sim.Engine.run e))
+  in
+  let tests = [ test_heap; test_zipf; test_rng; test_vrecord; test_engine ] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ est ] -> Fmt.pr "  %-40s %10.1f ns/run@." name est
+          | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  table2 ();
+  table3 ();
+  headline ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  ablation ();
+  ycsb ();
+  smallbank ();
+  failover ();
+  micro ()
+
+let () =
+  let targets =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "all" ]
+  in
+  List.iter
+    (fun t ->
+      match t with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ()
+      | "table3" -> table3 ()
+      | "fig6" -> fig6 ()
+      | "fig7" -> fig7 ()
+      | "fig8" -> fig8 ()
+      | "fig9" -> fig9 ()
+      | "headline" -> headline ()
+      | "ablation" -> ablation ()
+      | "ycsb" -> ycsb ()
+      | "smallbank" -> smallbank ()
+      | "failover" -> failover ()
+      | "micro" -> micro ()
+      | "all" -> all ()
+      | other -> Fmt.epr "unknown bench target %S@." other)
+    targets

@@ -1,0 +1,125 @@
+(* Command-line experiment runner: run any single experiment point
+   (system x network x workload x load) and print the paper-style
+   result row.
+
+     dune exec bin/morty_bench.exe -- --system morty --setup reg \
+       --workload retwis --theta 0.9 --clients 128 --cores 4 *)
+
+open Cmdliner
+
+let system_arg =
+  let parse s =
+    match Harness.Run.system_of_string s with
+    | Some sys -> Ok sys
+    | None ->
+      if String.lowercase_ascii s = "tapir-nodist" then Ok Harness.Run.Tapir_nodist
+      else Error (`Msg (Printf.sprintf "unknown system %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Harness.Run.system_name s) in
+  Arg.conv (parse, print)
+
+let setup_arg =
+  let parse s =
+    match Simnet.Latency.setup_of_string s with
+    | Some setup -> Ok setup
+    | None -> Error (`Msg (Printf.sprintf "unknown setup %S (reg|con|glo)" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Simnet.Latency.setup_name s) in
+  Arg.conv (parse, print)
+
+let system =
+  Arg.(value & opt system_arg Harness.Run.Morty & info [ "system"; "s" ]
+         ~doc:"System to run: morty | mvtso | tapir | tapir-nodist | spanner.")
+
+let setup =
+  Arg.(value & opt setup_arg Simnet.Latency.Reg & info [ "setup" ]
+         ~doc:"Network setup: reg | con | glo (Table 2).")
+
+let workload =
+  Arg.(value
+       & opt
+           (enum
+              [ ("retwis", `Retwis); ("tpcc", `Tpcc); ("ycsb", `Ycsb);
+                ("smallbank", `Smallbank) ])
+           `Retwis
+       & info [ "workload"; "w" ] ~doc:"Workload: retwis | tpcc | ycsb | smallbank.")
+
+let theta =
+  Arg.(value & opt float 0.9 & info [ "theta" ] ~doc:"Retwis Zipf coefficient.")
+
+let keys =
+  Arg.(value & opt int 100_000 & info [ "keys" ] ~doc:"Retwis keyspace size.")
+
+let warehouses =
+  Arg.(value & opt int 10 & info [ "warehouses" ] ~doc:"TPC-C warehouse count.")
+
+let read_pct =
+  Arg.(value & opt int 50 & info [ "read-pct" ] ~doc:"YCSB read percentage.")
+
+let clients =
+  Arg.(value & opt int 64 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.")
+
+let cores =
+  Arg.(value & opt int 4 & info [ "cores" ]
+         ~doc:"Cores per replica (Morty/MVTSO) or replica groups (TAPIR/Spanner).")
+
+let duration_ms =
+  Arg.(value & opt int 1000 & info [ "duration-ms" ]
+         ~doc:"Measurement window in virtual milliseconds.")
+
+let warmup_ms =
+  Arg.(value & opt int 300 & info [ "warmup-ms" ] ~doc:"Warm-up trim in virtual ms.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let sweep =
+  Arg.(value & opt (some (list int)) None
+       & info [ "sweep" ]
+           ~doc:"Comma-separated client counts: run one point per count and \
+                 print the whole load-latency curve.")
+
+let run system setup workload theta keys warehouses read_pct clients cores
+    duration_ms warmup_ms seed sweep =
+  let e_workload =
+    match workload with
+    | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
+    | `Tpcc -> Harness.Run.Tpcc (Workload.Tpcc.conf_with_warehouses warehouses)
+    | `Ycsb ->
+      Harness.Run.Ycsb
+        { Workload.Ycsb.default_conf with n_keys = keys; theta; read_pct }
+    | `Smallbank ->
+      Harness.Run.Smallbank { Workload.Smallbank.default_conf with theta }
+  in
+  let mk clients =
+    {
+      Harness.Run.default_exp with
+      e_system = system;
+      e_setup = setup;
+      e_workload;
+      e_clients = clients;
+      e_cores = cores;
+      e_measure_us = duration_ms * 1000;
+      e_warmup_us = warmup_ms * 1000;
+      e_seed = seed;
+      e_label =
+        Printf.sprintf "%s/%s c=%d cores=%d" (Harness.Run.system_name system)
+          (Simnet.Latency.setup_name setup) clients cores;
+    }
+  in
+  Fmt.pr "%a@." Harness.Stats.pp_result_header ();
+  match sweep with
+  | None -> Fmt.pr "%a@." Harness.Stats.pp_result (Harness.Run.run_exp (mk clients))
+  | Some counts ->
+    List.iter
+      (fun n -> Fmt.pr "%a@." Harness.Stats.pp_result (Harness.Run.run_exp (mk n)))
+      counts
+
+let cmd =
+  let doc = "Run one experiment point of the Morty reproduction" in
+  Cmd.v
+    (Cmd.info "morty_bench" ~doc)
+    Term.(
+      const run $ system $ setup $ workload $ theta $ keys $ warehouses
+      $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Cc_types Fmt List Morty Printf Sim Simnet String

@@ -1,0 +1,1 @@
+examples/geo.ml: Array Cc_types Fmt List Morty Sim Simnet

@@ -1,0 +1,1 @@
+examples/inventory.ml: Array Cc_types Fmt Hashtbl List Morty Printf Sim Simnet Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cc_types Fmt Morty Sim Simnet

@@ -1,0 +1,1 @@
+examples/recovery.ml: Array Cc_types Fmt Morty Sim Simnet

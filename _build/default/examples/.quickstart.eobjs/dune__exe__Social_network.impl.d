@@ -1,0 +1,1 @@
+examples/social_network.ml: Fmt Harness Workload

@@ -1,0 +1,1 @@
+examples/windows.ml: Adya Array Cc_types Fmt List Morty Sim Simnet

@@ -1,0 +1,1 @@
+examples/windows.mli:

@@ -1,0 +1,55 @@
+(* Geo-replication: the same transaction on the three network setups of
+   Table 2, showing how commit latency tracks the quorum round trip and
+   why serialization windows stretch in wide-area deployments (§2.1).
+
+     dune exec examples/geo.exe *)
+
+module Outcome = Cc_types.Outcome
+module Latency = Simnet.Latency
+
+let run_one setup =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 5 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup () in
+  let cfg = Morty.Config.default in
+  let regions = Latency.regions setup in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:regions.(i) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  Array.iter (fun r -> Morty.Replica.load r [ ("x", "0") ]) replicas;
+  let client =
+    Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+      ~region:regions.(0) ~replicas:peers ()
+  in
+  let read_done = ref 0 and commit_done = ref 0 in
+  Morty.Client.begin_ client (fun ctx ->
+      Morty.Client.get client ctx "x" (fun ctx _ ->
+          read_done := Sim.Engine.now engine;
+          let ctx = Morty.Client.put client ctx "x" "1" in
+          Morty.Client.commit client ctx (fun _ ->
+              commit_done := Sim.Engine.now engine)));
+  Sim.Engine.run engine;
+  (!read_done, !commit_done)
+
+let () =
+  Fmt.pr
+    "One read-modify-write transaction from a client co-located with@.\
+     replica 0, on each network setup (read from the local replica;@.\
+     commit needs the 2f+1 fast quorum):@.@.";
+  Fmt.pr "%-6s %14s %14s@." "setup" "read (ms)" "commit (ms)";
+  List.iter
+    (fun setup ->
+      let read_us, commit_us = run_one setup in
+      Fmt.pr "%-6s %14.1f %14.1f@."
+        (Latency.setup_name setup)
+        (float_of_int read_us /. 1000.)
+        (float_of_int commit_us /. 1000.))
+    [ Latency.Reg; Latency.Con; Latency.Glo ];
+  Fmt.pr
+    "@.Local reads cost ~0.15 ms everywhere; the commit pays the round@.\
+     trip to the farthest replica — which is also the minimum length of@.\
+     a validity window, the quantity that bounds contended throughput.@."

@@ -1,0 +1,124 @@
+(* Serialization and validity windows (§2, Appendix C): run a chain of
+   conflicting read-modify-write transactions through Morty, reconstruct
+   each transaction's windows on the contended object from the recorded
+   history, and verify Theorems 2.1 / 2.2 — the windows never overlap.
+
+     dune exec examples/windows.exe *)
+
+module Outcome = Cc_types.Outcome
+module Version = Cc_types.Version
+
+let () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 21 in
+  let net =
+    Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg ()
+  in
+  let cfg = Morty.Config.default in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  Array.iter (fun r -> Morty.Replica.load r [ ("x", "0") ]) replicas;
+
+  (* Record, per committed transaction, the write time (when the Put was
+     issued by the final execution) and the commit time. *)
+  let events = ref [] in
+  let history = ref [] in
+  let record r = history := r :: !history in
+
+  let n_txns = 6 in
+  let clients =
+    List.init 3 (fun i ->
+        Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(Simnet.Latency.Az i) ~replicas:peers ~on_finish:record ())
+  in
+  (* Issue increments staggered slightly so their windows chain. *)
+  List.iteri
+    (fun i client ->
+      for j = 0 to (n_txns / 3) - 1 do
+        ignore
+          (Sim.Engine.schedule engine
+             ~after:((i * 400) + (j * 25_000))
+             (fun () ->
+               Morty.Client.begin_ client (fun ctx ->
+                   Morty.Client.get client ctx "x" (fun ctx v ->
+                       let wtime = Sim.Engine.now engine in
+                       let ctx =
+                         Morty.Client.put client ctx "x"
+                           (string_of_int (int_of_string v + 1))
+                       in
+                       Morty.Client.commit client ctx (fun _ ->
+                           events := (wtime, Sim.Engine.now engine) :: !events)))))
+      done)
+    clients;
+  Sim.Engine.run engine;
+
+  (* Build the per-version event list in version order. *)
+  let committed =
+    List.filter
+      (fun (r : Morty.Client.record) ->
+        r.h_committed && List.mem "x" r.h_writes)
+      !history
+    |> List.sort (fun (a : Morty.Client.record) b -> Version.compare a.h_ver b.h_ver)
+  in
+  let events =
+    List.map
+      (fun (r : Morty.Client.record) ->
+        {
+          Adya.Windows.ver = r.h_ver;
+          (* The final execution's write lands just before commit begins;
+             approximate the write event with the recorded start of the
+             final commit attempt. *)
+          write_us = r.h_start_us;
+          commit_us = r.h_end_us;
+          read_from = (match r.h_reads with (_, v) :: _ -> Some v | [] -> None);
+        })
+      committed
+  in
+  let ser = Adya.Windows.serialization_windows events in
+  let vld = Adya.Windows.validity_windows events in
+  Fmt.pr "%d committed writers of x@.@." (List.length committed);
+  Fmt.pr "serialization windows (us):@.";
+  List.iter
+    (fun (w : Adya.Windows.window) ->
+      Fmt.pr "  %-14s [%7d, %7d]  len %6d@." (Version.to_string w.ver) w.lo w.hi
+        (w.hi - w.lo))
+    ser;
+  Fmt.pr "validity windows (us):@.";
+  List.iter
+    (fun (w : Adya.Windows.window) ->
+      Fmt.pr "  %-14s [%7d, %7d]  len %6d@." (Version.to_string w.ver) w.lo w.hi
+        (w.hi - w.lo))
+    vld;
+  (match Adya.Windows.overlapping ser with
+   | None -> Fmt.pr "@.serialization windows do not overlap (Theorem 2.1) -- OK@."
+   | Some _ -> Fmt.pr "@.OVERLAP DETECTED -- serializability violated?!@.");
+  (match Adya.Windows.overlapping vld with
+   | None -> Fmt.pr "validity windows do not overlap (Theorem 2.2) -- OK@."
+   | Some _ -> Fmt.pr "OVERLAP DETECTED -- recoverability violated?!@.");
+  Fmt.pr "mean validity window: %.1f us (bounds hot-key throughput at %.0f txn/s)@."
+    (Adya.Windows.mean_length_us vld)
+    (1e6 /. Adya.Windows.mean_length_us vld);
+  (* The same analysis is available directly over a recorded history. *)
+  let h =
+    List.fold_left
+      (fun h (r : Morty.Client.record) ->
+        Adya.History.add h
+          {
+            Adya.History.ver = r.h_ver;
+            reads = r.h_reads;
+            writes = r.h_writes;
+            committed = r.h_committed;
+            start_us = r.h_start_us;
+            commit_us = r.h_end_us;
+          })
+      Adya.History.empty !history
+  in
+  Fmt.pr "@.per-key analysis (Adya.Analysis):@.";
+  List.iter
+    (fun rep -> Fmt.pr "  %a@." Adya.Analysis.pp_report rep)
+    (Adya.Analysis.report_all h ~limit:3)

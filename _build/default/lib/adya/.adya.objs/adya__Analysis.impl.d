@@ -1,0 +1,1 @@
+lib/adya/analysis.ml: Cc_types Fmt Hashtbl History List String Windows

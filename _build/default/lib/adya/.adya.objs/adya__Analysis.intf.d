@@ -1,0 +1,1 @@
+lib/adya/analysis.mli: Format History

@@ -1,0 +1,1 @@
+lib/adya/dsg.ml: Cc_types Fmt Hashtbl History List

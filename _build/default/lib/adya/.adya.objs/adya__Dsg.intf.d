@@ -1,0 +1,1 @@
+lib/adya/dsg.mli: Cc_types Format History

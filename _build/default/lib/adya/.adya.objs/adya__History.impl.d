@@ -1,0 +1,1 @@
+lib/adya/history.ml: Cc_types Fmt List String

@@ -1,0 +1,1 @@
+lib/adya/history.mli: Cc_types Format

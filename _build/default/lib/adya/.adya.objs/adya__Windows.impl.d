@@ -1,0 +1,1 @@
+lib/adya/windows.ml: Array Cc_types List

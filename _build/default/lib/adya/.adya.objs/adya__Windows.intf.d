@@ -1,0 +1,1 @@
+lib/adya/windows.mli: Cc_types

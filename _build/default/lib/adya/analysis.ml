@@ -1,0 +1,59 @@
+module Version = Cc_types.Version
+
+type report = {
+  key : string;
+  writers : int;
+  mean_validity_us : float;
+  max_validity_us : int;
+  overlap : bool;
+}
+
+let writers_of h key =
+  List.filter
+    (fun (txn : History.txn) -> List.exists (String.equal key) txn.writes)
+    (History.committed h)
+
+let validity_report h ~key =
+  let writers = writers_of h key in
+  let events =
+    List.map
+      (fun (txn : History.txn) ->
+        {
+          Windows.ver = txn.ver;
+          write_us = txn.start_us;
+          commit_us = txn.commit_us;
+          read_from = List.assoc_opt key txn.reads;
+        })
+      writers
+  in
+  let windows = Windows.validity_windows events in
+  let finite = List.filter (fun (w : Windows.window) -> w.hi < max_int) windows in
+  {
+    key;
+    writers = List.length writers;
+    mean_validity_us = Windows.mean_length_us finite;
+    max_validity_us =
+      List.fold_left (fun acc (w : Windows.window) -> max acc (w.hi - w.lo)) 0 finite;
+    overlap = Windows.overlapping windows <> None;
+  }
+
+let hottest_keys h ~limit =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (txn : History.txn) ->
+      List.iter
+        (fun k ->
+          Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0))
+        txn.writes)
+    (History.committed h);
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < limit)
+
+let report_all h ~limit =
+  List.map (fun (key, _) -> validity_report h ~key) (hottest_keys h ~limit)
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-20s writers=%-5d mean-window=%8.1fus max=%8dus %s" r.key r.writers
+    r.mean_validity_us r.max_validity_us
+    (if r.overlap then "OVERLAP!" else "ok")

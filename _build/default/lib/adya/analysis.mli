@@ -1,0 +1,29 @@
+(** Window analysis over recorded histories.
+
+    Bridges the paper's theory (§2) and its measurements: given a
+    history with per-transaction start/commit times, compute each key's
+    serialization and validity windows and summarise their lengths — the
+    quantity that bounds hot-key throughput (throughput ≤ 1 / mean
+    window length).  Used by tests (Theorems 2.1/2.2 on real runs) and
+    by the [windows] example. *)
+
+type report = {
+  key : string;
+  writers : int;  (** committed transactions that wrote the key *)
+  mean_validity_us : float;
+  max_validity_us : int;
+  overlap : bool;  (** true would contradict Theorem 2.2 *)
+}
+
+val validity_report : History.t -> key:string -> report
+(** Windows computed from commit events ([commit_us]) of the committed
+    writers of [key], in version order; dependencies come from each
+    writer's recorded read of the key. *)
+
+val hottest_keys : History.t -> limit:int -> (string * int) list
+(** Keys by committed-writer count, descending. *)
+
+val report_all : History.t -> limit:int -> report list
+(** Reports for the [limit] hottest keys. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,140 @@
+module Version = Cc_types.Version
+
+type edge_kind = Wr | Ww | Rw
+
+type edge = { src : Version.t; dst : Version.t; kind : edge_kind; key : string }
+
+type violation =
+  | Aborted_read of { reader : Version.t; writer : Version.t; key : string }
+  | Cycle of edge list
+
+let pp_kind ppf = function
+  | Wr -> Fmt.string ppf "wr"
+  | Ww -> Fmt.string ppf "ww"
+  | Rw -> Fmt.string ppf "rw"
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%a -%a(%s)-> %a" Version.pp e.src pp_kind e.kind e.key Version.pp
+    e.dst
+
+let pp_violation ppf = function
+  | Aborted_read { reader; writer; key } ->
+    Fmt.pf ppf "G1a: committed %a read %s from non-committed %a" Version.pp
+      reader key Version.pp writer
+  | Cycle edges ->
+    Fmt.pf ppf "cycle: @[<h>%a@]" Fmt.(list ~sep:(any " ; ") pp_edge) edges
+
+(* Keys written by the committed transactions of [h], with their version
+   order (Version.zero is the implicit first version of every key). *)
+let keys_written h =
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun (txn : History.txn) ->
+      List.iter (fun k -> Hashtbl.replace keys k ()) txn.writes)
+    (History.committed h);
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+
+let edges h =
+  let committed = History.committed h in
+  let acc = ref [] in
+  let emit src dst kind key =
+    if not (Version.equal src dst) then acc := { src; dst; kind; key } :: !acc
+  in
+  (* ww edges: consecutive versions in each key's version order. *)
+  List.iter
+    (fun key ->
+      let order = History.version_order h key in
+      let rec consecutive = function
+        | a :: (b :: _ as rest) ->
+          emit a b Ww key;
+          consecutive rest
+        | [ _ ] | [] -> ()
+      in
+      consecutive order)
+    (keys_written h);
+  (* wr and rw edges from each committed read. *)
+  List.iter
+    (fun (txn : History.txn) ->
+      List.iter
+        (fun (key, writer) ->
+          if not (Version.is_zero writer) then emit writer txn.ver Wr key;
+          (* rw: the installer of the version immediately after [writer]
+             in the version order anti-depends on this reader. *)
+          let order = History.version_order h key in
+          let next =
+            let rec find = function
+              | a :: b :: rest ->
+                if Version.equal a writer then Some b else find (b :: rest)
+              | [ _ ] | [] -> None
+            in
+            if Version.is_zero writer then
+              match order with v :: _ -> Some v | [] -> None
+            else find order
+          in
+          match next with
+          | Some nxt -> emit txn.ver nxt Rw key
+          | None -> ())
+        txn.reads)
+    committed;
+  !acc
+
+let check h =
+  let committed = History.committed h in
+  (* G1a: aborted reads. *)
+  let g1a =
+    List.find_map
+      (fun (txn : History.txn) ->
+        List.find_map
+          (fun (key, writer) ->
+            if Version.is_zero writer then None
+            else
+              match History.find h writer with
+              | Some w when w.committed -> None
+              | Some _ | None ->
+                Some (Aborted_read { reader = txn.ver; writer; key }))
+          txn.reads)
+      committed
+  in
+  match g1a with
+  | Some v -> Error v
+  | None ->
+    (* Cycle detection: DFS over the adjacency map. *)
+    let es = edges h in
+    let adj = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        let cur = try Hashtbl.find adj e.src with Not_found -> [] in
+        Hashtbl.replace adj e.src (e :: cur))
+      es;
+    let color = Hashtbl.create 64 in
+    (* 0 = white (absent), 1 = grey, 2 = black. *)
+    let exception Found of edge list in
+    let rec dfs path v =
+      Hashtbl.replace color v 1;
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt color e.dst with
+          | Some 1 ->
+            (* Back edge: the cycle is the suffix of the root-to-here path
+               starting at the first edge leaving [e.dst], plus [e]. *)
+            let fwd = List.rev (e :: path) in
+            let rec drop = function
+              | [] -> []
+              | (e' : edge) :: rest ->
+                if Version.equal e'.src e.dst then e' :: rest else drop rest
+            in
+            raise (Found (drop fwd))
+          | Some _ -> ()
+          | None -> dfs (e :: path) e.dst)
+        (try Hashtbl.find adj v with Not_found -> []);
+      Hashtbl.replace color v 2
+    in
+    (try
+       List.iter
+         (fun (txn : History.txn) ->
+           if not (Hashtbl.mem color txn.ver) then dfs [] txn.ver)
+         committed;
+       Ok ()
+     with Found cycle -> Error (Cycle cycle))
+
+let is_serializable h = match check h with Ok () -> true | Error _ -> false

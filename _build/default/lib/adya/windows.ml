@@ -1,0 +1,62 @@
+module Version = Cc_types.Version
+
+type event = {
+  ver : Version.t;
+  write_us : int;
+  commit_us : int;
+  read_from : Version.t option;
+}
+
+type window = { ver : Version.t; lo : int; hi : int }
+
+(* Both window kinds share the same backwards recursion; they differ only
+   in which event timestamps bound the interval. *)
+let compute ~start_time ~end_time (events : event list) =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  let time_of ver =
+    let found = ref 0 in
+    Array.iter (fun (e : event) -> if Version.equal e.ver ver then found := start_time e) arr;
+    !found
+  in
+  let windows = Array.make n { ver = Version.zero; lo = 0; hi = 0 } in
+  (* b_j of the version following the last one is unbounded. *)
+  let next_b = ref max_int in
+  for i = n - 1 downto 0 do
+    let e = arr.(i) in
+    let b = min (end_time e) !next_b in
+    let a =
+      match e.read_from with
+      | None -> b
+      | Some k -> min (time_of k) !next_b
+    in
+    windows.(i) <- { ver = e.ver; lo = a; hi = b };
+    next_b := b
+  done;
+  Array.to_list windows
+
+let serialization_windows events =
+  compute ~start_time:(fun e -> e.write_us) ~end_time:(fun e -> e.write_us)
+    events
+
+let validity_windows events =
+  compute ~start_time:(fun e -> e.commit_us) ~end_time:(fun e -> e.commit_us)
+    events
+
+let overlapping windows =
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      (* In version order, window a must end before window b begins. *)
+      if a.hi > b.lo then Some (a, b) else scan rest
+    | [ _ ] | [] -> None
+  in
+  scan windows
+
+let mean_length_us windows =
+  match windows with
+  | [] -> 0.
+  | _ ->
+    let total =
+      List.fold_left (fun acc w -> acc +. float_of_int (w.hi - w.lo)) 0. windows
+    in
+    total /. float_of_int (List.length windows)

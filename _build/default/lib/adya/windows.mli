@@ -1,0 +1,40 @@
+(** Serialization windows and validity windows (§2, Appendix C).
+
+    These windows characterise the maximum rate at which conflicting
+    read–modify–write transactions can commit: windows of committed
+    transactions on the same object never overlap (Theorems 2.1 / C.1 and
+    2.2 / C.2), so throughput on a hot object is bounded by the inverse
+    of the window length.  The [windows] example binary and several tests
+    use this module to measure window lengths and verify non-overlap in
+    executions produced by the real protocols. *)
+
+type event = {
+  ver : Cc_types.Version.t;  (** the writer [T_i] *)
+  write_us : int;  (** time of the write event [w_i(x_i)] *)
+  commit_us : int;  (** time of the commit event [c_i] *)
+  read_from : Cc_types.Version.t option;
+      (** [Some k] if [T_i] read version [x_k] before writing; [None] if
+          it is a blind write *)
+}
+
+type window = { ver : Cc_types.Version.t; lo : int; hi : int }
+
+val serialization_windows : event list -> window list
+(** [serialization_windows events] computes each committed writer's
+    serialization window on the object per Definition C.1.  [events]
+    must be the committed installers of a single object, in version
+    order.  A [read_from] version not present in [events] (e.g. the
+    initial version) is treated as written at time 0. *)
+
+val validity_windows : event list -> window list
+(** Same, for validity windows (Definition C.2): start at the
+    dependency's commit, end at own commit. *)
+
+val overlapping : window list -> (window * window) option
+(** First pair of windows that overlap in more than a boundary point,
+    if any.  Theorems C.1/C.2 guarantee [None] for histories produced by
+    a serializable system. *)
+
+val mean_length_us : window list -> float
+(** Average window length — the quantity that bounds hot-key
+    throughput. *)

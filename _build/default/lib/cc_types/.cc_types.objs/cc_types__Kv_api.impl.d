@@ -1,0 +1,1 @@
+lib/cc_types/kv_api.ml: Outcome

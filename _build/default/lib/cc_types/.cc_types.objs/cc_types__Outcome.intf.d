@@ -1,0 +1,1 @@
+lib/cc_types/outcome.mli: Format

@@ -1,0 +1,1 @@
+lib/cc_types/rwset.ml: Fmt Hashtbl List String Version

@@ -1,0 +1,1 @@
+lib/cc_types/rwset.mli: Format Version

@@ -1,0 +1,1 @@
+lib/cc_types/version.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/cc_types/version.mli: Format Map Set

@@ -1,0 +1,55 @@
+(** The continuation-passing-style transactional API (§3.2, Figure 4b).
+
+    All four systems in this repository (Morty, MVTSO, TAPIR, Spanner)
+    expose this signature, so every workload is written once and runs
+    unchanged against each concurrency-control protocol.  Control flow is
+    expressed as continuations: [get] and [commit] return to the
+    application through callbacks; [put] is asynchronous and returns
+    immediately.
+
+    The context [ctx] threads the transaction through the continuation
+    chain.  Application state must live in the continuations' closures
+    (pure-functional style): systems that support re-execution re-invoke
+    a stored continuation with a fresh context and a new read value, and
+    everything the application computed downstream of that read is
+    recomputed from the closure — transparently to the application. *)
+
+module type S = sig
+  type t
+  (** Per-application-client handle. *)
+
+  type ctx
+  (** Opaque execution context, threaded through every operation. *)
+
+  val begin_ : t -> (ctx -> unit) -> unit
+  (** Start a transaction and pass its context to the body. *)
+
+  val begin_ro : t -> (ctx -> unit) -> unit
+  (** Start a {e read-only} transaction.  Systems with a dedicated
+      read-only path (Spanner's lock-free snapshot reads) exploit the
+      hint; the others treat it as {!begin_}.  Writing inside a
+      read-only transaction is a programming error and may be ignored. *)
+
+  val get : t -> ctx -> string -> (ctx -> string -> unit) -> unit
+  (** Asynchronously read a key; the continuation receives the value
+      ([""] if the key is unwritten).  Reads observe the transaction's
+      own earlier [put]s. *)
+
+  val get_for_update : t -> ctx -> string -> (ctx -> string -> unit) -> unit
+  (** Like {!get}, but hints that the transaction will later write the
+      key.  Lock-based systems acquire the write lock immediately
+      (Spanner's [GetForUpdate], §5 Baselines); others treat it as
+      {!get}. *)
+
+  val put : t -> ctx -> string -> string -> ctx
+  (** Buffer/broadcast a write and return immediately. *)
+
+  val commit : t -> ctx -> (Outcome.t -> unit) -> unit
+  (** Run the commit protocol; the continuation receives the final
+      outcome exactly once per transaction. *)
+
+  val abort : t -> ctx -> unit
+  (** Client-initiated rollback (e.g. TPC-C's New-Order 1 % user abort):
+      discard the transaction without running the commit protocol.  No
+      outcome continuation fires. *)
+end

@@ -1,0 +1,7 @@
+type t = Committed | Aborted
+
+let pp ppf = function
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted -> Fmt.string ppf "aborted"
+
+let is_committed = function Committed -> true | Aborted -> false

@@ -1,0 +1,9 @@
+(** Final outcome of a transaction attempt, as observed by the client. *)
+
+type t =
+  | Committed
+  | Aborted  (** All executions abandoned; the client may retry. *)
+
+val pp : Format.formatter -> t -> unit
+
+val is_committed : t -> bool

@@ -1,0 +1,35 @@
+type read = { key : string; r_ver : Version.t; r_val : string }
+
+type write = { key : string; w_val : string }
+
+type read_set = read list
+
+type write_set = write list
+
+let pp_read ppf (r : read) = Fmt.pf ppf "r(%s@%a)" r.key Version.pp r.r_ver
+
+let pp_write ppf (w : write) = Fmt.pf ppf "w(%s)" w.key
+
+let read_of_key rs key = List.find_opt (fun (r : read) -> String.equal r.key key) rs
+
+let write_of_key ws key =
+  List.fold_left
+    (fun acc (w : write) -> if String.equal w.key key then Some w else acc)
+    None ws
+
+let dedup_writes ws =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      (* Later writes shadow earlier ones. *)
+      Hashtbl.replace seen w.key w.w_val)
+    ws;
+  let emitted = Hashtbl.create 8 in
+  List.filter_map
+    (fun w ->
+      if Hashtbl.mem emitted w.key then None
+      else begin
+        Hashtbl.add emitted w.key ();
+        Some { w with w_val = Hashtbl.find seen w.key }
+      end)
+    ws

@@ -1,0 +1,28 @@
+(** Read and write sets carried by commit-protocol messages.
+
+    A read records which version of which key was observed and the value
+    that was returned (the value is needed for Morty's dirty-read check,
+    validation check 3 of §4.2).  A write records the value the execution
+    intends to install. *)
+
+type read = { key : string; r_ver : Version.t; r_val : string }
+
+type write = { key : string; w_val : string }
+
+type read_set = read list
+
+type write_set = write list
+
+val pp_read : Format.formatter -> read -> unit
+
+val pp_write : Format.formatter -> write -> unit
+
+val read_of_key : read_set -> string -> read option
+(** First read of the given key, if any. *)
+
+val write_of_key : write_set -> string -> write option
+(** The (final) write of the given key, if any: later writes in program
+    order shadow earlier ones, so lookup scans from the tail. *)
+
+val dedup_writes : write_set -> write_set
+(** Keep only the final write per key, preserving first-write order. *)

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Array Cc_types List Morty Sim Simnet Spanner Stats String Tapir Workload

@@ -1,0 +1,537 @@
+module Engine = Sim.Engine
+module Latency = Simnet.Latency
+module Outcome = Cc_types.Outcome
+
+type system = Morty | Mvtso | Tapir | Tapir_nodist | Spanner
+
+let system_name = function
+  | Morty -> "morty"
+  | Mvtso -> "mvtso"
+  | Tapir -> "tapir"
+  | Tapir_nodist -> "tapir-nodist"
+  | Spanner -> "spanner"
+
+let system_of_string s =
+  match String.lowercase_ascii s with
+  | "morty" -> Some Morty
+  | "mvtso" -> Some Mvtso
+  | "tapir" -> Some Tapir
+  | "spanner" -> Some Spanner
+  | _ -> None
+
+let all_systems = [ Morty; Mvtso; Tapir; Spanner ]
+
+
+type workload =
+  | Tpcc of Workload.Tpcc.conf
+  | Retwis of Workload.Retwis.conf
+  | Ycsb of Workload.Ycsb.conf
+  | Smallbank of Workload.Smallbank.conf
+
+type exp = {
+  e_system : system;
+  e_setup : Latency.setup;
+  e_workload : workload;
+  e_clients : int;
+  e_cores : int;
+  e_warmup_us : int;
+  e_measure_us : int;
+  e_seed : int;
+  e_label : string;
+  e_backoff_base_us : int;
+}
+
+let default_exp =
+  {
+    e_system = Morty;
+    e_setup = Latency.Reg;
+    e_workload = Retwis Workload.Retwis.default_conf;
+    e_clients = 24;
+    e_cores = 4;
+    e_warmup_us = 500_000;
+    e_measure_us = 2_000_000;
+    e_seed = 1;
+    e_label = "default";
+    e_backoff_base_us = 100_000;
+  }
+
+let backoff_cap_us = 2_500_000 (* the paper's 2.5 s cap *)
+
+(* Generic closed-loop driver over any system's client module. *)
+module Driver (C : Cc_types.Kv_api.S) = struct
+  (* [pick rng] freshly parameterises one transaction and returns its
+     runner; retries rerun the same kind with fresh parameters, and
+     latency is measured from the first attempt (§5, Measurement). *)
+  let closed_loop ~engine ~rng ~client ~pick ~stats ~warm_start ~warm_end
+      ~backoff_base_us =
+    let rec next () =
+      if Engine.now engine < warm_end then begin
+        let run = pick rng in
+        attempt run (Engine.now engine) 0
+      end
+    and attempt run txn_start n =
+      run client rng (fun outcome ->
+          let now = Engine.now engine in
+          let in_window = now >= warm_start && now < warm_end in
+          match outcome with
+          | Outcome.Committed ->
+            if in_window then
+              Stats.record_commit stats ~latency_us:(now - txn_start);
+            next ()
+          | Outcome.Aborted ->
+            if in_window then Stats.record_abort stats;
+            if now < warm_end then begin
+              let cap =
+                min backoff_cap_us (max 1 backoff_base_us * (1 lsl min n 8))
+              in
+              let wait = 1 + Sim.Rng.int rng cap in
+              ignore
+                (Engine.schedule engine ~after:wait (fun () ->
+                     attempt run txn_start (n + 1)))
+            end)
+    in
+    next ()
+end
+
+module Morty_driver = Driver (Morty.Client)
+module Tapir_driver = Driver (Tapir.Client)
+module Spanner_driver = Driver (Spanner.Client)
+module Morty_tpcc = Workload.Tpcc.Make (Morty.Client)
+module Morty_retwis = Workload.Retwis.Make (Morty.Client)
+module Morty_ycsb = Workload.Ycsb.Make (Morty.Client)
+module Morty_smallbank = Workload.Smallbank.Make (Morty.Client)
+module Tapir_tpcc = Workload.Tpcc.Make (Tapir.Client)
+module Tapir_retwis = Workload.Retwis.Make (Tapir.Client)
+module Tapir_ycsb = Workload.Ycsb.Make (Tapir.Client)
+module Tapir_smallbank = Workload.Smallbank.Make (Tapir.Client)
+module Spanner_tpcc = Workload.Tpcc.Make (Spanner.Client)
+module Spanner_retwis = Workload.Retwis.Make (Spanner.Client)
+module Spanner_ycsb = Workload.Ycsb.Make (Spanner.Client)
+module Spanner_smallbank = Workload.Smallbank.Make (Spanner.Client)
+
+let client_region regions i = regions.(i mod Array.length regions)
+
+(* Straggler timeouts scale with the deployment's worst round trip: a
+   400 ms timeout suits GLO but would make REG crawl whenever a replica
+   is down (every slow-path commit would sit out the full timeout). *)
+let timeout_for setup =
+  let regions = Latency.regions setup in
+  let max_rtt =
+    Array.fold_left
+      (fun acc a ->
+        Array.fold_left (fun acc b -> max acc (Latency.rtt_us setup a b)) acc regions)
+      0 regions
+  in
+  (3 * max_rtt) + 20_000
+
+let tpcc_home conf i = (i mod conf.Workload.Tpcc.n_warehouses) + 1
+
+(* --- Morty / MVTSO (one multi-core group) -------------------------------- *)
+
+let run_morty ?cfg e ~reexecution =
+  let engine = Engine.create () in
+  let rng = Sim.Rng.create e.e_seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
+  let regions = Latency.regions e.e_setup in
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None ->
+      { Morty.Config.default with reexecution;
+        prepare_timeout_us = timeout_for e.e_setup }
+  in
+  let replicas =
+    Array.init (Morty.Config.n_replicas cfg) (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  let data =
+    match e.e_workload with
+    | Tpcc conf -> Workload.Tpcc.initial_data conf
+    | Retwis conf -> Workload.Retwis.initial_data conf
+    | Ycsb conf -> Workload.Ycsb.initial_data conf
+    | Smallbank conf -> Workload.Smallbank.initial_data conf
+  in
+  Array.iter (fun r -> Morty.Replica.load r data) replicas;
+  let stats = Stats.create () in
+  let warm_start = e.e_warmup_us in
+  let warm_end = e.e_warmup_us + e.e_measure_us in
+  let clients =
+    List.init e.e_clients (fun i ->
+        let client =
+          Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+            ~region:(client_region regions i) ~replicas:peers ()
+        in
+        let crng = Sim.Rng.split rng in
+        let pick =
+          match e.e_workload with
+          | Tpcc conf ->
+            let home_w = tpcc_home conf i in
+            fun rng ->
+              let kind = Workload.Tpcc.pick_kind rng in
+              fun client rng done_ ->
+                Morty_tpcc.run conf client rng ~home_w kind done_
+          | Retwis conf ->
+            let zipf = Workload.Retwis.sampler conf in
+            fun rng ->
+              let kind = Workload.Retwis.pick_kind rng in
+              fun client rng done_ -> Morty_retwis.run client rng zipf kind done_
+          | Ycsb conf ->
+            let zipf = Workload.Ycsb.sampler conf in
+            fun _rng client rng done_ -> Morty_ycsb.run conf client rng zipf done_
+          | Smallbank conf ->
+            let zipf = Workload.Smallbank.sampler conf in
+            fun rng ->
+              let kind = Workload.Smallbank.pick_kind rng in
+              fun client rng done_ ->
+                Morty_smallbank.run conf client rng zipf kind done_
+        in
+        Morty_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
+          ~warm_end ~backoff_base_us:e.e_backoff_base_us;
+        client)
+  in
+  let msgs_at_warm = ref 0 in
+  ignore
+    (Engine.schedule engine ~after:warm_start (fun () ->
+         msgs_at_warm := Simnet.Net.messages_delivered net;
+         Array.iter (fun r -> Simnet.Cpu.reset_stats (Morty.Replica.cpu r)) replicas));
+  Engine.run_until engine ~limit:warm_end;
+  let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
+  let cpu =
+    let total =
+      Array.fold_left
+        (fun acc r ->
+          acc
+          +. Simnet.Cpu.utilization (Morty.Replica.cpu r) ~duration:e.e_measure_us)
+        0. replicas
+    in
+    total /. float_of_int (Array.length replicas)
+  in
+  let committed, reexecs =
+    List.fold_left
+      (fun (c, r) client ->
+        let st = Morty.Client.stats client in
+        (c + st.committed, r + st.reexecs))
+      (0, 0) clients
+  in
+  let reexecs_per_txn =
+    if committed = 0 then 0. else float_of_int reexecs /. float_of_int committed
+  in
+  let msgs_per_txn =
+    if Stats.committed stats = 0 then 0.
+    else float_of_int window_msgs /. float_of_int (Stats.committed stats)
+  in
+  Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
+    ~cpu_utilization:cpu ~reexecs_per_txn ~msgs_per_txn ()
+
+(* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
+
+let run_tapir ?(no_dist = false) e =
+  let engine = Engine.create () in
+  let rng = Sim.Rng.create e.e_seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
+  let regions = Latency.regions e.e_setup in
+  let n_groups = max 1 e.e_cores in
+  let cfg =
+    { Tapir.Config.default with n_groups;
+      prepare_timeout_us = timeout_for e.e_setup }
+  in
+  let groups =
+    Array.init n_groups (fun g ->
+        Array.init (Tapir.Config.n_replicas cfg) (fun i ->
+            Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
+              ~region:regions.(i mod Array.length regions) ~cores:1))
+  in
+  let group_nodes = Array.map (Array.map Tapir.Replica.node) groups in
+  let data =
+    match e.e_workload with
+    | Tpcc conf -> Workload.Tpcc.initial_data conf
+    | Retwis conf -> Workload.Retwis.initial_data conf
+    | Ycsb conf -> Workload.Ycsb.initial_data conf
+    | Smallbank conf -> Workload.Smallbank.initial_data conf
+  in
+  Array.iter (fun group -> Array.iter (fun r -> Tapir.Replica.load r data) group) groups;
+  let stats = Stats.create () in
+  let warm_start = e.e_warmup_us in
+  let warm_end = e.e_warmup_us + e.e_measure_us in
+  List.iteri
+    (fun i () ->
+      let partition =
+        if no_dist then
+          (* Best-case variant of Fig. 8a: every transaction stays within
+             the client's home group (data is fully replicated in the
+             simulator, so this is consistent). *)
+          let home = i mod n_groups in
+          fun _ -> home
+        else
+          match e.e_workload with
+          | Tpcc conf ->
+            let home_group = (tpcc_home conf i - 1) mod n_groups in
+            Workload.Tpcc.partition_of_key ~home_group ~n_groups
+          | Retwis _ -> Workload.Retwis.partition_of_key ~n_groups
+          | Ycsb _ -> Workload.Ycsb.partition_of_key ~n_groups
+          | Smallbank _ -> Workload.Smallbank.partition_of_key ~n_groups
+      in
+      let client =
+        Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(client_region regions i) ~groups:group_nodes ~partition ()
+      in
+      let crng = Sim.Rng.split rng in
+      let pick =
+        match e.e_workload with
+        | Tpcc conf ->
+          let home_w = tpcc_home conf i in
+          fun rng ->
+            let kind = Workload.Tpcc.pick_kind rng in
+            fun client rng done_ -> Tapir_tpcc.run conf client rng ~home_w kind done_
+        | Retwis conf ->
+          let zipf = Workload.Retwis.sampler conf in
+          fun rng ->
+            let kind = Workload.Retwis.pick_kind rng in
+            fun client rng done_ -> Tapir_retwis.run client rng zipf kind done_
+        | Ycsb conf ->
+          let zipf = Workload.Ycsb.sampler conf in
+          fun _rng client rng done_ -> Tapir_ycsb.run conf client rng zipf done_
+        | Smallbank conf ->
+          let zipf = Workload.Smallbank.sampler conf in
+          fun rng ->
+            let kind = Workload.Smallbank.pick_kind rng in
+            fun client rng done_ -> Tapir_smallbank.run conf client rng zipf kind done_
+      in
+      Tapir_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
+        ~warm_end ~backoff_base_us:e.e_backoff_base_us)
+    (List.init e.e_clients (fun _ -> ()));
+  let cpus =
+    Array.to_list groups
+    |> List.concat_map (fun group ->
+           Array.to_list (Array.map Tapir.Replica.cpu group))
+  in
+  let msgs_at_warm = ref 0 in
+  ignore
+    (Engine.schedule engine ~after:warm_start (fun () ->
+         msgs_at_warm := Simnet.Net.messages_delivered net;
+         List.iter Simnet.Cpu.reset_stats cpus));
+  Engine.run_until engine ~limit:warm_end;
+  let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
+  let cpu =
+    List.fold_left
+      (fun acc c -> acc +. Simnet.Cpu.utilization c ~duration:e.e_measure_us)
+      0. cpus
+    /. float_of_int (List.length cpus)
+  in
+  let msgs_per_txn =
+    if Stats.committed stats = 0 then 0.
+    else float_of_int window_msgs /. float_of_int (Stats.committed stats)
+  in
+  Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
+    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ()
+
+(* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
+
+let run_spanner e =
+  let engine = Engine.create () in
+  let rng = Sim.Rng.create e.e_seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
+  let regions = Latency.regions e.e_setup in
+  let n_groups = max 1 e.e_cores in
+  let cfg = { Spanner.Config.default with n_groups } in
+  let groups =
+    Array.init n_groups (fun g ->
+        Array.init (Spanner.Config.n_replicas cfg) (fun i ->
+            Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
+              ~region:regions.((g + i) mod Array.length regions) ~cores:1))
+  in
+  Array.iter
+    (fun group ->
+      let peers = Array.map Spanner.Replica.node group in
+      Array.iter (fun r -> Spanner.Replica.set_peers r peers) group)
+    groups;
+  let leaders = Array.map (fun g -> Spanner.Replica.node g.(0)) groups in
+  let data =
+    match e.e_workload with
+    | Tpcc conf -> Workload.Tpcc.initial_data conf
+    | Retwis conf -> Workload.Retwis.initial_data conf
+    | Ycsb conf -> Workload.Ycsb.initial_data conf
+    | Smallbank conf -> Workload.Smallbank.initial_data conf
+  in
+  Array.iter (fun group -> Array.iter (fun r -> Spanner.Replica.load r data) group) groups;
+  let stats = Stats.create () in
+  let warm_start = e.e_warmup_us in
+  let warm_end = e.e_warmup_us + e.e_measure_us in
+  List.iteri
+    (fun i () ->
+      let partition =
+        match e.e_workload with
+        | Tpcc conf ->
+          let home_group = (tpcc_home conf i - 1) mod n_groups in
+          Workload.Tpcc.partition_of_key ~home_group ~n_groups
+        | Retwis _ -> Workload.Retwis.partition_of_key ~n_groups
+        | Ycsb _ -> Workload.Ycsb.partition_of_key ~n_groups
+        | Smallbank _ -> Workload.Smallbank.partition_of_key ~n_groups
+      in
+      let client =
+        Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(client_region regions i) ~leaders ~partition ()
+      in
+      let crng = Sim.Rng.split rng in
+      let pick =
+        match e.e_workload with
+        | Tpcc conf ->
+          let home_w = tpcc_home conf i in
+          fun rng ->
+            let kind = Workload.Tpcc.pick_kind rng in
+            fun client rng done_ -> Spanner_tpcc.run conf client rng ~home_w kind done_
+        | Retwis conf ->
+          let zipf = Workload.Retwis.sampler conf in
+          fun rng ->
+            let kind = Workload.Retwis.pick_kind rng in
+            fun client rng done_ -> Spanner_retwis.run client rng zipf kind done_
+        | Ycsb conf ->
+          let zipf = Workload.Ycsb.sampler conf in
+          fun _rng client rng done_ -> Spanner_ycsb.run conf client rng zipf done_
+        | Smallbank conf ->
+          let zipf = Workload.Smallbank.sampler conf in
+          fun rng ->
+            let kind = Workload.Smallbank.pick_kind rng in
+            fun client rng done_ -> Spanner_smallbank.run conf client rng zipf kind done_
+      in
+      Spanner_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
+        ~warm_end ~backoff_base_us:e.e_backoff_base_us)
+    (List.init e.e_clients (fun _ -> ()));
+  let cpus =
+    Array.to_list groups
+    |> List.concat_map (fun group ->
+           Array.to_list (Array.map Spanner.Replica.cpu group))
+  in
+  let msgs_at_warm = ref 0 in
+  ignore
+    (Engine.schedule engine ~after:warm_start (fun () ->
+         msgs_at_warm := Simnet.Net.messages_delivered net;
+         List.iter Simnet.Cpu.reset_stats cpus));
+  Engine.run_until engine ~limit:warm_end;
+  let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
+  let cpu =
+    List.fold_left
+      (fun acc c -> acc +. Simnet.Cpu.utilization c ~duration:e.e_measure_us)
+      0. cpus
+    /. float_of_int (List.length cpus)
+  in
+  let msgs_per_txn =
+    if Stats.committed stats = 0 then 0.
+    else float_of_int window_msgs /. float_of_int (Stats.committed stats)
+  in
+  Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
+    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ()
+
+let run_exp e =
+  match e.e_system with
+  | Morty -> run_morty e ~reexecution:true
+  | Mvtso -> run_morty e ~reexecution:false
+  | Tapir -> run_tapir e
+  | Tapir_nodist -> run_tapir ~no_dist:true e
+  | Spanner -> run_spanner e
+
+let run_morty_with_config e cfg = run_morty ~cfg e ~reexecution:cfg.Morty.Config.reexecution
+
+let find_peak mk ~client_counts =
+  let results = List.map (fun n -> run_exp (mk n)) client_counts in
+  match results with
+  | [] -> invalid_arg "find_peak: no client counts"
+  | first :: rest ->
+    List.fold_left
+      (fun best r -> if r.Stats.r_goodput > best.Stats.r_goodput then r else best)
+      first rest
+
+(* --- Availability timeline (extension): goodput around a replica
+   outage.  Models a transient outage: the replica's state survives and
+   it resumes from where it was (a network blip / process pause, not a
+   disk loss). *)
+
+let run_failover e ~crash_at_us ~recover_at_us ~bucket_us =
+  let engine = Engine.create () in
+  let rng = Sim.Rng.create e.e_seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
+  let regions = Latency.regions e.e_setup in
+  let cfg =
+    let base =
+      { Morty.Config.default with prepare_timeout_us = timeout_for e.e_setup }
+    in
+    match e.e_system with
+    | Mvtso -> Morty.Config.mvtso base
+    | Morty | Tapir | Tapir_nodist | Spanner -> base
+  in
+  let replicas =
+    Array.init (Morty.Config.n_replicas cfg) (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  let data =
+    match e.e_workload with
+    | Tpcc conf -> Workload.Tpcc.initial_data conf
+    | Retwis conf -> Workload.Retwis.initial_data conf
+    | Ycsb conf -> Workload.Ycsb.initial_data conf
+    | Smallbank conf -> Workload.Smallbank.initial_data conf
+  in
+  Array.iter (fun r -> Morty.Replica.load r data) replicas;
+  let horizon = e.e_warmup_us + e.e_measure_us in
+  let n_buckets = (horizon / bucket_us) + 1 in
+  let buckets = Array.make n_buckets 0 in
+  List.iter
+    (fun i ->
+      let client =
+        Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(client_region regions i) ~replicas:peers ()
+      in
+      let crng = Sim.Rng.split rng in
+      let pick =
+        match e.e_workload with
+        | Retwis conf ->
+          let zipf = Workload.Retwis.sampler conf in
+          fun rng ->
+            let kind = Workload.Retwis.pick_kind rng in
+            fun client rng done_ -> Morty_retwis.run client rng zipf kind done_
+        | Tpcc conf ->
+          let home_w = tpcc_home conf i in
+          fun rng ->
+            let kind = Workload.Tpcc.pick_kind rng in
+            fun client rng done_ -> Morty_tpcc.run conf client rng ~home_w kind done_
+        | Ycsb conf ->
+          let zipf = Workload.Ycsb.sampler conf in
+          fun _rng client rng done_ -> Morty_ycsb.run conf client rng zipf done_
+        | Smallbank conf ->
+          let zipf = Workload.Smallbank.sampler conf in
+          fun rng ->
+            let kind = Workload.Smallbank.pick_kind rng in
+            fun client rng done_ -> Morty_smallbank.run conf client rng zipf kind done_
+      in
+      let rec next () =
+        if Engine.now engine < horizon then begin
+          let run = pick crng in
+          attempt run 0
+        end
+      and attempt run n =
+        run client crng (fun outcome ->
+            let now = Engine.now engine in
+            match outcome with
+            | Outcome.Committed ->
+              let b = now / bucket_us in
+              if b < n_buckets then buckets.(b) <- buckets.(b) + 1;
+              next ()
+            | Outcome.Aborted ->
+              if now < horizon then
+                let cap = min backoff_cap_us (max 1 e.e_backoff_base_us * (1 lsl min n 8)) in
+                ignore
+                  (Engine.schedule engine ~after:(1 + Sim.Rng.int crng cap) (fun () ->
+                       attempt run (n + 1))))
+      in
+      next ())
+    (List.init e.e_clients (fun i -> i));
+  let victim = Morty.Replica.node replicas.(Array.length replicas - 1) in
+  ignore (Engine.schedule engine ~after:crash_at_us (fun () -> Simnet.Net.crash net victim));
+  ignore (Engine.schedule engine ~after:recover_at_us (fun () -> Simnet.Net.recover net victim));
+  Engine.run_until engine ~limit:horizon;
+  Array.to_list (Array.mapi (fun i c -> (i * bucket_us, c)) buckets)

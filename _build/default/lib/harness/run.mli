@@ -1,0 +1,77 @@
+(** Experiment runner: build a cluster of the chosen system on the
+    simulated network, drive closed-loop clients through a workload, and
+    measure goodput/latency/commit-rate/CPU exactly as §5 does.
+
+    Core-count semantics follow the paper (§5 Setup): Morty and the
+    MVTSO baseline run {e one} replica group whose replicas have
+    [e_cores] worker cores; TAPIR and Spanner keep their single-threaded
+    replication and instead get [e_cores] replica {e groups} (partitioned
+    data), each replica having one core. *)
+
+type system =
+  | Morty
+  | Mvtso
+  | Tapir
+  | Tapir_nodist
+      (** TAPIR on a workload with no cross-group transactions — the
+          best-case scaling reference of Fig. 8a *)
+  | Spanner
+
+val system_name : system -> string
+
+val system_of_string : string -> system option
+
+val all_systems : system list
+(** The four systems of the paper's comparison (excludes the
+    [Tapir_nodist] reference). *)
+
+type workload =
+  | Tpcc of Workload.Tpcc.conf
+  | Retwis of Workload.Retwis.conf
+  | Ycsb of Workload.Ycsb.conf
+      (** parametric read/RMW microbenchmark (extension; see
+          [Workload.Ycsb]) *)
+  | Smallbank of Workload.Smallbank.conf
+      (** banking benchmark with write-skew-shaped transactions
+          (extension; see [Workload.Smallbank]) *)
+
+type exp = {
+  e_system : system;
+  e_setup : Simnet.Latency.setup;
+  e_workload : workload;
+  e_clients : int;
+  e_cores : int;
+  e_warmup_us : int;
+  e_measure_us : int;
+  e_seed : int;
+  e_label : string;
+  e_backoff_base_us : int;
+      (** randomized exponential backoff base for abort retries *)
+}
+
+val default_exp : exp
+(** Morty, REG, Retwis θ=0.9, 24 clients, 4 cores, 0.5 s warm-up, 2 s
+    measurement. *)
+
+val run_exp : exp -> Stats.result
+
+val run_morty_with_config : exp -> Morty.Config.t -> Stats.result
+(** Run the Morty/MVTSO cluster with an explicit configuration — the
+    ablation benches use this to toggle eager visibility, the fast path,
+    and the re-execution cap. *)
+
+val find_peak : (int -> exp) -> client_counts:int list -> Stats.result
+(** Run the experiment at each offered load and return the result with
+    the highest goodput — the "maximum goodput" the paper reports in
+    Figures 8 and 9. *)
+
+val run_failover :
+  exp ->
+  crash_at_us:int ->
+  recover_at_us:int ->
+  bucket_us:int ->
+  (int * int) list
+(** Availability timeline (extension): run the Morty/MVTSO cluster of
+    [exp], crash the last replica at [crash_at_us] and un-crash it at
+    [recover_at_us] (a transient outage — state survives), and return
+    committed-transaction counts per [bucket_us] time bucket. *)

@@ -1,0 +1,96 @@
+type t = {
+  mutable latencies : int array;
+  mutable n : int;
+  mutable aborted : int;
+}
+
+let create () = { latencies = Array.make 1024 0; n = 0; aborted = 0 }
+
+let record_commit t ~latency_us =
+  if t.n = Array.length t.latencies then begin
+    let bigger = Array.make (2 * t.n) 0 in
+    Array.blit t.latencies 0 bigger 0 t.n;
+    t.latencies <- bigger
+  end;
+  t.latencies.(t.n) <- latency_us;
+  t.n <- t.n + 1
+
+let record_abort t = t.aborted <- t.aborted + 1
+
+let committed t = t.n
+
+let aborted t = t.aborted
+
+let commit_rate t =
+  let attempts = t.n + t.aborted in
+  if attempts = 0 then 1.0 else float_of_int t.n /. float_of_int attempts
+
+let mean_latency_us t =
+  if t.n = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for i = 0 to t.n - 1 do
+      sum := !sum +. float_of_int t.latencies.(i)
+    done;
+    !sum /. float_of_int t.n
+  end
+
+let percentile_latency_us t p =
+  if t.n = 0 then 0.
+  else begin
+    let sorted = Array.sub t.latencies 0 t.n in
+    Array.sort compare sorted;
+    let idx = int_of_float (p *. float_of_int (t.n - 1)) in
+    float_of_int sorted.(min idx (t.n - 1))
+  end
+
+type result = {
+  r_label : string;
+  r_committed : int;
+  r_aborted : int;
+  r_goodput : float;
+  r_mean_latency_ms : float;
+  r_p50_latency_ms : float;
+  r_p99_latency_ms : float;
+  r_commit_rate : float;
+  r_cpu_utilization : float;
+  r_reexecs_per_txn : float;
+  r_msgs_per_txn : float;
+}
+
+let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
+    ?(msgs_per_txn = 0.) () =
+  {
+    r_label = label;
+    r_committed = t.n;
+    r_aborted = t.aborted;
+    r_goodput = float_of_int t.n /. (float_of_int duration_us /. 1_000_000.);
+    r_mean_latency_ms = mean_latency_us t /. 1000.;
+    r_p50_latency_ms = percentile_latency_us t 0.50 /. 1000.;
+    r_p99_latency_ms = percentile_latency_us t 0.99 /. 1000.;
+    r_commit_rate = commit_rate t;
+    r_cpu_utilization = cpu_utilization;
+    r_reexecs_per_txn = reexecs_per_txn;
+    r_msgs_per_txn = msgs_per_txn;
+  }
+
+let pp_result_header ppf () =
+  Fmt.pf ppf "%-28s %10s %9s %9s %9s %7s %6s %7s %7s" "config" "goodput/s"
+    "mean(ms)" "p50(ms)" "p99(ms)" "commit%" "cpu%" "reex/tx" "msg/tx"
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-28s %10.0f %9.1f %9.1f %9.1f %7.1f %6.1f %7.2f %7.1f" r.r_label
+    r.r_goodput r.r_mean_latency_ms r.r_p50_latency_ms r.r_p99_latency_ms
+    (100. *. r.r_commit_rate)
+    (100. *. r.r_cpu_utilization)
+    r.r_reexecs_per_txn r.r_msgs_per_txn
+
+let csv_header =
+  "label,committed,aborted,goodput_per_s,mean_latency_ms,p50_latency_ms,\
+p99_latency_ms,commit_rate,cpu_utilization,reexecs_per_txn,msgs_per_txn"
+
+let to_csv_row r =
+  Printf.sprintf "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f" r.r_label
+    r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms r.r_p50_latency_ms
+    r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization r.r_reexecs_per_txn
+    r.r_msgs_per_txn

@@ -1,0 +1,61 @@
+(** Measurement accumulators and experiment results.
+
+    Mirrors the paper's methodology (§5, Measurement): goodput is
+    committed transactions per second over the measurement window
+    (warm-up and cool-down trimmed); latency is begin-to-commit
+    {e including} retries after aborts; commit rate is commits over
+    attempts. *)
+
+type t
+
+val create : unit -> t
+
+val record_commit : t -> latency_us:int -> unit
+
+val record_abort : t -> unit
+
+val committed : t -> int
+
+val aborted : t -> int
+
+val commit_rate : t -> float
+(** commits / (commits + aborted attempts); 1.0 when idle. *)
+
+val mean_latency_us : t -> float
+
+val percentile_latency_us : t -> float -> float
+(** e.g. [percentile_latency_us t 0.99]. *)
+
+type result = {
+  r_label : string;
+  r_committed : int;
+  r_aborted : int;
+  r_goodput : float;  (** committed transactions per second *)
+  r_mean_latency_ms : float;
+  r_p50_latency_ms : float;
+  r_p99_latency_ms : float;
+  r_commit_rate : float;
+  r_cpu_utilization : float;  (** mean across replicas over the window *)
+  r_reexecs_per_txn : float;  (** Morty only; 0 elsewhere *)
+  r_msgs_per_txn : float;
+      (** network messages delivered per committed transaction — the
+          protocol-cost metric of the message-complexity ablation *)
+}
+
+val to_result :
+  t ->
+  label:string ->
+  duration_us:int ->
+  cpu_utilization:float ->
+  reexecs_per_txn:float ->
+  ?msgs_per_txn:float ->
+  unit ->
+  result
+
+val pp_result_header : Format.formatter -> unit -> unit
+
+val pp_result : Format.formatter -> result -> unit
+
+val csv_header : string
+
+val to_csv_row : result -> string

@@ -1,0 +1,1 @@
+lib/morty/client.ml: Array Cc_types Config Decision Hashtbl List Logs Msg Sim Simnet String Vote

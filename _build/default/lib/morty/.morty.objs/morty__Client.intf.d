@@ -1,0 +1,1 @@
+lib/morty/client.mli: Cc_types Config Msg Sim Simnet

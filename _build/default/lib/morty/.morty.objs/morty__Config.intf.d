@@ -1,0 +1,1 @@
+lib/morty/config.mli:

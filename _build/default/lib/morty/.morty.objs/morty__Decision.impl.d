@@ -1,0 +1,1 @@
+lib/morty/decision.ml: Fmt

@@ -1,0 +1,1 @@
+lib/morty/msg.ml: Cc_types Decision Vote

@@ -1,0 +1,1 @@
+lib/morty/msg.mli: Cc_types Decision Vote

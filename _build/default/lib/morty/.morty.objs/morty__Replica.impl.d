@@ -1,0 +1,1 @@
+lib/morty/replica.ml: Array Cc_types Config Decision Hashtbl List Logs Msg Mvstore Sim Simnet String Vote

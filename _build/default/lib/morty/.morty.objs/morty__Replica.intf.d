@@ -1,0 +1,1 @@
+lib/morty/replica.mli: Cc_types Config Msg Sim Simnet

@@ -1,0 +1,1 @@
+lib/morty/vote.mli: Format

@@ -1,0 +1,551 @@
+module Version = Cc_types.Version
+module Rwset = Cc_types.Rwset
+module Outcome = Cc_types.Outcome
+module Net = Simnet.Net
+module Engine = Sim.Engine
+
+let src_log = Logs.Src.create "morty.client" ~doc:"Morty coordinator"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type slot = {
+  s_index : int;
+  s_key : string;
+  s_seq : int;  (** network sequence number; [-1] when served locally *)
+  mutable s_reply : (Version.t * string) option;
+  s_cont : ctx -> string -> unit;
+}
+
+and op = Op_read of int | Op_write of string * string
+
+and prep = {
+  p_eid : int;
+  mutable p_votes : (Net.node * Vote.t) list;
+  mutable p_timer : Engine.timer option;
+  mutable p_forced : bool;
+}
+
+and fin = {
+  f_eid : int;
+  f_decision : Decision.t;
+  mutable f_ackers : Net.node list;
+  mutable f_fired : bool;
+}
+
+and phase = Executing | Preparing of prep | Finalizing of fin | Done
+
+and txn = {
+  ver : Version.t;
+  mutable eid : int;
+  mutable slots : slot list;  (** program order *)
+  mutable ops : op list;  (** program order *)
+  mutable phase : phase;
+  mutable reexec_count : int;
+  mutable next_seq : int;
+  mutable commit_cont : (Outcome.t -> unit) option;
+  mutable finished : bool;
+  t_start_us : int;
+}
+
+and ctx = { c_txn : txn; c_eid : int }
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable reexecs : int;
+  mutable miss_notifications : int;
+  mutable fast_commits : int;
+  mutable slow_commits : int;
+}
+
+type record = {
+  h_ver : Version.t;
+  h_committed : bool;
+  h_reads : (string * Version.t) list;
+  h_writes : string list;
+  h_start_us : int;
+  h_end_us : int;
+  h_reexecs : int;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  clock : Sim.Clock.t;
+  node : Net.node;
+  replicas : int array;
+  closest : Net.node;
+  mutable last_ts : int;
+  txns : (Version.t, txn) Hashtbl.t;
+  (* Outstanding Finalize–Abandon rounds for superseded executions:
+     (ver, eid) -> acks so far. *)
+  abandon_acks : (Version.t * int, Net.node list ref) Hashtbl.t;
+  stats : stats;
+  on_finish : (record -> unit) option;
+}
+
+let node t = t.node
+let stats t = t.stats
+
+let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.replicas
+
+let stale ctx = ctx.c_eid <> ctx.c_txn.eid || ctx.c_txn.finished
+
+(* --- Read/write sets of the current execution ------------------------- *)
+
+let read_set_of txn =
+  List.filter_map
+    (fun s ->
+      match s.s_reply with
+      | Some (r_ver, r_val) when s.s_seq >= 0 ->
+        Some { Rwset.key = s.s_key; r_ver; r_val }
+      | Some _ | None -> None)
+    txn.slots
+
+let write_set_of txn =
+  Rwset.dedup_writes
+    (List.filter_map
+       (function
+         | Op_write (key, w_val) -> Some { Rwset.key; w_val }
+         | Op_read _ -> None)
+       txn.ops)
+
+(* --- Transaction completion ------------------------------------------- *)
+
+let finish t txn outcome =
+  if not txn.finished then begin
+    txn.finished <- true;
+    txn.phase <- Done;
+    Hashtbl.remove t.txns txn.ver;
+    (match outcome with
+     | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
+     | Outcome.Aborted -> t.stats.aborted <- t.stats.aborted + 1);
+    (match t.on_finish with
+     | Some f ->
+       f
+         {
+           h_ver = txn.ver;
+           h_committed = Outcome.is_committed outcome;
+           h_reads =
+             List.map (fun (r : Rwset.read) -> (r.key, r.r_ver)) (read_set_of txn);
+           h_writes =
+             List.map (fun (w : Rwset.write) -> w.key) (write_set_of txn);
+           h_start_us = txn.t_start_us;
+           h_end_us = Engine.now t.engine;
+           h_reexecs = txn.reexec_count;
+         }
+     | None -> ());
+    match txn.commit_cont with
+    | Some cont -> cont outcome
+    | None -> ()
+  end
+
+let decide t txn eid decision ~abort =
+  broadcast t
+    (Msg.Decide
+       {
+         ver = txn.ver;
+         eid;
+         decision;
+         abort;
+         read_set = read_set_of txn;
+         write_set = write_set_of txn;
+       })
+
+let finish_commit t txn eid ~fast =
+  if fast then t.stats.fast_commits <- t.stats.fast_commits + 1
+  else t.stats.slow_commits <- t.stats.slow_commits + 1;
+  decide t txn eid Decision.Commit ~abort:false;
+  finish t txn Outcome.Committed
+
+(* The decision for [eid] is Abandon.  If a re-execution superseded that
+   execution, the transaction lives on; otherwise it aborts. *)
+let abandon_outcome t txn eid =
+  if txn.eid > eid then decide t txn eid Decision.Abandon ~abort:false
+  else begin
+    decide t txn eid Decision.Abandon ~abort:true;
+    finish t txn Outcome.Aborted
+  end
+
+(* --- Commit protocol --------------------------------------------------- *)
+
+let rec start_prepare t txn =
+  let read_set = read_set_of txn in
+  let write_set = write_set_of txn in
+  let p = { p_eid = txn.eid; p_votes = []; p_timer = None; p_forced = false } in
+  txn.phase <- Preparing p;
+  broadcast t (Msg.Prepare { ver = txn.ver; eid = txn.eid; read_set; write_set });
+  arm_prepare_timer t txn p 0
+
+and arm_prepare_timer t txn p round =
+  (* Resends back off exponentially: a Prepare suspended at replicas on
+     an undecided dependency (the common case under contention) gains
+     nothing from re-broadcast, so only crash/loss recovery needs it. *)
+  let delay = t.cfg.prepare_timeout_us * (1 lsl min round 6) in
+  let timer =
+    Engine.schedule t.engine ~after:delay (fun () ->
+        match txn.phase with
+        | Preparing p' when p' == p && not txn.finished ->
+          p.p_forced <- true;
+          if List.length p.p_votes >= t.cfg.f + 1 then evaluate_votes t txn p
+          else begin
+            broadcast t
+              (Msg.Prepare
+                 {
+                   ver = txn.ver;
+                   eid = txn.eid;
+                   read_set = read_set_of txn;
+                   write_set = write_set_of txn;
+                 });
+            arm_prepare_timer t txn p (round + 1)
+          end
+        | Preparing _ | Executing | Finalizing _ | Done -> ())
+  in
+  p.p_timer <- Some timer
+
+and evaluate_votes t txn p =
+  let votes = List.map snd p.p_votes in
+  match Vote.aggregate ~f:t.cfg.f ~force:p.p_forced votes with
+  | Vote.Undecided -> ()
+  | Vote.Commit_fast when t.cfg.always_slow_path ->
+    cancel_timer p;
+    start_finalize t txn p.p_eid Decision.Commit
+  | Vote.Commit_fast ->
+    cancel_timer p;
+    finish_commit t txn p.p_eid ~fast:true
+  | Vote.Abandon_fast ->
+    cancel_timer p;
+    abandon_outcome t txn p.p_eid
+  | Vote.Commit_slow ->
+    cancel_timer p;
+    start_finalize t txn p.p_eid Decision.Commit
+  | Vote.Abandon_slow ->
+    cancel_timer p;
+    start_finalize t txn p.p_eid Decision.Abandon
+
+and cancel_timer p =
+  match p.p_timer with
+  | Some timer ->
+    Engine.cancel timer;
+    p.p_timer <- None
+  | None -> ()
+
+and start_finalize t txn eid decision =
+  let f = { f_eid = eid; f_decision = decision; f_ackers = []; f_fired = false } in
+  txn.phase <- Finalizing f;
+  broadcast t (Msg.Finalize { ver = txn.ver; eid; view = 0; decision });
+  let rec retry () =
+    ignore
+      (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+           match txn.phase with
+           | Finalizing f' when f' == f && not f.f_fired && not txn.finished ->
+             broadcast t (Msg.Finalize { ver = txn.ver; eid; view = 0; decision });
+             retry ()
+           | Finalizing _ | Executing | Preparing _ | Done -> ()))
+  in
+  retry ()
+
+(* --- Re-execution ------------------------------------------------------ *)
+
+and reexecute t txn idx (slot : slot) w_ver value =
+  t.stats.reexecs <- t.stats.reexecs + 1;
+  txn.reexec_count <- txn.reexec_count + 1;
+  Log.debug (fun m ->
+      m "txn %a re-executes from read %d of %s" Version.pp txn.ver idx slot.s_key);
+  (* If the current execution already entered Prepare, durably abandon it
+     (§4.2, Commit & Re-Execution).  The abandon round proceeds in the
+     background, overlapped with the re-execution: the coordinator will
+     never propose Commit for the superseded execution, and only the
+     coordinator (or recovery, after a long timeout) proposes decisions,
+     so overlapping is safe and saves a round trip per re-execution. *)
+  (match txn.phase with
+   | Preparing p when p.p_eid = txn.eid ->
+     cancel_timer p;
+     Hashtbl.replace t.abandon_acks (txn.ver, txn.eid) (ref []);
+     broadcast t
+       (Msg.Finalize
+          { ver = txn.ver; eid = txn.eid; view = 0; decision = Decision.Abandon })
+   | Preparing _ | Executing | Finalizing _ | Done -> ());
+  txn.phase <- Executing;
+  txn.eid <- txn.eid + 1;
+  (* Unroll: keep the operation prefix up to and including this read. *)
+  txn.slots <-
+    List.filter_map
+      (fun s ->
+        if s.s_index < idx then Some s
+        else if s.s_index = idx then begin
+          s.s_reply <- Some (w_ver, value);
+          Some s
+        end
+        else None)
+      txn.slots;
+  let rec prefix acc = function
+    | [] -> List.rev acc
+    | Op_read i :: _ when i = idx -> List.rev (Op_read i :: acc)
+    | op :: rest -> prefix (op :: acc) rest
+  in
+  txn.ops <- prefix [] txn.ops;
+  (* Resume the application from the stored continuation. *)
+  slot.s_cont { c_txn = txn; c_eid = txn.eid } value
+
+and consider_reexec t txn key w_ver value =
+  if
+    txn.finished
+    || (not t.cfg.reexecution)
+    || txn.reexec_count >= t.cfg.max_reexecs
+    || Version.compare w_ver txn.ver >= 0
+  then ()
+  else begin
+    (* Re-executions must not start once a Commit decision may already be
+       durable. *)
+    let commit_in_flight =
+      match txn.phase with
+      | Finalizing f -> Decision.equal f.f_decision Decision.Commit
+      | Executing | Preparing _ | Done -> false
+    in
+    if not commit_in_flight then
+      (* The push reflects the serving replica's current view of the
+         latest write visible to this read: shift the read forward (a
+         missed newer write) or backward (an observed write was
+         retracted by an abort) — any difference re-executes. *)
+      let target =
+        List.find_opt
+          (fun s ->
+            String.equal s.s_key key
+            &&
+            match s.s_reply with
+            | Some (r_ver, r_val) ->
+              (not (Version.equal r_ver w_ver)) || not (String.equal r_val value)
+            | None -> false)
+          txn.slots
+      in
+      match target with
+      | Some slot -> reexecute t txn slot.s_index slot w_ver value
+      | None -> ()
+  end
+
+(* --- Message handling --------------------------------------------------- *)
+
+let handle_get_reply t for_ver key w_ver value seq =
+  match Hashtbl.find_opt t.txns for_ver with
+  | None -> ()
+  | Some txn -> (
+    match seq with
+    | Some s -> (
+      let slot = List.find_opt (fun slot -> slot.s_seq = s) txn.slots in
+      match slot with
+      | Some slot when slot.s_reply = None ->
+        slot.s_reply <- Some (w_ver, value);
+        slot.s_cont { c_txn = txn; c_eid = txn.eid } value
+      | Some _ | None -> (* stale or duplicate *) ())
+    | None ->
+      t.stats.miss_notifications <- t.stats.miss_notifications + 1;
+      consider_reexec t txn key w_ver value)
+
+let handle_prepare_reply t ver eid vote missed ~src =
+  match Hashtbl.find_opt t.txns ver with
+  | None -> ()
+  | Some txn ->
+    (* Attached misses may trigger re-execution; process them first so a
+       doomed execution is superseded before we count its votes. *)
+    List.iter
+      (fun (key, w_ver, value) ->
+        t.stats.miss_notifications <- t.stats.miss_notifications + 1;
+        consider_reexec t txn key w_ver value)
+      missed;
+    (match txn.phase with
+     | Preparing p when p.p_eid = eid && txn.eid = eid ->
+       if not (List.mem_assoc src p.p_votes) then begin
+         p.p_votes <- (src, vote) :: p.p_votes;
+         evaluate_votes t txn p
+       end
+     | Preparing _ | Executing | Finalizing _ | Done -> ())
+
+let handle_finalize_reply t ver eid view accepted ~src =
+  (* Abandon rounds for superseded executions are tracked separately. *)
+  match Hashtbl.find_opt t.abandon_acks (ver, eid) with
+  | Some acks ->
+    if accepted && view = 0 && not (List.mem src !acks) then acks := src :: !acks;
+    if List.length !acks >= t.cfg.f + 1 then begin
+      (* The superseded execution's Abandon is durable: let replicas
+         clean up its prepared state. *)
+      Hashtbl.remove t.abandon_acks (ver, eid);
+      match Hashtbl.find_opt t.txns ver with
+      | None -> ()
+      | Some txn -> decide t txn eid Decision.Abandon ~abort:false
+    end
+  | None -> (
+    match Hashtbl.find_opt t.txns ver with
+    | None -> ()
+    | Some txn -> (
+      match txn.phase with
+      | Finalizing f when f.f_eid = eid && not f.f_fired ->
+        if accepted && view = 0 then begin
+          if not (List.mem src f.f_ackers) then f.f_ackers <- src :: f.f_ackers;
+          if List.length f.f_ackers >= t.cfg.f + 1 then begin
+            f.f_fired <- true;
+            match f.f_decision with
+            | Decision.Commit -> finish_commit t txn eid ~fast:false
+            | Decision.Abandon -> abandon_outcome t txn eid
+          end
+        end
+        else if not accepted then begin
+          (* A recovery coordinator outpaced us; treat as aborted (the
+             rare at-least-once window is documented in replica.ml). *)
+          f.f_fired <- true;
+          finish t txn Outcome.Aborted
+        end
+      | Finalizing _ | Executing | Preparing _ | Done -> ()))
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Get_reply { for_ver; key; w_ver; value; seq } ->
+    handle_get_reply t for_ver key w_ver value seq
+  | Msg.Prepare_reply { ver; eid; vote; missed } ->
+    handle_prepare_reply t ver eid vote missed ~src
+  | Msg.Finalize_reply { ver; eid; view; accepted } ->
+    handle_finalize_reply t ver eid view accepted ~src
+  | Msg.Get _ | Msg.Put _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Decide _
+  | Msg.Paxos_prepare _ | Msg.Paxos_prepare_reply _ | Msg.Truncate _
+  | Msg.Propose_merge _ | Msg.Propose_merge_reply _ | Msg.Truncation_finished _ ->
+    ()
+
+(* --- Public API --------------------------------------------------------- *)
+
+let create ~cfg ~engine ~net ~rng ~region ~replicas ?on_finish () =
+  let node = Net.add_node net ~region in
+  let closest =
+    match
+      List.find_opt (fun r -> Net.region_of net r = region) (Array.to_list replicas)
+    with
+    | Some r -> r
+    | None -> replicas.(0)
+  in
+  let t =
+    {
+      cfg;
+      engine;
+      net;
+      clock = Sim.Clock.create engine rng ~max_skew:cfg.max_clock_skew_us;
+      node;
+      replicas;
+      closest;
+      last_ts = 0;
+      txns = Hashtbl.create 16;
+      abandon_acks = Hashtbl.create 16;
+      stats =
+        { begun = 0; committed = 0; aborted = 0; reexecs = 0;
+          miss_notifications = 0; fast_commits = 0; slow_commits = 0 };
+      on_finish;
+    }
+  in
+  Net.set_handler net node (fun ~src msg -> handle t ~src msg);
+  t
+
+let begin_ t body =
+  let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
+  t.last_ts <- ts;
+  let ver = Version.make ~ts ~id:t.node in
+  let txn =
+    {
+      ver;
+      eid = 0;
+      slots = [];
+      ops = [];
+      phase = Executing;
+      reexec_count = 0;
+      next_seq = 0;
+      commit_cont = None;
+      finished = false;
+      t_start_us = Engine.now t.engine;
+    }
+  in
+  Hashtbl.replace t.txns ver txn;
+  t.stats.begun <- t.stats.begun + 1;
+  body { c_txn = txn; c_eid = 0 }
+
+let get t ctx key cont =
+  if stale ctx then ()
+  else begin
+    let txn = ctx.c_txn in
+    (* Read-your-own-writes: serve from the write buffer. *)
+    let own_write =
+      List.fold_left
+        (fun acc op ->
+          match op with
+          | Op_write (k, v) when String.equal k key -> Some v
+          | Op_write _ | Op_read _ -> acc)
+        None txn.ops
+    in
+    match own_write with
+    | Some v -> cont ctx v
+    | None -> (
+      (* Repeatable reads: a second read of the same key returns the
+         value already observed. *)
+      let existing =
+        List.find_opt
+          (fun s -> String.equal s.s_key key && s.s_reply <> None)
+          txn.slots
+      in
+      match existing with
+      | Some s ->
+        let value = match s.s_reply with Some (_, v) -> v | None -> "" in
+        cont ctx value
+      | None ->
+        let seq = txn.next_seq in
+        txn.next_seq <- seq + 1;
+        let slot =
+          { s_index = List.length txn.slots; s_key = key; s_seq = seq;
+            s_reply = None; s_cont = cont }
+        in
+        txn.slots <- txn.slots @ [ slot ];
+        txn.ops <- txn.ops @ [ Op_read slot.s_index ];
+        send t t.closest (Msg.Get { ver = txn.ver; key; seq });
+        (* Reads normally go only to the closest replica; if it is
+           unreachable (crash, partition), retry on the others. *)
+        let rec retry attempt =
+          ignore
+            (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+                 if
+                   (not txn.finished) && slot.s_reply = None
+                   && List.memq slot txn.slots
+                 then begin
+                   let dst = t.replicas.(attempt mod Array.length t.replicas) in
+                   send t dst (Msg.Get { ver = txn.ver; key; seq });
+                   retry (attempt + 1)
+                 end))
+        in
+        retry 0)
+  end
+
+let put t ctx key value =
+  if stale ctx then ctx
+  else begin
+    let txn = ctx.c_txn in
+    txn.ops <- txn.ops @ [ Op_write (key, value) ];
+    broadcast t (Msg.Put { ver = txn.ver; key; value });
+    ctx
+  end
+
+let commit t ctx cont =
+  if stale ctx then ()
+  else begin
+    let txn = ctx.c_txn in
+    txn.commit_cont <- Some cont;
+    start_prepare t txn
+  end
+
+let abort t ctx =
+  if stale ctx then ()
+  else begin
+    let txn = ctx.c_txn in
+    decide t txn txn.eid Decision.Abandon ~abort:true;
+    finish t txn Outcome.Aborted
+  end
+
+let begin_ro = begin_
+
+let get_for_update = get

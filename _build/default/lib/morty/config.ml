@@ -1,0 +1,40 @@
+type t = {
+  f : int;
+  reexecution : bool;
+  eager_writes : bool;
+  always_slow_path : bool;
+  max_reexecs : int;
+  max_clock_skew_us : int;
+  get_cost_us : int;
+  put_cost_us : int;
+  prepare_cost_us : int;
+  finalize_cost_us : int;
+  decide_cost_us : int;
+  recovery_cost_us : int;
+  prepare_timeout_us : int;
+  dep_recovery_timeout_us : int;
+  truncation_interval_us : int;
+}
+
+let default =
+  {
+    f = 1;
+    reexecution = true;
+    eager_writes = true;
+    always_slow_path = false;
+    max_reexecs = 50;
+    max_clock_skew_us = 500;
+    get_cost_us = 8;
+    put_cost_us = 6;
+    prepare_cost_us = 22;
+    finalize_cost_us = 6;
+    decide_cost_us = 10;
+    recovery_cost_us = 20;
+    prepare_timeout_us = 400_000;
+    dep_recovery_timeout_us = 3_000_000;
+    truncation_interval_us = 0;
+  }
+
+let n_replicas t = (2 * t.f) + 1
+
+let mvtso t = { t with reexecution = false }

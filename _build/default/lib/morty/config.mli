@@ -1,0 +1,47 @@
+(** Tunables for a Morty deployment.
+
+    Setting [reexecution = false] turns the system into the replicated
+    MVTSO baseline of §5: identical replication and execution logic, but
+    read misses abort the transaction (after validation) instead of
+    triggering re-execution, and the client retries after randomized
+    exponential backoff (driven by the harness). *)
+
+type t = {
+  f : int;  (** tolerated replica failures; [2f+1] replicas *)
+  reexecution : bool;  (** Morty ([true]) vs MVTSO baseline ([false]) *)
+  eager_writes : bool;
+      (** [true] (Morty): uncommitted writes are visible to readers and
+          read misses are pushed eagerly.  [false]: only committed writes
+          are visible and misses are detected at commit time — the
+          TheDB/MV3C-style ablation discussed in §6 *)
+  always_slow_path : bool;
+      (** force the Finalize round even on unanimous Commit votes
+          (fast-path ablation) *)
+  max_reexecs : int;
+      (** cap on partial re-executions per transaction before falling
+          back to abort-and-retry *)
+  max_clock_skew_us : int;  (** per-node clock offset bound *)
+  (* Per-message CPU service costs at replicas (microseconds). *)
+  get_cost_us : int;
+  put_cost_us : int;
+  prepare_cost_us : int;
+  finalize_cost_us : int;
+  decide_cost_us : int;
+  recovery_cost_us : int;
+  prepare_timeout_us : int;
+      (** after this long with >= f+1 Prepare replies, decide without
+          waiting for stragglers *)
+  dep_recovery_timeout_us : int;
+      (** how long a replica lets a Prepare wait on an undecided
+          dependency before starting coordinator recovery *)
+  truncation_interval_us : int;  (** 0 disables truncation/GC *)
+}
+
+val default : t
+(** [f = 1], re-execution on, calibrated service costs (see DESIGN.md). *)
+
+val n_replicas : t -> int
+(** [2f + 1]. *)
+
+val mvtso : t -> t
+(** The same deployment with re-execution disabled. *)

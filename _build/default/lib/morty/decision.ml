@@ -1,0 +1,10 @@
+type t = Commit | Abandon
+
+let pp ppf = function
+  | Commit -> Fmt.string ppf "commit"
+  | Abandon -> Fmt.string ppf "abandon"
+
+let equal a b =
+  match (a, b) with
+  | Commit, Commit | Abandon, Abandon -> true
+  | (Commit | Abandon), _ -> false

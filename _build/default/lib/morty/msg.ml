@@ -1,0 +1,76 @@
+module Version = Cc_types.Version
+
+type truncate_entry = {
+  t_ver : Version.t;
+  t_eid : int;
+  t_vote : Vote.t option;
+  t_fin : (int * Decision.t) option;
+  t_decision : Decision.t option;
+  t_write_set : Cc_types.Rwset.write_set;
+  t_read_set : Cc_types.Rwset.read_set;
+}
+
+type t =
+  | Get of { ver : Version.t; key : string; seq : int }
+  | Get_reply of {
+      for_ver : Version.t;
+      key : string;
+      w_ver : Version.t;
+      value : string;
+      seq : int option;
+    }
+  | Put of { ver : Version.t; key : string; value : string }
+  | Prepare of {
+      ver : Version.t;
+      eid : int;
+      read_set : Cc_types.Rwset.read_set;
+      write_set : Cc_types.Rwset.write_set;
+    }
+  | Prepare_reply of {
+      ver : Version.t;
+      eid : int;
+      vote : Vote.t;
+      missed : (string * Version.t * string) list;
+    }
+  | Finalize of { ver : Version.t; eid : int; view : int; decision : Decision.t }
+  | Finalize_reply of { ver : Version.t; eid : int; view : int; accepted : bool }
+  | Decide of {
+      ver : Version.t;
+      eid : int;
+      decision : Decision.t;
+      abort : bool;
+      read_set : Cc_types.Rwset.read_set;
+      write_set : Cc_types.Rwset.write_set;
+    }
+  | Paxos_prepare of { ver : Version.t; eid : int; view : int }
+  | Paxos_prepare_reply of {
+      ver : Version.t;
+      eid : int;
+      view : int;
+      ok : bool;
+      vote : Vote.t option;
+      fin : (int * Decision.t) option;
+      decided : (Decision.t * bool) option;
+      read_set : Cc_types.Rwset.read_set;
+      write_set : Cc_types.Rwset.write_set;
+    }
+  | Truncate of { t_upto : Version.t; entries : truncate_entry list }
+  | Propose_merge of { t_upto : Version.t; t_view : int; merged : truncate_entry list }
+  | Propose_merge_reply of { t_upto : Version.t; t_view : int }
+  | Truncation_finished of { t_upto : Version.t; merged : truncate_entry list }
+
+let label = function
+  | Get _ -> "get"
+  | Get_reply _ -> "get_reply"
+  | Put _ -> "put"
+  | Prepare _ -> "prepare"
+  | Prepare_reply _ -> "prepare_reply"
+  | Finalize _ -> "finalize"
+  | Finalize_reply _ -> "finalize_reply"
+  | Decide _ -> "decide"
+  | Paxos_prepare _ -> "paxos_prepare"
+  | Paxos_prepare_reply _ -> "paxos_prepare_reply"
+  | Truncate _ -> "truncate"
+  | Propose_merge _ -> "propose_merge"
+  | Propose_merge_reply _ -> "propose_merge_reply"
+  | Truncation_finished _ -> "truncation_finished"

@@ -1,0 +1,73 @@
+(** The Morty wire protocol (§4.2–§4.4).
+
+    One variant per message of the paper.  [Get_reply] serves double
+    duty: with [seq = Some s] it answers the coordinator's read request
+    [s]; with [seq = None] it is an unsolicited server push notifying a
+    read that missed a write (the trigger for re-execution). *)
+
+module Version = Cc_types.Version
+
+type truncate_entry = {
+  t_ver : Version.t;
+  t_eid : int;
+  t_vote : Vote.t option;
+  t_fin : (int * Decision.t) option;  (** (finalize_view, decision) *)
+  t_decision : Decision.t option;
+  t_write_set : Cc_types.Rwset.write_set;
+  t_read_set : Cc_types.Rwset.read_set;
+}
+(** One erecord entry in a truncation snapshot (§4.4). *)
+
+type t =
+  | Get of { ver : Version.t; key : string; seq : int }
+  | Get_reply of {
+      for_ver : Version.t;  (** the reading transaction *)
+      key : string;
+      w_ver : Version.t;
+      value : string;
+      seq : int option;
+    }
+  | Put of { ver : Version.t; key : string; value : string }
+  | Prepare of {
+      ver : Version.t;
+      eid : int;
+      read_set : Cc_types.Rwset.read_set;
+      write_set : Cc_types.Rwset.write_set;
+    }
+  | Prepare_reply of {
+      ver : Version.t;
+      eid : int;
+      vote : Vote.t;
+      missed : (string * Version.t * string) list;
+          (** (key, writer version, value) of writes the execution's
+              reads missed — lets the coordinator re-execute *)
+    }
+  | Finalize of { ver : Version.t; eid : int; view : int; decision : Decision.t }
+  | Finalize_reply of { ver : Version.t; eid : int; view : int; accepted : bool }
+  | Decide of {
+      ver : Version.t;
+      eid : int;
+      decision : Decision.t;
+      abort : bool;  (** with [decision = Abandon]: the whole transaction aborts *)
+      read_set : Cc_types.Rwset.read_set;
+      write_set : Cc_types.Rwset.write_set;
+    }
+  | Paxos_prepare of { ver : Version.t; eid : int; view : int }
+  | Paxos_prepare_reply of {
+      ver : Version.t;
+      eid : int;
+      view : int;  (** the replica's (possibly higher) current view *)
+      ok : bool;
+      vote : Vote.t option;
+      fin : (int * Decision.t) option;
+      decided : (Decision.t * bool) option;  (** (decision, abort) if learned *)
+      read_set : Cc_types.Rwset.read_set;
+      write_set : Cc_types.Rwset.write_set;
+    }
+  | Truncate of { t_upto : Version.t; entries : truncate_entry list }
+  | Propose_merge of { t_upto : Version.t; t_view : int; merged : truncate_entry list }
+  | Propose_merge_reply of { t_upto : Version.t; t_view : int }
+  | Truncation_finished of { t_upto : Version.t; merged : truncate_entry list }
+
+val label : t -> string
+(** Short constructor name (tracing / service-cost dispatch). *)

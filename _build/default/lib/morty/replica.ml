@@ -1,0 +1,830 @@
+module Version = Cc_types.Version
+module Rwset = Cc_types.Rwset
+module Net = Simnet.Net
+module Cpu = Simnet.Cpu
+module Engine = Sim.Engine
+
+let src_log = Logs.Src.create "morty.replica" ~doc:"Morty replica"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type exec_entry = {
+  e_ver : Version.t;
+  e_eid : int;
+  mutable suspended : bool;  (** a Prepare is parked on a dependency *)
+  mutable vote : Vote.t option;
+  mutable view : int;
+  mutable fin_view : int;
+  mutable fin_dec : Decision.t option;
+  mutable decision : (Decision.t * bool) option;
+  mutable read_set : Rwset.read_set;
+  mutable write_set : Rwset.write_set;
+}
+
+type recovery = {
+  r_eid : int;
+  r_view : int;
+  mutable r_replies : (Net.node * Msg.t) list;
+  mutable r_done : bool;
+}
+
+type pending_finalize = {
+  pf_decision : Decision.t;
+  mutable pf_acks : int;
+  mutable pf_fired : bool;
+}
+
+type stats = {
+  mutable prepares : int;
+  mutable commit_votes : int;
+  mutable tentative_votes : int;
+  mutable final_votes : int;
+  mutable miss_notifications : int;
+  mutable recoveries : int;
+  mutable truncations : int;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  rng : Sim.Rng.t;
+  index : int;
+  node : Net.node;
+  cpu : Cpu.t;
+  mutable peers : int array;
+  store : Mvstore.Vstore.t;
+  erecord : (Version.t * int, exec_entry) Hashtbl.t;
+  decision_log : (Version.t, [ `Commit | `Abort ]) Hashtbl.t;
+  (* Prepares suspended on undecided dependencies: dep version ->
+     thunks re-run when the dep's transaction-level decision lands. *)
+  waiting : (Version.t, (unit -> unit) list ref) Hashtbl.t;
+  (* Keys touched by each transaction's Puts at this replica, for
+     abort-time cleanup. *)
+  txn_keys : (Version.t, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* Keys on which each transaction has prepared or uncommitted-read
+     state at this replica, so decisions clean up in O(own keys). *)
+  prepared_keys : (Version.t, (string, unit) Hashtbl.t) Hashtbl.t;
+  read_keys : (Version.t, (string, unit) Hashtbl.t) Hashtbl.t;
+  max_eid : (Version.t, int) Hashtbl.t;
+  recovering : (Version.t, recovery) Hashtbl.t;
+  pending_fin : (Version.t * int * int, pending_finalize) Hashtbl.t;
+  mutable watermark : Version.t option;
+  (* Truncation coordinator state (replica 0 only). *)
+  trunc_snapshots : (Version.t, (int * Msg.truncate_entry list) list ref) Hashtbl.t;
+  trunc_acks : (Version.t, int ref) Hashtbl.t;
+  trunc_merged : (Version.t, Msg.truncate_entry list) Hashtbl.t;
+  stats : stats;
+}
+
+let node t = t.node
+let cpu t = t.cpu
+let stats t = t.stats
+let watermark t = t.watermark
+let set_peers t peers = t.peers <- peers
+let load t pairs = Mvstore.Vstore.load t.store pairs
+let decision_of t ver = Hashtbl.find_opt t.decision_log ver
+
+let committed_value_at t key ver =
+  match Mvstore.Vstore.find_existing t.store key with
+  | None -> None
+  | Some vr -> Mvstore.Vrecord.committed_value vr ver
+
+let read_current t key =
+  match Mvstore.Vstore.find_existing t.store key with
+  | None -> None
+  | Some vr ->
+    let reply =
+      Mvstore.Vrecord.latest_before vr (Version.make ~ts:max_int ~id:max_int)
+    in
+    if Version.is_zero reply.r_ver && String.equal reply.r_val "" then None
+    else Some reply.r_val
+
+let erecord_size t = Hashtbl.length t.erecord
+
+let entry t ver eid =
+  match Hashtbl.find_opt t.erecord (ver, eid) with
+  | Some e -> e
+  | None ->
+    let e =
+      { e_ver = ver; e_eid = eid; suspended = false; vote = None; view = 0;
+        fin_view = -1; fin_dec = None; decision = None; read_set = [];
+        write_set = [] }
+    in
+    Hashtbl.replace t.erecord (ver, eid) e;
+    (match Hashtbl.find_opt t.max_eid ver with
+     | Some m when m >= eid -> ()
+     | Some _ | None -> Hashtbl.replace t.max_eid ver eid);
+    e
+
+let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.peers
+
+let add_to_keyset table ver key =
+  let keys =
+    match Hashtbl.find_opt table ver with
+    | Some k -> k
+    | None ->
+      let k = Hashtbl.create 4 in
+      Hashtbl.replace table ver k;
+      k
+  in
+  Hashtbl.replace keys key ()
+
+let touch_key t ver key = add_to_keyset t.txn_keys ver key
+
+let iter_keyset table ver f =
+  match Hashtbl.find_opt table ver with
+  | None -> ()
+  | Some keys -> Hashtbl.iter (fun key () -> f key) keys
+
+(* --- Reads and writes ------------------------------------------------ *)
+
+let handle_get t ~src ver key seq =
+  let vr = Mvstore.Vstore.find t.store key in
+  let reply =
+    if t.cfg.eager_writes then Mvstore.Vrecord.latest_before vr ver
+    else Mvstore.Vrecord.latest_committed_before vr ver
+  in
+  Mvstore.Vrecord.add_read vr ~reader:ver ~coord:src reply;
+  add_to_keyset t.read_keys ver key;
+  send t src
+    (Msg.Get_reply
+       { for_ver = ver; key; w_ver = reply.r_ver; value = reply.r_val; seq = Some seq })
+
+(* Push an unsolicited corrected reply to a read and remember it as the
+   read's most recent reply. *)
+let notify_read t key (r : Mvstore.Vrecord.read) (reply : Mvstore.Vrecord.reply) =
+  r.last <- reply;
+  t.stats.miss_notifications <- t.stats.miss_notifications + 1;
+  send t r.coord
+    (Msg.Get_reply
+       { for_ver = r.reader; key; w_ver = reply.r_ver; value = reply.r_val; seq = None })
+
+let handle_put t ver key value =
+  touch_key t ver key;
+  let vr = Mvstore.Vstore.find t.store key in
+  let missed = Mvstore.Vrecord.add_write vr ~ver value in
+  (* Under eager visibility (Morty), reads that missed the new write are
+     notified immediately; otherwise misses surface only when the write
+     commits. *)
+  if t.cfg.eager_writes then
+    List.iter
+      (fun (r : Mvstore.Vrecord.read) ->
+        (* The new write is visible to this read only if it is the latest
+           visible version below the reader. *)
+        let fresh = Mvstore.Vrecord.latest_before vr r.reader in
+        if Version.equal fresh.r_ver ver then notify_read t key r fresh)
+      missed
+
+(* --- Validation (§4.2) ----------------------------------------------- *)
+
+type verdict = { v_vote : Vote.t; v_missed : (string * Version.t * string) list }
+
+let worse a b =
+  match (a, b) with
+  | Vote.Abandon_final, _ | _, Vote.Abandon_final -> Vote.Abandon_final
+  | Vote.Abandon_tentative, _ | _, Vote.Abandon_tentative -> Vote.Abandon_tentative
+  | Vote.Commit, Vote.Commit -> Vote.Commit
+
+let truncated t ver =
+  match t.watermark with
+  | None -> false
+  | Some w -> Version.compare ver w < 0
+
+let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
+  let vote = ref Vote.Commit in
+  let missed = ref [] in
+  (* Check 4: nothing involved may be truncated. *)
+  if truncated t ver then vote := Vote.Abandon_final;
+  List.iter
+    (fun (r : Rwset.read) ->
+      if (not (Version.is_zero r.r_ver)) && truncated t r.r_ver then
+        vote := Vote.Abandon_final)
+    read_set;
+  (* Check 3: dirty reads — every read must match a committed write
+     exactly (dependencies are committed by the time we validate). *)
+  List.iter
+    (fun (r : Rwset.read) ->
+      let vr = Mvstore.Vstore.find t.store r.key in
+      let committed_val = Mvstore.Vrecord.committed_value vr r.r_ver in
+      let ok =
+        match committed_val with
+        | Some v -> String.equal v r.r_val
+        | None -> Version.is_zero r.r_ver && String.equal r.r_val ""
+      in
+      if not ok then vote := Vote.Abandon_final)
+    read_set;
+  (* Check 1: did our reads miss any writes? *)
+  List.iter
+    (fun (r : Rwset.read) ->
+      let vr = Mvstore.Vstore.find t.store r.key in
+      match Mvstore.Vrecord.write_missed_by_read vr ~reader:ver ~r_ver:r.r_ver with
+      | Mvstore.Vrecord.No_miss -> ()
+      | Mvstore.Vrecord.Missed_committed m ->
+        vote := worse !vote Vote.Abandon_final;
+        missed := (r.key, m.r_ver, m.r_val) :: !missed
+      | Mvstore.Vrecord.Missed_uncommitted m ->
+        vote := worse !vote Vote.Abandon_tentative;
+        missed := (r.key, m.r_ver, m.r_val) :: !missed)
+    read_set;
+  (* Check 2: did other transactions' validated reads miss our writes? *)
+  List.iter
+    (fun (w : Rwset.write) ->
+      let vr = Mvstore.Vstore.find t.store w.key in
+      if Mvstore.Vrecord.committed_read_missing_write vr ~w_ver:ver then
+        vote := worse !vote Vote.Abandon_final
+      else if Mvstore.Vrecord.prepared_read_missing_write vr ~w_ver:ver then
+        vote := worse !vote Vote.Abandon_tentative)
+    write_set;
+  { v_vote = !vote; v_missed = !missed }
+
+let record_vote_stat t = function
+  | Vote.Commit -> t.stats.commit_votes <- t.stats.commit_votes + 1
+  | Vote.Abandon_tentative -> t.stats.tentative_votes <- t.stats.tentative_votes + 1
+  | Vote.Abandon_final -> t.stats.final_votes <- t.stats.final_votes + 1
+
+let rec process_prepare t ~src ver eid (read_set : Rwset.read_set) write_set =
+  let e = entry t ver eid in
+  e.read_set <- read_set;
+  e.write_set <- write_set;
+  match (e.decision, e.vote) with
+  | Some (d, _), _ ->
+    let vote =
+      match d with Decision.Commit -> Vote.Commit | Decision.Abandon -> Vote.Abandon_final
+    in
+    send t src (Msg.Prepare_reply { ver; eid; vote; missed = [] })
+  | None, Some v -> send t src (Msg.Prepare_reply { ver; eid; vote = v; missed = [] })
+  | None, None ->
+    (* Transaction already decided at transaction level? *)
+    (match Hashtbl.find_opt t.decision_log ver with
+     | Some `Abort ->
+       e.vote <- Some Vote.Abandon_final;
+       record_vote_stat t Vote.Abandon_final;
+       send t src (Msg.Prepare_reply { ver; eid; vote = Vote.Abandon_final; missed = [] })
+     | Some `Commit | None ->
+       (* Read-validity wait: every non-initial dependency must have a
+          transaction-level decision before we validate. *)
+       let aborted_dep =
+         List.exists
+           (fun (r : Rwset.read) ->
+             (not (Version.is_zero r.r_ver))
+             && Hashtbl.find_opt t.decision_log r.r_ver = Some `Abort)
+           read_set
+       in
+       if aborted_dep then begin
+         e.vote <- Some Vote.Abandon_final;
+         record_vote_stat t Vote.Abandon_final;
+         send t src
+           (Msg.Prepare_reply { ver; eid; vote = Vote.Abandon_final; missed = [] })
+       end
+       else
+         let undecided =
+           List.filter
+             (fun (r : Rwset.read) ->
+               (not (Version.is_zero r.r_ver))
+               && not (Hashtbl.mem t.decision_log r.r_ver))
+             read_set
+         in
+         (match undecided with
+          | [] ->
+            e.suspended <- false;
+            let { v_vote; v_missed } = validate t ver read_set write_set in
+            if Vote.equal v_vote Vote.Commit then begin
+              List.iter
+                (fun (r : Rwset.read) ->
+                  let vr = Mvstore.Vstore.find t.store r.key in
+                  add_to_keyset t.prepared_keys ver r.key;
+                  Mvstore.Vrecord.prepare_read vr ~reader:ver ~eid ~r_ver:r.r_ver)
+                read_set;
+              List.iter
+                (fun (w : Rwset.write) ->
+                  let vr = Mvstore.Vstore.find t.store w.key in
+                  add_to_keyset t.prepared_keys ver w.key;
+                  Mvstore.Vrecord.prepare_write vr ~ver ~eid)
+                write_set
+            end;
+            e.vote <- Some v_vote;
+            t.stats.prepares <- t.stats.prepares + 1;
+            record_vote_stat t v_vote;
+            send t src (Msg.Prepare_reply { ver; eid; vote = v_vote; missed = v_missed })
+          | dep :: _ ->
+            if e.suspended then ()
+            else begin
+            e.suspended <- true;
+            let dep_ver = dep.r_ver in
+            let thunks =
+              match Hashtbl.find_opt t.waiting dep_ver with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.replace t.waiting dep_ver l;
+                l
+            in
+            thunks :=
+              (fun () ->
+                e.suspended <- false;
+                process_prepare t ~src ver eid read_set write_set)
+              :: !thunks;
+            (* If the dependency's coordinator died, recover it. *)
+            ignore
+              (Engine.schedule t.engine ~after:t.cfg.dep_recovery_timeout_us (fun () ->
+                   if not (Hashtbl.mem t.decision_log dep_ver) then
+                     start_recovery t dep_ver))
+            end))
+
+(* --- Decide ----------------------------------------------------------- *)
+
+and wake_waiters t ver =
+  match Hashtbl.find_opt t.waiting ver with
+  | None -> ()
+  | Some thunks ->
+    Hashtbl.remove t.waiting ver;
+    List.iter (fun f -> f ()) (List.rev !thunks)
+
+and apply_commit t ver eid (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
+  Hashtbl.replace t.decision_log ver `Commit;
+  (* Install committed writes; correct readers that observed a value this
+     transaction did not end up committing. *)
+  List.iter
+    (fun (w : Rwset.write) ->
+      let vr = Mvstore.Vstore.find t.store w.key in
+      Mvstore.Vrecord.commit_write vr ~ver w.w_val;
+      List.iter
+        (fun (r : Mvstore.Vrecord.read) ->
+          if not (String.equal r.last.r_val w.w_val) then
+            notify_read t w.key r { r_ver = ver; r_val = w.w_val })
+        (Mvstore.Vrecord.reads_observing vr ver);
+      if not t.cfg.eager_writes then
+        (* Commit-time miss detection (TheDB/MV3C-style ablation). *)
+        List.iter
+          (fun (r : Mvstore.Vrecord.read) ->
+            let fresh = Mvstore.Vrecord.latest_committed_before vr r.reader in
+            if Version.equal fresh.r_ver ver then notify_read t w.key r fresh)
+          (Mvstore.Vrecord.reads_missing_version vr ~ver w.w_val))
+    write_set;
+  (* Writes from abandoned executions on keys the committed execution did
+     not write: retract them and refresh observers. *)
+  (match Hashtbl.find_opt t.txn_keys ver with
+   | None -> ()
+   | Some keys ->
+     Hashtbl.iter
+       (fun key () ->
+         if Rwset.write_of_key write_set key = None then begin
+           match Mvstore.Vstore.find_existing t.store key with
+           | None -> ()
+           | Some vr ->
+             Mvstore.Vrecord.abort_writes vr ~ver;
+             List.iter
+               (fun (r : Mvstore.Vrecord.read) ->
+                 notify_read t key r (Mvstore.Vrecord.latest_before vr r.reader))
+               (Mvstore.Vrecord.reads_observing vr ver)
+         end)
+       keys;
+     Hashtbl.remove t.txn_keys ver);
+  List.iter
+    (fun (r : Rwset.read) ->
+      let vr = Mvstore.Vstore.find t.store r.key in
+      Mvstore.Vrecord.commit_read vr ~reader:ver ~r_ver:r.r_ver)
+    read_set;
+  (* Drop prepared state of other executions of this transaction. *)
+  iter_keyset t.prepared_keys ver (fun key ->
+      match Mvstore.Vstore.find_existing t.store key with
+      | None -> ()
+      | Some vr -> Mvstore.Vrecord.unprepare_all vr ~ver);
+  Hashtbl.remove t.prepared_keys ver;
+  (* The transaction is decided: its uncommitted reads are obsolete. *)
+  iter_keyset t.read_keys ver (fun key ->
+      match Mvstore.Vstore.find_existing t.store key with
+      | None -> ()
+      | Some vr -> Mvstore.Vrecord.remove_read vr ver);
+  Hashtbl.remove t.read_keys ver;
+  ignore eid;
+  wake_waiters t ver
+
+and apply_abort t ver =
+  Hashtbl.replace t.decision_log ver `Abort;
+  (match Hashtbl.find_opt t.txn_keys ver with
+   | None -> ()
+   | Some keys ->
+     Hashtbl.iter
+       (fun key () ->
+         match Mvstore.Vstore.find_existing t.store key with
+         | None -> ()
+         | Some vr ->
+           Mvstore.Vrecord.abort_writes vr ~ver;
+           (* §4.2 Decide: generate new GetReplies for all reads that
+              observed the aborted transaction's writes. *)
+           List.iter
+             (fun (r : Mvstore.Vrecord.read) ->
+               notify_read t key r (Mvstore.Vrecord.latest_before vr r.reader))
+             (Mvstore.Vrecord.reads_observing vr ver))
+       keys;
+     Hashtbl.remove t.txn_keys ver);
+  iter_keyset t.prepared_keys ver (fun key ->
+      match Mvstore.Vstore.find_existing t.store key with
+      | None -> ()
+      | Some vr -> Mvstore.Vrecord.unprepare_all vr ~ver);
+  Hashtbl.remove t.prepared_keys ver;
+  iter_keyset t.read_keys ver (fun key ->
+      match Mvstore.Vstore.find_existing t.store key with
+      | None -> ()
+      | Some vr -> Mvstore.Vrecord.remove_read vr ver);
+  Hashtbl.remove t.read_keys ver;
+  wake_waiters t ver
+
+and apply_abandon t ver eid =
+  (* Abandon one execution: unprepare it, keep reads/writes (later
+     executions of the transaction continue). *)
+  iter_keyset t.prepared_keys ver (fun key ->
+      match Mvstore.Vstore.find_existing t.store key with
+      | None -> ()
+      | Some vr -> Mvstore.Vrecord.unprepare vr ~ver ~eid)
+
+and handle_decide t ver eid decision abort read_set write_set =
+  let e = entry t ver eid in
+  (match e.decision with
+   | Some _ -> ()
+   | None ->
+     e.decision <- Some (decision, abort);
+     (match decision with
+      | Decision.Commit ->
+        if not (Hashtbl.mem t.decision_log ver) then
+          apply_commit t ver eid read_set write_set
+      | Decision.Abandon ->
+        apply_abandon t ver eid;
+        if abort && not (Hashtbl.mem t.decision_log ver) then apply_abort t ver))
+
+(* --- Finalize (write-once register) ----------------------------------- *)
+
+and handle_finalize t ~src ver eid view decision =
+  let e = entry t ver eid in
+  if view >= e.view then begin
+    e.view <- view;
+    e.fin_view <- view;
+    e.fin_dec <- Some decision;
+    (* A durably abandoned execution releases its prepared state so the
+       coordinator's re-execution can proceed (§4.2, Commit &
+       Re-Execution). *)
+    if Decision.equal decision Decision.Abandon then apply_abandon t ver eid;
+    send t src (Msg.Finalize_reply { ver; eid; view; accepted = true })
+  end
+  else send t src (Msg.Finalize_reply { ver; eid; view = e.view; accepted = false })
+
+(* --- Coordinator recovery (§4.3) --------------------------------------- *)
+
+and start_recovery t ver =
+  if Hashtbl.mem t.recovering ver || Hashtbl.mem t.decision_log ver then ()
+  else begin
+    let eid = match Hashtbl.find_opt t.max_eid ver with Some e -> e | None -> 0 in
+    let cur_view =
+      match Hashtbl.find_opt t.erecord (ver, eid) with Some e -> e.view | None -> 0
+    in
+    let view = (((cur_view / 1000) + 1) * 1000) + t.index + 1 in
+    t.stats.recoveries <- t.stats.recoveries + 1;
+    Log.debug (fun m ->
+        m "replica %d recovering %a eid %d in view %d" t.index Version.pp ver eid view);
+    Hashtbl.replace t.recovering ver { r_eid = eid; r_view = view; r_replies = []; r_done = false };
+    broadcast t (Msg.Paxos_prepare { ver; eid; view })
+  end
+
+and handle_paxos_prepare t ~src ver eid view =
+  let e = entry t ver eid in
+  if view > e.view then e.view <- view;
+  let ok = e.view = view in
+  send t src
+    (Msg.Paxos_prepare_reply
+       {
+         ver; eid; view = e.view; ok;
+         vote = e.vote;
+         fin = (match e.fin_dec with Some d -> Some (e.fin_view, d) | None -> None);
+         decided = (match e.decision with Some (d, a) -> Some (d, a) | None -> None);
+         read_set = e.read_set;
+         write_set = e.write_set;
+       })
+
+and handle_paxos_prepare_reply t ~src (msg : Msg.t) =
+  match msg with
+  | Msg.Paxos_prepare_reply r -> begin
+    match Hashtbl.find_opt t.recovering r.ver with
+    | None -> ()
+    | Some rec_st when rec_st.r_done || rec_st.r_eid <> r.eid -> ()
+    | Some rec_st ->
+      if not r.ok then begin
+        (* A higher view exists: back off and retry later. *)
+        rec_st.r_done <- true;
+        Hashtbl.remove t.recovering r.ver;
+        let delay = t.cfg.dep_recovery_timeout_us + Sim.Rng.int t.rng 100_000 in
+        ignore
+          (Engine.schedule t.engine ~after:delay (fun () ->
+               if not (Hashtbl.mem t.decision_log r.ver) then start_recovery t r.ver))
+      end
+      else begin
+        rec_st.r_replies <- (src, msg) :: rec_st.r_replies;
+        if List.length rec_st.r_replies >= t.cfg.f + 1 then begin
+          rec_st.r_done <- true;
+          Hashtbl.remove t.recovering r.ver;
+          finish_recovery t r.ver rec_st.r_eid rec_st.r_view rec_st.r_replies
+        end
+      end
+  end
+  | _ -> ()
+
+and finish_recovery t ver eid view replies =
+  (* Any learned decision wins; otherwise the finalize decision from the
+     highest view; otherwise aggregate the f+1 votes (Table 1, forced). *)
+  let decided = ref None in
+  let best_fin = ref None in
+  let votes = ref [] in
+  let sets = ref ([], []) in
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Msg.Paxos_prepare_reply r ->
+        (match r.decided with
+         | Some (d, a) -> decided := Some (d, a, r.read_set, r.write_set)
+         | None -> ());
+        (match r.fin with
+         | Some (fv, fd) ->
+           (match !best_fin with
+            | Some (bv, _) when bv >= fv -> ()
+            | Some _ | None -> best_fin := Some (fv, fd))
+         | None -> ());
+        (match r.vote with Some v -> votes := v :: !votes | None -> ());
+        if r.read_set <> [] || r.write_set <> [] then sets := (r.read_set, r.write_set)
+      | _ -> ())
+    replies;
+  let read_set, write_set = !sets in
+  match !decided with
+  | Some (d, a, rs', ws') ->
+    broadcast t
+      (Msg.Decide { ver; eid; decision = d; abort = a; read_set = rs'; write_set = ws' })
+  | None ->
+    let proposal =
+      match !best_fin with
+      | Some (_, fd) -> fd
+      | None -> (
+        match Vote.aggregate ~f:t.cfg.f ~force:true !votes with
+        | Vote.Commit_fast | Vote.Commit_slow -> Decision.Commit
+        | Vote.Abandon_fast | Vote.Abandon_slow | Vote.Undecided -> Decision.Abandon)
+    in
+    let key = (ver, eid, view) in
+    Hashtbl.replace t.pending_fin key
+      { pf_decision = proposal; pf_acks = 0; pf_fired = false };
+    (* Remember the sets so the eventual Decide is self-contained. *)
+    let e = entry t ver eid in
+    if e.read_set = [] then e.read_set <- read_set;
+    if e.write_set = [] then e.write_set <- write_set;
+    broadcast t (Msg.Finalize { ver; eid; view; decision = proposal })
+
+and handle_finalize_reply t ver eid view accepted =
+  match Hashtbl.find_opt t.pending_fin (ver, eid, view) with
+  | None -> ()
+  | Some pf ->
+    if accepted then begin
+      pf.pf_acks <- pf.pf_acks + 1;
+      if pf.pf_acks >= t.cfg.f + 1 && not pf.pf_fired then begin
+        pf.pf_fired <- true;
+        Hashtbl.remove t.pending_fin (ver, eid, view);
+        let e = entry t ver eid in
+        let abort = Decision.equal pf.pf_decision Decision.Abandon in
+        broadcast t
+          (Msg.Decide
+             {
+               ver; eid; decision = pf.pf_decision; abort;
+               read_set = e.read_set; write_set = e.write_set;
+             })
+      end
+    end
+
+(* --- Truncation (§4.4) -------------------------------------------------- *)
+
+and snapshot_below t upto =
+  Hashtbl.fold
+    (fun (ver, eid) (e : exec_entry) acc ->
+      if Version.compare ver upto < 0 then
+        {
+          Msg.t_ver = ver;
+          t_eid = eid;
+          t_vote = e.vote;
+          t_fin = (match e.fin_dec with Some d -> Some (e.fin_view, d) | None -> None);
+          t_decision = (match e.decision with Some (d, _) -> Some d | None -> None);
+          t_write_set = e.write_set;
+          t_read_set = e.read_set;
+        }
+        :: acc
+      else acc)
+    t.erecord []
+
+and handle_truncate t ~src upto entries =
+  (* Coordinator role (replica 0): merge snapshots once f+1 arrive. *)
+  if t.index <> 0 then ()
+  else begin
+    let snaps =
+      match Hashtbl.find_opt t.trunc_snapshots upto with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.trunc_snapshots upto l;
+        l
+    in
+    if not (List.mem_assoc src !snaps) then snaps := (src, entries) :: !snaps;
+    if List.length !snaps >= t.cfg.f + 1 && not (Hashtbl.mem t.trunc_merged upto)
+    then begin
+      let merged = merge_snapshots t (List.map snd !snaps) in
+      Hashtbl.remove t.trunc_snapshots upto;
+      Hashtbl.replace t.trunc_acks upto (ref 0);
+      Hashtbl.replace t.trunc_merged upto merged;
+      broadcast t (Msg.Propose_merge { t_upto = upto; t_view = 0; merged })
+    end
+  end
+
+and merge_snapshots t snapshots =
+  (* Preserve any decision that could have been reached in a constituent
+     erecord: learned decision > finalize decision at the highest view >
+     vote aggregation; otherwise Abandon. *)
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun entries ->
+      List.iter
+        (fun (e : Msg.truncate_entry) ->
+          let key = (e.t_ver, e.t_eid) in
+          let cur = try Hashtbl.find table key with Not_found -> [] in
+          Hashtbl.replace table key (e :: cur))
+        entries)
+    snapshots;
+  Hashtbl.fold
+    (fun (ver, eid) entries acc ->
+      let decided = List.find_map (fun (e : Msg.truncate_entry) -> e.t_decision) entries in
+      let best_fin =
+        List.fold_left
+          (fun acc (e : Msg.truncate_entry) ->
+            match (acc, e.t_fin) with
+            | None, f -> f
+            | Some (av, _), Some (fv, fd) when fv > av -> Some (fv, fd)
+            | some, _ -> some)
+          None entries
+      in
+      let votes = List.filter_map (fun (e : Msg.truncate_entry) -> e.t_vote) entries in
+      let decision =
+        match (decided, best_fin) with
+        | Some d, _ -> d
+        | None, Some (_, fd) -> fd
+        | None, None -> (
+          match Vote.aggregate ~f:t.cfg.f ~force:true votes with
+          | Vote.Commit_fast | Vote.Commit_slow -> Decision.Commit
+          | Vote.Abandon_fast | Vote.Abandon_slow | Vote.Undecided -> Decision.Abandon)
+      in
+      let sets =
+        List.find_map
+          (fun (e : Msg.truncate_entry) ->
+            if e.t_write_set <> [] || e.t_read_set <> [] then
+              Some (e.t_read_set, e.t_write_set)
+            else None)
+          entries
+      in
+      let read_set, write_set = match sets with Some s -> s | None -> ([], []) in
+      {
+        Msg.t_ver = ver;
+        t_eid = eid;
+        t_vote = None;
+        t_fin = None;
+        t_decision = Some decision;
+        t_read_set = read_set;
+        t_write_set = write_set;
+      }
+      :: acc)
+    table []
+
+and handle_propose_merge t ~src upto view merged =
+  ignore merged;
+  send t src (Msg.Propose_merge_reply { t_upto = upto; t_view = view })
+
+and handle_propose_merge_reply t upto _view =
+  if t.index <> 0 then ()
+  else
+    match Hashtbl.find_opt t.trunc_acks upto with
+    | None -> ()
+    | Some acks ->
+      incr acks;
+      if !acks >= t.cfg.f + 1 then begin
+        Hashtbl.remove t.trunc_acks upto;
+        match Hashtbl.find_opt t.trunc_merged upto with
+        | None -> ()
+        | Some merged ->
+          Hashtbl.remove t.trunc_merged upto;
+          broadcast t (Msg.Truncation_finished { t_upto = upto; merged })
+      end
+
+and handle_truncation_finished t upto merged =
+  t.stats.truncations <- t.stats.truncations + 1;
+  (* Apply merged decisions for executions we have not decided locally. *)
+  List.iter
+    (fun (e : Msg.truncate_entry) ->
+      match e.t_decision with
+      | Some d ->
+        let abort = Decision.equal d Decision.Abandon in
+        handle_decide t e.t_ver e.t_eid d abort e.t_read_set e.t_write_set
+      | None -> ())
+    merged;
+  t.watermark <- Some upto;
+  (* Garbage collect: erecord entries and committed metadata below the
+     watermark. *)
+  let stale =
+    Hashtbl.fold
+      (fun (ver, eid) _ acc ->
+        if Version.compare ver upto < 0 then (ver, eid) :: acc else acc)
+      t.erecord []
+  in
+  List.iter (fun k -> Hashtbl.remove t.erecord k) stale;
+  Mvstore.Vstore.iter t.store (fun _ vr -> Mvstore.Vrecord.gc_below vr upto)
+
+(* --- Dispatch ----------------------------------------------------------- *)
+
+let service_cost t = function
+  | Msg.Get _ -> t.cfg.get_cost_us
+  | Msg.Put _ -> t.cfg.put_cost_us
+  | Msg.Prepare _ -> t.cfg.prepare_cost_us
+  | Msg.Finalize _ | Msg.Finalize_reply _ -> t.cfg.finalize_cost_us
+  | Msg.Decide _ -> t.cfg.decide_cost_us
+  | Msg.Paxos_prepare _ | Msg.Paxos_prepare_reply _ -> t.cfg.recovery_cost_us
+  | Msg.Get_reply _ -> t.cfg.get_cost_us
+  | Msg.Prepare_reply _ -> t.cfg.finalize_cost_us
+  | Msg.Truncate _ | Msg.Propose_merge _ | Msg.Propose_merge_reply _
+  | Msg.Truncation_finished _ -> t.cfg.recovery_cost_us
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Get { ver; key; seq } -> handle_get t ~src ver key seq
+  | Msg.Put { ver; key; value } -> handle_put t ver key value
+  | Msg.Prepare { ver; eid; read_set; write_set } ->
+    process_prepare t ~src ver eid read_set write_set
+  | Msg.Finalize { ver; eid; view; decision } -> handle_finalize t ~src ver eid view decision
+  | Msg.Finalize_reply { ver; eid; view; accepted } ->
+    handle_finalize_reply t ver eid view accepted
+  | Msg.Decide { ver; eid; decision; abort; read_set; write_set } ->
+    handle_decide t ver eid decision abort read_set write_set
+  | Msg.Paxos_prepare { ver; eid; view } -> handle_paxos_prepare t ~src ver eid view
+  | Msg.Paxos_prepare_reply _ -> handle_paxos_prepare_reply t ~src msg
+  | Msg.Get_reply _ | Msg.Prepare_reply _ ->
+    (* Replicas never receive client-bound messages. *)
+    ()
+  | Msg.Truncate { t_upto; entries } -> handle_truncate t ~src t_upto entries
+  | Msg.Propose_merge { t_upto; t_view; merged } ->
+    handle_propose_merge t ~src t_upto t_view merged
+  | Msg.Propose_merge_reply { t_upto; t_view } ->
+    handle_propose_merge_reply t t_upto t_view
+  | Msg.Truncation_finished { t_upto; merged } ->
+    handle_truncation_finished t t_upto merged
+
+let schedule_truncation t =
+  if t.cfg.truncation_interval_us > 0 then begin
+    let clock = Sim.Clock.perfect t.engine in
+    let rec tick () =
+      ignore
+        (Engine.schedule t.engine ~after:t.cfg.truncation_interval_us (fun () ->
+             let upto =
+               Version.make
+                 ~ts:(Sim.Clock.read clock - t.cfg.truncation_interval_us)
+                 ~id:min_int
+             in
+             if Version.compare upto (Version.make ~ts:0 ~id:min_int) > 0 then begin
+               let entries = snapshot_below t upto in
+               send t t.peers.(0) (Msg.Truncate { t_upto = upto; entries })
+             end;
+             tick ()))
+    in
+    tick ()
+  end
+
+let create ~cfg ~engine ~net ~rng ~index ~region ~cores =
+  let node = Net.add_node net ~region in
+  let t =
+    {
+      cfg; engine; net; rng; index; node;
+      cpu = Cpu.create engine ~cores;
+      peers = [||];
+      store = Mvstore.Vstore.create ();
+      erecord = Hashtbl.create 4096;
+      decision_log = Hashtbl.create 4096;
+      waiting = Hashtbl.create 256;
+      txn_keys = Hashtbl.create 4096;
+      prepared_keys = Hashtbl.create 4096;
+      read_keys = Hashtbl.create 4096;
+      max_eid = Hashtbl.create 4096;
+      recovering = Hashtbl.create 16;
+      pending_fin = Hashtbl.create 16;
+      watermark = None;
+      trunc_snapshots = Hashtbl.create 8;
+      trunc_acks = Hashtbl.create 8;
+      trunc_merged = Hashtbl.create 8;
+      stats =
+        { prepares = 0; commit_votes = 0; tentative_votes = 0; final_votes = 0;
+          miss_notifications = 0; recoveries = 0; truncations = 0 };
+    }
+  in
+  Net.set_handler net node (fun ~src msg ->
+      Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
+  schedule_truncation t;
+  t

@@ -1,0 +1,74 @@
+(** Morty storage replica (§4.2–§4.4).
+
+    Handles the full message protocol:
+    - {b Get}: serve the visible write with the largest version below the
+      reader, register the read for miss detection;
+    - {b Put}: record the eagerly visible uncommitted write and push
+      unsolicited [Get_reply]s to reads that missed it;
+    - {b Prepare}: wait for read dependencies to commit (recoverability),
+      then run the four validation checks of §4.2 and vote;
+    - {b Finalize}: single-decree consensus on a per-execution decision
+      (write-once register, views);
+    - {b Decide}: learn a durable decision, install committed state,
+      wake suspended Prepares, push corrected replies to readers of
+      aborted or rewritten values;
+    - {b PaxosPrepare}: coordinator-recovery view changes — any replica
+      whose suspended Prepare waits too long on an undecided dependency
+      becomes a recovery coordinator (§4.3);
+    - truncation messages (§4.4) when [truncation_interval_us > 0].
+
+    Every inbound message is charged to the replica's simulated CPU pool
+    with the per-type cost from {!Config}. *)
+
+type t
+
+type stats = {
+  mutable prepares : int;
+  mutable commit_votes : int;
+  mutable tentative_votes : int;
+  mutable final_votes : int;
+  mutable miss_notifications : int;  (** unsolicited Get_replies pushed *)
+  mutable recoveries : int;
+  mutable truncations : int;
+}
+
+val create :
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  rng:Sim.Rng.t ->
+  index:int ->
+  region:Simnet.Latency.region ->
+  cores:int ->
+  t
+(** Create replica [index] (of [2f+1]) and register it on the network.
+    [peers] must be completed with {!set_peers} before traffic flows. *)
+
+val set_peers : t -> int array -> unit
+(** Node ids of all replicas, in index order (including this one). *)
+
+val node : t -> Simnet.Net.node
+
+val cpu : t -> Simnet.Cpu.t
+
+val load : t -> (string * string) list -> unit
+(** Install initial data as committed at version zero (bypasses the
+    protocol; call on every replica with identical data). *)
+
+val stats : t -> stats
+
+val watermark : t -> Cc_types.Version.t option
+(** Current truncation watermark, if truncation has run. *)
+
+val decision_of : t -> Cc_types.Version.t -> [ `Commit | `Abort ] option
+(** Transaction-level decision recorded in this replica's decision log
+    (tests and diagnostics). *)
+
+val committed_value_at : t -> string -> Cc_types.Version.t -> string option
+(** Committed value installed for a key at an exact version (tests). *)
+
+val read_current : t -> string -> string option
+(** Latest committed value of a key (tests and examples). *)
+
+val erecord_size : t -> int
+(** Number of live erecord entries (GC tests). *)

@@ -1,0 +1,34 @@
+type t = Commit | Abandon_tentative | Abandon_final
+
+let pp ppf = function
+  | Commit -> Fmt.string ppf "commit"
+  | Abandon_tentative -> Fmt.string ppf "abandon-tentative"
+  | Abandon_final -> Fmt.string ppf "abandon-final"
+
+let equal a b =
+  match (a, b) with
+  | Commit, Commit
+  | Abandon_tentative, Abandon_tentative
+  | Abandon_final, Abandon_final -> true
+  | (Commit | Abandon_tentative | Abandon_final), _ -> false
+
+type aggregate = Commit_fast | Commit_slow | Abandon_fast | Abandon_slow | Undecided
+
+let pp_aggregate ppf = function
+  | Commit_fast -> Fmt.string ppf "commit-fast"
+  | Commit_slow -> Fmt.string ppf "commit-slow"
+  | Abandon_fast -> Fmt.string ppf "abandon-fast"
+  | Abandon_slow -> Fmt.string ppf "abandon-slow"
+  | Undecided -> Fmt.string ppf "undecided"
+
+let aggregate ~f ~force votes =
+  let n = (2 * f) + 1 in
+  let count v = List.length (List.filter (equal v) votes) in
+  let commits = count Commit in
+  let finals = count Abandon_final in
+  let replies = List.length votes in
+  if finals >= 1 then Abandon_fast
+  else if commits = n then Commit_fast
+  else if replies = n || (force && replies >= f + 1) then
+    if commits >= f + 1 then Commit_slow else Abandon_slow
+  else Undecided

@@ -1,0 +1,36 @@
+(** Replica validation votes and coordinator-side aggregation (Table 1).
+
+    A replica votes {!Commit} when an execution passes all four
+    serializability checks, {!Abandon_tentative} when it conflicts only
+    with uncommitted state (a later execution might still commit after
+    re-execution), and {!Abandon_final} when the conflict is with
+    committed state, a dirty read, or truncated metadata — no execution
+    with this read set can ever commit. *)
+
+type t = Commit | Abandon_tentative | Abandon_final
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+(** Coordinator-side aggregation per Table 1:
+    - 2f+1 Commit votes: decision Commit, durable (skip Finalize);
+    - f+1..2f Commit votes: decision Commit, needs Finalize;
+    - >= 1 Abandon-Final vote: decision Abandon, durable;
+    - otherwise (some Abandon-Tentative, not enough Commits): decision
+      Abandon, needs Finalize. *)
+type aggregate =
+  | Commit_fast
+  | Commit_slow
+  | Abandon_fast
+  | Abandon_slow
+  | Undecided  (** keep waiting for more replies *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit
+
+val aggregate : f:int -> force:bool -> t list -> aggregate
+(** [aggregate ~f ~force votes] combines the votes received so far from
+    distinct replicas (at most [2f+1]).  With [force = false] the result
+    is [Undecided] unless the outcome can no longer change; with [force =
+    true] (timeout expired, at least [f+1] replies present) the rules are
+    applied to the replies at hand. *)

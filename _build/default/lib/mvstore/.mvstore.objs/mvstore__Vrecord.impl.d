@@ -1,0 +1,1 @@
+lib/mvstore/vrecord.ml: Cc_types Hashtbl List String

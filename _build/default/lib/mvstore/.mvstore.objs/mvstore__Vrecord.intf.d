@@ -1,0 +1,1 @@
+lib/mvstore/vrecord.mli: Cc_types

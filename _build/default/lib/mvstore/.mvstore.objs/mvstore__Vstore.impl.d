@@ -1,0 +1,1 @@
+lib/mvstore/vstore.ml: Cc_types Hashtbl List Vrecord

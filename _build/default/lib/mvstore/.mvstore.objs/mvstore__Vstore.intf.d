@@ -1,0 +1,1 @@
+lib/mvstore/vstore.mli: Vrecord

@@ -1,0 +1,180 @@
+module Version = Cc_types.Version
+
+type reply = { r_ver : Version.t; r_val : string }
+
+type read = { reader : Version.t; coord : int; mutable last : reply }
+
+type t = {
+  mutable uncommitted_writes : string Version.Map.t;
+  reads : (Version.t, read) Hashtbl.t;
+  prepared_reads : (Version.t, int * Version.t) Hashtbl.t;  (* reader -> eid, r_ver *)
+  prepared_writes : (Version.t, int) Hashtbl.t;  (* writer -> eid *)
+  mutable committed_writes : string Version.Map.t;
+  committed_reads : (Version.t, Version.t) Hashtbl.t;  (* reader -> r_ver *)
+}
+
+let create () =
+  {
+    uncommitted_writes = Version.Map.empty;
+    reads = Hashtbl.create 8;
+    prepared_reads = Hashtbl.create 8;
+    prepared_writes = Hashtbl.create 8;
+    committed_writes = Version.Map.empty;
+    committed_reads = Hashtbl.create 8;
+  }
+
+let no_reply = { r_ver = Version.zero; r_val = "" }
+
+let latest_committed_before t ver =
+  match
+    Version.Map.find_last_opt (fun v -> Version.compare v ver < 0) t.committed_writes
+  with
+  | Some (v, value) -> { r_ver = v; r_val = value }
+  | None -> no_reply
+
+let latest_before t ver =
+  let pick map =
+    Version.Map.find_last_opt (fun v -> Version.compare v ver < 0) map
+  in
+  match (pick t.committed_writes, pick t.uncommitted_writes) with
+  | None, None -> no_reply
+  | Some (v, value), None | None, Some (v, value) -> { r_ver = v; r_val = value }
+  | Some (cv, cval), Some (uv, uval) ->
+    if Version.compare cv uv >= 0 then { r_ver = cv; r_val = cval }
+    else { r_ver = uv; r_val = uval }
+
+let add_read t ~reader ~coord reply =
+  match Hashtbl.find_opt t.reads reader with
+  | Some r -> r.last <- reply
+  | None -> Hashtbl.replace t.reads reader { reader; coord; last = reply }
+
+let find_read t reader = Hashtbl.find_opt t.reads reader
+
+let add_write t ~ver value =
+  t.uncommitted_writes <- Version.Map.add ver value t.uncommitted_writes;
+  Hashtbl.fold
+    (fun _ r acc ->
+      let missed =
+        Version.compare ver r.reader < 0
+        && (Version.compare r.last.r_ver ver < 0
+            || (Version.equal r.last.r_ver ver
+                && not (String.equal r.last.r_val value)))
+      in
+      if missed then r :: acc else acc)
+    t.reads []
+
+type missed_write =
+  | No_miss
+  | Missed_uncommitted of reply
+  | Missed_committed of reply
+
+let write_missed_by_read t ~reader ~r_ver =
+  (* The latest write strictly below [reader]; it is a miss iff it is
+     also strictly above [r_ver]. *)
+  let below_reader map =
+    Version.Map.find_last_opt (fun v -> Version.compare v reader < 0) map
+  in
+  let miss_in map =
+    match below_reader map with
+    | Some (v, value) when Version.compare r_ver v < 0 -> Some { r_ver = v; r_val = value }
+    | Some _ | None -> None
+  in
+  match miss_in t.committed_writes with
+  | Some r -> Missed_committed r
+  | None ->
+    (match miss_in t.uncommitted_writes with
+     | Some r -> Missed_uncommitted r
+     | None -> No_miss)
+
+let committed_read_missing_write t ~w_ver =
+  Hashtbl.fold
+    (fun reader r_ver acc ->
+      acc
+      || (Version.compare w_ver reader < 0 && Version.compare r_ver w_ver < 0))
+    t.committed_reads false
+
+let prepared_read_missing_write t ~w_ver =
+  Hashtbl.fold
+    (fun reader (_eid, r_ver) acc ->
+      acc
+      || ((not (Version.equal reader w_ver))
+          && Version.compare w_ver reader < 0
+          && Version.compare r_ver w_ver < 0))
+    t.prepared_reads false
+
+let committed_value t ver = Version.Map.find_opt ver t.committed_writes
+
+let prepare_read t ~reader ~eid ~r_ver =
+  Hashtbl.replace t.prepared_reads reader (eid, r_ver)
+
+let prepare_write t ~ver ~eid = Hashtbl.replace t.prepared_writes ver eid
+
+let unprepare t ~ver ~eid =
+  (match Hashtbl.find_opt t.prepared_reads ver with
+   | Some (e, _) when e = eid -> Hashtbl.remove t.prepared_reads ver
+   | Some _ | None -> ());
+  match Hashtbl.find_opt t.prepared_writes ver with
+  | Some e when e = eid -> Hashtbl.remove t.prepared_writes ver
+  | Some _ | None -> ()
+
+let unprepare_all t ~ver =
+  Hashtbl.remove t.prepared_reads ver;
+  Hashtbl.remove t.prepared_writes ver
+
+let commit_write t ~ver value =
+  t.committed_writes <- Version.Map.add ver value t.committed_writes;
+  t.uncommitted_writes <- Version.Map.remove ver t.uncommitted_writes;
+  Hashtbl.remove t.prepared_writes ver
+
+let commit_read t ~reader ~r_ver =
+  Hashtbl.replace t.committed_reads reader r_ver;
+  Hashtbl.remove t.prepared_reads reader;
+  Hashtbl.remove t.reads reader
+
+let abort_writes t ~ver =
+  t.uncommitted_writes <- Version.Map.remove ver t.uncommitted_writes;
+  Hashtbl.remove t.prepared_writes ver
+
+let remove_read t reader =
+  Hashtbl.remove t.reads reader;
+  Hashtbl.remove t.prepared_reads reader
+
+let reads_missing_version t ~ver value =
+  Hashtbl.fold
+    (fun _ r acc ->
+      let missed =
+        Version.compare ver r.reader < 0
+        && (Version.compare r.last.r_ver ver < 0
+            || (Version.equal r.last.r_ver ver
+                && not (String.equal r.last.r_val value)))
+      in
+      if missed then r :: acc else acc)
+    t.reads []
+
+let reads_observing t ver =
+  Hashtbl.fold
+    (fun _ r acc -> if Version.equal r.last.r_ver ver then r :: acc else acc)
+    t.reads []
+
+let gc_below t watermark =
+  let stale reader = Version.compare reader watermark < 0 in
+  let to_remove =
+    Hashtbl.fold (fun reader _ acc -> if stale reader then reader :: acc else acc)
+      t.committed_reads []
+  in
+  List.iter (Hashtbl.remove t.committed_reads) to_remove;
+  (* Keep the newest committed write (the key's current value) even if it
+     is below the watermark. *)
+  match Version.Map.max_binding_opt t.committed_writes with
+  | None -> ()
+  | Some (newest, _) ->
+    t.committed_writes <-
+      Version.Map.filter
+        (fun v _ -> Version.equal v newest || not (stale v))
+        t.committed_writes
+
+let stats t =
+  ( Hashtbl.length t.reads,
+    Version.Map.cardinal t.uncommitted_writes,
+    Hashtbl.length t.prepared_reads + Hashtbl.length t.prepared_writes,
+    Version.Map.cardinal t.committed_writes )

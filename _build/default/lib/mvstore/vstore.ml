@@ -1,0 +1,23 @@
+type t = (string, Vrecord.t) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let find t key =
+  match Hashtbl.find_opt t key with
+  | Some v -> v
+  | None ->
+    let v = Vrecord.create () in
+    Hashtbl.replace t key v;
+    v
+
+let find_existing t key = Hashtbl.find_opt t key
+
+let load t pairs =
+  List.iter
+    (fun (key, value) ->
+      Vrecord.commit_write (find t key) ~ver:Cc_types.Version.zero value)
+    pairs
+
+let iter t f = Hashtbl.iter f t
+
+let key_count t = Hashtbl.length t

@@ -1,0 +1,11 @@
+type t = { engine : Engine.t; offset : int }
+
+let create engine rng ~max_skew =
+  let offset = if max_skew = 0 then 0 else Rng.int rng ((2 * max_skew) + 1) - max_skew in
+  { engine; offset }
+
+let perfect engine = { engine; offset = 0 }
+
+let read t = max 0 (Engine.now t.engine + t.offset)
+
+let skew t = t.offset

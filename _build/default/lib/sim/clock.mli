@@ -1,0 +1,22 @@
+(** Loosely synchronised per-node clocks.
+
+    MVTSO-style protocols stamp transactions with the coordinator's local
+    clock (§4.1.2 of the paper); clock skew is one of the two sources of
+    read misses that re-execution absorbs.  A [Clock.t] reads the engine's
+    virtual time shifted by a fixed per-node offset drawn uniformly from
+    [\[-max_skew, +max_skew\]]. *)
+
+type t
+
+val create : Engine.t -> Rng.t -> max_skew:int -> t
+(** [create engine rng ~max_skew] draws a fixed offset in microseconds. *)
+
+val perfect : Engine.t -> t
+(** A clock with zero skew (used by tests and by TrueTime's oracle). *)
+
+val read : t -> int
+(** Current local time in microseconds (engine time + offset), clamped to
+    be non-negative. *)
+
+val skew : t -> int
+(** The node's fixed offset (for tests and diagnostics). *)

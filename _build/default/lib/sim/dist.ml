@@ -1,0 +1,51 @@
+type zipf = {
+  n : int;
+  theta : float;
+  (* Cumulative distribution, length n; cdf.(i) = P(X <= i). *)
+  cdf : float array;
+}
+
+let zipf ~n ~theta =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if theta < 0. then invalid_arg "Dist.zipf: theta must be non-negative";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (i + 1)) theta);
+    cdf.(i) <- !total
+  done;
+  let z = !total in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. z
+  done;
+  { n; theta; cdf }
+
+let zipf_n z = z.n
+let zipf_theta z = z.theta
+
+let zipf_sample z rng =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (z.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let zipf_pmf z i =
+  if i < 0 || i >= z.n then invalid_arg "Dist.zipf_pmf: index out of range";
+  if i = 0 then z.cdf.(0) else z.cdf.(i) -. z.cdf.(i - 1)
+
+let exponential rng ~mean =
+  let u = Rng.float rng 1.0 in
+  -.mean *. log (1. -. u)
+
+let uniform_int rng ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_int: empty range";
+  lo + Rng.int rng (hi - lo + 1)
+
+let nurand rng ~a ~x ~y =
+  let r1 = uniform_int rng ~lo:0 ~hi:a in
+  let r2 = uniform_int rng ~lo:x ~hi:y in
+  (((r1 lor r2) + 0) mod (y - x + 1)) + x

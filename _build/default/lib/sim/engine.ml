@@ -1,0 +1,54 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+
+type timer = event
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : int;
+  mutable seq : int;
+  mutable fired : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0; seq = 0; fired = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at f =
+  let at = max at t.clock in
+  let e = { cancelled = false; action = f } in
+  Heap.push t.queue ~time:at ~seq:t.seq e;
+  t.seq <- t.seq + 1;
+  e
+
+let schedule t ~after f = schedule_at t ~at:(t.clock + max 0 after) f
+
+let cancel e = e.cancelled <- true
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _seq, e) ->
+    t.clock <- max t.clock time;
+    if not e.cancelled then begin
+      t.fired <- t.fired + 1;
+      e.action ()
+    end;
+    true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t ~limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.queue with
+    | Some time when time <= limit -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- max t.clock limit
+
+let events_fired t = t.fired

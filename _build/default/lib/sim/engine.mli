@@ -1,0 +1,45 @@
+(** Deterministic discrete-event simulation engine.
+
+    Virtual time is measured in integer {e microseconds}.  Events
+    scheduled for the same instant fire in scheduling order, so a given
+    seed always produces the same history. *)
+
+type t
+
+type timer
+(** Handle to a scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+(** Fresh engine with the clock at 0. *)
+
+val now : t -> int
+(** Current virtual time in microseconds. *)
+
+val schedule : t -> after:int -> (unit -> unit) -> timer
+(** [schedule t ~after f] runs [f] at [now t + after].  [after] is
+    clamped to be at least 0. *)
+
+val schedule_at : t -> at:int -> (unit -> unit) -> timer
+(** [schedule_at t ~at f] runs [f] at absolute time [at] (or [now t] if
+    [at] is in the past). *)
+
+val cancel : timer -> unit
+(** Cancel a scheduled event.  Cancelling a fired or already-cancelled
+    timer is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    drained). *)
+
+val step : t -> bool
+(** Fire the next event.  Returns [false] if the queue was empty. *)
+
+val run : t -> unit
+(** Fire events until the queue drains. *)
+
+val run_until : t -> limit:int -> unit
+(** Fire events with time [<= limit]; afterwards [now t = limit] if the
+    queue drained early or the next event lies beyond [limit]. *)
+
+val events_fired : t -> int
+(** Total events fired since creation (simulation-cost metric). *)

@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap, specialised to the event queue.
+
+    Elements are ordered by a 2-level key: primary [time], secondary
+    [seq].  The secondary key makes the ordering total, so two events
+    scheduled for the same instant fire in scheduling order — a
+    requirement for deterministic simulation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** Insert an element keyed by [(time, seq)]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum element as [(time, seq, v)], or [None]
+    if the heap is empty. *)
+
+val peek_time : 'a t -> int option
+(** Time key of the minimum element without removing it. *)

@@ -1,0 +1,1 @@
+lib/simnet/latency.ml: List Printf String

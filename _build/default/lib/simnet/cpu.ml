@@ -1,0 +1,42 @@
+type job = { cost : int; run : unit -> unit }
+
+type t = {
+  engine : Sim.Engine.t;
+  n_cores : int;
+  mutable free : int;
+  waiting : job Queue.t;
+  mutable busy_us : int;
+  mutable completed : int;
+}
+
+let create engine ~cores =
+  if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
+  { engine; n_cores = cores; free = cores; waiting = Queue.create (); busy_us = 0; completed = 0 }
+
+let cores t = t.n_cores
+
+let rec start t job =
+  t.free <- t.free - 1;
+  ignore
+    (Sim.Engine.schedule t.engine ~after:job.cost (fun () ->
+         t.busy_us <- t.busy_us + job.cost;
+         t.completed <- t.completed + 1;
+         job.run ();
+         t.free <- t.free + 1;
+         if not (Queue.is_empty t.waiting) then start t (Queue.pop t.waiting)))
+
+let submit t ~cost f =
+  let job = { cost = max 0 cost; run = f } in
+  if t.free > 0 then start t job else Queue.push job t.waiting
+
+let busy_us t = t.busy_us
+let completed t = t.completed
+let queue_length t = Queue.length t.waiting
+
+let utilization t ~duration =
+  if duration <= 0 then 0.
+  else float_of_int t.busy_us /. float_of_int (t.n_cores * duration)
+
+let reset_stats t =
+  t.busy_us <- 0;
+  t.completed <- 0

@@ -1,0 +1,102 @@
+type node = int
+
+type 'm node_state = {
+  region : Latency.region;
+  mutable handler : (src:node -> 'm -> unit) option;
+  mutable crashed : bool;
+  (* Earliest time the next message on each inbound channel may be
+     delivered, keyed by sender: enforces per-pair FIFO. *)
+  last_delivery : (node, int) Hashtbl.t;
+}
+
+type 'm t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  setup : Latency.setup;
+  base_delay_us : int;
+  jitter_us : int;
+  mutable nodes : 'm node_state array;
+  mutable n : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  (* Severed directed links (network partition injection). *)
+  cut_links : (node * node, unit) Hashtbl.t;
+}
+
+let create engine rng ~setup ?(base_delay_us = 60) ?(jitter_us = 20) () =
+  { engine; rng; setup; base_delay_us; jitter_us; nodes = [||]; n = 0;
+    sent = 0; delivered = 0; dropped = 0; cut_links = Hashtbl.create 16 }
+
+let add_node t ~region =
+  let state =
+    { region; handler = None; crashed = false; last_delivery = Hashtbl.create 8 }
+  in
+  if t.n = Array.length t.nodes then begin
+    let cap = max 16 (2 * t.n) in
+    let nodes' = Array.make cap state in
+    Array.blit t.nodes 0 nodes' 0 t.n;
+    t.nodes <- nodes'
+  end;
+  t.nodes.(t.n) <- state;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let check t node =
+  if node < 0 || node >= t.n then invalid_arg "Net: unknown node";
+  t.nodes.(node)
+
+let set_handler t node f = (check t node).handler <- Some f
+
+let region_of t node = (check t node).region
+
+let node_count t = t.n
+
+let send t ~src ~dst msg =
+  let s = check t src and d = check t dst in
+  t.sent <- t.sent + 1;
+  if s.crashed || d.crashed || Hashtbl.mem t.cut_links (src, dst) then
+    t.dropped <- t.dropped + 1
+  else begin
+    let jitter = if t.jitter_us = 0 then 0 else Sim.Rng.int t.rng (t.jitter_us + 1) in
+    let delay = Latency.one_way_us t.setup s.region d.region + t.base_delay_us + jitter in
+    let now = Sim.Engine.now t.engine in
+    let earliest =
+      match Hashtbl.find_opt d.last_delivery src with None -> 0 | Some v -> v
+    in
+    let at = max (now + delay) earliest in
+    Hashtbl.replace d.last_delivery src at;
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at (fun () ->
+           if d.crashed then t.dropped <- t.dropped + 1
+           else
+             match d.handler with
+             | None -> t.dropped <- t.dropped + 1
+             | Some h ->
+               t.delivered <- t.delivered + 1;
+               h ~src msg))
+  end
+
+let crash t node = (check t node).crashed <- true
+let recover t node = (check t node).crashed <- false
+let is_crashed t node = (check t node).crashed
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+
+let cut_link t ~src ~dst = Hashtbl.replace t.cut_links (src, dst) ()
+
+let heal_link t ~src ~dst = Hashtbl.remove t.cut_links (src, dst)
+
+let partition t group_a group_b =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          cut_link t ~src:a ~dst:b;
+          cut_link t ~src:b ~dst:a)
+        group_b)
+    group_a
+
+let heal_all t = Hashtbl.reset t.cut_links

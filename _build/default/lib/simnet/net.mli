@@ -1,0 +1,61 @@
+(** Simulated message-passing network.
+
+    Matches the paper's system model (§4): asynchronous, but reliable and
+    FIFO per sender–receiver pair.  Delivery delay is the one-way latency
+    between the two nodes' regions ({!Latency}) plus a small deterministic
+    jitter; same-region messages still pay a base propagation cost.
+    Crashed nodes silently drop inbound and outbound messages. *)
+
+type 'm t
+(** A network carrying messages of type ['m]. *)
+
+type node = int
+(** Dense node identifiers, assigned by {!add_node} starting at 0. *)
+
+val create :
+  Sim.Engine.t -> Sim.Rng.t -> setup:Latency.setup ->
+  ?base_delay_us:int -> ?jitter_us:int -> unit -> 'm t
+(** [base_delay_us] (default 60) is added to every message — NIC, kernel
+    and serialisation cost.  Jitter is uniform in [\[0, jitter_us\]]
+    (default 20). *)
+
+val add_node : 'm t -> region:Latency.region -> node
+(** Register a node placed in [region].  Handlers start unset; messages
+    to a handler-less node are dropped (counted). *)
+
+val set_handler : 'm t -> node -> (src:node -> 'm -> unit) -> unit
+
+val region_of : 'm t -> node -> Latency.region
+
+val node_count : 'm t -> int
+
+val send : 'm t -> src:node -> dst:node -> 'm -> unit
+(** Enqueue delivery of a message.  No-op if either endpoint is crashed.
+    Local sends ([src = dst]) still pay [base_delay_us]. *)
+
+val crash : 'm t -> node -> unit
+(** Crash-stop [node]: all of its queued and future messages vanish. *)
+
+val recover : 'm t -> node -> unit
+(** Clear the crashed bit (messages dropped while down stay lost). *)
+
+val is_crashed : 'm t -> node -> bool
+
+val cut_link : 'm t -> src:node -> dst:node -> unit
+(** Sever one direction of a link: messages from [src] to [dst] are
+    silently dropped (network partition injection).  In-flight messages
+    still arrive — a cut models loss at send time. *)
+
+val heal_link : 'm t -> src:node -> dst:node -> unit
+
+val partition : 'm t -> node list -> node list -> unit
+(** Cut every link (both directions) between the two groups. *)
+
+val heal_all : 'm t -> unit
+(** Remove all link cuts (crashed nodes stay crashed). *)
+
+val messages_sent : 'm t -> int
+
+val messages_delivered : 'm t -> int
+
+val messages_dropped : 'm t -> int

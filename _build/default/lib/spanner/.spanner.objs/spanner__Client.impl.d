@@ -1,0 +1,1 @@
+lib/spanner/client.ml: Array Cc_types Config Hashtbl List Msg Sim Simnet

@@ -1,0 +1,1 @@
+lib/spanner/client.mli: Cc_types Config Msg Sim Simnet

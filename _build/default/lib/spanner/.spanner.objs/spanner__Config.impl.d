@@ -1,0 +1,1 @@
+lib/spanner/config.ml:

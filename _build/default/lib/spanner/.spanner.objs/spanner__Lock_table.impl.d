@@ -1,0 +1,1 @@
+lib/spanner/lock_table.ml: Cc_types Hashtbl List

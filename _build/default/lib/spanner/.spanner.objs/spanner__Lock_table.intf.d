@@ -1,0 +1,1 @@
+lib/spanner/lock_table.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/spanner/msg.ml: Cc_types

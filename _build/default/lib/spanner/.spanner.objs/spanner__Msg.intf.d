@@ -1,0 +1,1 @@
+lib/spanner/msg.mli: Cc_types

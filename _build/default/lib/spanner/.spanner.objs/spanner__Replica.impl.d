@@ -1,0 +1,1 @@
+lib/spanner/replica.ml: Array Cc_types Config Hashtbl List Lock_table Msg Sim Simnet String

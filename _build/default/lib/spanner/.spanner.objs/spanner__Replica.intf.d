@@ -1,0 +1,1 @@
+lib/spanner/replica.mli: Config Msg Sim Simnet

@@ -1,0 +1,337 @@
+module Version = Cc_types.Version
+module Outcome = Cc_types.Outcome
+module Net = Simnet.Net
+module Engine = Sim.Engine
+
+type commit_state = {
+  mutable cs_groups : int list;  (** participants still to ack *)
+  mutable cs_max_ts : int;
+  mutable cs_failed : bool;
+}
+
+type txn = {
+  id : Version.t;  (** wound-wait priority *)
+  ro : bool;
+  ro_id : int;
+  ro_ts : int;  (** snapshot timestamp for read-only transactions *)
+  mutable reads : (string * Version.t) list;
+  mutable read_vals : (string * string) list;
+  mutable writes : (string * string) list;  (** reverse program order *)
+  mutable pending : (int * (ctx -> string -> unit)) list;
+  mutable next_seq : int;
+  mutable doomed : bool;  (** wounded somewhere *)
+  mutable finished : bool;
+  mutable commit_cont : (Outcome.t -> unit) option;
+  mutable commit_state : commit_state option;
+  t_start_us : int;
+}
+
+and ctx = { c_txn : txn }
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable ro_begun : int;
+  mutable wounds_received : int;
+}
+
+type record = {
+  h_ver : Version.t;
+  h_committed : bool;
+  h_reads : (string * Version.t) list;
+  h_writes : string list;
+  h_start_us : int;
+  h_end_us : int;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  clock : Sim.Clock.t;
+  node : Net.node;
+  leaders : int array;
+  partition : string -> int;
+  mutable last_ts : int;
+  mutable last_commit_ts : int;
+  mutable next_ro_id : int;
+  txns : (Version.t, txn) Hashtbl.t;
+  ro_txns : (int, txn) Hashtbl.t;
+  stats : stats;
+  on_finish : (record -> unit) option;
+}
+
+let node t = t.node
+let stats t = t.stats
+
+let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+let participants t txn =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun (k, _) -> Hashtbl.replace tbl (t.partition k) ()) txn.reads;
+  List.iter (fun (k, _) -> Hashtbl.replace tbl (t.partition k) ()) txn.read_vals;
+  List.iter (fun (k, _) -> Hashtbl.replace tbl (t.partition k) ()) txn.writes;
+  Hashtbl.fold (fun g () acc -> g :: acc) tbl []
+
+let finish t txn ~ver outcome =
+  if not txn.finished then begin
+    txn.finished <- true;
+    Hashtbl.remove t.txns txn.id;
+    if txn.ro then Hashtbl.remove t.ro_txns txn.ro_id;
+    (match outcome with
+     | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
+     | Outcome.Aborted -> t.stats.aborted <- t.stats.aborted + 1);
+    (match t.on_finish with
+     | Some f ->
+       f
+         {
+           h_ver = ver;
+           h_committed = Outcome.is_committed outcome;
+           h_reads = List.rev txn.reads;
+           h_writes = List.rev_map fst txn.writes;
+           h_start_us = txn.t_start_us;
+           h_end_us = Engine.now t.engine;
+         }
+     | None -> ());
+    match txn.commit_cont with Some cont -> cont outcome | None -> ()
+  end
+
+let abort_txn t txn =
+  List.iter
+    (fun g -> send t t.leaders.(g) (Msg.Abort2pc { txn = txn.id }))
+    (participants t txn);
+  finish t txn ~ver:txn.id Outcome.Aborted
+
+(* --- Message handling ----------------------------------------------------- *)
+
+let handle_lock_reply t txn_id key value w_ver seq =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match List.assoc_opt seq txn.pending with
+    | None -> ()
+    | Some cont ->
+      txn.pending <- List.remove_assoc seq txn.pending;
+      txn.reads <- (key, w_ver) :: txn.reads;
+      txn.read_vals <- (key, value) :: txn.read_vals;
+      cont { c_txn = txn } value)
+
+let handle_wounded t txn_id =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn ->
+    t.stats.wounds_received <- t.stats.wounds_received + 1;
+    txn.doomed <- true;
+    (* If the wound lands mid-commit, fail the 2PC now. *)
+    (match txn.commit_state with
+     | Some cs when not cs.cs_failed ->
+       cs.cs_failed <- true;
+       abort_txn t txn
+     | Some _ | None -> ())
+
+let do_commit_wait t txn cs =
+  (* TrueTime commit-wait: the commit timestamp must be in the past at
+     every clock before effects become visible.  Monotonic per client so
+     commit versions are unique. *)
+  let commit_ts =
+    max (max cs.cs_max_ts (Sim.Clock.read t.clock)) (t.last_commit_ts + 1)
+  in
+  t.last_commit_ts <- commit_ts;
+  let commit_ver = Version.make ~ts:commit_ts ~id:t.node in
+  let wait =
+    max 0 (commit_ts + t.cfg.truetime_eps_us - Sim.Clock.read t.clock)
+  in
+  ignore
+    (Engine.schedule t.engine ~after:wait (fun () ->
+         List.iter
+           (fun g -> send t t.leaders.(g) (Msg.Commit2pc { txn = txn.id; commit_ver }))
+           (participants t txn);
+         finish t txn ~ver:commit_ver Outcome.Committed))
+
+let handle_prepare_ack t txn_id group prepare_ts =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.commit_state with
+    | Some cs when not cs.cs_failed ->
+      if List.mem group cs.cs_groups then begin
+        cs.cs_groups <- List.filter (fun g -> g <> group) cs.cs_groups;
+        cs.cs_max_ts <- max cs.cs_max_ts prepare_ts;
+        if cs.cs_groups = [] then do_commit_wait t txn cs
+      end
+    | Some _ | None -> ())
+
+let handle_prepare_nack t txn_id _group =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.commit_state with
+    | Some cs when not cs.cs_failed ->
+      cs.cs_failed <- true;
+      abort_txn t txn
+    | Some _ | None -> ())
+
+let handle_ro_reply t ro_id key w_ver value seq =
+  match Hashtbl.find_opt t.ro_txns ro_id with
+  | None -> ()
+  | Some txn -> (
+    match List.assoc_opt seq txn.pending with
+    | None -> ()
+    | Some cont ->
+      txn.pending <- List.remove_assoc seq txn.pending;
+      txn.reads <- (key, w_ver) :: txn.reads;
+      txn.read_vals <- (key, value) :: txn.read_vals;
+      cont { c_txn = txn } value)
+
+let handle t ~src:_ msg =
+  match msg with
+  | Msg.Lock_reply { txn; key; value; w_ver; seq } ->
+    handle_lock_reply t txn key value w_ver seq
+  | Msg.Wounded { txn } -> handle_wounded t txn
+  | Msg.Prepare_ack { txn; group; prepare_ts } -> handle_prepare_ack t txn group prepare_ts
+  | Msg.Prepare_nack { txn; group } -> handle_prepare_nack t txn group
+  | Msg.Ro_reply { ro_id; key; w_ver; value; seq } ->
+    handle_ro_reply t ro_id key w_ver value seq
+  | Msg.Lock_read _ | Msg.Lock_write _ | Msg.Prepare2pc _ | Msg.Commit2pc _
+  | Msg.Abort2pc _ | Msg.Ro_read _ | Msg.Paxos_accept _ | Msg.Paxos_ack _
+  | Msg.Apply _ -> ()
+
+(* --- Public API ------------------------------------------------------------ *)
+
+let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition ?on_finish () =
+  let node = Net.add_node net ~region in
+  let t =
+    {
+      cfg; engine; net;
+      clock = Sim.Clock.create engine rng ~max_skew:cfg.max_clock_skew_us;
+      node; leaders; partition;
+      last_ts = 0;
+      last_commit_ts = 0;
+      next_ro_id = 0;
+      txns = Hashtbl.create 16;
+      ro_txns = Hashtbl.create 16;
+      stats = { begun = 0; committed = 0; aborted = 0; ro_begun = 0; wounds_received = 0 };
+      on_finish;
+    }
+  in
+  Net.set_handler net node (fun ~src msg -> handle t ~src msg);
+  t
+
+let fresh_txn t ~ro =
+  let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
+  t.last_ts <- ts;
+  let ro_id = t.next_ro_id in
+  if ro then t.next_ro_id <- ro_id + 1;
+  {
+    id = Version.make ~ts ~id:t.node;
+    ro;
+    ro_id;
+    ro_ts = ts - t.cfg.truetime_eps_us;
+    reads = [];
+    read_vals = [];
+    writes = [];
+    pending = [];
+    next_seq = 0;
+    doomed = false;
+    finished = false;
+    commit_cont = None;
+    commit_state = None;
+    t_start_us = Engine.now t.engine;
+  }
+
+let begin_ t body =
+  let txn = fresh_txn t ~ro:false in
+  Hashtbl.replace t.txns txn.id txn;
+  t.stats.begun <- t.stats.begun + 1;
+  body { c_txn = txn }
+
+let begin_ro t body =
+  let txn = fresh_txn t ~ro:true in
+  Hashtbl.replace t.ro_txns txn.ro_id txn;
+  t.stats.begun <- t.stats.begun + 1;
+  t.stats.ro_begun <- t.stats.ro_begun + 1;
+  body { c_txn = txn }
+
+let do_get t ctx key cont ~mode =
+  let txn = ctx.c_txn in
+  if txn.finished then ()
+  else
+    match List.assoc_opt key txn.writes with
+    | Some v -> cont ctx v
+    | None -> (
+      match List.assoc_opt key txn.read_vals with
+      | Some v when mode = `Read -> cont ctx v
+      | Some _ | None ->
+        let seq = txn.next_seq in
+        txn.next_seq <- seq + 1;
+        txn.pending <- (seq, cont) :: txn.pending;
+        let leader = t.leaders.(t.partition key) in
+        if txn.ro then
+          send t leader (Msg.Ro_read { ro_id = txn.ro_id; key; ts = txn.ro_ts; seq })
+        else
+          match mode with
+          | `Read -> send t leader (Msg.Lock_read { txn = txn.id; key; seq })
+          | `Write -> send t leader (Msg.Lock_write { txn = txn.id; key; seq }))
+
+let get t ctx key cont = do_get t ctx key cont ~mode:`Read
+
+let get_for_update t ctx key cont = do_get t ctx key cont ~mode:`Write
+
+let put _t ctx key value =
+  let txn = ctx.c_txn in
+  if (not txn.finished) && not txn.ro then txn.writes <- (key, value) :: txn.writes;
+  ctx
+
+let abort t ctx =
+  let txn = ctx.c_txn in
+  if not txn.finished then begin
+    txn.finished <- true;
+    Hashtbl.remove t.txns txn.id;
+    if txn.ro then Hashtbl.remove t.ro_txns txn.ro_id;
+    t.stats.aborted <- t.stats.aborted + 1;
+    (* Release any locks acquired during execution. *)
+    if not txn.ro then
+      List.iter
+        (fun g -> send t t.leaders.(g) (Msg.Abort2pc { txn = txn.id }))
+        (participants t txn)
+  end
+
+let commit t ctx cont =
+  let txn = ctx.c_txn in
+  if txn.finished then ()
+  else begin
+    txn.commit_cont <- Some cont;
+    if txn.ro then
+      (* Snapshot reads commit unilaterally. *)
+      finish t txn ~ver:(Version.make ~ts:txn.ro_ts ~id:t.node) Outcome.Committed
+    else if txn.doomed then abort_txn t txn
+    else if txn.writes = [] then begin
+      (* Read-only 2PL transaction: just release the read locks. *)
+      List.iter
+        (fun g -> send t t.leaders.(g) (Msg.Abort2pc { txn = txn.id }))
+        (participants t txn);
+      finish t txn ~ver:txn.id Outcome.Committed
+    end
+    else begin
+      let parts = participants t txn in
+      let cs = { cs_groups = parts; cs_max_ts = 0; cs_failed = false } in
+      txn.commit_state <- Some cs;
+      let dedup =
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          txn.writes
+      in
+      List.iter
+        (fun g ->
+          let writes = List.filter (fun (k, _) -> t.partition k = g) dedup in
+          send t t.leaders.(g) (Msg.Prepare2pc { txn = txn.id; writes }))
+        parts
+    end
+  end

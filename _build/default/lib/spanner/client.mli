@@ -1,0 +1,64 @@
+(** Spanner client: 2PL read-write transactions with wound-wait and
+    two-phase commit over Paxos groups; lock-free snapshot read-only
+    transactions.
+
+    All reads — including read-only ones — are served by group leaders
+    (§5 Setup).  A wounded transaction completes its control flow
+    (reads answered lock-free) and reports [Aborted] at commit; the
+    harness retries with randomized exponential backoff.  Committed
+    read-write transactions pay the TrueTime commit-wait of
+    [Config.truetime_eps_us]. *)
+
+type t
+
+type ctx
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable ro_begun : int;
+  mutable wounds_received : int;
+}
+
+type record = {
+  h_ver : Cc_types.Version.t;  (** commit version (RW) or snapshot (RO) *)
+  h_committed : bool;
+  h_reads : (string * Cc_types.Version.t) list;
+  h_writes : string list;
+  h_start_us : int;
+  h_end_us : int;
+}
+
+val create :
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  rng:Sim.Rng.t ->
+  region:Simnet.Latency.region ->
+  leaders:int array ->
+  partition:(string -> int) ->
+  ?on_finish:(record -> unit) ->
+  unit ->
+  t
+(** [leaders.(g)] is the node id of group [g]'s leader. *)
+
+val node : t -> Simnet.Net.node
+
+val stats : t -> stats
+
+val begin_ : t -> (ctx -> unit) -> unit
+
+val begin_ro : t -> (ctx -> unit) -> unit
+
+val get : t -> ctx -> string -> (ctx -> string -> unit) -> unit
+
+val get_for_update : t -> ctx -> string -> (ctx -> string -> unit) -> unit
+
+val put : t -> ctx -> string -> string -> ctx
+
+val commit : t -> ctx -> (Cc_types.Outcome.t -> unit) -> unit
+
+val abort : t -> ctx -> unit
+(** Client-initiated rollback: releases held locks; no outcome
+    continuation fires. *)

@@ -1,0 +1,28 @@
+type t = {
+  f : int;
+  n_groups : int;
+  truetime_eps_us : int;
+  max_clock_skew_us : int;
+  lock_cost_us : int;
+  prepare_cost_us : int;
+  commit_cost_us : int;
+  ro_cost_us : int;
+  paxos_cost_us : int;
+  prepare_timeout_us : int;
+}
+
+let default =
+  {
+    f = 1;
+    n_groups = 1;
+    truetime_eps_us = 10_000;
+    max_clock_skew_us = 500;
+    lock_cost_us = 8;
+    prepare_cost_us = 22;
+    commit_cost_us = 10;
+    ro_cost_us = 8;
+    paxos_cost_us = 6;
+    prepare_timeout_us = 1_000_000;
+  }
+
+let n_replicas t = (2 * t.f) + 1

@@ -1,0 +1,25 @@
+(** Spanner deployment tunables.
+
+    [truetime_eps_us] is the emulated TrueTime uncertainty (the paper
+    uses 10 ms, the p99.9 value observed in production): read-write
+    transactions commit-wait for it, and read-only transactions read at
+    a timestamp that far in the past. *)
+
+type t = {
+  f : int;
+  n_groups : int;
+  truetime_eps_us : int;
+  max_clock_skew_us : int;
+  lock_cost_us : int;
+  prepare_cost_us : int;
+  commit_cost_us : int;
+  ro_cost_us : int;
+  paxos_cost_us : int;
+  prepare_timeout_us : int;
+      (** breaks cross-leader 2PC deadlocks: a prepare whose write locks
+          are still queued after this long is wounded *)
+}
+
+val default : t
+
+val n_replicas : t -> int

@@ -1,0 +1,169 @@
+module Version = Cc_types.Version
+
+type mode = Read | Write
+
+type grant = { g_txn : Version.t; g_key : string; g_mode : mode }
+
+type request = { r_txn : Version.t; r_mode : mode }
+
+type entry = {
+  mutable readers : Version.Set.t;
+  mutable writer : Version.t option;
+  (* Waiters ordered by age (oldest first), so a transaction only ever
+     waits on strictly older transactions or on immune (prepared)
+     participants — the wound-wait invariant that precludes deadlock
+     within one leader. *)
+  mutable queue : request list;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  keys_of : (Version.t, (string, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { entries = Hashtbl.create 256; keys_of = Hashtbl.create 64 }
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+    let e = { readers = Version.Set.empty; writer = None; queue = [] } in
+    Hashtbl.replace t.entries key e;
+    e
+
+let remember t txn key =
+  let keys =
+    match Hashtbl.find_opt t.keys_of txn with
+    | Some k -> k
+    | None ->
+      let k = Hashtbl.create 4 in
+      Hashtbl.replace t.keys_of txn k;
+      k
+  in
+  Hashtbl.replace keys key ()
+
+let conflicts e ~txn ~mode =
+  let others_writer =
+    match e.writer with
+    | Some w when not (Version.equal w txn) -> [ w ]
+    | Some _ | None -> []
+  in
+  match mode with
+  | Read -> others_writer
+  | Write ->
+    let other_readers = Version.Set.elements (Version.Set.remove txn e.readers) in
+    others_writer @ other_readers
+
+let do_grant e ~txn ~mode =
+  match mode with
+  | Read -> e.readers <- Version.Set.add txn e.readers
+  | Write ->
+    e.writer <- Some txn;
+    e.readers <- Version.Set.remove txn e.readers
+
+let remove_holder e txn =
+  e.readers <- Version.Set.remove txn e.readers;
+  (match e.writer with
+   | Some w when Version.equal w txn -> e.writer <- None
+   | Some _ | None -> ());
+  e.queue <- List.filter (fun r -> not (Version.equal r.r_txn txn)) e.queue
+
+let already_holds e ~txn ~mode =
+  let is_writer =
+    match e.writer with Some w -> Version.equal w txn | None -> false
+  in
+  match mode with
+  | Read -> is_writer || Version.Set.mem txn e.readers
+  | Write -> is_writer
+
+(* Wound the younger, non-immune holders conflicting with a request and
+   drop them from this entry.  Returns the victims (the caller must
+   release their remaining state) and whether conflicts remain. *)
+let wound_conflicts e ~txn ~mode ~is_immune =
+  let victims =
+    List.filter
+      (fun h -> Version.compare txn h < 0 && not (is_immune h))
+      (conflicts e ~txn ~mode)
+  in
+  List.iter (fun h -> remove_holder e h) victims;
+  (victims, conflicts e ~txn ~mode <> [])
+
+(* Promote the oldest waiters of an entry as far as possible, wounding
+   younger holders that stand in their way. *)
+let promote e key ~is_immune grants wounded =
+  let rec go grants wounded =
+    match e.queue with
+    | [] -> (grants, wounded)
+    | r :: rest ->
+      let victims, blocked = wound_conflicts e ~txn:r.r_txn ~mode:r.r_mode ~is_immune in
+      let wounded = victims @ wounded in
+      if blocked then (grants, wounded)
+      else begin
+        e.queue <- rest;
+        do_grant e ~txn:r.r_txn ~mode:r.r_mode;
+        go ({ g_txn = r.r_txn; g_key = key; g_mode = r.r_mode } :: grants) wounded
+      end
+  in
+  go grants wounded
+
+let release_all t ~txn ~is_immune =
+  match Hashtbl.find_opt t.keys_of txn with
+  | None -> ([], [])
+  | Some keys ->
+    Hashtbl.remove t.keys_of txn;
+    Hashtbl.fold
+      (fun key () (grants, wounded) ->
+        match Hashtbl.find_opt t.entries key with
+        | None -> (grants, wounded)
+        | Some e ->
+          remove_holder e txn;
+          promote e key ~is_immune grants wounded)
+      keys ([], [])
+
+let insert_by_age queue req =
+  let rec go = function
+    | [] -> [ req ]
+    | r :: rest ->
+      if Version.compare req.r_txn r.r_txn < 0 then req :: r :: rest
+      else r :: go rest
+  in
+  go queue
+
+let acquire t ~txn ~key ~mode ~is_immune =
+  let e = entry t key in
+  remember t txn key;
+  if already_holds e ~txn ~mode then (`Granted, [])
+  else begin
+    let victims, blocked = wound_conflicts e ~txn ~mode ~is_immune in
+    (* Even when unblocked, an older waiter queued ahead keeps priority. *)
+    let older_waiter_ahead =
+      List.exists (fun r -> Version.compare r.r_txn txn < 0) e.queue
+    in
+    if (not blocked) && not older_waiter_ahead then begin
+      do_grant e ~txn ~mode;
+      (`Granted, victims)
+    end
+    else begin
+      e.queue <- insert_by_age e.queue { r_txn = txn; r_mode = mode };
+      (`Queued, victims)
+    end
+  end
+
+let holds t ~txn ~key mode =
+  match Hashtbl.find_opt t.entries key with
+  | None -> false
+  | Some e -> (
+    match mode with
+    | Read ->
+      Version.Set.mem txn e.readers
+      || (match e.writer with Some w -> Version.equal w txn | None -> false)
+    | Write -> (
+      match e.writer with Some w -> Version.equal w txn | None -> false))
+
+let waiting t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.entries 0
+
+let locked_keys t ~txn =
+  match Hashtbl.find_opt t.keys_of txn with
+  | None -> []
+  | Some keys -> Hashtbl.fold (fun k () acc -> k :: acc) keys []

@@ -1,0 +1,50 @@
+(** Per-leader two-phase-locking table with wound-wait deadlock
+    avoidance (Rosenkrantz et al., 1978 — the strategy Spanner uses).
+
+    Priorities are transaction versions: {e older} (smaller) transactions
+    wound {e younger} conflicting lock holders; younger requesters wait.
+    Prepared participants are immune to wounding (a prepared transaction
+    may already be committed elsewhere), so requesters wait for them
+    regardless of age.
+
+    The table is purely in-memory bookkeeping: callers drive all effects
+    (aborting wounded transactions, replying to granted waiters). *)
+
+module Version = Cc_types.Version
+
+type mode = Read | Write
+
+type grant = { g_txn : Version.t; g_key : string; g_mode : mode }
+
+type t
+
+val create : unit -> t
+
+val acquire :
+  t ->
+  txn:Version.t ->
+  key:string ->
+  mode:mode ->
+  is_immune:(Version.t -> bool) ->
+  [ `Granted | `Queued ] * Version.t list
+(** Attempt to take a lock.  Returns the queue/grant status {e assuming
+    the caller releases the returned wounded transactions} (via
+    {!release_all}) — conflicting younger non-immune holders are wounded
+    and already removed from this key's hold sets; remaining (older or
+    immune) conflicts enqueue the request FIFO.  A transaction already
+    holding the lock in a compatible mode is granted immediately;
+    re-acquiring a held lock is idempotent. *)
+
+val release_all :
+  t -> txn:Version.t -> is_immune:(Version.t -> bool) -> grant list * Version.t list
+(** Drop every lock and queued request of [txn] and promote waiting
+    requests (oldest first), wounding younger holders that block an
+    older waiter.  The caller must deliver the returned grants and fully
+    release each returned wounded transaction (recursively). *)
+
+val holds : t -> txn:Version.t -> key:string -> mode -> bool
+
+val waiting : t -> int
+(** Total queued requests (tests). *)
+
+val locked_keys : t -> txn:Version.t -> string list

@@ -1,0 +1,33 @@
+module Version = Cc_types.Version
+
+type t =
+  | Lock_read of { txn : Version.t; key : string; seq : int }
+  | Lock_write of { txn : Version.t; key : string; seq : int }
+  | Lock_reply of { txn : Version.t; key : string; value : string; w_ver : Version.t; seq : int }
+  | Wounded of { txn : Version.t }
+  | Prepare2pc of { txn : Version.t; writes : (string * string) list }
+  | Prepare_ack of { txn : Version.t; group : int; prepare_ts : int }
+  | Prepare_nack of { txn : Version.t; group : int }
+  | Commit2pc of { txn : Version.t; commit_ver : Version.t }
+  | Abort2pc of { txn : Version.t }
+  | Ro_read of { ro_id : int; key : string; ts : int; seq : int }
+  | Ro_reply of { ro_id : int; key : string; w_ver : Version.t; value : string; seq : int }
+  | Paxos_accept of { group : int; log_index : int }
+  | Paxos_ack of { group : int; log_index : int }
+  | Apply of { writes : (string * string) list; commit_ver : Version.t }
+
+let label = function
+  | Lock_read _ -> "lock_read"
+  | Lock_write _ -> "lock_write"
+  | Lock_reply _ -> "lock_reply"
+  | Wounded _ -> "wounded"
+  | Prepare2pc _ -> "prepare2pc"
+  | Prepare_ack _ -> "prepare_ack"
+  | Prepare_nack _ -> "prepare_nack"
+  | Commit2pc _ -> "commit2pc"
+  | Abort2pc _ -> "abort2pc"
+  | Ro_read _ -> "ro_read"
+  | Ro_reply _ -> "ro_reply"
+  | Paxos_accept _ -> "paxos_accept"
+  | Paxos_ack _ -> "paxos_ack"
+  | Apply _ -> "apply"

@@ -1,0 +1,34 @@
+(** Spanner wire protocol (Corbett et al., OSDI '12), as reimplemented
+    for the baseline comparison of §5.
+
+    Read-write transactions acquire locks at group {e leaders}
+    (wound-wait deadlock avoidance) and commit through two-phase commit
+    over Paxos-replicated participant groups, with a TrueTime
+    commit-wait.  Read-only transactions are lock-free snapshot reads at
+    a past timestamp, answered once the leader's safe time has passed
+    it. *)
+
+module Version = Cc_types.Version
+
+type t =
+  | Lock_read of { txn : Version.t; key : string; seq : int }
+      (** acquire a read lock at the leader and return the value *)
+  | Lock_write of { txn : Version.t; key : string; seq : int }
+      (** GetForUpdate: acquire the write lock immediately *)
+  | Lock_reply of { txn : Version.t; key : string; value : string; w_ver : Version.t; seq : int }
+  | Wounded of { txn : Version.t }
+      (** leader → client: the transaction lost a wound-wait conflict *)
+  | Prepare2pc of { txn : Version.t; writes : (string * string) list }
+  | Prepare_ack of { txn : Version.t; group : int; prepare_ts : int }
+  | Prepare_nack of { txn : Version.t; group : int }
+  | Commit2pc of { txn : Version.t; commit_ver : Version.t }
+  | Abort2pc of { txn : Version.t }
+  | Ro_read of { ro_id : int; key : string; ts : int; seq : int }
+  | Ro_reply of { ro_id : int; key : string; w_ver : Version.t; value : string; seq : int }
+  | Paxos_accept of { group : int; log_index : int }
+      (** leader → follower: replicate a prepare/commit record *)
+  | Paxos_ack of { group : int; log_index : int }
+  | Apply of { writes : (string * string) list; commit_ver : Version.t }
+      (** leader → followers: install committed data *)
+
+val label : t -> string

@@ -1,0 +1,58 @@
+(** Spanner group replica.
+
+    Replica 0 of each group is the Paxos {e leader}: it owns the lock
+    table, serves all reads (the paper's clients read from leaders),
+    runs the participant side of two-phase commit, and replicates
+    prepare/commit records to its followers (majority acknowledgement
+    before acting).  Followers merely acknowledge Paxos messages and
+    apply committed writes.
+
+    Timestamp discipline: the leader hands out monotonically increasing
+    prepare timestamps that also exceed every applied commit timestamp,
+    so the version order of committed data matches the lock order —
+    the property Spanner gets from TrueTime.  Read-only transactions
+    read below a {e safe time}: the minimum prepare timestamp of any
+    in-flight prepared transaction. *)
+
+type t
+
+type stats = {
+  mutable wounds : int;
+  mutable prepares : int;
+  mutable nacks : int;
+  mutable ro_reads : int;
+  mutable lock_waits : int;  (** lock requests that had to queue *)
+}
+
+val create :
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  group:int ->
+  index:int ->
+  region:Simnet.Latency.region ->
+  cores:int ->
+  t
+
+val set_peers : t -> int array -> unit
+(** Node ids of the group's replicas in index order (leader first). *)
+
+val node : t -> Simnet.Net.node
+
+val cpu : t -> Simnet.Cpu.t
+
+val is_leader : t -> bool
+
+val load : t -> (string * string) list -> unit
+
+val stats : t -> stats
+
+val read_current : t -> string -> string option
+(** Latest committed value (tests). *)
+
+val waiting_locks : t -> int
+(** Queued lock requests (tests). *)
+
+val debug_counts : t -> int * int * int * int
+(** (prepared, pending prepares, queued read-only reads, queued lock
+    requests) — diagnostics. *)

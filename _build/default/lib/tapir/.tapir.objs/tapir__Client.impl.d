@@ -1,0 +1,1 @@
+lib/tapir/client.ml: Array Cc_types Config Hashtbl List Msg Sim Simnet

@@ -1,0 +1,1 @@
+lib/tapir/client.mli: Cc_types Config Msg Sim Simnet

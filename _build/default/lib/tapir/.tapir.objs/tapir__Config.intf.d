@@ -1,0 +1,1 @@
+lib/tapir/config.mli:

@@ -1,0 +1,1 @@
+lib/tapir/msg.ml: Cc_types

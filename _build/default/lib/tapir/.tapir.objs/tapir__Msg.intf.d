@@ -1,0 +1,1 @@
+lib/tapir/msg.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/tapir/replica.ml: Cc_types Config Hashtbl List Msg Simnet String

@@ -1,0 +1,1 @@
+lib/tapir/replica.mli: Config Msg Sim Simnet

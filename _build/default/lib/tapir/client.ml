@@ -1,0 +1,326 @@
+module Version = Cc_types.Version
+module Outcome = Cc_types.Outcome
+module Net = Simnet.Net
+module Engine = Sim.Engine
+
+type group_state = {
+  g_index : int;
+  mutable g_votes : (Net.node * Msg.vote) list;
+  mutable g_result : Msg.vote option;
+  mutable g_fin_acks : int;
+  mutable g_finalizing : bool;
+}
+
+type phase = Executing | Committing of group_state list | Done
+
+type txn = {
+  id : Version.t;
+  mutable reads : (string * Version.t) list;  (** reverse program order *)
+  mutable read_vals : (string * string) list;
+  mutable writes : (string * string) list;  (** reverse program order *)
+  mutable pending : (int * (ctx -> string -> unit)) list;  (** seq -> cont *)
+  mutable next_seq : int;
+  mutable phase : phase;
+  mutable finished : bool;
+  mutable commit_cont : (Outcome.t -> unit) option;
+  mutable slow : bool;
+  t_start_us : int;
+}
+
+and ctx = { c_txn : txn }
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable fast_commits : int;
+  mutable slow_commits : int;
+}
+
+type record = {
+  h_ver : Version.t;
+  h_committed : bool;
+  h_reads : (string * Version.t) list;
+  h_writes : string list;
+  h_start_us : int;
+  h_end_us : int;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  clock : Sim.Clock.t;
+  node : Net.node;
+  groups : int array array;
+  closest : Net.node array;  (** per group *)
+  partition : string -> int;
+  mutable last_ts : int;
+  txns : (Version.t, txn) Hashtbl.t;
+  stats : stats;
+  on_finish : (record -> unit) option;
+}
+
+let node t = t.node
+let stats t = t.stats
+
+let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+let participants txn t =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun (k, _) -> Hashtbl.replace tbl (t.partition k) ()) txn.reads;
+  List.iter (fun (k, _) -> Hashtbl.replace tbl (t.partition k) ()) txn.writes;
+  Hashtbl.fold (fun g () acc -> g :: acc) tbl []
+
+let finish t txn outcome =
+  if not txn.finished then begin
+    txn.finished <- true;
+    txn.phase <- Done;
+    Hashtbl.remove t.txns txn.id;
+    (match outcome with
+     | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
+     | Outcome.Aborted -> t.stats.aborted <- t.stats.aborted + 1);
+    (match t.on_finish with
+     | Some f ->
+       f
+         {
+           h_ver = txn.id;
+           h_committed = Outcome.is_committed outcome;
+           h_reads = List.rev txn.reads;
+           h_writes = List.rev_map fst txn.writes;
+           h_start_us = txn.t_start_us;
+           h_end_us = Engine.now t.engine;
+         }
+     | None -> ());
+    match txn.commit_cont with Some cont -> cont outcome | None -> ()
+  end
+
+let broadcast_group t g msg = Array.iter (fun dst -> send t dst msg) t.groups.(g)
+
+let complete_commit t txn =
+  List.iter
+    (fun g ->
+      broadcast_group t g (Msg.Commit { txn = txn.id; writes = List.rev txn.writes }))
+    (participants txn t);
+  if txn.slow then t.stats.slow_commits <- t.stats.slow_commits + 1
+  else t.stats.fast_commits <- t.stats.fast_commits + 1;
+  finish t txn Outcome.Committed
+
+let abort_everywhere t txn =
+  List.iter (fun g -> broadcast_group t g (Msg.Abort { txn = txn.id })) (participants txn t);
+  finish t txn Outcome.Aborted
+
+let check_all_groups t txn =
+  match txn.phase with
+  | Committing gs ->
+    if List.for_all (fun g -> g.g_result = Some Msg.V_commit) gs then
+      complete_commit t txn
+  | Executing | Done -> ()
+
+let n_per_group t = Config.n_replicas t.cfg
+
+let rec evaluate_group t txn (g : group_state) ~forced =
+  match g.g_result with
+  | Some _ -> ()
+  | None ->
+    let votes = List.map snd g.g_votes in
+    let aborts = List.length (List.filter (fun v -> v = Msg.V_abort) votes) in
+    let commits = List.length votes - aborts in
+    if aborts > 0 then begin
+      (* The client decides abort unilaterally: nothing durable exists. *)
+      g.g_result <- Some Msg.V_abort;
+      abort_everywhere t txn
+    end
+    else if commits = n_per_group t then begin
+      (* Fast path: unanimous. *)
+      g.g_result <- Some Msg.V_commit;
+      check_all_groups t txn
+    end
+    else if forced && commits >= t.cfg.f + 1 && not g.g_finalizing then begin
+      (* Slow path: make the majority result durable with one more
+         round. *)
+      g.g_finalizing <- true;
+      txn.slow <- true;
+      broadcast_group t g.g_index (Msg.Finalize { txn = txn.id; vote = Msg.V_commit })
+    end
+
+and arm_commit_timer t txn gs =
+  ignore
+    (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+         if not txn.finished then begin
+           List.iter (fun g -> evaluate_group t txn g ~forced:true) gs;
+           match txn.phase with
+           | Committing _ when not txn.finished -> arm_commit_timer t txn gs
+           | Committing _ | Executing | Done -> ()
+         end))
+
+let handle_read_reply t txn_id key w_ver value seq =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match List.assoc_opt seq txn.pending with
+    | None -> ()
+    | Some cont ->
+      txn.pending <- List.remove_assoc seq txn.pending;
+      txn.reads <- (key, w_ver) :: txn.reads;
+      txn.read_vals <- (key, value) :: txn.read_vals;
+      cont { c_txn = txn } value)
+
+let handle_prepare_reply t txn_id group ~src vote =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.phase with
+    | Committing gs -> (
+      match List.find_opt (fun g -> g.g_index = group) gs with
+      | None -> ()
+      | Some g ->
+        if not (List.mem_assoc src g.g_votes) then begin
+          g.g_votes <- (src, vote) :: g.g_votes;
+          evaluate_group t txn g ~forced:false
+        end)
+    | Executing | Done -> ())
+
+let handle_finalize_reply t txn_id group vote =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.phase with
+    | Committing gs -> (
+      match List.find_opt (fun g -> g.g_index = group) gs with
+      | None -> ()
+      | Some g ->
+        if g.g_finalizing && g.g_result = None then begin
+          g.g_fin_acks <- g.g_fin_acks + 1;
+          if g.g_fin_acks >= t.cfg.f + 1 then begin
+            g.g_result <- Some vote;
+            match vote with
+            | Msg.V_commit -> check_all_groups t txn
+            | Msg.V_abort -> abort_everywhere t txn
+          end
+        end)
+    | Executing | Done -> ())
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Read_reply { txn; key; w_ver; value; seq } ->
+    handle_read_reply t txn key w_ver value seq
+  | Msg.Prepare_reply { txn; group; vote } -> handle_prepare_reply t txn group ~src vote
+  | Msg.Finalize_reply { txn; group; vote } -> handle_finalize_reply t txn group vote
+  | Msg.Read _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Commit _ | Msg.Abort _ -> ()
+
+let create ~cfg ~engine ~net ~rng ~region ~groups ~partition ?on_finish () =
+  let node = Net.add_node net ~region in
+  let closest =
+    Array.map
+      (fun replicas ->
+        match
+          List.find_opt (fun r -> Net.region_of net r = region) (Array.to_list replicas)
+        with
+        | Some r -> r
+        | None -> replicas.(0))
+      groups
+  in
+  let t =
+    {
+      cfg; engine; net;
+      clock = Sim.Clock.create engine rng ~max_skew:cfg.max_clock_skew_us;
+      node; groups; closest; partition;
+      last_ts = 0;
+      txns = Hashtbl.create 16;
+      stats = { begun = 0; committed = 0; aborted = 0; fast_commits = 0; slow_commits = 0 };
+      on_finish;
+    }
+  in
+  Net.set_handler net node (fun ~src msg -> handle t ~src msg);
+  t
+
+let begin_ t body =
+  let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
+  t.last_ts <- ts;
+  let id = Version.make ~ts ~id:t.node in
+  let txn =
+    {
+      id; reads = []; read_vals = []; writes = []; pending = []; next_seq = 0;
+      phase = Executing; finished = false; commit_cont = None; slow = false;
+      t_start_us = Engine.now t.engine;
+    }
+  in
+  Hashtbl.replace t.txns id txn;
+  t.stats.begun <- t.stats.begun + 1;
+  body { c_txn = txn }
+
+let begin_ro = begin_
+
+let get t ctx key cont =
+  let txn = ctx.c_txn in
+  if txn.finished then ()
+  else
+    match List.assoc_opt key txn.writes with
+    | Some v -> cont ctx v
+    | None -> (
+      match List.assoc_opt key txn.read_vals with
+      | Some v -> cont ctx v
+      | None ->
+        let seq = txn.next_seq in
+        txn.next_seq <- seq + 1;
+        txn.pending <- (seq, cont) :: txn.pending;
+        send t t.closest.(t.partition key) (Msg.Read { txn = txn.id; key; seq }))
+
+let get_for_update = get
+
+let put _t ctx key value =
+  let txn = ctx.c_txn in
+  if not txn.finished then txn.writes <- (key, value) :: txn.writes;
+  ctx
+
+let abort t ctx =
+  let txn = ctx.c_txn in
+  if not txn.finished then begin
+    txn.finished <- true;
+    Hashtbl.remove t.txns txn.id;
+    t.stats.aborted <- t.stats.aborted + 1;
+    (* Nothing is prepared yet, but replicas may hold read registrations;
+       an Abort message is harmless and frees any prepared state from a
+       duplicate path. *)
+    List.iter (fun g -> broadcast_group t g (Msg.Abort { txn = txn.id })) (participants txn t)
+  end
+
+let commit t ctx cont =
+  let txn = ctx.c_txn in
+  if txn.finished then ()
+  else begin
+    txn.commit_cont <- Some cont;
+    let parts = participants txn t in
+    match parts with
+    | [] -> finish t txn Outcome.Committed
+    | _ ->
+      let gs =
+        List.map
+          (fun g ->
+            { g_index = g; g_votes = []; g_result = None; g_fin_acks = 0;
+              g_finalizing = false })
+          parts
+      in
+      txn.phase <- Committing gs;
+      let dedup_writes =
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          txn.writes
+        (* txn.writes is in reverse program order, so the first
+           occurrence is the final value. *)
+      in
+      List.iter
+        (fun g ->
+          broadcast_group t g
+            (Msg.Prepare
+               { txn = txn.id; reads = List.rev txn.reads; writes = dedup_writes }))
+        parts;
+      arm_commit_timer t txn gs
+  end

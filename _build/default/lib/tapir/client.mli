@@ -1,0 +1,62 @@
+(** TAPIR client: interactive OCC transactions over inconsistent
+    replication, with integrated two-phase commit across groups.
+
+    Reads go to the closest replica of the key's group and observe
+    committed data only (so serialization windows stretch from the read
+    until commit — §2.1's analysis of why OCC suffers under contention).
+    On abort the caller retries the whole transaction; the harness
+    applies randomized exponential backoff. *)
+
+type t
+
+type ctx
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable fast_commits : int;
+  mutable slow_commits : int;
+}
+
+type record = {
+  h_ver : Cc_types.Version.t;
+  h_committed : bool;
+  h_reads : (string * Cc_types.Version.t) list;
+  h_writes : string list;
+  h_start_us : int;
+  h_end_us : int;
+}
+
+val create :
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  rng:Sim.Rng.t ->
+  region:Simnet.Latency.region ->
+  groups:int array array ->
+  partition:(string -> int) ->
+  ?on_finish:(record -> unit) ->
+  unit ->
+  t
+(** [groups.(g)] lists the replica node ids of group [g]; [partition]
+    maps a key to its group index. *)
+
+val node : t -> Simnet.Net.node
+
+val stats : t -> stats
+
+val begin_ : t -> (ctx -> unit) -> unit
+
+val begin_ro : t -> (ctx -> unit) -> unit
+
+val get : t -> ctx -> string -> (ctx -> string -> unit) -> unit
+
+val get_for_update : t -> ctx -> string -> (ctx -> string -> unit) -> unit
+
+val put : t -> ctx -> string -> string -> ctx
+
+val commit : t -> ctx -> (Cc_types.Outcome.t -> unit) -> unit
+
+val abort : t -> ctx -> unit
+(** Client-initiated rollback; no outcome continuation fires. *)

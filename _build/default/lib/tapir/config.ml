@@ -1,0 +1,24 @@
+type t = {
+  f : int;
+  n_groups : int;
+  read_cost_us : int;
+  prepare_cost_us : int;
+  finalize_cost_us : int;
+  commit_cost_us : int;
+  max_clock_skew_us : int;
+  prepare_timeout_us : int;
+}
+
+let default =
+  {
+    f = 1;
+    n_groups = 1;
+    read_cost_us = 8;
+    prepare_cost_us = 22;
+    finalize_cost_us = 6;
+    commit_cost_us = 10;
+    max_clock_skew_us = 500;
+    prepare_timeout_us = 400_000;
+  }
+
+let n_replicas t = (2 * t.f) + 1

@@ -1,0 +1,19 @@
+(** TAPIR deployment tunables.  Service costs are shared with the other
+    systems' defaults so throughput differences come from protocol
+    structure, not calibration asymmetry. *)
+
+type t = {
+  f : int;  (** [2f+1] replicas per group *)
+  n_groups : int;
+  read_cost_us : int;
+  prepare_cost_us : int;
+  finalize_cost_us : int;
+  commit_cost_us : int;
+  max_clock_skew_us : int;
+  prepare_timeout_us : int;
+}
+
+val default : t
+
+val n_replicas : t -> int
+(** Replicas per group ([2f+1]). *)

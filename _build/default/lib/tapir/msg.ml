@@ -1,0 +1,27 @@
+module Version = Cc_types.Version
+
+type vote = V_commit | V_abort
+
+type t =
+  | Read of { txn : Version.t; key : string; seq : int }
+  | Read_reply of { txn : Version.t; key : string; w_ver : Version.t; value : string; seq : int }
+  | Prepare of {
+      txn : Version.t;
+      reads : (string * Version.t) list;
+      writes : (string * string) list;
+    }
+  | Prepare_reply of { txn : Version.t; group : int; vote : vote }
+  | Finalize of { txn : Version.t; vote : vote }
+  | Finalize_reply of { txn : Version.t; group : int; vote : vote }
+  | Commit of { txn : Version.t; writes : (string * string) list }
+  | Abort of { txn : Version.t }
+
+let label = function
+  | Read _ -> "read"
+  | Read_reply _ -> "read_reply"
+  | Prepare _ -> "prepare"
+  | Prepare_reply _ -> "prepare_reply"
+  | Finalize _ -> "finalize"
+  | Finalize_reply _ -> "finalize_reply"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"

@@ -1,0 +1,29 @@
+(** TAPIR wire protocol (Zhang et al., SOSP '15), as reimplemented for the
+    baseline comparison of §5.
+
+    Reads execute at the closest replica of the key's group and return
+    committed data only.  Commit integrates two-phase commit with
+    inconsistent replication: [Prepare] is broadcast to every replica of
+    every participant group; a group is decided on the {e fast path} when
+    all [2f+1] replicas agree, otherwise a [Finalize] round makes the
+    majority result durable. *)
+
+module Version = Cc_types.Version
+
+type vote = V_commit | V_abort
+
+type t =
+  | Read of { txn : Version.t; key : string; seq : int }
+  | Read_reply of { txn : Version.t; key : string; w_ver : Version.t; value : string; seq : int }
+  | Prepare of {
+      txn : Version.t;  (** transaction id and proposed commit timestamp *)
+      reads : (string * Version.t) list;
+      writes : (string * string) list;
+    }
+  | Prepare_reply of { txn : Version.t; group : int; vote : vote }
+  | Finalize of { txn : Version.t; vote : vote }
+  | Finalize_reply of { txn : Version.t; group : int; vote : vote }
+  | Commit of { txn : Version.t; writes : (string * string) list }
+  | Abort of { txn : Version.t }
+
+val label : t -> string

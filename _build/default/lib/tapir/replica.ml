@@ -1,0 +1,177 @@
+module Version = Cc_types.Version
+module Net = Simnet.Net
+module Cpu = Simnet.Cpu
+
+type prepared = {
+  p_txn : Version.t;
+  p_reads : (string * Version.t) list;
+  p_writes : (string * string) list;
+}
+
+type stats = {
+  mutable prepares : int;
+  mutable commit_votes : int;
+  mutable abort_votes : int;
+}
+
+type t = {
+  cfg : Config.t;
+  net : Msg.t Net.t;
+  group : int;
+  node : Net.node;
+  cpu : Cpu.t;
+  (* Committed versions per key, newest accessible via find_last. *)
+  store : (string, string Version.Map.t ref) Hashtbl.t;
+  prepared : (Version.t, prepared) Hashtbl.t;
+  (* Per-key prepared markers for O(1) conflict checks. *)
+  prepared_reads : (string, Version.Set.t ref) Hashtbl.t;
+  prepared_writes : (string, Version.Set.t ref) Hashtbl.t;
+  stats : stats;
+}
+
+let node t = t.node
+let cpu t = t.cpu
+let stats t = t.stats
+
+let versions t key =
+  match Hashtbl.find_opt t.store key with
+  | Some m -> m
+  | None ->
+    let m = ref Version.Map.empty in
+    Hashtbl.replace t.store key m;
+    m
+
+let latest t key =
+  match Hashtbl.find_opt t.store key with
+  | None -> (Version.zero, "")
+  | Some m -> (
+    match Version.Map.max_binding_opt !m with
+    | Some (v, value) -> (v, value)
+    | None -> (Version.zero, ""))
+
+let read_current t key =
+  match latest t key with
+  | v, value when (not (Version.is_zero v)) || not (String.equal value "") ->
+    Some value
+  | _ -> None
+
+let load t pairs =
+  List.iter
+    (fun (key, value) ->
+      let m = versions t key in
+      m := Version.Map.add Version.zero value !m)
+    pairs
+
+let marker table key =
+  match Hashtbl.find_opt table key with
+  | Some s -> s
+  | None ->
+    let s = ref Version.Set.empty in
+    Hashtbl.replace table key s;
+    s
+
+let mark table key txn = marker table key := Version.Set.add txn !(marker table key)
+
+let unmark table key txn =
+  match Hashtbl.find_opt table key with
+  | None -> ()
+  | Some s -> s := Version.Set.remove txn !s
+
+let other_holds table key txn =
+  match Hashtbl.find_opt table key with
+  | None -> false
+  | Some s -> not (Version.Set.is_empty (Version.Set.remove txn !s))
+
+let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+(* OCC validation: votes abort on any stale read or conflicting
+   prepared/committed state. *)
+let validate t txn reads writes =
+  let ok = ref true in
+  List.iter
+    (fun (key, r_ver) ->
+      let latest_ver, _ = latest t key in
+      if not (Version.equal latest_ver r_ver) then ok := false;
+      if other_holds t.prepared_writes key txn then ok := false)
+    reads;
+  List.iter
+    (fun (key, _) ->
+      if other_holds t.prepared_writes key txn then ok := false;
+      if other_holds t.prepared_reads key txn then ok := false;
+      let latest_ver, _ = latest t key in
+      if Version.compare latest_ver txn >= 0 then ok := false)
+    writes;
+  !ok
+
+let handle_prepare t ~src txn reads writes =
+  t.stats.prepares <- t.stats.prepares + 1;
+  let vote =
+    if Hashtbl.mem t.prepared txn then Msg.V_commit
+    else if validate t txn reads writes then begin
+      Hashtbl.replace t.prepared txn { p_txn = txn; p_reads = reads; p_writes = writes };
+      List.iter (fun (key, _) -> mark t.prepared_reads key txn) reads;
+      List.iter (fun (key, _) -> mark t.prepared_writes key txn) writes;
+      Msg.V_commit
+    end
+    else Msg.V_abort
+  in
+  (match vote with
+   | Msg.V_commit -> t.stats.commit_votes <- t.stats.commit_votes + 1
+   | Msg.V_abort -> t.stats.abort_votes <- t.stats.abort_votes + 1);
+  send t src (Msg.Prepare_reply { txn; group = t.group; vote })
+
+let unprepare t txn =
+  match Hashtbl.find_opt t.prepared txn with
+  | None -> ()
+  | Some p ->
+    Hashtbl.remove t.prepared txn;
+    List.iter (fun (key, _) -> unmark t.prepared_reads key txn) p.p_reads;
+    List.iter (fun (key, _) -> unmark t.prepared_writes key txn) p.p_writes
+
+let handle_commit t txn writes =
+  unprepare t txn;
+  List.iter
+    (fun (key, value) ->
+      let m = versions t key in
+      m := Version.Map.add txn value !m)
+    writes
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Read { txn; key; seq } ->
+    let w_ver, value = latest t key in
+    send t src (Msg.Read_reply { txn; key; w_ver; value; seq })
+  | Msg.Prepare { txn; reads; writes } -> handle_prepare t ~src txn reads writes
+  | Msg.Finalize { txn; vote } ->
+    (* The slow path makes the majority result durable; an abort result
+       releases prepared state. *)
+    (match vote with Msg.V_abort -> unprepare t txn | Msg.V_commit -> ());
+    send t src (Msg.Finalize_reply { txn; group = t.group; vote })
+  | Msg.Commit { txn; writes } -> handle_commit t txn writes
+  | Msg.Abort { txn } -> unprepare t txn
+  | Msg.Read_reply _ | Msg.Prepare_reply _ | Msg.Finalize_reply _ -> ()
+
+let service_cost t = function
+  | Msg.Read _ -> t.cfg.read_cost_us
+  | Msg.Prepare _ -> t.cfg.prepare_cost_us
+  | Msg.Finalize _ | Msg.Finalize_reply _ -> t.cfg.finalize_cost_us
+  | Msg.Commit _ | Msg.Abort _ -> t.cfg.commit_cost_us
+  | Msg.Read_reply _ | Msg.Prepare_reply _ -> t.cfg.read_cost_us
+
+let create ~cfg ~engine ~net ~group ~index ~region ~cores =
+  ignore index;
+  let node = Net.add_node net ~region in
+  let t =
+    {
+      cfg; net; group; node;
+      cpu = Cpu.create engine ~cores;
+      store = Hashtbl.create 1024;
+      prepared = Hashtbl.create 256;
+      prepared_reads = Hashtbl.create 256;
+      prepared_writes = Hashtbl.create 256;
+      stats = { prepares = 0; commit_votes = 0; abort_votes = 0 };
+    }
+  in
+  Net.set_handler net node (fun ~src msg ->
+      Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
+  t

@@ -1,0 +1,42 @@
+(** TAPIR storage replica: multi-version committed store plus an OCC
+    validation table of prepared transactions.
+
+    Validation (on [Prepare]):
+    - every read must still name the latest committed version of its key,
+      and no other transaction may hold a prepared write on it;
+    - every write key must be free of prepared reads/writes by others,
+      and the transaction's timestamp must exceed the key's latest
+      committed version.
+
+    Any failure votes abort — there is no re-execution; clients retry
+    whole transactions under randomized exponential backoff, which is
+    precisely the behaviour whose idle periods Morty eliminates (§2.1). *)
+
+type t
+
+type stats = {
+  mutable prepares : int;
+  mutable commit_votes : int;
+  mutable abort_votes : int;
+}
+
+val create :
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  group:int ->
+  index:int ->
+  region:Simnet.Latency.region ->
+  cores:int ->
+  t
+
+val node : t -> Simnet.Net.node
+
+val cpu : t -> Simnet.Cpu.t
+
+val load : t -> (string * string) list -> unit
+
+val stats : t -> stats
+
+val read_current : t -> string -> string option
+(** Latest committed value (tests). *)

@@ -1,0 +1,1 @@
+lib/workload/retwis.ml: Cc_types Hashtbl List Printf Sim

@@ -1,0 +1,1 @@
+lib/workload/retwis.mli: Cc_types Sim

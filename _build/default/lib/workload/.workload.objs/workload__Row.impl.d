@@ -1,0 +1,1 @@
+lib/workload/row.ml: Array String

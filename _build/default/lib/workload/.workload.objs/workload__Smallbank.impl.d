@@ -1,0 +1,1 @@
+lib/workload/smallbank.ml: Cc_types List Printf Sim String

@@ -1,0 +1,1 @@
+lib/workload/smallbank.mli: Cc_types Sim

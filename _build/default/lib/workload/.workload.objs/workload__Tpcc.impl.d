@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Array Cc_types Hashtbl List Printf Row Sim String

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Cc_types Hashtbl List Printf Sim

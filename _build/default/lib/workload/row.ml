@@ -1,0 +1,20 @@
+type t = string array
+
+let encode t = String.concat "|" (Array.to_list t)
+
+let decode s = if String.equal s "" then [||] else Array.of_list (String.split_on_char '|' s)
+
+let is_absent s = String.equal s ""
+
+let get t i = if i < Array.length t then t.(i) else ""
+
+let get_int t i = match int_of_string_opt (get t i) with Some n -> n | None -> 0
+
+let set t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let set_int t i v = set t i (string_of_int v)
+
+let add_int t i delta = set_int t i (get_int t i + delta)

@@ -1,0 +1,24 @@
+(** Tiny row codec: table rows are stored as ['|']-separated field
+    lists inside the key-value store.  Fields must not contain ['|'];
+    the TPC-C generator only produces alphanumeric fields. *)
+
+type t = string array
+
+val encode : t -> string
+
+val decode : string -> t
+(** [decode ""] is the empty row (absent record). *)
+
+val is_absent : string -> bool
+
+val get : t -> int -> string
+
+val get_int : t -> int -> int
+
+val set : t -> int -> string -> t
+(** Functional update (copies). *)
+
+val set_int : t -> int -> int -> t
+
+val add_int : t -> int -> int -> t
+(** [add_int row i delta] increments an integer field. *)

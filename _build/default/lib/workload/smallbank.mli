@@ -1,0 +1,71 @@
+(** SmallBank workload (Alomari et al., ICDE '08) — an extension beyond
+    the paper's two benchmarks, widely used to evaluate serializable
+    systems (e.g. by Basil, the paper's BFT sibling).
+
+    Each customer has a checking and a savings account.  Six transaction
+    types exercise classic anomaly-prone patterns (write skew between the
+    two accounts, read-modify-write hotspots):
+
+    - Balance (15 %): read both accounts (read-only);
+    - Deposit-Checking (15 %): RMW checking;
+    - Transact-Savings (15 %): RMW savings;
+    - Amalgamate (15 %): zero both accounts of customer A, add to B;
+    - Write-Check (25 %): read both, debit checking (write skew shape);
+    - Send-Payment (15 %): move money between two customers' checking.
+
+    Account choice is Zipfian, so a handful of celebrity customers form
+    the hotspot.  Money is conserved by every committed transaction —
+    the integration tests check the global balance invariant. *)
+
+type conf = { n_customers : int; theta : float; initial_balance : int }
+
+val default_conf : conf
+
+type kind =
+  | Balance
+  | Deposit_checking
+  | Transact_savings
+  | Amalgamate
+  | Write_check
+  | Send_payment
+
+val kind_name : kind -> string
+
+val mix : (kind * int) list
+
+val pick_kind : Sim.Rng.t -> kind
+
+val is_read_only : kind -> bool
+
+val checking_key : int -> string
+
+val savings_key : int -> string
+
+val initial_data : conf -> (string * string) list
+
+val total_money : conf -> int
+(** Initial total: the invariant is [final total = initial total + sum of
+    committed deltas], where each transaction's money delta is reported
+    through [on_delta] (deposits and checks move money in/out of the
+    bank; transfers and amalgamations are internal). *)
+
+val sampler : conf -> Sim.Dist.zipf
+
+val partition_of_key : n_groups:int -> string -> int
+(** Both accounts of a customer live in the same group. *)
+
+module Make (C : Cc_types.Kv_api.S) : sig
+  val run :
+    ?on_delta:(int -> unit) ->
+    conf ->
+    C.t ->
+    Sim.Rng.t ->
+    Sim.Dist.zipf ->
+    kind ->
+    (Cc_types.Outcome.t -> unit) ->
+    unit
+  (** [on_delta] reports the transaction's net money movement; systems
+      that re-execute invoke it again for the replayed execution, so the
+      caller should keep only the most recent value and apply it when the
+      outcome is [Committed]. *)
+end

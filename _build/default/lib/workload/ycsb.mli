@@ -1,0 +1,48 @@
+(** YCSB-style parametric microbenchmark (an extension beyond the
+    paper's two workloads).
+
+    Each transaction performs [ops_per_txn] operations on Zipf-chosen
+    keys; each operation is a read with probability [read_pct]% and a
+    read–modify–write otherwise.  Sweeping [read_pct] and [theta] maps
+    the conflict-rate space directly — the ablation bench uses it to
+    show where re-execution pays off.
+
+    Standard mixes: A = 50 % reads, B = 95 %, C = 100 % (read-only),
+    F = 0 % (all read–modify–write). *)
+
+type conf = {
+  n_keys : int;
+  theta : float;
+  ops_per_txn : int;
+  read_pct : int;  (** 0..100 *)
+}
+
+val default_conf : conf
+(** Workload A: 4 ops, 50 % reads, θ = 0.9, 100 k keys. *)
+
+val workload_a : conf
+
+val workload_b : conf
+
+val workload_c : conf
+
+val workload_f : conf
+
+val initial_data : conf -> (string * string) list
+
+val sampler : conf -> Sim.Dist.zipf
+
+val key : int -> string
+
+val partition_of_key : n_groups:int -> string -> int
+
+module Make (C : Cc_types.Kv_api.S) : sig
+  val run :
+    conf ->
+    C.t ->
+    Sim.Rng.t ->
+    Sim.Dist.zipf ->
+    (Cc_types.Outcome.t -> unit) ->
+    unit
+  (** One transaction; read-only instances use the [begin_ro] path. *)
+end

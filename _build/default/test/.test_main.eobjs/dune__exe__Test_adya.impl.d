@@ -1,0 +1,1 @@
+test/test_adya.ml: Adya Alcotest Array Cc_types Gen List Printf QCheck QCheck_alcotest String

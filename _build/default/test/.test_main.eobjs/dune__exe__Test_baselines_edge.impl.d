@@ -1,0 +1,1 @@
+test/test_baselines_edge.ml: Alcotest Array Cc_types List Sim Simnet Spanner String Tapir

@@ -1,0 +1,1 @@
+test/test_cc_types.ml: Alcotest Cc_types Gen List Option QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_client_units.ml: Alcotest Array Cc_types List Morty Sim Simnet String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Adya Alcotest Array Cc_types Gen Hashtbl List Morty Printf QCheck QCheck_alcotest Sim Simnet String

@@ -1,0 +1,1 @@
+test/test_lock_properties.ml: Cc_types Hashtbl List Mvstore QCheck QCheck_alcotest Spanner String

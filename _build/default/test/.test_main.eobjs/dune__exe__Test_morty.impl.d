@@ -1,0 +1,1 @@
+test/test_morty.ml: Adya Alcotest Array Cc_types List Morty Printf QCheck QCheck_alcotest Sim Simnet String

@@ -1,0 +1,1 @@
+test/test_morty_units.ml: Alcotest Array Cc_types Gen List Morty Mvstore QCheck QCheck_alcotest Sim Simnet

@@ -1,0 +1,1 @@
+test/test_protocol_edge.ml: Alcotest Array Cc_types List Morty Option Printf Sim Simnet Spanner String Workload

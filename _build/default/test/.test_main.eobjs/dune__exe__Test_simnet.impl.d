@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Cpu Gen Latency List Net QCheck QCheck_alcotest Sim Simnet

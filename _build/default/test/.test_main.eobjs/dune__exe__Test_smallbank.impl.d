@@ -1,0 +1,1 @@
+test/test_smallbank.ml: Adya Alcotest Array Cc_types List Morty Printf Sim Simnet Workload

@@ -1,0 +1,1 @@
+test/test_spanner.ml: Adya Alcotest Array Cc_types Hashtbl List QCheck QCheck_alcotest Sim Simnet Spanner String

@@ -1,0 +1,1 @@
+test/test_tapir.ml: Adya Alcotest Array Cc_types Hashtbl List Printf QCheck QCheck_alcotest Sim Simnet String Tapir

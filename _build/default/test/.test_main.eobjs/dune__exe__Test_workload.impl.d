@@ -1,0 +1,1 @@
+test/test_workload.ml: Adya Alcotest Array Cc_types Hashtbl List Morty Printf Sim Simnet Tapir Workload

@@ -1,0 +1,310 @@
+(* Tests for the Adya-model history checker: DSG construction, the
+   serializability oracle, and window computations (paper §2, App. A/C). *)
+
+module Version = Cc_types.Version
+
+let v ts = Version.make ~ts ~id:0
+let v' ts id = Version.make ~ts ~id
+
+let txn ?(committed = true) ?(start_us = 0) ?(commit_us = 0) ver reads writes =
+  { Adya.History.ver; reads; writes; committed; start_us; commit_us }
+
+let check_ok h =
+  match Adya.Dsg.check h with
+  | Ok () -> ()
+  | Error viol -> Alcotest.failf "unexpected violation: %a" Adya.Dsg.pp_violation viol
+
+let check_cycle h =
+  match Adya.Dsg.check h with
+  | Error (Adya.Dsg.Cycle _) -> ()
+  | Error v -> Alcotest.failf "expected cycle, got %a" Adya.Dsg.pp_violation v
+  | Ok () -> Alcotest.fail "expected cycle, history accepted"
+
+let test_empty_history () = check_ok Adya.History.empty
+
+let test_serial_chain () =
+  (* T1 writes x; T2 reads T1's x and overwrites it; T3 likewise. *)
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 1) [] [ "x" ];
+        txn (v 2) [ ("x", v 1) ] [ "x" ];
+        txn (v 3) [ ("x", v 2) ] [ "x" ];
+      ]
+  in
+  check_ok h
+
+let test_lost_update_cycle () =
+  (* Classic lost update: both T2 and T3 read T1's x and both overwrite.
+     T2 -rw-> T3 (T2 read x1, T3 installs x3 after... ) and T3 reads x1
+     while T2 installed x2 in between: T3 -rw-> ... produces a cycle. *)
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 1) [] [ "x" ];
+        txn (v 2) [ ("x", v 1) ] [ "x" ];
+        txn (v 3) [ ("x", v 1) ] [ "x" ];
+      ]
+  in
+  check_cycle h
+
+let test_aborted_read_detected () =
+  let h =
+    Adya.History.of_list
+      [
+        txn ~committed:false (v 1) [] [ "x" ];
+        txn (v 2) [ ("x", v 1) ] [ "y" ];
+      ]
+  in
+  match Adya.Dsg.check h with
+  | Error (Adya.Dsg.Aborted_read { reader; writer; key }) ->
+    Alcotest.(check bool) "reader" true (Version.equal reader (v 2));
+    Alcotest.(check bool) "writer" true (Version.equal writer (v 1));
+    Alcotest.(check string) "key" "x" key
+  | Error viol -> Alcotest.failf "wrong violation: %a" Adya.Dsg.pp_violation viol
+  | Ok () -> Alcotest.fail "aborted read accepted"
+
+let test_read_from_initial_version () =
+  let h = Adya.History.of_list [ txn (v 1) [ ("x", Version.zero) ] [ "x" ] ] in
+  check_ok h
+
+let test_aborted_txns_do_not_constrain () =
+  (* An aborted transaction reading stale data creates no violation. *)
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 1) [] [ "x" ];
+        txn (v 2) [ ("x", v 1) ] [ "x" ];
+        txn ~committed:false (v 3) [ ("x", v 1) ] [ "x" ];
+      ]
+  in
+  check_ok h
+
+let test_write_skew_cycle () =
+  (* T2 reads x0 writes y; T3 reads y0 writes x: rw edges both ways. *)
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 1) [] [ "x"; "y" ];
+        txn (v 2) [ ("x", v 1) ] [ "y" ];
+        txn (v 3) [ ("y", v 1) ] [ "x" ];
+      ]
+  in
+  (* T2 -rw-> T3 (x: T2 read x1, T3 installs next x) and
+     T3 -rw-> T2 (y: T3 read y1, T2 installs next y): cycle. *)
+  check_cycle h
+
+let test_read_only_txns_ok () =
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 1) [] [ "x" ];
+        txn (v 2) [ ("x", v 1) ] [];
+        txn (v 3) [ ("x", v 1) ] [ "x" ];
+      ]
+  in
+  (* The read-only T2 reading x1 while T3 overwrites is fine:
+     T1 -> T2, T2 -rw-> T3, T1 -> T3: acyclic. *)
+  check_ok h
+
+let test_stale_read_cycle_with_ww () =
+  (* T3 reads the initial version of x although T2 (smaller version)
+     installed x2: T3 -rw-> T2 ... wait, reading x0 with next installer
+     T2 gives T3 -rw-> T2; and ww T2 -> T3? T3 doesn't write x. Use a
+     different shape: T2 writes x, T3 reads x0 and writes x. Then
+     version order x2 << x3, T3 read x0 whose next version is x2:
+     T3 -rw-> T2 and ww T2 -> T3: cycle. *)
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 2) [] [ "x" ];
+        txn (v 3) [ ("x", Version.zero) ] [ "x" ];
+      ]
+  in
+  check_cycle h
+
+let test_version_order_follows_versions () =
+  let h =
+    Adya.History.of_list
+      [
+        txn (v' 5 1) [] [ "k" ];
+        txn (v' 3 2) [] [ "k" ];
+        txn ~committed:false (v' 4 0) [] [ "k" ];
+      ]
+  in
+  let order = Adya.History.version_order h "k" in
+  Alcotest.(check (list string)) "sorted committed installers"
+    [ "v(3,2)"; "v(5,1)" ]
+    (List.map Version.to_string order)
+
+let test_duplicate_rejected () =
+  let h = Adya.History.of_list [ txn (v 1) [] [] ] in
+  match Adya.History.add h (txn (v 1) [] []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate accepted"
+
+(* Windows. *)
+
+let ev ver write_us commit_us read_from =
+  { Adya.Windows.ver; write_us; commit_us; read_from }
+
+let test_serialization_windows_chain () =
+  (* Three RMW transactions back to back. *)
+  let events =
+    [
+      ev (v 1) 10 15 (Some Version.zero);
+      ev (v 2) 20 25 (Some (v 1));
+      ev (v 3) 30 35 (Some (v 2));
+    ]
+  in
+  let ws = Adya.Windows.serialization_windows events in
+  let bounds = List.map (fun (w : Adya.Windows.window) -> (w.lo, w.hi)) ws in
+  Alcotest.(check (list (pair int int)))
+    "windows" [ (0, 10); (10, 20); (20, 30) ] bounds;
+  Alcotest.(check (option reject)) "no overlap" None
+    (Adya.Windows.overlapping ws)
+
+let test_validity_windows_chain () =
+  let events =
+    [
+      ev (v 1) 10 15 (Some Version.zero);
+      ev (v 2) 20 25 (Some (v 1));
+      ev (v 3) 30 35 (Some (v 2));
+    ]
+  in
+  let ws = Adya.Windows.validity_windows events in
+  let bounds = List.map (fun (w : Adya.Windows.window) -> (w.lo, w.hi)) ws in
+  Alcotest.(check (list (pair int int)))
+    "windows" [ (0, 15); (15, 25); (25, 35) ] bounds
+
+let test_blind_write_window_is_point () =
+  let ws = Adya.Windows.serialization_windows [ ev (v 1) 10 12 None ] in
+  match ws with
+  | [ w ] ->
+    Alcotest.(check int) "lo" 10 w.lo;
+    Alcotest.(check int) "hi" 10 w.hi
+  | _ -> Alcotest.fail "expected one window"
+
+let test_overlap_detection () =
+  let ws =
+    [
+      { Adya.Windows.ver = v 1; lo = 0; hi = 20 };
+      { Adya.Windows.ver = v 2; lo = 10; hi = 30 };
+    ]
+  in
+  Alcotest.(check bool) "detected" true (Adya.Windows.overlapping ws <> None)
+
+let test_mean_length () =
+  let ws =
+    [
+      { Adya.Windows.ver = v 1; lo = 0; hi = 10 };
+      { Adya.Windows.ver = v 2; lo = 10; hi = 30 };
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "mean" 15. (Adya.Windows.mean_length_us ws)
+
+(* Property: a history generated as a true serial execution always
+   passes the oracle. *)
+let qcheck_serial_histories_accepted =
+  QCheck.Test.make ~name:"serial executions are serializable" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 4) (int_bound 4)))
+    (fun ops ->
+      (* Sequentially apply RMW transactions over 5 keys; each reads the
+         current version of its key and installs a new one. *)
+      let latest = Array.make 5 Version.zero in
+      let _, txns =
+        List.fold_left
+          (fun (i, acc) (k1, k2) ->
+            let ver = Version.make ~ts:i ~id:0 in
+            let reads = [ (string_of_int k1, latest.(k1)) ] in
+            let writes =
+              if k1 = k2 then [ string_of_int k1 ]
+              else [ string_of_int k1; string_of_int k2 ]
+            in
+            latest.(k1) <- ver;
+            latest.(k2) <- ver;
+            ( i + 1,
+              txn ver reads writes :: acc ))
+          (1, []) ops
+      in
+      Adya.Dsg.is_serializable (Adya.History.of_list txns))
+
+(* Property: reading a version that was not the latest at the reader's
+   position, while also writing that key, always creates a cycle. *)
+let qcheck_stale_rmw_rejected =
+  QCheck.Test.make ~name:"stale RMW creates a cycle" ~count:100
+    QCheck.(int_range 2 20)
+    (fun n ->
+      let txns =
+        List.init n (fun i ->
+            let ver = Version.make ~ts:(i + 1) ~id:0 in
+            (* Everyone reads the initial version but writes x. *)
+            txn ver [ ("x", Version.zero) ] [ "x" ])
+      in
+      not (Adya.Dsg.is_serializable (Adya.History.of_list txns)))
+
+(* ---- Analysis ---- *)
+
+let test_analysis_report () =
+  let h =
+    Adya.History.of_list
+      [
+        txn ~start_us:0 ~commit_us:10 (v 1) [ ("x", Version.zero) ] [ "x" ];
+        txn ~start_us:5 ~commit_us:25 (v 2) [ ("x", v 1) ] [ "x" ];
+        txn ~start_us:8 ~commit_us:40 (v 3) [ ("x", v 2) ] [ "x"; "y" ];
+      ]
+  in
+  let r = Adya.Analysis.validity_report h ~key:"x" in
+  Alcotest.(check int) "writers" 3 r.writers;
+  Alcotest.(check bool) "no overlap" false r.overlap;
+  (* Windows: [0,10], [10,25], [25,40] -> mean 13.33. *)
+  Alcotest.(check (float 0.1)) "mean" 13.33 r.mean_validity_us;
+  Alcotest.(check int) "max" 15 r.max_validity_us
+
+let test_analysis_hottest () =
+  let h =
+    Adya.History.of_list
+      [
+        txn (v 1) [] [ "x" ];
+        txn (v 2) [] [ "x"; "y" ];
+        txn (v 3) [] [ "x" ];
+      ]
+  in
+  match Adya.Analysis.hottest_keys h ~limit:2 with
+  | [ ("x", 3); ("y", 1) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected: %s"
+      (String.concat ";" (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) other))
+
+let suites =
+  [
+    ( "adya.dsg",
+      [
+        Alcotest.test_case "empty history" `Quick test_empty_history;
+        Alcotest.test_case "serial chain" `Quick test_serial_chain;
+        Alcotest.test_case "lost update cycle" `Quick test_lost_update_cycle;
+        Alcotest.test_case "aborted read" `Quick test_aborted_read_detected;
+        Alcotest.test_case "read from initial version" `Quick test_read_from_initial_version;
+        Alcotest.test_case "aborted txns unconstrained" `Quick test_aborted_txns_do_not_constrain;
+        Alcotest.test_case "write skew cycle" `Quick test_write_skew_cycle;
+        Alcotest.test_case "read-only ok" `Quick test_read_only_txns_ok;
+        Alcotest.test_case "stale read + ww cycle" `Quick test_stale_read_cycle_with_ww;
+        Alcotest.test_case "version order" `Quick test_version_order_follows_versions;
+        Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+        QCheck_alcotest.to_alcotest qcheck_serial_histories_accepted;
+        QCheck_alcotest.to_alcotest qcheck_stale_rmw_rejected;
+      ] );
+    ( "adya.windows",
+      [
+        Alcotest.test_case "serialization windows chain" `Quick test_serialization_windows_chain;
+        Alcotest.test_case "validity windows chain" `Quick test_validity_windows_chain;
+        Alcotest.test_case "blind write point window" `Quick test_blind_write_window_is_point;
+        Alcotest.test_case "overlap detection" `Quick test_overlap_detection;
+        Alcotest.test_case "mean length" `Quick test_mean_length;
+      ] );
+    ( "adya.analysis",
+      [
+        Alcotest.test_case "validity report" `Quick test_analysis_report;
+        Alcotest.test_case "hottest keys" `Quick test_analysis_hottest;
+      ] );
+  ]

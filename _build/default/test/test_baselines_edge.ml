@@ -1,0 +1,208 @@
+(* Deeper baseline tests: Spanner's safe-time read-only snapshots under
+   concurrent commits (cross-group consistency), TAPIR's slow path with
+   a crashed replica, and wound-wait liveness under a crossfire of
+   multi-key transactions. *)
+
+module Version = Cc_types.Version
+module Outcome = Cc_types.Outcome
+
+(* ---- Spanner ---- *)
+
+type sp_cluster = {
+  engine : Sim.Engine.t;
+  net : Spanner.Msg.t Simnet.Net.t;
+  rng : Sim.Rng.t;
+  groups : Spanner.Replica.t array array;
+  cfg : Spanner.Config.t;
+  partition : string -> int;
+}
+
+let make_spanner ?(n_groups = 2) ?(seed = 3) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = { Spanner.Config.default with n_groups } in
+  let groups =
+    Array.init n_groups (fun g ->
+        Array.init 3 (fun i ->
+            Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
+              ~region:(Simnet.Latency.Az ((g + i) mod 3)) ~cores:1))
+  in
+  Array.iter
+    (fun group ->
+      let peers = Array.map Spanner.Replica.node group in
+      Array.iter (fun r -> Spanner.Replica.set_peers r peers) group)
+    groups;
+  (* Key "a*" -> group 0, "b*" -> group 1. *)
+  let partition key = if String.length key > 0 && key.[0] = 'a' then 0 else 1 mod n_groups in
+  { engine; net; rng; groups; cfg; partition }
+
+let sp_client ?(az = 0) c =
+  Spanner.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+    ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az az)
+    ~leaders:(Array.map (fun g -> Spanner.Replica.node g.(0)) c.groups)
+    ~partition:c.partition ()
+
+let test_spanner_ro_consistent_across_groups () =
+  (* A writer repeatedly updates keys "a" (group 0) and "b" (group 1)
+     in lock-step, always keeping a = b.  Concurrent cross-group
+     read-only snapshots must never observe a != b — the safe-time
+     mechanism at each leader must hold RO reads below in-flight
+     prepares. *)
+  let c = make_spanner () in
+  Array.iter
+    (fun group -> Array.iter (fun r -> Spanner.Replica.load r [ ("a", "0"); ("b", "0") ]) group)
+    c.groups;
+  let writer = sp_client ~az:0 c in
+  let rec write_loop n =
+    if n > 0 then
+      Spanner.Client.begin_ writer (fun ctx ->
+          Spanner.Client.get_for_update writer ctx "a" (fun ctx va ->
+              let next = string_of_int (int_of_string va + 1) in
+              let ctx = Spanner.Client.put writer ctx "a" next in
+              let ctx = Spanner.Client.put writer ctx "b" next in
+              Spanner.Client.commit writer ctx (fun _ -> write_loop (n - 1))))
+  in
+  write_loop 15;
+  let reader = sp_client ~az:1 c in
+  let violations = ref 0 and reads = ref 0 in
+  let rec read_loop n =
+    if n > 0 then
+      Spanner.Client.begin_ro reader (fun ctx ->
+          Spanner.Client.get reader ctx "a" (fun ctx va ->
+              Spanner.Client.get reader ctx "b" (fun ctx vb ->
+                  incr reads;
+                  if not (String.equal va vb) then incr violations;
+                  Spanner.Client.commit reader ctx (fun _ ->
+                      ignore
+                        (Sim.Engine.schedule c.engine ~after:7_000 (fun () ->
+                             read_loop (n - 1)))))))
+  in
+  read_loop 20;
+  Sim.Engine.run_until c.engine ~limit:30_000_000;
+  Alcotest.(check int) "snapshots executed" 20 !reads;
+  Alcotest.(check int) "no torn snapshots" 0 !violations
+
+let test_spanner_crossfire_liveness () =
+  (* Many clients take locks on overlapping key pairs in both orders —
+     the classic deadlock crossfire; wound-wait plus the prepare timeout
+     must guarantee everyone eventually finishes. *)
+  let c = make_spanner ~n_groups:2 () in
+  Array.iter
+    (fun group ->
+      Array.iter (fun r -> Spanner.Replica.load r [ ("a1", "0"); ("b1", "0") ]) group)
+    c.groups;
+  let finished = ref 0 in
+  List.iteri
+    (fun i () ->
+      let client = sp_client ~az:(i mod 3) c in
+      let crng = Sim.Rng.split c.rng in
+      let first, second = if i mod 2 = 0 then ("a1", "b1") else ("b1", "a1") in
+      let rec loop remaining attempt =
+        if remaining > 0 then
+          Spanner.Client.begin_ client (fun ctx ->
+              Spanner.Client.get_for_update client ctx first (fun ctx v1 ->
+                  Spanner.Client.get_for_update client ctx second (fun ctx _v2 ->
+                      let ctx =
+                        Spanner.Client.put client ctx first
+                          (string_of_int (int_of_string v1 + 1))
+                      in
+                      Spanner.Client.commit client ctx (function
+                        | Outcome.Committed ->
+                          incr finished;
+                          loop (remaining - 1) 0
+                        | Outcome.Aborted ->
+                          ignore
+                            (Sim.Engine.schedule c.engine
+                               ~after:(1 + Sim.Rng.int crng (20_000 * (1 lsl min attempt 6)))
+                               (fun () -> loop remaining (attempt + 1)))))))
+      in
+      loop 5 0)
+    (List.init 6 (fun _ -> ()));
+  Sim.Engine.run_until c.engine ~limit:120_000_000;
+  Alcotest.(check int) "no deadlock: all transactions finished" 30 !finished
+
+(* ---- TAPIR ---- *)
+
+let test_tapir_slow_path_with_crashed_replica () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 19 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = { Tapir.Config.default with prepare_timeout_us = 100_000 } in
+  let group =
+    Array.init 3 (fun i ->
+        Tapir.Replica.create ~cfg ~engine ~net ~group:0 ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:1)
+  in
+  Array.iter (fun r -> Tapir.Replica.load r [ ("x", "1") ]) group;
+  (* Crash a replica: the unanimous fast path is impossible, so commits
+     must take the f+1 slow path after the timeout. *)
+  Simnet.Net.crash net (Tapir.Replica.node group.(2));
+  let client =
+    Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+      ~region:(Simnet.Latency.Az 0)
+      ~groups:[| Array.map Tapir.Replica.node group |]
+      ~partition:(fun _ -> 0) ()
+  in
+  let o = ref None in
+  Tapir.Client.begin_ client (fun ctx ->
+      Tapir.Client.get client ctx "x" (fun ctx _ ->
+          let ctx = Tapir.Client.put client ctx "x" "2" in
+          Tapir.Client.commit client ctx (fun out -> o := Some out)));
+  Sim.Engine.run_until engine ~limit:5_000_000;
+  Alcotest.(check bool) "committed via slow path" true (!o = Some Outcome.Committed);
+  let st = Tapir.Client.stats client in
+  Alcotest.(check int) "slow path used" 1 st.slow_commits;
+  Alcotest.(check (option string)) "value installed" (Some "2")
+    (Tapir.Replica.read_current group.(0) "x")
+
+let test_tapir_abort_releases_prepared_state () =
+  (* A transaction prepared at the replicas then aborted by the client
+     must not block later conflicting transactions. *)
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 23 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = Tapir.Config.default in
+  let group =
+    Array.init 3 (fun i ->
+        Tapir.Replica.create ~cfg ~engine ~net ~group:0 ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:1)
+  in
+  Array.iter (fun r -> Tapir.Replica.load r [ ("x", "1") ]) group;
+  let groups = [| Array.map Tapir.Replica.node group |] in
+  let mk az =
+    Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+      ~region:(Simnet.Latency.Az az) ~groups ~partition:(fun _ -> 0) ()
+  in
+  let c1 = mk 0 and c2 = mk 1 in
+  (* c1 reads and aborts mid-flight. *)
+  Tapir.Client.begin_ c1 (fun ctx ->
+      Tapir.Client.get c1 ctx "x" (fun ctx _ ->
+          let ctx = Tapir.Client.put c1 ctx "x" "99" in
+          Tapir.Client.abort c1 ctx));
+  let o2 = ref None in
+  ignore
+    (Sim.Engine.schedule engine ~after:30_000 (fun () ->
+         Tapir.Client.begin_ c2 (fun ctx ->
+             Tapir.Client.get c2 ctx "x" (fun ctx _ ->
+                 let ctx = Tapir.Client.put c2 ctx "x" "2" in
+                 Tapir.Client.commit c2 ctx (fun o -> o2 := Some o)))));
+  Sim.Engine.run_until engine ~limit:5_000_000;
+  Alcotest.(check bool) "c2 commits after c1 abort" true (!o2 = Some Outcome.Committed);
+  Alcotest.(check (option string)) "abort left no write" (Some "2")
+    (Tapir.Replica.read_current group.(0) "x")
+
+let suites =
+  [
+    ( "baselines.edge",
+      [
+        Alcotest.test_case "spanner RO snapshots consistent" `Quick
+          test_spanner_ro_consistent_across_groups;
+        Alcotest.test_case "spanner crossfire liveness" `Quick
+          test_spanner_crossfire_liveness;
+        Alcotest.test_case "tapir slow path with crash" `Quick
+          test_tapir_slow_path_with_crashed_replica;
+        Alcotest.test_case "tapir abort releases state" `Quick
+          test_tapir_abort_releases_prepared_state;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(* Focused unit tests of the Morty client's re-execution semantics:
+   operation-prefix unrolling, context staleness, continuation replay
+   counts, and commit exactly-once guarantees — driven through a real
+   single-replica-visible scenario with hand-timed writes. *)
+
+module Version = Cc_types.Version
+module Outcome = Cc_types.Outcome
+
+type cluster = {
+  engine : Sim.Engine.t;
+  net : Morty.Msg.t Simnet.Net.t;
+  rng : Sim.Rng.t;
+  replicas : Morty.Replica.t array;
+  cfg : Morty.Config.t;
+}
+
+let make_cluster ?(seed = 5) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = Morty.Config.default in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  { engine; net; rng; replicas; cfg }
+
+let make_client ?(az = 0) c =
+  Morty.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+    ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az az)
+    ~replicas:(Array.map Morty.Replica.node c.replicas) ()
+
+let load c pairs = Array.iter (fun r -> Morty.Replica.load r pairs) c.replicas
+
+(* The writer must be ordered BELOW the reader for its write to be
+   visible to the reader's version, so it begins first (smaller
+   timestamp) but only issues its write mid-way through the reader's
+   execution — the shape of Figure 3. *)
+let delayed_writer c writer ~key ~value ~at =
+  Morty.Client.begin_ writer (fun ctx ->
+      ignore
+        (Sim.Engine.schedule c.engine ~after:at (fun () ->
+             let ctx = Morty.Client.put writer ctx key value in
+             Morty.Client.commit writer ctx (fun _ -> ()))))
+
+(* A slow reader whose read of "x" races a writer: the continuation
+   after the read must replay when the writer's Put lands. *)
+let test_continuation_replays_on_miss () =
+  let c = make_cluster () in
+  load c [ ("x", "0"); ("y", "0") ];
+  let writer = make_client ~az:1 c in
+  let reader = make_client ~az:0 c in
+  let x_values_seen = ref [] in
+  let y_reads = ref 0 in
+  let outcome = ref None in
+  (* Writer begins now (low version), writes at 20ms. *)
+  delayed_writer c writer ~key:"x" ~value:"writer" ~at:20_000;
+  (* Reader begins later (higher version): its read of x at ~5ms misses
+     the writer's update and must be re-executed. *)
+  ignore
+    (Sim.Engine.schedule c.engine ~after:5_000 (fun () ->
+         Morty.Client.begin_ reader (fun ctx ->
+             Morty.Client.get reader ctx "x" (fun ctx vx ->
+                 x_values_seen := vx :: !x_values_seen;
+                 Morty.Client.get reader ctx "y" (fun ctx _vy ->
+                     incr y_reads;
+                     ignore
+                       (Sim.Engine.schedule c.engine ~after:60_000 (fun () ->
+                            let ctx = Morty.Client.put reader ctx "x" "reader" in
+                            Morty.Client.commit reader ctx (fun o ->
+                                outcome := Some o))))))));
+  Sim.Engine.run c.engine;
+  (* The reader observed both the original and the corrected value... *)
+  Alcotest.(check (list string)) "x observed twice, newest last" [ "writer"; "0" ]
+    !x_values_seen;
+  (* ...and the downstream read of y replayed. *)
+  Alcotest.(check int) "y continuation replayed" 2 !y_reads;
+  Alcotest.(check bool) "committed" true (!outcome = Some Outcome.Committed);
+  Alcotest.(check (option string)) "reader's final write wins" (Some "reader")
+    (Morty.Replica.read_current c.replicas.(0) "x");
+  let st = Morty.Client.stats reader in
+  Alcotest.(check int) "exactly one re-execution" 1 st.reexecs
+
+(* The commit continuation fires exactly once even when the commit phase
+   is restarted by re-execution. *)
+let test_commit_cont_exactly_once () =
+  let c = make_cluster () in
+  load c [ ("x", "0") ];
+  let fires = ref 0 in
+  let clients = List.init 4 (fun i -> make_client ~az:(i mod 3) c) in
+  List.iter
+    (fun client ->
+      Morty.Client.begin_ client (fun ctx ->
+          Morty.Client.get client ctx "x" (fun ctx v ->
+              let n = if String.equal v "" then 0 else int_of_string v in
+              let ctx = Morty.Client.put client ctx "x" (string_of_int (n + 1)) in
+              Morty.Client.commit client ctx (fun _ -> incr fires))))
+    clients;
+  Sim.Engine.run c.engine;
+  Alcotest.(check int) "one completion per transaction" 4 !fires
+
+(* Writes issued after the re-executed read are discarded (operation
+   prefix), so an abandoned branch's write to a different key must not
+   survive into the committed execution. *)
+let test_branch_writes_discarded () =
+  let c = make_cluster () in
+  load c [ ("x", "0"); ("branch-a", "-"); ("branch-b", "-") ];
+  let writer = make_client ~az:1 c in
+  let reader = make_client ~az:0 c in
+  let outcome = ref None in
+  delayed_writer c writer ~key:"x" ~value:"5" ~at:20_000;
+  ignore
+    (Sim.Engine.schedule c.engine ~after:5_000 (fun () ->
+         Morty.Client.begin_ reader (fun ctx ->
+             Morty.Client.get reader ctx "x" (fun ctx vx ->
+                 (* Branch on the observed value: the first execution
+                    sees "0" and writes branch-a; the re-execution sees
+                    "5" and writes branch-b. *)
+                 let branch =
+                   if String.equal vx "0" then "branch-a" else "branch-b"
+                 in
+                 let ctx = Morty.Client.put reader ctx branch "taken" in
+                 ignore
+                   (Sim.Engine.schedule c.engine ~after:60_000 (fun () ->
+                        Morty.Client.commit reader ctx (fun o -> outcome := Some o)))))));
+  Sim.Engine.run c.engine;
+  Alcotest.(check bool) "committed" true (!outcome = Some Outcome.Committed);
+  Alcotest.(check (option string)) "abandoned branch write dropped" (Some "-")
+    (Morty.Replica.read_current c.replicas.(0) "branch-a");
+  Alcotest.(check (option string)) "final branch write applied" (Some "taken")
+    (Morty.Replica.read_current c.replicas.(0) "branch-b")
+
+(* Stale contexts are inert: operations issued through a superseded
+   context are ignored rather than corrupting the current execution. *)
+let test_stale_context_ignored () =
+  let c = make_cluster () in
+  load c [ ("x", "0") ];
+  let writer = make_client ~az:1 c in
+  let reader = make_client ~az:0 c in
+  let stale_ctx = ref None in
+  let outcome = ref None in
+  delayed_writer c writer ~key:"x" ~value:"5" ~at:20_000;
+  ignore
+    (Sim.Engine.schedule c.engine ~after:5_000 (fun () ->
+         Morty.Client.begin_ reader (fun ctx ->
+             Morty.Client.get reader ctx "x" (fun ctx vx ->
+                 if String.equal vx "0" && !stale_ctx = None then
+                   (* First execution: squirrel the context away, stall. *)
+                   stale_ctx := Some ctx
+                 else begin
+                   (* Re-execution: commit normally. *)
+                   let ctx = Morty.Client.put reader ctx "x" "fresh" in
+                   Morty.Client.commit reader ctx (fun o -> outcome := Some o)
+                 end))));
+  (* Fire a write through the stale context after the re-execution. *)
+  ignore
+    (Sim.Engine.schedule c.engine ~after:200_000 (fun () ->
+         match !stale_ctx with
+         | Some ctx -> ignore (Morty.Client.put reader ctx "x" "stale-write")
+         | None -> ()));
+  Sim.Engine.run c.engine;
+  Alcotest.(check bool) "committed" true (!outcome = Some Outcome.Committed);
+  Alcotest.(check (option string)) "stale write ignored" (Some "fresh")
+    (Morty.Replica.read_current c.replicas.(0) "x")
+
+let suites =
+  [
+    ( "morty.client",
+      [
+        Alcotest.test_case "continuation replays on miss" `Quick
+          test_continuation_replays_on_miss;
+        Alcotest.test_case "commit continuation exactly once" `Quick
+          test_commit_cont_exactly_once;
+        Alcotest.test_case "branch writes discarded" `Quick
+          test_branch_writes_discarded;
+        Alcotest.test_case "stale context ignored" `Quick test_stale_context_ignored;
+      ] );
+  ]

@@ -1,0 +1,262 @@
+(* Fault-injection tests beyond simple crashes: network partitions
+   (minority partition must not block; healed partitions recover),
+   larger clusters (f = 2), and a model-based test comparing Morty runs
+   against a sequential reference store. *)
+
+module Version = Cc_types.Version
+module Outcome = Cc_types.Outcome
+
+type cluster = {
+  engine : Sim.Engine.t;
+  net : Morty.Msg.t Simnet.Net.t;
+  rng : Sim.Rng.t;
+  replicas : Morty.Replica.t array;
+  cfg : Morty.Config.t;
+}
+
+let make_cluster ?(cfg = Morty.Config.default) ?(seed = 55) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create seed in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let n = Morty.Config.n_replicas cfg in
+  let replicas =
+    Array.init n (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az (i mod 3)) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  { engine; net; rng; replicas; cfg }
+
+let make_client ?(az = 0) c =
+  Morty.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+    ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az az)
+    ~replicas:(Array.map Morty.Replica.node c.replicas) ()
+
+let load c pairs = Array.iter (fun r -> Morty.Replica.load r pairs) c.replicas
+
+let increment c client key done_ =
+  Morty.Client.begin_ client (fun ctx ->
+      Morty.Client.get client ctx key (fun ctx v ->
+          let n = if String.equal v "" then 0 else int_of_string v in
+          let ctx = Morty.Client.put client ctx key (string_of_int (n + 1)) in
+          Morty.Client.commit client ctx done_));
+  ignore c
+
+let test_minority_partition_no_block () =
+  (* Partition replica 2 away from everyone; the majority {0,1} plus the
+     client must still commit via the slow path. *)
+  let c = make_cluster () in
+  load c [ ("x", "0") ];
+  let client = make_client c in
+  let r2 = Morty.Replica.node c.replicas.(2) in
+  let others =
+    [ Morty.Replica.node c.replicas.(0); Morty.Replica.node c.replicas.(1);
+      Morty.Client.node client ]
+  in
+  Simnet.Net.partition c.net [ r2 ] others;
+  let o = ref None in
+  increment c client "x" (fun out -> o := Some out);
+  Sim.Engine.run_until c.engine ~limit:10_000_000;
+  Alcotest.(check bool) "committed despite partition" true
+    (!o = Some Outcome.Committed);
+  Alcotest.(check (option string)) "value" (Some "1")
+    (Morty.Replica.read_current c.replicas.(0) "x")
+
+let test_partition_heals () =
+  (* Partition the client from its closest replica only: the read
+     retries against the others; after healing, later transactions use
+     the fast path again. *)
+  let c = make_cluster () in
+  load c [ ("x", "0") ];
+  let client = make_client ~az:0 c in
+  let r0 = Morty.Replica.node c.replicas.(0) in
+  Simnet.Net.cut_link c.net ~src:(Morty.Client.node client) ~dst:r0;
+  Simnet.Net.cut_link c.net ~src:r0 ~dst:(Morty.Client.node client);
+  let o1 = ref None in
+  increment c client "x" (fun out -> o1 := Some out);
+  Sim.Engine.run_until c.engine ~limit:10_000_000;
+  Alcotest.(check bool) "committed around the cut" true
+    (!o1 = Some Outcome.Committed);
+  Simnet.Net.heal_all c.net;
+  let o2 = ref None in
+  increment c client "x" (fun out -> o2 := Some out);
+  Sim.Engine.run_until c.engine ~limit:20_000_000;
+  Alcotest.(check bool) "committed after heal" true (!o2 = Some Outcome.Committed);
+  Alcotest.(check (option string)) "both applied" (Some "2")
+    (Morty.Replica.read_current c.replicas.(0) "x")
+
+let test_f2_cluster_commits () =
+  (* f = 2: five replicas; two crashed replicas must not block. *)
+  let cfg = { Morty.Config.default with f = 2 } in
+  let c = make_cluster ~cfg () in
+  load c [ ("x", "0") ];
+  Simnet.Net.crash c.net (Morty.Replica.node c.replicas.(3));
+  Simnet.Net.crash c.net (Morty.Replica.node c.replicas.(4));
+  let client = make_client c in
+  let o = ref None in
+  increment c client "x" (fun out -> o := Some out);
+  Sim.Engine.run_until c.engine ~limit:10_000_000;
+  Alcotest.(check bool) "f=2 tolerates 2 crashes" true
+    (!o = Some Outcome.Committed)
+
+let test_f2_contended_counter () =
+  let cfg = { Morty.Config.default with f = 2 } in
+  let c = make_cluster ~cfg () in
+  load c [ ("ctr", "0") ];
+  let clients = List.init 5 (fun i -> make_client ~az:(i mod 3) c) in
+  List.iter
+    (fun client ->
+      let crng = Sim.Rng.split c.rng in
+      let rec loop remaining attempt =
+        if remaining > 0 then
+          increment c client "ctr" (function
+            | Outcome.Committed -> loop (remaining - 1) 0
+            | Outcome.Aborted ->
+              ignore
+                (Sim.Engine.schedule c.engine
+                   ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))
+                   (fun () -> loop remaining (attempt + 1))))
+      in
+      loop 8 0)
+    clients;
+  Sim.Engine.run c.engine;
+  Alcotest.(check (option string)) "exact counter with f=2" (Some "40")
+    (Morty.Replica.read_current c.replicas.(0) "ctr")
+
+(* Model-based test: serially-issued random transactions must leave the
+   store in exactly the state of a sequential reference interpreter. *)
+let qcheck_sequential_equivalence =
+  QCheck.Test.make ~name:"serial Morty run equals reference interpreter" ~count:20
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 25) (pair (int_bound 4) (int_bound 99))))
+    (fun (seed, ops) ->
+      let c = make_cluster ~seed:(seed + 1) () in
+      let keys = Array.init 5 (fun i -> Printf.sprintf "k%d" i) in
+      load c (Array.to_list (Array.map (fun k -> (k, "0")) keys));
+      let client = make_client c in
+      (* Reference: apply each op to a plain table. *)
+      let model = Hashtbl.create 8 in
+      Array.iter (fun k -> Hashtbl.replace model k 0) keys;
+      (* Each op (k, delta) reads key k and adds delta. *)
+      let rec issue = function
+        | [] -> ()
+        | (ki, delta) :: rest ->
+          let key = keys.(ki) in
+          Morty.Client.begin_ client (fun ctx ->
+              Morty.Client.get client ctx key (fun ctx v ->
+                  let n = if String.equal v "" then 0 else int_of_string v in
+                  let ctx =
+                    Morty.Client.put client ctx key (string_of_int (n + delta))
+                  in
+                  Morty.Client.commit client ctx (function
+                    | Outcome.Committed ->
+                      Hashtbl.replace model key (Hashtbl.find model key + delta);
+                      issue rest
+                    | Outcome.Aborted ->
+                      (* Serial transactions never conflict. *)
+                      issue rest)))
+      in
+      issue ops;
+      Sim.Engine.run c.engine;
+      Array.for_all
+        (fun key ->
+          Morty.Replica.read_current c.replicas.(0) key
+          = Some (string_of_int (Hashtbl.find model key)))
+        keys)
+
+(* Executable Theorem 2.2: for every key, the validity windows of the
+   committed writers in a real contended Morty run never overlap
+   (commit events come from the recorded history). *)
+let qcheck_validity_windows_never_overlap =
+  QCheck.Test.make ~name:"validity windows never overlap (Theorem 2.2)" ~count:8
+    QCheck.small_int
+    (fun seed ->
+      let c = make_cluster ~seed:(seed + 7) () in
+      let history = ref [] in
+      let keys = [ "hot"; "warm"; "cool" ] in
+      load c (List.map (fun k -> (k, "0")) keys);
+      let peers = Array.map Morty.Replica.node c.replicas in
+      let clients =
+        List.init 6 (fun i ->
+            Morty.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+              ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az (i mod 3))
+              ~replicas:peers
+              ~on_finish:(fun r -> history := r :: !history)
+              ())
+      in
+      List.iter
+        (fun client ->
+          let crng = Sim.Rng.split c.rng in
+          let rec loop remaining attempt =
+            if remaining > 0 then begin
+              (* Zipf-ish: mostly the hot key. *)
+              let key =
+                match Sim.Rng.int crng 10 with
+                | 0 | 1 -> "cool"
+                | 2 | 3 | 4 -> "warm"
+                | _ -> "hot"
+              in
+              Morty.Client.begin_ client (fun ctx ->
+                  Morty.Client.get client ctx key (fun ctx v ->
+                      let n = if String.equal v "" then 0 else int_of_string v in
+                      let ctx =
+                        Morty.Client.put client ctx key (string_of_int (n + 1))
+                      in
+                      Morty.Client.commit client ctx (function
+                        | Outcome.Committed -> loop (remaining - 1) 0
+                        | Outcome.Aborted ->
+                          ignore
+                            (Sim.Engine.schedule c.engine
+                               ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))
+                               (fun () -> loop remaining (attempt + 1))))))
+            end
+          in
+          loop 10 0)
+        clients;
+      Sim.Engine.run c.engine;
+      List.for_all
+        (fun key ->
+          let writers =
+            List.filter
+              (fun (r : Morty.Client.record) ->
+                r.h_committed && List.mem key r.h_writes)
+              !history
+            |> List.sort (fun (a : Morty.Client.record) b ->
+                   Version.compare a.h_ver b.h_ver)
+          in
+          let events =
+            List.map
+              (fun (r : Morty.Client.record) ->
+                {
+                  Adya.Windows.ver = r.h_ver;
+                  write_us = r.h_start_us;
+                  commit_us = r.h_end_us;
+                  read_from =
+                    (match List.assoc_opt key r.h_reads with
+                     | Some v -> Some v
+                     | None -> None);
+                })
+              writers
+          in
+          Adya.Windows.overlapping (Adya.Windows.validity_windows events) = None)
+        keys)
+
+let suites =
+  [
+    ( "faults.partitions",
+      [
+        Alcotest.test_case "minority partition no block" `Quick
+          test_minority_partition_no_block;
+        Alcotest.test_case "partition heals" `Quick test_partition_heals;
+      ] );
+    ( "faults.f2",
+      [
+        Alcotest.test_case "f=2 two crashes tolerated" `Quick test_f2_cluster_commits;
+        Alcotest.test_case "f=2 contended counter" `Quick test_f2_contended_counter;
+      ] );
+    ( "faults.model",
+      [
+        QCheck_alcotest.to_alcotest qcheck_sequential_equivalence;
+        QCheck_alcotest.to_alcotest qcheck_validity_windows_never_overlap;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the measurement harness: stats accumulators, result
+   derivation, determinism of full experiment runs, and the run-time
+   semantics the figures depend on (warm-up trimming, peak finding). *)
+
+let test_stats_counts () =
+  let s = Harness.Stats.create () in
+  Harness.Stats.record_commit s ~latency_us:1000;
+  Harness.Stats.record_commit s ~latency_us:3000;
+  Harness.Stats.record_abort s;
+  Alcotest.(check int) "committed" 2 (Harness.Stats.committed s);
+  Alcotest.(check int) "aborted" 1 (Harness.Stats.aborted s);
+  Alcotest.(check (float 1e-9)) "commit rate" (2. /. 3.) (Harness.Stats.commit_rate s);
+  Alcotest.(check (float 1e-9)) "mean" 2000. (Harness.Stats.mean_latency_us s)
+
+let test_stats_percentiles () =
+  let s = Harness.Stats.create () in
+  for i = 1 to 100 do
+    Harness.Stats.record_commit s ~latency_us:(i * 10)
+  done;
+  Alcotest.(check (float 20.)) "p50" 500. (Harness.Stats.percentile_latency_us s 0.5);
+  Alcotest.(check (float 20.)) "p99" 990. (Harness.Stats.percentile_latency_us s 0.99)
+
+let test_stats_empty () =
+  let s = Harness.Stats.create () in
+  Alcotest.(check (float 1e-9)) "idle commit rate" 1.0 (Harness.Stats.commit_rate s);
+  Alcotest.(check (float 1e-9)) "mean 0" 0. (Harness.Stats.mean_latency_us s);
+  Alcotest.(check (float 1e-9)) "p99 0" 0. (Harness.Stats.percentile_latency_us s 0.99)
+
+let test_stats_growth () =
+  (* The sample array grows transparently past its initial capacity. *)
+  let s = Harness.Stats.create () in
+  for i = 1 to 5000 do
+    Harness.Stats.record_commit s ~latency_us:i
+  done;
+  Alcotest.(check int) "all recorded" 5000 (Harness.Stats.committed s)
+
+let test_to_result () =
+  let s = Harness.Stats.create () in
+  Harness.Stats.record_commit s ~latency_us:10_000;
+  Harness.Stats.record_commit s ~latency_us:20_000;
+  let r =
+    Harness.Stats.to_result s ~label:"x" ~duration_us:1_000_000 ~cpu_utilization:0.5
+      ~reexecs_per_txn:1.5 ~msgs_per_txn:12.0 ()
+  in
+  Alcotest.(check (float 1e-9)) "goodput" 2.0 r.Harness.Stats.r_goodput;
+  Alcotest.(check (float 1e-9)) "mean ms" 15.0 r.Harness.Stats.r_mean_latency_ms;
+  Alcotest.(check (float 1e-9)) "msgs" 12.0 r.Harness.Stats.r_msgs_per_txn;
+  (* CSV round-trip sanity: the row has the same number of fields as the
+     header. *)
+  let fields s = List.length (String.split_on_char ',' s) in
+  Alcotest.(check int) "csv fields" (fields Harness.Stats.csv_header)
+    (fields (Harness.Stats.to_csv_row r))
+
+let quick_exp sys =
+  {
+    Harness.Run.default_exp with
+    e_system = sys;
+    e_clients = 12;
+    e_cores = 2;
+    e_warmup_us = 100_000;
+    e_measure_us = 300_000;
+    e_workload = Harness.Run.Retwis { Workload.Retwis.n_keys = 1000; theta = 0.5 };
+    e_seed = 9;
+  }
+
+let test_run_deterministic () =
+  let r1 = Harness.Run.run_exp (quick_exp Harness.Run.Morty) in
+  let r2 = Harness.Run.run_exp (quick_exp Harness.Run.Morty) in
+  Alcotest.(check int) "same commits" r1.Harness.Stats.r_committed
+    r2.Harness.Stats.r_committed;
+  Alcotest.(check (float 1e-9)) "same latency" r1.Harness.Stats.r_mean_latency_ms
+    r2.Harness.Stats.r_mean_latency_ms
+
+let test_run_seed_sensitivity () =
+  let r1 = Harness.Run.run_exp (quick_exp Harness.Run.Morty) in
+  let r2 = Harness.Run.run_exp { (quick_exp Harness.Run.Morty) with e_seed = 10 } in
+  Alcotest.(check bool) "different seeds differ" true
+    (r1.Harness.Stats.r_committed <> r2.Harness.Stats.r_committed)
+
+let test_all_systems_produce_goodput () =
+  List.iter
+    (fun sys ->
+      let r = Harness.Run.run_exp (quick_exp sys) in
+      if r.Harness.Stats.r_committed <= 0 then
+        Alcotest.failf "%s committed nothing" (Harness.Run.system_name sys))
+    Harness.Run.(all_systems @ [ Tapir_nodist ])
+
+let test_find_peak () =
+  let r =
+    Harness.Run.find_peak
+      (fun n -> { (quick_exp Harness.Run.Morty) with e_clients = n })
+      ~client_counts:[ 4; 12 ]
+  in
+  (* More clients at this light load means more goodput. *)
+  let r4 = Harness.Run.run_exp { (quick_exp Harness.Run.Morty) with e_clients = 4 } in
+  Alcotest.(check bool) "peak >= smallest load" true
+    (r.Harness.Stats.r_goodput >= r4.Harness.Stats.r_goodput)
+
+let test_tpcc_exp_runs_on_all_systems () =
+  List.iter
+    (fun sys ->
+      let e =
+        {
+          (quick_exp sys) with
+          e_workload =
+            Harness.Run.Tpcc
+              {
+                Workload.Tpcc.n_warehouses = 2;
+                districts_per_warehouse = 2;
+                customers_per_district = 5;
+                n_items = 20;
+                initial_orders_per_district = 3;
+                max_items_per_order = 6;
+              };
+        }
+      in
+      let r = Harness.Run.run_exp e in
+      if r.Harness.Stats.r_committed <= 0 then
+        Alcotest.failf "%s committed no TPC-C txns" (Harness.Run.system_name sys))
+    Harness.Run.all_systems
+
+let test_morty_beats_mvtso_commit_rate_under_contention () =
+  let exp sys =
+    {
+      (quick_exp sys) with
+      e_clients = 48;
+      e_workload = Harness.Run.Retwis { Workload.Retwis.n_keys = 2_000; theta = 0.9 };
+      e_measure_us = 500_000;
+    }
+  in
+  let m = Harness.Run.run_exp (exp Harness.Run.Morty) in
+  let b = Harness.Run.run_exp (exp Harness.Run.Mvtso) in
+  Alcotest.(check bool) "morty commit rate higher" true
+    (m.Harness.Stats.r_commit_rate > b.Harness.Stats.r_commit_rate);
+  Alcotest.(check bool) "morty re-executes" true
+    (m.Harness.Stats.r_reexecs_per_txn > 0.)
+
+let suites =
+  [
+    ( "harness.stats",
+      [
+        Alcotest.test_case "counts" `Quick test_stats_counts;
+        Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "growth" `Quick test_stats_growth;
+        Alcotest.test_case "to_result" `Quick test_to_result;
+      ] );
+    ( "harness.run",
+      [
+        Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_run_seed_sensitivity;
+        Alcotest.test_case "all systems run retwis" `Slow test_all_systems_produce_goodput;
+        Alcotest.test_case "all systems run tpcc" `Slow test_tpcc_exp_runs_on_all_systems;
+        Alcotest.test_case "find peak" `Slow test_find_peak;
+        Alcotest.test_case "morty commit rate advantage" `Slow
+          test_morty_beats_mvtso_commit_rate_under_contention;
+      ] );
+  ]

@@ -1,0 +1,198 @@
+(* Property-based tests over randomized operation sequences for the two
+   stateful substrates: Spanner's wound-wait lock table and Morty's
+   multi-version record. *)
+
+module Version = Cc_types.Version
+module Lt = Spanner.Lock_table
+module Vr = Mvstore.Vrecord
+
+let v ts = Version.make ~ts ~id:0
+
+(* ---- Lock table invariants under random workloads ---- *)
+
+type lt_op = Acquire of int * string * Lt.mode | Release of int
+
+let lt_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3,
+         map3
+           (fun t k w -> Acquire (t, (if k then "k1" else "k2"), if w then Lt.Write else Lt.Read))
+           (int_range 1 8) bool bool);
+        (2, map (fun t -> Release t) (int_range 1 8));
+      ])
+
+let lt_ops = QCheck.make QCheck.Gen.(list_size (1 -- 60) lt_op_gen)
+
+(* Apply ops, releasing wounded transactions recursively as the replica
+   does, and check structural invariants after every step. *)
+let run_lock_ops ops =
+  let t = Lt.create () in
+  let no_immune _ = false in
+  let rec release txn =
+    let grants, wounded = Lt.release_all t ~txn ~is_immune:no_immune in
+    ignore grants;
+    List.iter release wounded
+  in
+  let ok = ref true in
+  let check_invariants () =
+    (* At most one writer per key, and a writer excludes readers. *)
+    List.iter
+      (fun key ->
+        let holders =
+          List.filter
+            (fun ts -> Lt.holds t ~txn:(v ts) ~key Lt.Write)
+            (List.init 8 (fun i -> i + 1))
+        in
+        if List.length holders > 1 then ok := false;
+        if List.length holders = 1 then begin
+          let w = List.hd holders in
+          List.iter
+            (fun ts ->
+              if ts <> w && Lt.holds t ~txn:(v ts) ~key Lt.Read then ok := false)
+            (List.init 8 (fun i -> i + 1))
+        end)
+      [ "k1"; "k2" ]
+  in
+  List.iter
+    (fun op ->
+      (match op with
+       | Acquire (ts, key, mode) ->
+         let _, wounded = Lt.acquire t ~txn:(v ts) ~key ~mode ~is_immune:no_immune in
+         List.iter release wounded
+       | Release ts -> release (v ts));
+      check_invariants ())
+    ops;
+  !ok
+
+let qcheck_lock_exclusion =
+  QCheck.Test.make ~name:"lock table: writer exclusion invariant" ~count:300 lt_ops
+    run_lock_ops
+
+(* Wound-wait progress: when everything queued is eventually released,
+   every grant that was promised materialises (no lost wakeups): after
+   releasing all live holders, no waiter remains. *)
+let qcheck_lock_drains =
+  QCheck.Test.make ~name:"lock table: releasing everything drains the queues"
+    ~count:300 lt_ops (fun ops ->
+      let t = Lt.create () in
+      let no_immune _ = false in
+      let rec release txn =
+        let _, wounded = Lt.release_all t ~txn ~is_immune:no_immune in
+        List.iter release wounded
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Acquire (ts, key, mode) ->
+            let _, wounded =
+              Lt.acquire t ~txn:(v ts) ~key ~mode ~is_immune:no_immune
+            in
+            List.iter (fun w -> release w) wounded
+          | Release ts -> release (v ts))
+        ops;
+      for ts = 1 to 8 do
+        release (v ts)
+      done;
+      Lt.waiting t = 0)
+
+(* ---- Vrecord invariants ---- *)
+
+type vr_op =
+  | Write_u of int * string  (** uncommitted write *)
+  | Commit_w of int * string
+  | Abort_w of int
+  | Read_at of int
+
+let vr_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun ts s -> Write_u (ts, string_of_int s)) (int_range 1 50) small_nat);
+        (3, map2 (fun ts s -> Commit_w (ts, string_of_int s)) (int_range 1 50) small_nat);
+        (1, map (fun ts -> Abort_w ts) (int_range 1 50));
+        (3, map (fun ts -> Read_at ts) (int_range 1 51));
+      ])
+
+let qcheck_vrecord_read_visibility =
+  QCheck.Test.make ~name:"vrecord: reads return the newest visible version below"
+    ~count:500
+    (QCheck.make QCheck.Gen.(list_size (1 -- 40) vr_op_gen))
+    (fun ops ->
+      let vr = Vr.create () in
+      (* Reference model: committed and uncommitted maps. *)
+      let committed = Hashtbl.create 16 and uncommitted = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Write_u (ts, value) ->
+            ignore (Vr.add_write vr ~ver:(v ts) value);
+            Hashtbl.replace uncommitted ts value
+          | Commit_w (ts, value) ->
+            Vr.commit_write vr ~ver:(v ts) value;
+            Hashtbl.remove uncommitted ts;
+            Hashtbl.replace committed ts value
+          | Abort_w ts ->
+            Vr.abort_writes vr ~ver:(v ts);
+            Hashtbl.remove uncommitted ts
+          | Read_at ts ->
+            let reply = Vr.latest_before vr (v ts) in
+            (* Model: newest version (committed or uncommitted) < ts;
+               if both stores hold ts', committed wins (same value slot). *)
+            let best = ref None in
+            let consider t' value =
+              if t' < ts then
+                match !best with
+                | Some (bt, _) when bt >= t' -> ()
+                | _ -> best := Some (t', value)
+            in
+            Hashtbl.iter (fun t' value -> consider t' value) committed;
+            Hashtbl.iter
+              (fun t' value ->
+                if not (Hashtbl.mem committed t') then consider t' value)
+              uncommitted;
+            (match !best with
+             | None ->
+               if not (Version.is_zero reply.r_ver && String.equal reply.r_val "")
+               then ok := false
+             | Some (bt, bv) ->
+               if reply.r_ver.Version.ts <> bt || not (String.equal reply.r_val bv)
+               then ok := false))
+        ops;
+      !ok)
+
+let qcheck_vrecord_committed_value_exact =
+  QCheck.Test.make ~name:"vrecord: committed_value is exact" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 30) vr_op_gen))
+    (fun ops ->
+      let vr = Vr.create () in
+      let committed = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          match op with
+          | Commit_w (ts, value) ->
+            Vr.commit_write vr ~ver:(v ts) value;
+            Hashtbl.replace committed ts value
+          | Write_u (ts, value) -> ignore (Vr.add_write vr ~ver:(v ts) value)
+          | Abort_w ts -> Vr.abort_writes vr ~ver:(v ts)
+          | Read_at _ -> ())
+        ops;
+      Hashtbl.fold
+        (fun ts value acc -> acc && Vr.committed_value vr (v ts) = Some value)
+        committed true)
+
+let suites =
+  [
+    ( "properties.locks",
+      [
+        QCheck_alcotest.to_alcotest qcheck_lock_exclusion;
+        QCheck_alcotest.to_alcotest qcheck_lock_drains;
+      ] );
+    ( "properties.vrecord",
+      [
+        QCheck_alcotest.to_alcotest qcheck_vrecord_read_visibility;
+        QCheck_alcotest.to_alcotest qcheck_vrecord_committed_value_exact;
+      ] );
+  ]

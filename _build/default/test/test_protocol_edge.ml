@@ -1,0 +1,283 @@
+(* Edge-case protocol tests: truncation under active load, duelling
+   recovery coordinators, client-initiated aborts on every system, and
+   TPC-C's 1 % New-Order rollback. *)
+
+module Version = Cc_types.Version
+module Outcome = Cc_types.Outcome
+
+let test_truncation_under_load () =
+  (* Truncation runs every 150 ms while six clients hammer a counter;
+     decisions merged by truncation must preserve every commit. *)
+  let cfg = { Morty.Config.default with truncation_interval_us = 150_000 } in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 61 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  Array.iter (fun r -> Morty.Replica.load r [ ("ctr", "0") ]) replicas;
+  let total_committed = ref 0 in
+  List.iteri
+    (fun i () ->
+      let client =
+        Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(Simnet.Latency.Az (i mod 3)) ~replicas:peers ()
+      in
+      let crng = Sim.Rng.split rng in
+      let rec loop remaining attempt =
+        if remaining > 0 then
+          Morty.Client.begin_ client (fun ctx ->
+              Morty.Client.get client ctx "ctr" (fun ctx v ->
+                  let n = if String.equal v "" then 0 else int_of_string v in
+                  let ctx = Morty.Client.put client ctx "ctr" (string_of_int (n + 1)) in
+                  Morty.Client.commit client ctx (function
+                    | Outcome.Committed ->
+                      incr total_committed;
+                      loop (remaining - 1) 0
+                    | Outcome.Aborted ->
+                      ignore
+                        (Sim.Engine.schedule engine
+                           ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))
+                           (fun () -> loop remaining (attempt + 1))))))
+      in
+      loop 20 0)
+    (List.init 6 (fun _ -> ()));
+  Sim.Engine.run_until engine ~limit:20_000_000;
+  Alcotest.(check int) "all committed" 120 !total_committed;
+  Alcotest.(check (option string)) "counter exact despite truncation" (Some "120")
+    (Morty.Replica.read_current replicas.(0) "ctr");
+  Array.iter
+    (fun r ->
+      (match Morty.Replica.watermark r with
+       | Some _ -> ()
+       | None -> Alcotest.fail "truncation never ran");
+      Alcotest.(check bool) "erecord bounded" true (Morty.Replica.erecord_size r < 120))
+    replicas
+
+let test_duelling_recovery_single_decision () =
+  (* Crash a coordinator mid-commit with TWO dependent transactions
+     waiting at different replicas: both replicas may start recovery;
+     consensus must still produce a single decision and both dependents
+     must commit on top of it. *)
+  let cfg = { Morty.Config.default with dep_recovery_timeout_us = 150_000 } in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 71 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  Array.iter (fun r -> Morty.Replica.load r [ ("a", "0"); ("b", "0") ]) replicas;
+  let doomed =
+    Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+      ~region:(Simnet.Latency.Az 0) ~replicas:peers ()
+  in
+  (* The doomed transaction writes both keys, so dependents on a and on
+     b block on the same decision. *)
+  Morty.Client.begin_ doomed (fun ctx ->
+      Morty.Client.get doomed ctx "a" (fun ctx _ ->
+          Morty.Client.get doomed ctx "b" (fun ctx _ ->
+              let ctx = Morty.Client.put doomed ctx "a" "10" in
+              let ctx = Morty.Client.put doomed ctx "b" "20" in
+              Morty.Client.commit doomed ctx (fun _ -> ()))));
+  ignore
+    (Sim.Engine.schedule engine ~after:6_000 (fun () ->
+         Simnet.Net.crash net (Morty.Client.node doomed)));
+  let o1 = ref None and o2 = ref None in
+  let dependent az key out =
+    let client =
+      Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+        ~region:(Simnet.Latency.Az az) ~replicas:peers ()
+    in
+    ignore
+      (Sim.Engine.schedule engine ~after:30_000 (fun () ->
+           Morty.Client.begin_ client (fun ctx ->
+               Morty.Client.get client ctx key (fun ctx v ->
+                   let n = if String.equal v "" then 0 else int_of_string v in
+                   let ctx =
+                     Morty.Client.put client ctx key (string_of_int (n + 1))
+                   in
+                   Morty.Client.commit client ctx (fun o -> out := Some o)))))
+  in
+  dependent 1 "a" o1;
+  dependent 2 "b" o2;
+  Sim.Engine.run_until engine ~limit:30_000_000;
+  Alcotest.(check bool) "dependent on a committed" true (!o1 = Some Outcome.Committed);
+  Alcotest.(check bool) "dependent on b committed" true (!o2 = Some Outcome.Committed);
+  (* The orphan reached exactly one decision: both keys reflect it
+     consistently (both committed, or both aborted). *)
+  let a = Morty.Replica.read_current replicas.(0) "a" in
+  let b = Morty.Replica.read_current replicas.(0) "b" in
+  let consistent =
+    (a = Some "11" && b = Some "21") || (a = Some "1" && b = Some "1")
+  in
+  if not consistent then
+    Alcotest.failf "inconsistent orphan decision: a=%s b=%s"
+      (Option.value ~default:"-" a) (Option.value ~default:"-" b);
+  (* All replicas agree on the orphan-affected state. *)
+  Array.iter
+    (fun r ->
+      Alcotest.(check (option string)) "replica agreement a" a
+        (Morty.Replica.read_current r "a"))
+    replicas
+
+(* Client-initiated abort leaves no state behind, on each system. *)
+
+let test_abort_morty () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 81 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = Morty.Config.default in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:2)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  Array.iter (fun r -> Morty.Replica.load r [ ("x", "1") ]) replicas;
+  let client =
+    Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+      ~region:(Simnet.Latency.Az 0) ~replicas:peers ()
+  in
+  Morty.Client.begin_ client (fun ctx ->
+      Morty.Client.get client ctx "x" (fun ctx _ ->
+          let ctx = Morty.Client.put client ctx "x" "999" in
+          Morty.Client.abort client ctx));
+  Sim.Engine.run engine;
+  Alcotest.(check (option string)) "untouched" (Some "1")
+    (Morty.Replica.read_current replicas.(0) "x");
+  (* A later transaction is unaffected by the aborted write. *)
+  let seen = ref None in
+  Morty.Client.begin_ client (fun ctx ->
+      Morty.Client.get client ctx "x" (fun ctx v ->
+          seen := Some v;
+          Morty.Client.commit client ctx (fun _ -> ())));
+  Sim.Engine.run engine;
+  Alcotest.(check (option string)) "reads original" (Some "1") !seen
+
+let test_abort_spanner_releases_locks () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 91 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = Spanner.Config.default in
+  let group =
+    Array.init 3 (fun i ->
+        Spanner.Replica.create ~cfg ~engine ~net ~group:0 ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:1)
+  in
+  let peers = Array.map Spanner.Replica.node group in
+  Array.iter (fun r -> Spanner.Replica.set_peers r peers) group;
+  Array.iter (fun r -> Spanner.Replica.load r [ ("x", "1") ]) group;
+  let leaders = [| Spanner.Replica.node group.(0) |] in
+  let mk az =
+    Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+      ~region:(Simnet.Latency.Az az) ~leaders ~partition:(fun _ -> 0) ()
+  in
+  let c1 = mk 0 and c2 = mk 1 in
+  (* c1 takes the write lock then aborts; c2 must then get the lock and
+     commit. *)
+  Spanner.Client.begin_ c1 (fun ctx ->
+      Spanner.Client.get_for_update c1 ctx "x" (fun ctx _ ->
+          Spanner.Client.abort c1 ctx));
+  let o2 = ref None in
+  ignore
+    (Sim.Engine.schedule engine ~after:50_000 (fun () ->
+         Spanner.Client.begin_ c2 (fun ctx ->
+             Spanner.Client.get_for_update c2 ctx "x" (fun ctx _ ->
+                 let ctx = Spanner.Client.put c2 ctx "x" "2" in
+                 Spanner.Client.commit c2 ctx (fun o -> o2 := Some o)))));
+  Sim.Engine.run_until engine ~limit:5_000_000;
+  Alcotest.(check bool) "c2 committed after c1's abort" true
+    (!o2 = Some Outcome.Committed);
+  Alcotest.(check (option string)) "c2's write" (Some "2")
+    (Spanner.Replica.read_current group.(0) "x")
+
+let test_tpcc_rollback_leaves_consistent_state () =
+  (* Run enough New-Orders that several hit the 1 % rollback; the order
+     invariant must still hold (no half-written orders). *)
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 101 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = Morty.Config.default in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:4)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  let conf =
+    {
+      Workload.Tpcc.n_warehouses = 1;
+      districts_per_warehouse = 2;
+      customers_per_district = 5;
+      n_items = 20;
+      initial_orders_per_district = 2;
+      max_items_per_order = 6;
+    }
+  in
+  Array.iter (fun r -> Morty.Replica.load r (Workload.Tpcc.initial_data conf)) replicas;
+  let module M = Workload.Tpcc.Make (Morty.Client) in
+  let aborted = ref 0 and committed = ref 0 in
+  List.iteri
+    (fun i () ->
+      let client =
+        Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(Simnet.Latency.Az (i mod 3)) ~replicas:peers ()
+      in
+      let crng = Sim.Rng.split rng in
+      let rec loop remaining =
+        if remaining > 0 then
+          M.run conf client crng ~home_w:1 Workload.Tpcc.New_order (function
+            | Outcome.Committed ->
+              incr committed;
+              loop (remaining - 1)
+            | Outcome.Aborted ->
+              incr aborted;
+              loop (remaining - 1))
+      in
+      loop 60)
+    (List.init 4 (fun _ -> ()));
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "some rollbacks happened" true (!aborted > 0);
+  (* Order invariant: every order below next_o_id exists completely. *)
+  let read_row key =
+    match Morty.Replica.read_current replicas.(0) key with
+    | Some v -> Workload.Row.decode v
+    | None -> [||]
+  in
+  for d = 1 to conf.districts_per_warehouse do
+    let next_o = Workload.Row.get_int (read_row (Printf.sprintf "d:1:%d" d)) 1 in
+    for o = 1 to next_o - 1 do
+      let orow = read_row (Printf.sprintf "o:1:%d:%d" d o) in
+      if Array.length orow = 0 then Alcotest.failf "order 1:%d:%d missing" d o;
+      let ol_cnt = Workload.Row.get_int orow 3 in
+      for n = 1 to ol_cnt do
+        if Array.length (read_row (Printf.sprintf "ol:1:%d:%d:%d" d o n)) = 0 then
+          Alcotest.failf "order line 1:%d:%d:%d missing" d o n
+      done
+    done
+  done
+
+let suites =
+  [
+    ( "protocol.edge",
+      [
+        Alcotest.test_case "truncation under load" `Slow test_truncation_under_load;
+        Alcotest.test_case "duelling recovery" `Quick
+          test_duelling_recovery_single_decision;
+        Alcotest.test_case "morty client abort" `Quick test_abort_morty;
+        Alcotest.test_case "spanner abort releases locks" `Quick
+          test_abort_spanner_releases_locks;
+        Alcotest.test_case "tpcc rollback consistent" `Slow
+          test_tpcc_rollback_leaves_consistent_state;
+      ] );
+  ]

@@ -1,0 +1,338 @@
+(* Tests for the deterministic simulation substrate: RNG, distributions,
+   heap, event engine, skewed clocks. *)
+
+open Sim
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.int64 a = Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 3.5 in
+    if v < 0. || v >= 3.5 then Alcotest.fail "out of range"
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  (* After splitting, drawing from b must not change a's future stream. *)
+  let a' = Rng.create 5 in
+  let _ = Rng.split a' in
+  ignore (Rng.int64 b);
+  Alcotest.(check int64) "parent unaffected" (Rng.int64 a') (Rng.int64 a)
+
+let test_rng_uniformity () =
+  let r = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket count %d too far from %d" c expected)
+    buckets
+
+let test_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_zipf_uniform_when_theta_zero () =
+  let z = Dist.zipf ~n:100 ~theta:0. in
+  let p0 = Dist.zipf_pmf z 0 and p99 = Dist.zipf_pmf z 99 in
+  Alcotest.(check (float 1e-9)) "uniform pmf" p0 p99
+
+let test_zipf_skew () =
+  let z = Dist.zipf ~n:1000 ~theta:0.9 in
+  let p0 = Dist.zipf_pmf z 0 and p999 = Dist.zipf_pmf z 999 in
+  Alcotest.(check bool) "hot key much hotter" true (p0 > 100. *. p999)
+
+let test_zipf_sample_range () =
+  let z = Dist.zipf ~n:50 ~theta:0.9 in
+  let r = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let i = Dist.zipf_sample z r in
+    if i < 0 || i >= 50 then Alcotest.fail "sample out of range"
+  done
+
+let test_zipf_sample_matches_pmf () =
+  let z = Dist.zipf ~n:10 ~theta:0.9 in
+  let r = Rng.create 17 in
+  let counts = Array.make 10 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let i = Dist.zipf_sample z r in
+    counts.(i) <- counts.(i) + 1
+  done;
+  for i = 0 to 9 do
+    let expected = Dist.zipf_pmf z i *. float_of_int n in
+    let got = float_of_int counts.(i) in
+    if abs_float (got -. expected) > 0.05 *. expected +. 30. then
+      Alcotest.failf "item %d: got %f expected %f" i got expected
+  done
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Dist.zipf: n must be positive")
+    (fun () -> ignore (Dist.zipf ~n:0 ~theta:0.9));
+  Alcotest.check_raises "theta<0"
+    (Invalid_argument "Dist.zipf: theta must be non-negative") (fun () ->
+      ignore (Dist.zipf ~n:10 ~theta:(-1.)))
+
+let test_heap_orders_by_time () =
+  let h = Heap.create () in
+  Heap.push h ~time:30 ~seq:0 "c";
+  Heap.push h ~time:10 ~seq:1 "a";
+  Heap.push h ~time:20 ~seq:2 "b";
+  let pop () = match Heap.pop h with Some (_, _, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_within_same_time () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:5 ~seq:i i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_random_stress () =
+  let h = Heap.create () in
+  let r = Rng.create 99 in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    Heap.push h ~time:(Rng.int r 1000) ~seq:i ()
+  done;
+  Alcotest.(check int) "length" n (Heap.length h);
+  let prev = ref min_int in
+  for _ = 1 to n do
+    match Heap.pop h with
+    | Some (t, _, ()) ->
+      if t < !prev then Alcotest.fail "heap order violated";
+      prev := t
+    | None -> Alcotest.fail "heap drained early"
+  done;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_engine_runs_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~after:20 (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule e ~after:10 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e ~after:30 (fun () -> log := "c" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock" 30 (Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule e ~after:5 (fun () ->
+         incr hits;
+         ignore (Engine.schedule e ~after:5 (fun () -> incr hits))));
+  Engine.run e;
+  Alcotest.(check int) "both fired" 2 !hits;
+  Alcotest.(check int) "clock" 10 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let hit = ref false in
+  let tm = Engine.schedule e ~after:5 (fun () -> hit := true) in
+  Engine.cancel tm;
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !hit
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~after:10 (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule e ~after:20 (fun () -> log := 20 :: !log));
+  Engine.run_until e ~limit:15;
+  Alcotest.(check (list int)) "only first" [ 10 ] !log;
+  Alcotest.(check int) "clock at limit" 15 (Engine.now e);
+  Engine.run_until e ~limit:25;
+  Alcotest.(check (list int)) "second fired" [ 20; 10 ] !log
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.schedule e ~after:7 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let hit = ref false in
+  ignore (Engine.schedule e ~after:(-5) (fun () -> hit := true));
+  Engine.run e;
+  Alcotest.(check bool) "fired" true !hit;
+  Alcotest.(check int) "clock unchanged" 0 (Engine.now e)
+
+let test_clock_skew_bounds () =
+  let e = Engine.create () in
+  let r = Rng.create 21 in
+  for _ = 1 to 200 do
+    let c = Clock.create e r ~max_skew:500 in
+    let s = Clock.skew c in
+    if s < -500 || s > 500 then Alcotest.fail "skew out of bounds"
+  done
+
+let test_clock_tracks_engine () =
+  let e = Engine.create () in
+  let c = Clock.perfect e in
+  ignore (Engine.schedule e ~after:123 (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check int) "tracks" 123 (Clock.read c)
+
+let test_clock_never_negative () =
+  let e = Engine.create () in
+  let r = Rng.create 2 in
+  let rec find_negative n =
+    if n = 0 then None
+    else
+      let c = Clock.create e r ~max_skew:1000 in
+      if Clock.skew c < 0 then Some c else find_negative (n - 1)
+  in
+  match find_negative 100 with
+  | None -> ()
+  | Some c -> Alcotest.(check int) "clamped" 0 (Clock.read c)
+
+(* Property-based tests. *)
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i ()) times;
+      let rec drain acc =
+        match Heap.pop h with Some (t, _, ()) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+let qcheck_engine_clock_monotone =
+  QCheck.Test.make ~name:"engine clock monotone under random scheduling" ~count:100
+    QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
+    (fun events ->
+      let e = Engine.create () in
+      let ok = ref true in
+      let last = ref 0 in
+      List.iter
+        (fun (d1, d2) ->
+          ignore
+            (Engine.schedule e ~after:d1 (fun () ->
+                 if Engine.now e < !last then ok := false;
+                 last := Engine.now e;
+                 ignore (Engine.schedule e ~after:d2 (fun () ->
+                     if Engine.now e < !last then ok := false;
+                     last := Engine.now e)))))
+        events;
+      Engine.run e;
+      !ok)
+
+let qcheck_zipf_pmf_sums_to_one =
+  QCheck.Test.make ~name:"zipf pmf sums to 1" ~count:50
+    QCheck.(pair (int_range 1 500) (float_bound_inclusive 1.2))
+    (fun (n, theta) ->
+      let z = Dist.zipf ~n ~theta in
+      let sum = ref 0. in
+      for i = 0 to n - 1 do
+        sum := !sum +. Dist.zipf_pmf z i
+      done;
+      abs_float (!sum -. 1.) < 1e-6)
+
+let qcheck_rng_int_in_range =
+  QCheck.Test.make ~name:"rng int in range" ~count:1000
+    QCheck.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let suites =
+  [
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_rejects_nonpositive;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "uniformity" `Slow test_rng_uniformity;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+        QCheck_alcotest.to_alcotest qcheck_rng_int_in_range;
+      ] );
+    ( "sim.dist",
+      [
+        Alcotest.test_case "zipf theta=0 uniform" `Quick test_zipf_uniform_when_theta_zero;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        Alcotest.test_case "zipf sample range" `Quick test_zipf_sample_range;
+        Alcotest.test_case "zipf sample matches pmf" `Slow test_zipf_sample_matches_pmf;
+        Alcotest.test_case "zipf invalid args" `Quick test_zipf_invalid_args;
+        QCheck_alcotest.to_alcotest qcheck_zipf_pmf_sums_to_one;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "orders by time" `Quick test_heap_orders_by_time;
+        Alcotest.test_case "fifo within same time" `Quick test_heap_fifo_within_same_time;
+        Alcotest.test_case "random stress" `Quick test_heap_random_stress;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time order" `Quick test_engine_runs_in_time_order;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "run_until" `Quick test_engine_run_until;
+        Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
+        QCheck_alcotest.to_alcotest qcheck_engine_clock_monotone;
+      ] );
+    ( "sim.clock",
+      [
+        Alcotest.test_case "skew bounds" `Quick test_clock_skew_bounds;
+        Alcotest.test_case "tracks engine" `Quick test_clock_tracks_engine;
+        Alcotest.test_case "never negative" `Quick test_clock_never_negative;
+      ] );
+  ]

@@ -1,0 +1,212 @@
+(* Tests for the simulated network, latency model and CPU pools. *)
+
+open Simnet
+
+let mk_net ?(setup = Latency.Reg) ?(jitter_us = 0) () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Rng.create 1 in
+  let net = Net.create e r ~setup ~jitter_us () in
+  (e, net)
+
+let test_latency_table2_values () =
+  let rtt = Latency.rtt_us Latency.Con in
+  Alcotest.(check int) "east-west1" 62_000 (rtt Latency.Us_east_1 Latency.Us_west_1);
+  Alcotest.(check int) "west1-west2" 22_000 (rtt Latency.Us_west_1 Latency.Us_west_2);
+  Alcotest.(check int) "east-east" 0 (rtt Latency.Us_east_1 Latency.Us_east_1);
+  let rtt_glo = Latency.rtt_us Latency.Glo in
+  Alcotest.(check int) "west1-eu" 138_000 (rtt_glo Latency.Us_west_1 Latency.Eu_west_1)
+
+let test_latency_symmetry () =
+  List.iter
+    (fun setup ->
+      let regions = Latency.regions setup in
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              Alcotest.(check int) "symmetric" (Latency.rtt_us setup a b)
+                (Latency.rtt_us setup b a))
+            regions)
+        regions)
+    [ Latency.Reg; Latency.Con; Latency.Glo ]
+
+let test_latency_reg_is_10ms () =
+  Alcotest.(check int) "REG RTT" 10_000 (Latency.rtt_us Latency.Reg (Latency.Az 0) (Latency.Az 1))
+
+let test_net_delivers () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref None in
+  Net.set_handler net b (fun ~src m -> got := Some (src, m));
+  Net.send net ~src:a ~dst:b "hello";
+  Sim.Engine.run e;
+  Alcotest.(check (option (pair int string))) "delivered" (Some (a, "hello")) !got;
+  (* One-way REG latency is 5 ms + base 60 us. *)
+  Alcotest.(check int) "delivery time" 5_060 (Sim.Engine.now e)
+
+let test_net_fifo_per_pair () =
+  let e, net = mk_net ~jitter_us:500 () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref [] in
+  Net.set_handler net b (fun ~src:_ m -> got := m :: !got);
+  for i = 0 to 19 do
+    Net.send net ~src:a ~dst:b i
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i)) (List.rev !got)
+
+let test_net_crash_drops () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref 0 in
+  Net.set_handler net b (fun ~src:_ _ -> incr got);
+  Net.crash net b;
+  Net.send net ~src:a ~dst:b ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "dropped" 0 !got;
+  Alcotest.(check int) "counted" 1 (Net.messages_dropped net);
+  Net.recover net b;
+  Net.send net ~src:a ~dst:b ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "delivered after recover" 1 !got
+
+let test_net_crash_mid_flight () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref 0 in
+  Net.set_handler net b (fun ~src:_ _ -> incr got);
+  Net.send net ~src:a ~dst:b ();
+  (* Crash the destination before the message lands. *)
+  ignore (Sim.Engine.schedule e ~after:100 (fun () -> Net.crash net b));
+  Sim.Engine.run e;
+  Alcotest.(check int) "dropped mid-flight" 0 !got
+
+let test_net_no_handler_drops () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  Net.send net ~src:a ~dst:b ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "dropped" 1 (Net.messages_dropped net)
+
+let test_net_wan_slower_than_lan () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Rng.create 1 in
+  let net = Net.create e r ~setup:Latency.Glo ~jitter_us:0 () in
+  let a = Net.add_node net ~region:Latency.Us_west_1 in
+  let b = Net.add_node net ~region:Latency.Eu_west_1 in
+  let at = ref 0 in
+  Net.set_handler net b (fun ~src:_ () -> at := Sim.Engine.now e);
+  Net.send net ~src:a ~dst:b ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "transatlantic one-way" 69_060 !at
+
+let test_cpu_serialises_on_one_core () =
+  let e = Sim.Engine.create () in
+  let cpu = Cpu.create e ~cores:1 in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Cpu.submit cpu ~cost:100 (fun () -> done_at := Sim.Engine.now e :: !done_at)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "sequential" [ 100; 200; 300 ] (List.rev !done_at);
+  Alcotest.(check int) "busy" 300 (Cpu.busy_us cpu);
+  Alcotest.(check int) "completed" 3 (Cpu.completed cpu)
+
+let test_cpu_parallel_cores () =
+  let e = Sim.Engine.create () in
+  let cpu = Cpu.create e ~cores:4 in
+  let done_at = ref [] in
+  for _ = 1 to 4 do
+    Cpu.submit cpu ~cost:100 (fun () -> done_at := Sim.Engine.now e :: !done_at)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "parallel" [ 100; 100; 100; 100 ] !done_at
+
+let test_cpu_utilization () =
+  let e = Sim.Engine.create () in
+  let cpu = Cpu.create e ~cores:2 in
+  Cpu.submit cpu ~cost:100 (fun () -> ());
+  Sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "half a core for 100us" 0.5
+    (Cpu.utilization cpu ~duration:100)
+
+let test_cpu_queue_length () =
+  let e = Sim.Engine.create () in
+  let cpu = Cpu.create e ~cores:1 in
+  Cpu.submit cpu ~cost:50 (fun () -> ());
+  Cpu.submit cpu ~cost:50 (fun () -> ());
+  Cpu.submit cpu ~cost:50 (fun () -> ());
+  Alcotest.(check int) "two queued" 2 (Cpu.queue_length cpu);
+  Sim.Engine.run e;
+  Alcotest.(check int) "drained" 0 (Cpu.queue_length cpu)
+
+let test_cpu_reset_stats () =
+  let e = Sim.Engine.create () in
+  let cpu = Cpu.create e ~cores:1 in
+  Cpu.submit cpu ~cost:10 (fun () -> ());
+  Sim.Engine.run e;
+  Cpu.reset_stats cpu;
+  Alcotest.(check int) "busy reset" 0 (Cpu.busy_us cpu);
+  Alcotest.(check int) "completed reset" 0 (Cpu.completed cpu)
+
+let qcheck_net_fifo =
+  QCheck.Test.make ~name:"per-pair FIFO under random jitter" ~count:50
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let e = Sim.Engine.create () in
+      let r = Sim.Rng.create seed in
+      let net = Net.create e r ~setup:Latency.Con ~jitter_us:5_000 () in
+      let a = Net.add_node net ~region:Latency.Us_east_1 in
+      let b = Net.add_node net ~region:Latency.Us_west_1 in
+      let got = ref [] in
+      Net.set_handler net b (fun ~src:_ m -> got := m :: !got);
+      for i = 0 to n - 1 do
+        Net.send net ~src:a ~dst:b i
+      done;
+      Sim.Engine.run e;
+      List.rev !got = List.init n (fun i -> i))
+
+let qcheck_cpu_conserves_work =
+  QCheck.Test.make ~name:"cpu busy time equals sum of costs" ~count:50
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(1 -- 30) (int_range 1 500)))
+    (fun (cores, costs) ->
+      let e = Sim.Engine.create () in
+      let cpu = Cpu.create e ~cores in
+      List.iter (fun c -> Cpu.submit cpu ~cost:c (fun () -> ())) costs;
+      Sim.Engine.run e;
+      Cpu.busy_us cpu = List.fold_left ( + ) 0 costs
+      && Cpu.completed cpu = List.length costs)
+
+let suites =
+  [
+    ( "simnet.latency",
+      [
+        Alcotest.test_case "table2 values" `Quick test_latency_table2_values;
+        Alcotest.test_case "symmetry" `Quick test_latency_symmetry;
+        Alcotest.test_case "REG 10ms" `Quick test_latency_reg_is_10ms;
+      ] );
+    ( "simnet.net",
+      [
+        Alcotest.test_case "delivers" `Quick test_net_delivers;
+        Alcotest.test_case "fifo per pair" `Quick test_net_fifo_per_pair;
+        Alcotest.test_case "crash drops" `Quick test_net_crash_drops;
+        Alcotest.test_case "crash mid-flight" `Quick test_net_crash_mid_flight;
+        Alcotest.test_case "no handler drops" `Quick test_net_no_handler_drops;
+        Alcotest.test_case "wan slower than lan" `Quick test_net_wan_slower_than_lan;
+        QCheck_alcotest.to_alcotest qcheck_net_fifo;
+      ] );
+    ( "simnet.cpu",
+      [
+        Alcotest.test_case "serialises on one core" `Quick test_cpu_serialises_on_one_core;
+        Alcotest.test_case "parallel cores" `Quick test_cpu_parallel_cores;
+        Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+        Alcotest.test_case "queue length" `Quick test_cpu_queue_length;
+        Alcotest.test_case "reset stats" `Quick test_cpu_reset_stats;
+        QCheck_alcotest.to_alcotest qcheck_cpu_conserves_work;
+      ] );
+  ]

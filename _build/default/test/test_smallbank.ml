@@ -1,0 +1,126 @@
+(* SmallBank integration: under heavy contention (including the
+   write-skew-shaped Write-Check), committed transactions must conserve
+   money exactly — final total = initial total + sum of committed
+   deltas — and the recorded history must be serializable. *)
+
+module Outcome = Cc_types.Outcome
+module Sb = Workload.Smallbank
+
+let conf = { Sb.n_customers = 20; theta = 0.9; initial_balance = 1_000 }
+
+let run_system ~reexecution =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 123 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = { Morty.Config.default with reexecution } in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:4)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  Array.iter (fun r -> Morty.Replica.load r (Sb.initial_data conf)) replicas;
+  let module M = Sb.Make (Morty.Client) in
+  let history = ref [] in
+  let zipf = Sb.sampler conf in
+  let committed_delta = ref 0 in
+  List.iteri
+    (fun i () ->
+      let client =
+        Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(Simnet.Latency.Az (i mod 3)) ~replicas:peers
+          ~on_finish:(fun r -> history := r :: !history)
+          ()
+      in
+      let crng = Sim.Rng.split rng in
+      let rec loop remaining attempt =
+        if remaining > 0 then begin
+          let kind = Sb.pick_kind crng in
+          (* Keep only the final execution's delta (re-execution replays
+             the continuation and reports again). *)
+          let delta = ref 0 in
+          M.run ~on_delta:(fun d -> delta := d) conf client crng zipf kind (function
+            | Outcome.Committed ->
+              committed_delta := !committed_delta + !delta;
+              loop (remaining - 1) 0
+            | Outcome.Aborted ->
+              ignore
+                (Sim.Engine.schedule engine
+                   ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))
+                   (fun () -> loop remaining (attempt + 1))))
+        end
+      in
+      loop 20 0)
+    (List.init 6 (fun _ -> ()));
+  Sim.Engine.run engine;
+  let final_total = ref 0 in
+  for c = 0 to conf.n_customers - 1 do
+    List.iter
+      (fun key ->
+        match Morty.Replica.read_current replicas.(0) key with
+        | Some v -> final_total := !final_total + int_of_string v
+        | None -> Alcotest.failf "account %s missing" key)
+      [ Sb.checking_key c; Sb.savings_key c ]
+  done;
+  let h =
+    List.fold_left
+      (fun h (r : Morty.Client.record) ->
+        Adya.History.add h
+          {
+            Adya.History.ver = r.h_ver;
+            reads = r.h_reads;
+            writes = r.h_writes;
+            committed = r.h_committed;
+            start_us = r.h_start_us;
+            commit_us = r.h_end_us;
+          })
+      Adya.History.empty !history
+  in
+  (!final_total, Sb.total_money conf + !committed_delta, h)
+
+let test_money_conserved_morty () =
+  let final_total, expected, h = run_system ~reexecution:true in
+  Alcotest.(check int) "money conserved" expected final_total;
+  match Adya.Dsg.check h with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "not serializable: %a" Adya.Dsg.pp_violation v
+
+let test_money_conserved_mvtso () =
+  let final_total, expected, h = run_system ~reexecution:false in
+  Alcotest.(check int) "money conserved" expected final_total;
+  match Adya.Dsg.check h with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "not serializable: %a" Adya.Dsg.pp_violation v
+
+let test_mix_sums () =
+  Alcotest.(check int) "mix" 100 (List.fold_left (fun a (_, p) -> a + p) 0 Sb.mix)
+
+let test_initial_data () =
+  let data = Sb.initial_data conf in
+  Alcotest.(check int) "two accounts per customer" (2 * conf.n_customers)
+    (List.length data);
+  Alcotest.(check bool) "checking exists" true
+    (List.mem_assoc (Sb.checking_key 0) data)
+
+let test_partitioning_colocates_accounts () =
+  let p = Sb.partition_of_key ~n_groups:4 in
+  for c = 0 to 10 do
+    Alcotest.(check int)
+      (Printf.sprintf "customer %d accounts co-located" c)
+      (p (Sb.checking_key c))
+      (p (Sb.savings_key c))
+  done
+
+let suites =
+  [
+    ( "smallbank",
+      [
+        Alcotest.test_case "mix sums" `Quick test_mix_sums;
+        Alcotest.test_case "initial data" `Quick test_initial_data;
+        Alcotest.test_case "accounts co-located" `Quick
+          test_partitioning_colocates_accounts;
+        Alcotest.test_case "money conserved (morty)" `Slow test_money_conserved_morty;
+        Alcotest.test_case "money conserved (mvtso)" `Slow test_money_conserved_mvtso;
+      ] );
+  ]

@@ -1,0 +1,413 @@
+(* Tests for the workload generators: row codec, mixes, initial data,
+   and full-mix integration runs checked against TPC-C consistency
+   invariants and the serializability oracle. *)
+
+module Outcome = Cc_types.Outcome
+module Tpcc = Workload.Tpcc
+module Retwis = Workload.Retwis
+module Row = Workload.Row
+
+(* ---- Row codec ---- *)
+
+let test_row_roundtrip () =
+  let row = [| "a"; "42"; ""; "x y z" |] in
+  Alcotest.(check (array string)) "roundtrip" row (Row.decode (Row.encode row))
+
+let test_row_absent () =
+  Alcotest.(check bool) "absent" true (Row.is_absent "");
+  Alcotest.(check int) "decode empty" 0 (Array.length (Row.decode ""))
+
+let test_row_int_fields () =
+  let row = [| "x"; "10" |] in
+  let row = Row.add_int row 1 5 in
+  Alcotest.(check int) "added" 15 (Row.get_int row 1);
+  Alcotest.(check string) "other field untouched" "x" (Row.get row 0)
+
+let test_row_get_out_of_range () =
+  Alcotest.(check string) "oob" "" (Row.get [| "a" |] 3);
+  Alcotest.(check int) "oob int" 0 (Row.get_int [| "a" |] 3)
+
+(* ---- Mixes (Table 3a / 3b) ---- *)
+
+let test_tpcc_mix_sums_to_100 () =
+  Alcotest.(check int) "sum" 100 (List.fold_left (fun a (_, p) -> a + p) 0 Tpcc.mix)
+
+let test_retwis_mix_sums_to_100 () =
+  Alcotest.(check int) "sum" 100 (List.fold_left (fun a (_, p) -> a + p) 0 Retwis.mix)
+
+let test_tpcc_mix_distribution () =
+  let rng = Sim.Rng.create 3 in
+  let counts = Hashtbl.create 8 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Tpcc.pick_kind rng in
+    Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0)
+  done;
+  List.iter
+    (fun (k, pct) ->
+      let got = try Hashtbl.find counts k with Not_found -> 0 in
+      let expected = n * pct / 100 in
+      if abs (got - expected) > (expected / 5) + 50 then
+        Alcotest.failf "%s: got %d expected ~%d" (Tpcc.kind_name k) got expected)
+    Tpcc.mix
+
+let test_retwis_mix_distribution () =
+  let rng = Sim.Rng.create 4 in
+  let counts = Hashtbl.create 8 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Retwis.pick_kind rng in
+    Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0)
+  done;
+  List.iter
+    (fun (k, pct) ->
+      let got = try Hashtbl.find counts k with Not_found -> 0 in
+      let expected = n * pct / 100 in
+      if abs (got - expected) > (expected / 5) + 50 then
+        Alcotest.failf "%s: got %d expected ~%d" (Retwis.kind_name k) got expected)
+    Retwis.mix
+
+(* ---- Initial data ---- *)
+
+let small_conf =
+  {
+    Tpcc.n_warehouses = 2;
+    districts_per_warehouse = 2;
+    customers_per_district = 5;
+    n_items = 20;
+    initial_orders_per_district = 4;
+    max_items_per_order = 6;
+  }
+
+let test_tpcc_initial_data_complete () =
+  let data = Tpcc.initial_data small_conf in
+  let find k = List.assoc_opt k data in
+  Alcotest.(check bool) "warehouse 1" true (find "w:1" <> None);
+  Alcotest.(check bool) "warehouse 2" true (find "w:2" <> None);
+  Alcotest.(check bool) "district" true (find "d:2:2" <> None);
+  Alcotest.(check bool) "customer" true (find "c:1:2:5" <> None);
+  Alcotest.(check bool) "item" true (find "i:20" <> None);
+  Alcotest.(check bool) "stock" true (find "s:2:20" <> None);
+  Alcotest.(check bool) "initial order" true (find "o:1:1:1" <> None);
+  Alcotest.(check bool) "delivery cursor" true (find "dlo:1:1" <> None);
+  (* next_o_id reflects initial orders. *)
+  match find "d:1:1" with
+  | Some row -> Alcotest.(check int) "next_o_id" 5 (Row.get_int (Row.decode row) 1)
+  | None -> Alcotest.fail "district missing"
+
+let test_tpcc_partitioning () =
+  let p = Tpcc.partition_of_key ~home_group:2 ~n_groups:4 in
+  Alcotest.(check int) "warehouse key" 0 (p "w:1");
+  Alcotest.(check int) "warehouse key 2" 1 (p "w:2");
+  Alcotest.(check int) "district follows warehouse" 0 (p "d:1:5");
+  Alcotest.(check int) "items go to home group" 2 (p "i:17");
+  Alcotest.(check int) "stock follows warehouse" 2 (p "s:3:9")
+
+let test_retwis_initial_data () =
+  let conf = { Retwis.n_keys = 100; theta = 0.5 } in
+  let data = Retwis.initial_data conf in
+  Alcotest.(check int) "count" 100 (List.length data);
+  Alcotest.(check bool) "key0" true (List.mem_assoc (Retwis.key 0) data)
+
+(* ---- Full-mix integration on Morty, with consistency invariants ---- *)
+
+type cluster = {
+  engine : Sim.Engine.t;
+  replicas : Morty.Replica.t array;
+  history : Morty.Client.record list ref;
+  rng : Sim.Rng.t;
+  net : Morty.Msg.t Simnet.Net.t;
+  cfg : Morty.Config.t;
+}
+
+let make_cluster ?(cfg = Morty.Config.default) () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 99 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let replicas =
+    Array.init 3 (fun i ->
+        Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
+          ~region:(Simnet.Latency.Az i) ~cores:4)
+  in
+  let peers = Array.map Morty.Replica.node replicas in
+  Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  { engine; replicas; history = ref []; rng; net; cfg }
+
+let run_mix c ~conf ~clients ~txns_per_client =
+  Array.iter (fun r -> Morty.Replica.load r (Tpcc.initial_data conf)) c.replicas;
+  let module M = Tpcc.Make (Morty.Client) in
+  let peers = Array.map Morty.Replica.node c.replicas in
+  List.iteri
+    (fun i () ->
+      let client =
+        Morty.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+          ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az (i mod 3))
+          ~replicas:peers
+          ~on_finish:(fun r -> c.history := r :: !(c.history))
+          ()
+      in
+      let crng = Sim.Rng.split c.rng in
+      let home_w = (i mod conf.Tpcc.n_warehouses) + 1 in
+      let rec loop remaining attempt =
+        if remaining > 0 then begin
+          let kind = Tpcc.pick_kind crng in
+          M.run conf client crng ~home_w kind (function
+            | Outcome.Committed -> loop (remaining - 1) 0
+            | Outcome.Aborted ->
+              ignore
+                (Sim.Engine.schedule c.engine
+                   ~after:(1 + Sim.Rng.int crng (10_000 * (1 lsl min attempt 7)))
+                   (fun () -> loop remaining (attempt + 1))))
+        end
+      in
+      loop txns_per_client 0)
+    (List.init clients (fun _ -> ()));
+  Sim.Engine.run c.engine
+
+let read_row c key =
+  match Morty.Replica.read_current c.replicas.(0) key with
+  | Some v -> Row.decode v
+  | None -> [||]
+
+(* TPC-C consistency condition 1 (adapted): a warehouse's YTD equals the
+   sum of its districts' YTDs (payments update both in one txn). *)
+let check_ytd_invariant c conf =
+  for w = 1 to conf.Tpcc.n_warehouses do
+    let w_ytd = Row.get_int (read_row c (Printf.sprintf "w:%d" w)) 1 in
+    let d_sum = ref 0 in
+    for d = 1 to conf.Tpcc.districts_per_warehouse do
+      d_sum := !d_sum + Row.get_int (read_row c (Printf.sprintf "d:%d:%d" w d)) 0
+    done;
+    (* Remote payments update the home warehouse/district, so the sums
+       stay aligned per warehouse. *)
+    Alcotest.(check int) (Printf.sprintf "w%d ytd = sum of district ytd" w) !d_sum w_ytd
+  done
+
+(* Consistency condition 2: every order id below next_o_id exists with
+   its order lines, and the delivery cursor never overtakes it. *)
+let check_order_invariant c conf =
+  for w = 1 to conf.Tpcc.n_warehouses do
+    for d = 1 to conf.Tpcc.districts_per_warehouse do
+      let next_o = Row.get_int (read_row c (Printf.sprintf "d:%d:%d" w d)) 1 in
+      let dlo = Row.get_int (read_row c (Printf.sprintf "dlo:%d:%d" w d)) 0 in
+      Alcotest.(check bool) "delivery cursor bounded" true (dlo <= next_o);
+      for o = 1 to next_o - 1 do
+        let orow = read_row c (Printf.sprintf "o:%d:%d:%d" w d o) in
+        if Array.length orow = 0 then
+          Alcotest.failf "order %d:%d:%d missing (next_o_id %d)" w d o next_o;
+        let ol_cnt = Row.get_int orow 3 in
+        for n = 1 to ol_cnt do
+          if Array.length (read_row c (Printf.sprintf "ol:%d:%d:%d:%d" w d o n)) = 0
+          then Alcotest.failf "order line %d:%d:%d:%d missing" w d o n
+        done
+      done
+    done
+  done
+
+let check_serializable c =
+  let h =
+    List.fold_left
+      (fun h (r : Morty.Client.record) ->
+        Adya.History.add h
+          {
+            Adya.History.ver = r.h_ver;
+            reads = r.h_reads;
+            writes = r.h_writes;
+            committed = r.h_committed;
+            start_us = r.h_start_us;
+            commit_us = r.h_end_us;
+          })
+      Adya.History.empty !(c.history)
+  in
+  match Adya.Dsg.check h with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "not serializable: %a" Adya.Dsg.pp_violation v
+
+let test_tpcc_full_mix_on_morty () =
+  let c = make_cluster () in
+  run_mix c ~conf:small_conf ~clients:6 ~txns_per_client:25;
+  check_ytd_invariant c small_conf;
+  check_order_invariant c small_conf;
+  check_serializable c
+
+let test_tpcc_full_mix_on_mvtso () =
+  let c = make_cluster ~cfg:(Morty.Config.mvtso Morty.Config.default) () in
+  run_mix c ~conf:small_conf ~clients:6 ~txns_per_client:15;
+  check_ytd_invariant c small_conf;
+  check_order_invariant c small_conf;
+  check_serializable c
+
+let test_retwis_full_mix_on_morty () =
+  let c = make_cluster () in
+  let conf = { Retwis.n_keys = 200; theta = 0.9 } in
+  Array.iter (fun r -> Morty.Replica.load r (Retwis.initial_data conf)) c.replicas;
+  let module R = Retwis.Make (Morty.Client) in
+  let peers = Array.map Morty.Replica.node c.replicas in
+  let zipf = Retwis.sampler conf in
+  List.iteri
+    (fun i () ->
+      let client =
+        Morty.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+          ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az (i mod 3))
+          ~replicas:peers
+          ~on_finish:(fun r -> c.history := r :: !(c.history))
+          ()
+      in
+      let crng = Sim.Rng.split c.rng in
+      let rec loop remaining attempt =
+        if remaining > 0 then begin
+          let kind = Retwis.pick_kind crng in
+          R.run client crng zipf kind (function
+            | Outcome.Committed -> loop (remaining - 1) 0
+            | Outcome.Aborted ->
+              ignore
+                (Sim.Engine.schedule c.engine
+                   ~after:(1 + Sim.Rng.int crng (10_000 * (1 lsl min attempt 7)))
+                   (fun () -> loop remaining (attempt + 1))))
+        end
+      in
+      loop 20 0)
+    (List.init 8 (fun _ -> ()));
+  Sim.Engine.run c.engine;
+  check_serializable c
+
+(* The same TPC-C mix must also leave TAPIR in a consistent state. *)
+let test_tpcc_full_mix_on_tapir () =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create 77 in
+  let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:Simnet.Latency.Reg () in
+  let cfg = { Tapir.Config.default with n_groups = 2 } in
+  let groups =
+    Array.init 2 (fun g ->
+        Array.init 3 (fun i ->
+            Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
+              ~region:(Simnet.Latency.Az i) ~cores:1))
+  in
+  let data = Tpcc.initial_data small_conf in
+  Array.iter (fun group -> Array.iter (fun r -> Tapir.Replica.load r data) group) groups;
+  let module T = Tpcc.Make (Tapir.Client) in
+  let group_nodes = Array.map (Array.map Tapir.Replica.node) groups in
+  List.iteri
+    (fun i () ->
+      let home_w = (i mod small_conf.Tpcc.n_warehouses) + 1 in
+      let partition =
+        Tpcc.partition_of_key ~home_group:((home_w - 1) mod 2) ~n_groups:2
+      in
+      let client =
+        Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
+          ~region:(Simnet.Latency.Az (i mod 3)) ~groups:group_nodes ~partition ()
+      in
+      let crng = Sim.Rng.split rng in
+      let rec loop remaining attempt =
+        if remaining > 0 then begin
+          let kind = Tpcc.pick_kind crng in
+          T.run small_conf client crng ~home_w kind (function
+            | Outcome.Committed -> loop (remaining - 1) 0
+            | Outcome.Aborted ->
+              ignore
+                (Sim.Engine.schedule engine
+                   ~after:(1 + Sim.Rng.int crng (20_000 * (1 lsl min attempt 7)))
+                   (fun () -> loop remaining (attempt + 1))))
+        end
+      in
+      loop 10 0)
+    (List.init 4 (fun _ -> ()));
+  Sim.Engine.run engine;
+  (* YTD invariant against group 0's first replica's view. *)
+  let read_row key =
+    let g = Tpcc.partition_of_key ~home_group:0 ~n_groups:2 key in
+    match Tapir.Replica.read_current groups.(g).(0) key with
+    | Some v -> Row.decode v
+    | None -> [||]
+  in
+  for w = 1 to small_conf.Tpcc.n_warehouses do
+    let w_ytd = Row.get_int (read_row (Printf.sprintf "w:%d" w)) 1 in
+    let d_sum = ref 0 in
+    for d = 1 to small_conf.Tpcc.districts_per_warehouse do
+      d_sum := !d_sum + Row.get_int (read_row (Printf.sprintf "d:%d:%d" w d)) 0
+    done;
+    Alcotest.(check int) "tapir ytd invariant" !d_sum w_ytd
+  done
+
+(* ---- YCSB extension ---- *)
+
+let test_ycsb_plan_mix () =
+  (* read_pct = 100 must produce read-only plans that commit on all
+     systems via begin_ro; read_pct = 0 all RMW. *)
+  let c = make_cluster () in
+  let conf = { Workload.Ycsb.default_conf with n_keys = 100; read_pct = 0 } in
+  Array.iter (fun r -> Morty.Replica.load r (Workload.Ycsb.initial_data conf)) c.replicas;
+  let module Y = Workload.Ycsb.Make (Morty.Client) in
+  let peers = Array.map Morty.Replica.node c.replicas in
+  let client =
+    Morty.Client.create ~cfg:c.cfg ~engine:c.engine ~net:c.net
+      ~rng:(Sim.Rng.split c.rng) ~region:(Simnet.Latency.Az 0) ~replicas:peers
+      ~on_finish:(fun r -> c.history := r :: !(c.history)) ()
+  in
+  let crng = Sim.Rng.split c.rng in
+  let zipf = Workload.Ycsb.sampler conf in
+  let committed = ref 0 in
+  let rec loop remaining =
+    if remaining > 0 then
+      Y.run conf client crng zipf (function
+        | Outcome.Committed ->
+          incr committed;
+          loop (remaining - 1)
+        | Outcome.Aborted ->
+          ignore (Sim.Engine.schedule c.engine ~after:5_000 (fun () -> loop remaining)))
+  in
+  loop 20;
+  Sim.Engine.run c.engine;
+  Alcotest.(check int) "all committed" 20 !committed;
+  (* All-RMW transactions increment counters: the sum of all values must
+     equal committed transactions x ops. *)
+  let total = ref 0 in
+  for i = 0 to conf.n_keys - 1 do
+    match Morty.Replica.read_current c.replicas.(0) (Workload.Ycsb.key i) with
+    | Some v -> total := !total + int_of_string v
+    | None -> ()
+  done;
+  Alcotest.(check int) "increments conserved" (20 * conf.ops_per_txn) !total;
+  check_serializable c
+
+let test_ycsb_standard_mixes () =
+  Alcotest.(check int) "A" 50 Workload.Ycsb.workload_a.read_pct;
+  Alcotest.(check int) "B" 95 Workload.Ycsb.workload_b.read_pct;
+  Alcotest.(check int) "C" 100 Workload.Ycsb.workload_c.read_pct;
+  Alcotest.(check int) "F" 0 Workload.Ycsb.workload_f.read_pct
+
+let suites =
+  [
+    ( "workload.row",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_row_roundtrip;
+        Alcotest.test_case "absent" `Quick test_row_absent;
+        Alcotest.test_case "int fields" `Quick test_row_int_fields;
+        Alcotest.test_case "out of range" `Quick test_row_get_out_of_range;
+      ] );
+    ( "workload.mix",
+      [
+        Alcotest.test_case "tpcc mix sums" `Quick test_tpcc_mix_sums_to_100;
+        Alcotest.test_case "retwis mix sums" `Quick test_retwis_mix_sums_to_100;
+        Alcotest.test_case "tpcc mix distribution" `Slow test_tpcc_mix_distribution;
+        Alcotest.test_case "retwis mix distribution" `Slow test_retwis_mix_distribution;
+      ] );
+    ( "workload.data",
+      [
+        Alcotest.test_case "tpcc initial data" `Quick test_tpcc_initial_data_complete;
+        Alcotest.test_case "tpcc partitioning" `Quick test_tpcc_partitioning;
+        Alcotest.test_case "retwis initial data" `Quick test_retwis_initial_data;
+      ] );
+    ( "workload.ycsb",
+      [
+        Alcotest.test_case "all-RMW conserves increments" `Quick test_ycsb_plan_mix;
+        Alcotest.test_case "standard mixes" `Quick test_ycsb_standard_mixes;
+      ] );
+    ( "workload.integration",
+      [
+        Alcotest.test_case "tpcc full mix on morty" `Slow test_tpcc_full_mix_on_morty;
+        Alcotest.test_case "tpcc full mix on mvtso" `Slow test_tpcc_full_mix_on_mvtso;
+        Alcotest.test_case "retwis full mix on morty" `Slow test_retwis_full_mix_on_morty;
+        Alcotest.test_case "tpcc full mix on tapir" `Slow test_tpcc_full_mix_on_tapir;
+      ] );
+  ]

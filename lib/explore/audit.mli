@@ -1,0 +1,39 @@
+(** Run auditor: serializability plus sanity invariants.
+
+    Takes the raw transaction history recorded by
+    {!Harness.Run.run_exp_audited} together with the run's measured
+    result and checks, in order:
+
+    + every transaction's virtual timestamps are monotone
+      ([0 <= start_us <= commit_us] for committed transactions);
+    + transaction versions are unique (the history assembles at all);
+    + the history is serializable per {!Adya.Dsg.check} — this subsumes
+      "no committed read of an aborted write" (G1a) and cycle freedom
+      (G1c/G2);
+    + the commit rate is a probability ([0 <= rate <= 1]);
+    + if the run was fault-free ([expect_progress]), it committed
+      something — guards against a vacuously-passing audit over an
+      empty history. *)
+
+type violation =
+  | Time_anomaly of { ver : Cc_types.Version.t; start_us : int; commit_us : int }
+  | Duplicate_version of string
+  | Not_serializable of Adya.Dsg.violation
+  | Bad_commit_rate of float
+  | No_progress
+
+val history_of : Adya.History.txn list -> (Adya.History.t, violation) result
+(** Assemble the Adya history, reporting duplicate versions instead of
+    raising. *)
+
+val check :
+  ?expect_progress:bool ->
+  Adya.History.txn list ->
+  Harness.Stats.result ->
+  (unit, violation) result
+(** [expect_progress] defaults to [false]; pass [true] for fault-free
+    runs. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_string : violation -> string

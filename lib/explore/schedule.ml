@@ -1,0 +1,95 @@
+type event =
+  | Crash of int
+  | Recover of int
+  | Isolate of int
+  | Heal_all
+  | Loss of float
+  | Delay of int
+
+type timed = { at_us : int; ev : event }
+
+type t = timed list
+
+let empty = []
+
+let is_empty = function [] -> true | _ -> false
+
+let of_list l = List.stable_sort (fun a b -> compare a.at_us b.at_us) l
+
+let events t = t
+
+let generate ~rng ~horizon_us ~n_replicas ~episodes =
+  let n_replicas = max 1 n_replicas in
+  let acc = ref [] in
+  let push at_us ev = acc := { at_us; ev } :: !acc in
+  for _ = 1 to max 1 episodes do
+    let t0 = Sim.Rng.int rng (max 1 (horizon_us * 3 / 4)) in
+    let dur = (horizon_us / 20) + Sim.Rng.int rng (max 1 (horizon_us / 4)) in
+    let t1 = min (t0 + dur) (horizon_us - 1) in
+    match Sim.Rng.int rng 4 with
+    | 0 ->
+      let r = Sim.Rng.int rng n_replicas in
+      push t0 (Crash r);
+      push t1 (Recover r)
+    | 1 ->
+      let r = Sim.Rng.int rng n_replicas in
+      push t0 (Isolate r);
+      push t1 Heal_all
+    | 2 ->
+      let p = 0.02 +. Sim.Rng.float rng 0.15 in
+      push t0 (Loss p);
+      push t1 (Loss 0.)
+    | _ ->
+      let d = 200 + Sim.Rng.int rng 4_800 in
+      push t0 (Delay d);
+      push t1 (Delay 0)
+  done;
+  of_list (List.rev !acc)
+
+let fire (ops : Harness.Run.cluster_ops) = function
+  | Crash i -> ops.co_crash i
+  | Recover i -> ops.co_recover i
+  | Isolate i -> ops.co_isolate i
+  | Heal_all -> ops.co_heal_all ()
+  | Loss p -> ops.co_set_loss p
+  | Delay d -> ops.co_set_extra_delay d
+
+let apply t (ops : Harness.Run.cluster_ops) =
+  List.iter
+    (fun { at_us; ev } ->
+      ignore (Sim.Engine.schedule_at ops.co_engine ~at:at_us (fun () -> fire ops ev)))
+    t
+
+let pp_event ppf = function
+  | Crash i -> Fmt.pf ppf "crash %d" i
+  | Recover i -> Fmt.pf ppf "recover %d" i
+  | Isolate i -> Fmt.pf ppf "isolate %d" i
+  | Heal_all -> Fmt.pf ppf "heal-all"
+  | Loss p -> Fmt.pf ppf "loss %.3f" p
+  | Delay d -> Fmt.pf ppf "delay %dus" d
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]"
+    (Fmt.list ~sep:(Fmt.any "; ") (fun ppf { at_us; ev } ->
+         Fmt.pf ppf "%d:%a" at_us pp_event ev))
+    t
+
+let to_string t = Fmt.str "%a" pp t
+
+let ocaml_of_event = function
+  | Crash i -> Printf.sprintf "Explore.Schedule.Crash %d" i
+  | Recover i -> Printf.sprintf "Explore.Schedule.Recover %d" i
+  | Isolate i -> Printf.sprintf "Explore.Schedule.Isolate %d" i
+  | Heal_all -> "Explore.Schedule.Heal_all"
+  | Loss p -> Printf.sprintf "Explore.Schedule.Loss %h" p
+  | Delay d -> Printf.sprintf "Explore.Schedule.Delay %d" d
+
+let to_ocaml t =
+  let items =
+    List.map
+      (fun { at_us; ev } ->
+        Printf.sprintf "{ Explore.Schedule.at_us = %d; ev = %s }" at_us
+          (ocaml_of_event ev))
+      t
+  in
+  "Explore.Schedule.of_list [ " ^ String.concat "; " items ^ " ]"

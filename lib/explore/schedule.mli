@@ -1,0 +1,55 @@
+(** Seeded fault schedules.
+
+    A schedule is a time-sorted list of fault events replayed onto a
+    running experiment through {!Harness.Run.cluster_ops}.  Generation
+    is driven entirely by {!Sim.Rng}, so a [(seed, schedule)] pair —
+    and hence a whole exploration run — replays bit-identically.
+
+    Replica indices are abstract slots: the harness wraps them mod the
+    actual cluster size, so one schedule is meaningful for every
+    system (Morty's single group or TAPIR/Spanner's partitioned
+    groups). *)
+
+type event =
+  | Crash of int  (** net-level crash-stop of a replica slot *)
+  | Recover of int
+  | Isolate of int
+      (** cut both directions between a replica and every other node *)
+  | Heal_all  (** remove all link cuts *)
+  | Loss of float  (** global message-loss probability; [0.] clears *)
+  | Delay of int  (** extra uniform delivery-delay cap in µs; [0] clears *)
+
+type timed = { at_us : int; ev : event }
+
+type t = timed list
+(** Sorted by [at_us]; ties keep insertion order. *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val of_list : timed list -> t
+(** Sort a raw event list into a schedule (stable). *)
+
+val events : t -> timed list
+
+val generate :
+  rng:Sim.Rng.t -> horizon_us:int -> n_replicas:int -> episodes:int -> t
+(** Draw [episodes] fault episodes inside [\[0, horizon_us)].  Every
+    episode is bracketed — a crash gets a recover, an isolation a heal,
+    loss and delay get cleared — so the cluster always ends the run
+    fault-free (liveness of the tail of the workload is not the
+    schedule's job to destroy forever). *)
+
+val apply : t -> Harness.Run.cluster_ops -> unit
+(** Schedule every event at its absolute virtual time on the
+    experiment's engine.  Call before the run starts. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Compact one-line form, e.g. ["[12000:crash 1; 60000:recover 1]"]. *)
+
+val to_ocaml : t -> string
+(** The schedule as a paste-ready OCaml expression (used by the
+    shrinking reproducer printer). *)

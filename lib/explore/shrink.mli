@@ -1,0 +1,29 @@
+(** Failure minimizer.
+
+    Given a failing case, greedily search for a smaller case that still
+    fails: drop schedule events one at a time (to a fixpoint), halve
+    event times, halve the measurement window and client count, and
+    bisect the seed downwards.  Every candidate is re-run through the
+    oracle, so the result is a {e verified} minimal-ish reproducer.
+
+    The oracle is a parameter (rather than hard-wired to {!Case.run})
+    so the shrinking strategy itself is testable without a broken
+    protocol in the tree. *)
+
+type outcome = {
+  s_case : Case.t;  (** the minimized failing case *)
+  s_violation : Audit.violation;  (** its (re-verified) violation *)
+  s_runs : int;  (** oracle invocations spent shrinking *)
+}
+
+val minimize :
+  ?max_runs:int ->
+  fails:(Case.t -> Audit.violation option) ->
+  Case.t ->
+  Audit.violation ->
+  outcome
+(** [max_runs] (default 80) bounds the number of candidate re-runs. *)
+
+val reproducer : outcome -> string
+(** A ready-to-paste OCaml test case asserting the violation
+    reproduces. *)

@@ -1,0 +1,113 @@
+type config = {
+  systems : Harness.Run.system list;
+  workload_names : string list;
+  seeds : int list;
+  schedules_per_seed : int;
+  episodes : int;
+  clients : int;
+  cores : int;
+  warmup_us : int;
+  measure_us : int;
+  shrink_budget : int;
+}
+
+let default_config =
+  {
+    systems = Harness.Run.all_systems;
+    workload_names = [ "ycsb-small" ];
+    seeds = [ 1; 2; 3; 4; 5 ];
+    schedules_per_seed = 2;
+    episodes = 2;
+    clients = 8;
+    cores = 2;
+    warmup_us = 50_000;
+    measure_us = 200_000;
+    shrink_budget = 80;
+  }
+
+let smoke_config =
+  { default_config with seeds = [ 1; 2 ]; schedules_per_seed = 1 }
+
+type failure = {
+  f_original : Case.t;
+  f_shrunk : Shrink.outcome;
+}
+
+type summary = {
+  s_runs : int;
+  s_passed : int;
+  s_committed : int;
+  s_aborted : int;
+  s_failures : failure list;
+}
+
+let case_of cfg system workload_name ~seed ~schedule =
+  {
+    Case.c_system = system;
+    c_workload = workload_name;
+    c_seed = seed;
+    c_clients = cfg.clients;
+    c_cores = cfg.cores;
+    c_warmup_us = cfg.warmup_us;
+    c_measure_us = cfg.measure_us;
+    c_schedule = schedule;
+  }
+
+(* The schedule stream is keyed on (seed, index) alone — not on the
+   system or workload — so the same faults hit every system at the same
+   virtual times, which makes cross-system comparisons of a failing
+   seed meaningful. *)
+let schedule_for cfg ~seed ~index =
+  if index = 0 then Schedule.empty
+  else
+    let rng = Sim.Rng.create ((seed * 1_000_003) + index) in
+    Schedule.generate ~rng
+      ~horizon_us:(cfg.warmup_us + cfg.measure_us)
+      ~n_replicas:4 ~episodes:cfg.episodes
+
+let run ?(progress = fun _ _ -> ()) cfg =
+  let runs = ref 0 and passed = ref 0 in
+  let committed = ref 0 and aborted = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun system ->
+      List.iter
+        (fun wname ->
+          List.iter
+            (fun seed ->
+              for index = 0 to cfg.schedules_per_seed do
+                let schedule = schedule_for cfg ~seed ~index in
+                let case = case_of cfg system wname ~seed ~schedule in
+                let outcome = Case.run case in
+                incr runs;
+                progress case outcome;
+                match outcome with
+                | Ok r ->
+                  incr passed;
+                  committed := !committed + r.Harness.Stats.r_committed;
+                  aborted := !aborted + r.Harness.Stats.r_aborted
+                | Error v ->
+                  let fails c =
+                    match Case.run c with Ok _ -> None | Error v -> Some v
+                  in
+                  let shrunk =
+                    Shrink.minimize ~max_runs:cfg.shrink_budget ~fails case v
+                  in
+                  failures := { f_original = case; f_shrunk = shrunk } :: !failures
+              done)
+            cfg.seeds)
+        cfg.workload_names)
+    cfg.systems;
+  {
+    s_runs = !runs;
+    s_passed = !passed;
+    s_committed = !committed;
+    s_aborted = !aborted;
+    s_failures = List.rev !failures;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "runs=%d passed=%d failed=%d committed=%d aborted=%d" s.s_runs
+    s.s_passed
+    (List.length s.s_failures)
+    s.s_committed s.s_aborted

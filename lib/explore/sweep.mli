@@ -1,0 +1,60 @@
+(** The explorer loop: sweep [systems × workloads × seeds × schedules],
+    audit every run, and shrink any failure to a minimal reproducer.
+
+    Everything is derived from the seeds — no wall-clock, no global
+    state — so a sweep's summary is bit-identical across invocations
+    with the same arguments. *)
+
+type config = {
+  systems : Harness.Run.system list;
+  workload_names : string list;  (** names from {!Case.workloads} *)
+  seeds : int list;
+  schedules_per_seed : int;
+      (** generated fault schedules per (system, workload, seed); a
+          fault-free run is always included in addition *)
+  episodes : int;  (** fault episodes per generated schedule *)
+  clients : int;
+  cores : int;
+  warmup_us : int;
+  measure_us : int;
+  shrink_budget : int;  (** max re-runs spent minimizing one failure *)
+}
+
+val default_config : config
+(** All four systems, ["ycsb-small"], seeds [1..5], 2 schedules per
+    seed, 2 episodes each, 8 clients / 2 cores, 50 ms + 200 ms
+    windows. *)
+
+val smoke_config : config
+(** [default_config] bounded for CI: seeds [1..2], 1 schedule per
+    seed. *)
+
+type failure = {
+  f_original : Case.t;
+  f_shrunk : Shrink.outcome;
+}
+
+type summary = {
+  s_runs : int;
+  s_passed : int;
+  s_committed : int;  (** total committed transactions, all runs *)
+  s_aborted : int;
+  s_failures : failure list;
+}
+
+val case_of : config -> Harness.Run.system -> string -> seed:int -> schedule:Schedule.t -> Case.t
+
+val schedule_for :
+  config -> seed:int -> index:int -> Schedule.t
+(** The [index]-th generated schedule for [seed] (deterministic;
+    [index] starts at 1 — index 0 is the fault-free schedule
+    {!Schedule.empty}). *)
+
+val run :
+  ?progress:(Case.t -> (Harness.Stats.result, Audit.violation) result -> unit) ->
+  config ->
+  summary
+(** Run the sweep.  [progress] is called once per audited run (before
+    any shrinking), in deterministic order. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -57,6 +57,49 @@ let default_exp =
 
 let backoff_cap_us = 2_500_000 (* the paper's 2.5 s cap *)
 
+(* --- Fault-injection surface (deterministic exploration harness) ------- *)
+
+type cluster_ops = {
+  co_engine : Engine.t;
+  co_n_replicas : int;
+  co_crash : int -> unit;
+  co_recover : int -> unit;
+  co_isolate : int -> unit;
+  co_heal_all : unit -> unit;
+  co_set_loss : float -> unit;
+  co_set_extra_delay : int -> unit;
+}
+
+(* Replica indices are taken mod the cluster size so that schedules
+   generated without knowledge of a system's replica count stay valid
+   across all four systems. *)
+let make_cluster_ops engine net replica_nodes =
+  let n = Array.length replica_nodes in
+  let rnode i = replica_nodes.(((i mod n) + n) mod n) in
+  {
+    co_engine = engine;
+    co_n_replicas = n;
+    co_crash = (fun i -> Simnet.Net.crash net (rnode i));
+    co_recover = (fun i -> Simnet.Net.recover net (rnode i));
+    co_isolate =
+      (fun i ->
+        let v = rnode i in
+        let others =
+          List.filter
+            (fun nd -> nd <> v)
+            (List.init (Simnet.Net.node_count net) (fun x -> x))
+        in
+        Simnet.Net.partition net [ v ] others);
+    co_heal_all = (fun () -> Simnet.Net.heal_all net);
+    co_set_loss = (fun p -> Simnet.Net.set_loss_rate net p);
+    co_set_extra_delay = (fun d -> Simnet.Net.set_extra_delay net ~max_us:d);
+  }
+
+let inject faults engine net replica_nodes =
+  match faults with
+  | None -> ()
+  | Some f -> f (make_cluster_ops engine net replica_nodes)
+
 (* Generic closed-loop driver over any system's client module. *)
 module Driver (C : Cc_types.Kv_api.S) = struct
   (* [pick rng] freshly parameterises one transaction and returns its
@@ -126,9 +169,46 @@ let timeout_for setup =
 
 let tpcc_home conf i = (i mod conf.Workload.Tpcc.n_warehouses) + 1
 
+(* --- History recording ----------------------------------------------------
+
+   Every system's client exposes a per-transaction [record] via its
+   [on_finish] hook; these converters map them onto the common
+   [Adya.History.txn] shape so any experiment can be audited with
+   [Adya.Dsg.check] after the run. *)
+
+let txn_of_morty (r : Morty.Client.record) =
+  {
+    Adya.History.ver = r.h_ver;
+    reads = r.h_reads;
+    writes = r.h_writes;
+    committed = r.h_committed;
+    start_us = r.h_start_us;
+    commit_us = r.h_end_us;
+  }
+
+let txn_of_tapir (r : Tapir.Client.record) =
+  {
+    Adya.History.ver = r.h_ver;
+    reads = r.h_reads;
+    writes = r.h_writes;
+    committed = r.h_committed;
+    start_us = r.h_start_us;
+    commit_us = r.h_end_us;
+  }
+
+let txn_of_spanner (r : Spanner.Client.record) =
+  {
+    Adya.History.ver = r.h_ver;
+    reads = r.h_reads;
+    writes = r.h_writes;
+    committed = r.h_committed;
+    start_us = r.h_start_us;
+    commit_us = r.h_end_us;
+  }
+
 (* --- Morty / MVTSO (one multi-core group) -------------------------------- *)
 
-let run_morty ?cfg e ~reexecution =
+let run_morty ?cfg ?on_txn ?faults e ~reexecution =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -158,11 +238,12 @@ let run_morty ?cfg e ~reexecution =
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
+  let on_finish = Option.map (fun f r -> f (txn_of_morty r)) on_txn in
   let clients =
     List.init e.e_clients (fun i ->
         let client =
           Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-            ~region:(client_region regions i) ~replicas:peers ()
+            ~region:(client_region regions i) ~replicas:peers ?on_finish ()
         in
         let crng = Sim.Rng.split rng in
         let pick =
@@ -197,6 +278,7 @@ let run_morty ?cfg e ~reexecution =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          Array.iter (fun r -> Simnet.Cpu.reset_stats (Morty.Replica.cpu r)) replicas));
+  inject faults engine net peers;
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpu =
@@ -228,7 +310,7 @@ let run_morty ?cfg e ~reexecution =
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
-let run_tapir ?(no_dist = false) e =
+let run_tapir ?(no_dist = false) ?on_txn ?faults e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -256,6 +338,7 @@ let run_tapir ?(no_dist = false) e =
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
+  let on_finish = Option.map (fun f r -> f (txn_of_tapir r)) on_txn in
   List.iteri
     (fun i () ->
       let partition =
@@ -276,7 +359,8 @@ let run_tapir ?(no_dist = false) e =
       in
       let client =
         Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-          ~region:(client_region regions i) ~groups:group_nodes ~partition ()
+          ~region:(client_region regions i) ~groups:group_nodes ~partition
+          ?on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -313,6 +397,8 @@ let run_tapir ?(no_dist = false) e =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          List.iter Simnet.Cpu.reset_stats cpus));
+  inject faults engine net
+    (Array.concat (Array.to_list group_nodes));
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpu =
@@ -330,7 +416,7 @@ let run_tapir ?(no_dist = false) e =
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
-let run_spanner e =
+let run_spanner ?on_txn ?faults e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -360,6 +446,7 @@ let run_spanner e =
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
+  let on_finish = Option.map (fun f r -> f (txn_of_spanner r)) on_txn in
   List.iteri
     (fun i () ->
       let partition =
@@ -373,7 +460,7 @@ let run_spanner e =
       in
       let client =
         Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-          ~region:(client_region regions i) ~leaders ~partition ()
+          ~region:(client_region regions i) ~leaders ~partition ?on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -410,6 +497,8 @@ let run_spanner e =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          List.iter Simnet.Cpu.reset_stats cpus));
+  inject faults engine net
+    (Array.concat (Array.to_list (Array.map (Array.map Spanner.Replica.node) groups)));
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpu =
@@ -425,13 +514,18 @@ let run_spanner e =
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
     ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ()
 
-let run_exp e =
+let run_exp ?on_txn ?faults e =
   match e.e_system with
-  | Morty -> run_morty e ~reexecution:true
-  | Mvtso -> run_morty e ~reexecution:false
-  | Tapir -> run_tapir e
-  | Tapir_nodist -> run_tapir ~no_dist:true e
-  | Spanner -> run_spanner e
+  | Morty -> run_morty ?on_txn ?faults e ~reexecution:true
+  | Mvtso -> run_morty ?on_txn ?faults e ~reexecution:false
+  | Tapir -> run_tapir ?on_txn ?faults e
+  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults e
+  | Spanner -> run_spanner ?on_txn ?faults e
+
+let run_exp_audited ?faults e =
+  let txns = ref [] in
+  let result = run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults e in
+  (result, List.rev !txns)
 
 let run_morty_with_config e cfg = run_morty ~cfg e ~reexecution:cfg.Morty.Config.reexecution
 

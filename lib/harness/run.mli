@@ -53,7 +53,43 @@ val default_exp : exp
 (** Morty, REG, Retwis θ=0.9, 24 clients, 4 cores, 0.5 s warm-up, 2 s
     measurement. *)
 
-val run_exp : exp -> Stats.result
+type cluster_ops = {
+  co_engine : Sim.Engine.t;
+  co_n_replicas : int;  (** replicas across all groups, flattened *)
+  co_crash : int -> unit;  (** crash replica [i mod n] (net-level) *)
+  co_recover : int -> unit;
+  co_isolate : int -> unit;
+      (** cut both directions between replica [i mod n] and every other
+          node currently registered (replicas and clients) *)
+  co_heal_all : unit -> unit;  (** remove all link cuts *)
+  co_set_loss : float -> unit;  (** global message-loss probability *)
+  co_set_extra_delay : int -> unit;  (** extra uniform delay cap, µs *)
+}
+(** Monomorphic fault-injection surface over the experiment's cluster,
+    handed to the [?faults] callback after setup and before the run.
+    The callback schedules its events on [co_engine]; replica indices
+    wrap mod [co_n_replicas], so one schedule is valid for every
+    system. *)
+
+val run_exp :
+  ?on_txn:(Adya.History.txn -> unit) ->
+  ?faults:(cluster_ops -> unit) ->
+  exp ->
+  Stats.result
+(** [on_txn] receives one {!Adya.History.txn} per finished transaction
+    (all four systems), in finish order over the whole run including
+    warm-up — the raw material for the serializability audit.  [faults]
+    may schedule crash/partition/loss/delay events via the
+    {!cluster_ops}. *)
+
+val run_exp_audited :
+  ?faults:(cluster_ops -> unit) ->
+  exp ->
+  Stats.result * Adya.History.txn list
+(** {!run_exp} plus the recorded history, in transaction-finish order.
+    Feed the list to [Adya.History.of_list] / [Adya.Dsg.check] (or to
+    [Explore.Audit.check], which also applies the sanity
+    invariants). *)
 
 val run_morty_with_config : exp -> Morty.Config.t -> Stats.result
 (** Run the Morty/MVTSO cluster with an explicit configuration — the

@@ -22,11 +22,19 @@ type 'm t = {
   mutable dropped : int;
   (* Severed directed links (network partition injection). *)
   cut_links : (node * node, unit) Hashtbl.t;
+  (* Fault-injection knobs (deterministic exploration harness).  A
+     message is lost with the per-link probability if one is set, else
+     the global rate; every surviving message pays up to
+     [extra_delay_us] of additional uniform delay. *)
+  mutable loss_rate : float;
+  link_loss : (node * node, float) Hashtbl.t;
+  mutable extra_delay_us : int;
 }
 
 let create engine rng ~setup ?(base_delay_us = 60) ?(jitter_us = 20) () =
   { engine; rng; setup; base_delay_us; jitter_us; nodes = [||]; n = 0;
-    sent = 0; delivered = 0; dropped = 0; cut_links = Hashtbl.create 16 }
+    sent = 0; delivered = 0; dropped = 0; cut_links = Hashtbl.create 16;
+    loss_rate = 0.; link_loss = Hashtbl.create 16; extra_delay_us = 0 }
 
 let add_node t ~region =
   let state =
@@ -52,14 +60,32 @@ let region_of t node = (check t node).region
 
 let node_count t = t.n
 
+(* Loss probability for one message on [src -> dst]: the per-link
+   setting wins over the global rate.  Only draws from the RNG when a
+   non-zero probability is configured, so fault-free runs keep the exact
+   event streams they had before loss injection existed. *)
+let lost t ~src ~dst =
+  let p =
+    match Hashtbl.find_opt t.link_loss (src, dst) with
+    | Some p -> p
+    | None -> t.loss_rate
+  in
+  p > 0. && Sim.Rng.float t.rng 1.0 < p
+
 let send t ~src ~dst msg =
   let s = check t src and d = check t dst in
   t.sent <- t.sent + 1;
-  if s.crashed || d.crashed || Hashtbl.mem t.cut_links (src, dst) then
+  if s.crashed || d.crashed || Hashtbl.mem t.cut_links (src, dst)
+     || lost t ~src ~dst then
     t.dropped <- t.dropped + 1
   else begin
     let jitter = if t.jitter_us = 0 then 0 else Sim.Rng.int t.rng (t.jitter_us + 1) in
-    let delay = Latency.one_way_us t.setup s.region d.region + t.base_delay_us + jitter in
+    let extra =
+      if t.extra_delay_us = 0 then 0 else Sim.Rng.int t.rng (t.extra_delay_us + 1)
+    in
+    let delay =
+      Latency.one_way_us t.setup s.region d.region + t.base_delay_us + jitter + extra
+    in
     let now = Sim.Engine.now t.engine in
     let earliest =
       match Hashtbl.find_opt d.last_delivery src with None -> 0 | Some v -> v
@@ -100,3 +126,22 @@ let partition t group_a group_b =
     group_a
 
 let heal_all t = Hashtbl.reset t.cut_links
+
+let set_loss_rate t p =
+  if p < 0. || p >= 1. then invalid_arg "Net.set_loss_rate: need 0 <= p < 1";
+  t.loss_rate <- p
+
+let set_link_loss t ~src ~dst p =
+  if p < 0. || p > 1. then invalid_arg "Net.set_link_loss: need 0 <= p <= 1";
+  if p = 0. then Hashtbl.remove t.link_loss (src, dst)
+  else Hashtbl.replace t.link_loss (src, dst) p
+
+let set_extra_delay t ~max_us =
+  if max_us < 0 then invalid_arg "Net.set_extra_delay: negative delay";
+  t.extra_delay_us <- max_us
+
+let clear_faults t =
+  t.loss_rate <- 0.;
+  Hashtbl.reset t.link_loss;
+  t.extra_delay_us <- 0;
+  Hashtbl.reset t.cut_links

@@ -54,6 +54,28 @@ val partition : 'm t -> node list -> node list -> unit
 val heal_all : 'm t -> unit
 (** Remove all link cuts (crashed nodes stay crashed). *)
 
+val set_loss_rate : 'm t -> float -> unit
+(** Probabilistic fault injection: every message is independently lost
+    with this probability (counted in {!messages_dropped}).  Sampling
+    uses the network's own RNG, so a seeded run replays bit-identically.
+    [0.] (the default) disables loss and draws nothing from the RNG.
+    Raises [Invalid_argument] unless [0 <= p < 1]. *)
+
+val set_link_loss : 'm t -> src:node -> dst:node -> float -> unit
+(** Per-link loss probability override; takes precedence over the global
+    {!set_loss_rate} on that directed link.  [0.] removes the
+    override. *)
+
+val set_extra_delay : 'm t -> max_us:int -> unit
+(** Add uniform extra delay in [\[0, max_us\]] to every subsequent
+    delivery (slow-network injection).  Per-pair FIFO is preserved.
+    [0] (the default) disables the knob and draws nothing from the
+    RNG. *)
+
+val clear_faults : 'm t -> unit
+(** Reset loss rates, extra delay and all link cuts.  Crashed nodes stay
+    crashed ({!recover} them explicitly). *)
+
 val messages_sent : 'm t -> int
 
 val messages_delivered : 'm t -> int

@@ -97,11 +97,24 @@ let finish t txn ~ver outcome =
     match txn.commit_cont with Some cont -> cont outcome | None -> ()
   end
 
+(* History label for transactions that install nothing (read-only or
+   aborted).  Committed read-write transactions are recorded at their
+   true commit version — the install order replicas applied — but that
+   timestamp namespace is chosen by the leaders, so labeling non-writers
+   with begin timestamps in the same id-space can collide with it (the
+   exploration harness found exactly that: a snapshot read's
+   [ro_ts = ts - eps] landing on an earlier transaction's begin
+   timestamp).  Begin timestamps are unique per client ([fresh_txn]
+   forces [last_ts + 1]), so a disjoint negative id-space makes these
+   labels globally unique without perturbing any version order the
+   serializability oracle derives (only committed writers enter it). *)
+let history_label t txn = Version.make ~ts:txn.id.Version.ts ~id:(-(t.node + 1))
+
 let abort_txn t txn =
   List.iter
     (fun g -> send t t.leaders.(g) (Msg.Abort2pc { txn = txn.id }))
     (participants t txn);
-  finish t txn ~ver:txn.id Outcome.Aborted
+  finish t txn ~ver:(history_label t txn) Outcome.Aborted
 
 (* --- Message handling ----------------------------------------------------- *)
 
@@ -304,14 +317,14 @@ let commit t ctx cont =
     txn.commit_cont <- Some cont;
     if txn.ro then
       (* Snapshot reads commit unilaterally. *)
-      finish t txn ~ver:(Version.make ~ts:txn.ro_ts ~id:t.node) Outcome.Committed
+      finish t txn ~ver:(history_label t txn) Outcome.Committed
     else if txn.doomed then abort_txn t txn
     else if txn.writes = [] then begin
       (* Read-only 2PL transaction: just release the read locks. *)
       List.iter
         (fun g -> send t t.leaders.(g) (Msg.Abort2pc { txn = txn.id }))
         (participants t txn);
-      finish t txn ~ver:txn.id Outcome.Committed
+      finish t txn ~ver:(history_label t txn) Outcome.Committed
     end
     else begin
       let parts = participants t txn in

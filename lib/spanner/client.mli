@@ -22,7 +22,10 @@ type stats = {
 }
 
 type record = {
-  h_ver : Cc_types.Version.t;  (** commit version (RW) or snapshot (RO) *)
+  h_ver : Cc_types.Version.t;
+      (** committed read-write: the true commit version (install order);
+          read-only and aborted: a unique label [(begin_ts, -(node+1))]
+          in an id-space disjoint from commit versions *)
   h_committed : bool;
   h_reads : (string * Cc_types.Version.t) list;
   h_writes : string list;

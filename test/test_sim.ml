@@ -179,6 +179,52 @@ let test_engine_cancel () =
   Engine.run e;
   Alcotest.(check bool) "not fired" false !hit
 
+let test_engine_pending_counts_cancelled () =
+  let e = Engine.create () in
+  let t1 = Engine.schedule e ~after:5 (fun () -> ()) in
+  let _t2 = Engine.schedule e ~after:10 (fun () -> ()) in
+  Alcotest.(check int) "two queued" 2 (Engine.pending e);
+  Engine.cancel t1;
+  (* Cancellation is lazy: the slot stays in the queue until drained. *)
+  Alcotest.(check int) "cancelled still counted" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_cancel_idempotent () =
+  let e = Engine.create () in
+  let hit = ref 0 in
+  let t = Engine.schedule e ~after:5 (fun () -> incr hit) in
+  Engine.cancel t;
+  Engine.cancel t;
+  Engine.run e;
+  Alcotest.(check int) "double-cancel still cancelled" 0 !hit
+
+let test_engine_cancel_after_fire () =
+  let e = Engine.create () in
+  let hit = ref 0 in
+  let t = Engine.schedule e ~after:5 (fun () -> incr hit) in
+  Engine.run e;
+  Alcotest.(check int) "fired" 1 !hit;
+  (* Cancelling a fired timer must be a harmless no-op... *)
+  Engine.cancel t;
+  (* ...and must not disturb later events. *)
+  ignore (Engine.schedule e ~after:5 (fun () -> incr hit));
+  Engine.run e;
+  Alcotest.(check int) "later event unaffected" 2 !hit
+
+let test_engine_cancel_interleaved () =
+  (* Cancel every other one of a batch at the same instant; survivors
+     fire in scheduling order. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let timers =
+    List.init 6 (fun i -> (i, Engine.schedule e ~after:9 (fun () -> log := i :: !log)))
+  in
+  List.iter (fun (i, t) -> if i mod 2 = 1 then Engine.cancel t) timers;
+  Engine.run e;
+  Alcotest.(check (list int)) "even survivors in order" [ 0; 2; 4 ] (List.rev !log);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending e)
+
 let test_engine_run_until () =
   let e = Engine.create () in
   let log = ref [] in
@@ -324,6 +370,11 @@ let suites =
         Alcotest.test_case "time order" `Quick test_engine_runs_in_time_order;
         Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
         Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "pending counts cancelled" `Quick
+          test_engine_pending_counts_cancelled;
+        Alcotest.test_case "cancel idempotent" `Quick test_engine_cancel_idempotent;
+        Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
+        Alcotest.test_case "cancel interleaved" `Quick test_engine_cancel_interleaved;
         Alcotest.test_case "run_until" `Quick test_engine_run_until;
         Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
         Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;

@@ -85,6 +85,144 @@ let test_net_crash_mid_flight () =
   Sim.Engine.run e;
   Alcotest.(check int) "dropped mid-flight" 0 !got
 
+let test_net_crash_mid_flight_counted () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  Net.set_handler net b (fun ~src:_ _ -> ());
+  Net.send net ~src:a ~dst:b ();
+  ignore (Sim.Engine.schedule e ~after:100 (fun () -> Net.crash net b));
+  Sim.Engine.run e;
+  (* The in-flight message is accounted as dropped, not silently
+     forgotten: sent = delivered + dropped must keep holding. *)
+  Alcotest.(check int) "dropped counted" 1 (Net.messages_dropped net);
+  Alcotest.(check int) "nothing delivered" 0 (Net.messages_delivered net);
+  Alcotest.(check int) "conservation" (Net.messages_sent net)
+    (Net.messages_delivered net + Net.messages_dropped net)
+
+let test_net_partition_heal_accounting () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let c = Net.add_node net ~region:(Latency.Az 2) in
+  let got = ref 0 in
+  Net.set_handler net b (fun ~src:_ _ -> incr got);
+  Net.set_handler net c (fun ~src:_ _ -> incr got);
+  Net.partition net [ a ] [ b; c ];
+  (* Four sends across the cut, both directions: all dropped at send
+     time. *)
+  Net.send net ~src:a ~dst:b ();
+  Net.send net ~src:a ~dst:c ();
+  Net.send net ~src:b ~dst:a ();
+  Net.send net ~src:c ~dst:a ();
+  (* Same side of the cut still flows. *)
+  Net.send net ~src:b ~dst:c ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "partition drops both directions" 4 (Net.messages_dropped net);
+  Alcotest.(check int) "same-side delivered" 1 !got;
+  Net.heal_all net;
+  Net.send net ~src:a ~dst:b ();
+  Net.send net ~src:b ~dst:a ();
+  Net.set_handler net a (fun ~src:_ _ -> incr got);
+  Sim.Engine.run e;
+  Alcotest.(check int) "flows after heal" 3 !got;
+  Alcotest.(check int) "no new drops after heal" 4 (Net.messages_dropped net);
+  Alcotest.(check int) "conservation" (Net.messages_sent net)
+    (Net.messages_delivered net + Net.messages_dropped net)
+
+let test_net_loss_rate_extremes () =
+  (* Per-link loss 1.0 drops everything on that link and nothing else;
+     global loss 0. never draws the RNG (event stream unchanged). *)
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref 0 in
+  Net.set_handler net b (fun ~src:_ _ -> incr got);
+  Net.set_link_loss net ~src:a ~dst:b 1.0;
+  for _ = 1 to 10 do
+    Net.send net ~src:a ~dst:b ()
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "all lost" 0 !got;
+  Alcotest.(check int) "all counted" 10 (Net.messages_dropped net);
+  Net.set_link_loss net ~src:a ~dst:b 0.;
+  for _ = 1 to 10 do
+    Net.send net ~src:a ~dst:b ()
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "all delivered after clearing" 10 !got
+
+let test_net_loss_rate_deterministic () =
+  let run () =
+    let e, net = mk_net () in
+    let a = Net.add_node net ~region:(Latency.Az 0) in
+    let b = Net.add_node net ~region:(Latency.Az 1) in
+    let got = ref [] in
+    Net.set_handler net b (fun ~src:_ m -> got := m :: !got);
+    Net.set_loss_rate net 0.4;
+    for i = 0 to 49 do
+      Net.send net ~src:a ~dst:b i
+    done;
+    Sim.Engine.run e;
+    (List.rev !got, Net.messages_dropped net)
+  in
+  let surv1, drop1 = run () in
+  let surv2, drop2 = run () in
+  Alcotest.(check (list int)) "same survivors" surv1 surv2;
+  Alcotest.(check int) "same drop count" drop1 drop2;
+  Alcotest.(check bool) "some lost" true (drop1 > 0);
+  Alcotest.(check bool) "some survived" true (surv1 <> [])
+
+let test_net_loss_rate_validation () =
+  let _, net = mk_net () in
+  Alcotest.check_raises "p = 1 rejected"
+    (Invalid_argument "Net.set_loss_rate: need 0 <= p < 1") (fun () ->
+      Net.set_loss_rate net 1.0)
+
+let test_net_extra_delay_slows_and_keeps_fifo () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref [] in
+  let last_at = ref 0 in
+  Net.set_handler net b (fun ~src:_ m ->
+      got := m :: !got;
+      last_at := Sim.Engine.now e);
+  Net.set_extra_delay net ~max_us:20_000;
+  for i = 0 to 19 do
+    Net.send net ~src:a ~dst:b i
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo preserved under extra delay"
+    (List.init 20 (fun i -> i))
+    (List.rev !got);
+  (* Without the knob the last delivery lands at exactly 5_060 (REG
+     one-way + base); with it, strictly later. *)
+  Alcotest.(check bool) "deliveries actually delayed" true (!last_at > 5_060)
+
+let test_net_clear_faults () =
+  let e, net = mk_net () in
+  let a = Net.add_node net ~region:(Latency.Az 0) in
+  let b = Net.add_node net ~region:(Latency.Az 1) in
+  let got = ref 0 in
+  Net.set_handler net b (fun ~src:_ _ -> incr got);
+  Net.set_loss_rate net 0.9;
+  Net.set_link_loss net ~src:a ~dst:b 1.0;
+  Net.set_extra_delay net ~max_us:50_000;
+  Net.cut_link net ~src:b ~dst:a;
+  Net.crash net a;
+  Net.clear_faults net;
+  (* Everything except the crash is gone... *)
+  Net.send net ~src:b ~dst:a ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "crash survives clear_faults" 1 (Net.messages_dropped net);
+  (* ...and after an explicit recover the link is clean and prompt. *)
+  Net.recover net a;
+  Net.send net ~src:a ~dst:b ();
+  Sim.Engine.run e;
+  Alcotest.(check int) "delivered" 1 !got;
+  Alcotest.(check int) "no extra delay left" 5_060 (Sim.Engine.now e)
+
 let test_net_no_handler_drops () =
   let e, net = mk_net () in
   let a = Net.add_node net ~region:(Latency.Az 0) in
@@ -199,6 +337,20 @@ let suites =
         Alcotest.test_case "no handler drops" `Quick test_net_no_handler_drops;
         Alcotest.test_case "wan slower than lan" `Quick test_net_wan_slower_than_lan;
         QCheck_alcotest.to_alcotest qcheck_net_fifo;
+      ] );
+    ( "simnet.faults",
+      [
+        Alcotest.test_case "crash mid-flight counted" `Quick
+          test_net_crash_mid_flight_counted;
+        Alcotest.test_case "partition/heal accounting" `Quick
+          test_net_partition_heal_accounting;
+        Alcotest.test_case "loss-rate extremes" `Quick test_net_loss_rate_extremes;
+        Alcotest.test_case "loss-rate deterministic" `Quick
+          test_net_loss_rate_deterministic;
+        Alcotest.test_case "loss-rate validation" `Quick test_net_loss_rate_validation;
+        Alcotest.test_case "extra delay keeps fifo" `Quick
+          test_net_extra_delay_slows_and_keeps_fifo;
+        Alcotest.test_case "clear_faults" `Quick test_net_clear_faults;
       ] );
     ( "simnet.cpu",
       [

@@ -78,8 +78,26 @@ let sweep =
            ~doc:"Comma-separated client counts: run one point per count and \
                  print the whole load-latency curve.")
 
+let kill_at_ms =
+  Arg.(value & opt (some int) None
+       & info [ "kill-at-ms" ]
+           ~doc:"Amnesia-crash the victim replica at this virtual time: the \
+                 replica loses all in-memory state.")
+
+let restart_at_ms =
+  Arg.(value & opt (some int) None
+       & info [ "restart-at-ms" ]
+           ~doc:"Restart the killed victim as a fresh incarnation (peer \
+                 catch-up) at this virtual time.")
+
+let victim =
+  Arg.(value & opt int (-1)
+       & info [ "victim" ]
+           ~doc:"Replica slot for --kill-at-ms/--restart-at-ms (wraps mod the \
+                 cluster size; default: the last replica).")
+
 let run system setup workload theta keys warehouses read_pct clients cores
-    duration_ms warmup_ms seed sweep =
+    duration_ms warmup_ms seed sweep kill_at_ms restart_at_ms victim =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -106,13 +124,32 @@ let run system setup workload theta keys warehouses read_pct clients cores
           (Simnet.Latency.setup_name setup) clients cores;
     }
   in
+  let faults =
+    match kill_at_ms with
+    | None -> None
+    | Some kill_ms ->
+      Some
+        (fun (ops : Harness.Run.cluster_ops) ->
+          ignore
+            (Sim.Engine.schedule_at ops.co_engine ~at:(kill_ms * 1000)
+               (fun () -> ops.co_kill victim));
+          match restart_at_ms with
+          | None -> ()
+          | Some restart_ms ->
+            ignore
+              (Sim.Engine.schedule_at ops.co_engine ~at:(restart_ms * 1000)
+                 (fun () -> ops.co_restart victim)))
+  in
+  let print_point e =
+    let r = Harness.Run.run_exp ?faults e in
+    Fmt.pr "%a@." Harness.Stats.pp_result r;
+    if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
+      Fmt.pr "%a@." Harness.Stats.pp_recovery r
+  in
   Fmt.pr "%a@." Harness.Stats.pp_result_header ();
   match sweep with
-  | None -> Fmt.pr "%a@." Harness.Stats.pp_result (Harness.Run.run_exp (mk clients))
-  | Some counts ->
-    List.iter
-      (fun n -> Fmt.pr "%a@." Harness.Stats.pp_result (Harness.Run.run_exp (mk n)))
-      counts
+  | None -> print_point (mk clients)
+  | Some counts -> List.iter (fun n -> print_point (mk n)) counts
 
 let cmd =
   let doc = "Run one experiment point of the Morty reproduction" in
@@ -120,6 +157,7 @@ let cmd =
     (Cmd.info "morty_bench" ~doc)
     Term.(
       const run $ system $ setup $ workload $ theta $ keys $ warehouses
-      $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep)
+      $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
+      $ kill_at_ms $ restart_at_ms $ victim)
 
 let () = exit (Cmd.eval cmd)

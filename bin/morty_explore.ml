@@ -92,11 +92,17 @@ let smoke =
            ~doc:"Bounded CI preset: 200 ms windows, 8 clients — each run well \
                  under a second.")
 
+let no_kill =
+  Arg.(value & flag
+       & info [ "no-kill" ]
+           ~doc:"Exclude amnesia-crash (kill/restart) episodes from generated \
+                 schedules; keep only crash/partition/loss/delay faults.")
+
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
 
 let run systems workload_names seeds seed_base schedules episodes clients cores
-    measure_ms smoke quiet =
+    measure_ms smoke no_kill quiet =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -109,14 +115,25 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
       clients;
       cores;
       measure_us;
+      kill_restart = not no_kill;
     }
   in
   let progress case outcome =
     if not quiet then
       match outcome with
       | Ok r ->
-        Fmt.pr "pass %-55s committed=%d aborted=%d@." (Explore.Case.label case)
-          r.Harness.Stats.r_committed r.Harness.Stats.r_aborted
+        let rc = r.Harness.Stats.r_recovery in
+        if rc.Harness.Stats.rc_kills > 0 then
+          Fmt.pr
+            "pass %-55s committed=%d aborted=%d kills=%d restarts=%d \
+             transfer_msgs=%d@."
+            (Explore.Case.label case) r.Harness.Stats.r_committed
+            r.Harness.Stats.r_aborted rc.Harness.Stats.rc_kills
+            rc.Harness.Stats.rc_restarts rc.Harness.Stats.rc_transfer_msgs
+        else
+          Fmt.pr "pass %-55s committed=%d aborted=%d@."
+            (Explore.Case.label case) r.Harness.Stats.r_committed
+            r.Harness.Stats.r_aborted
       | Error v ->
         Fmt.pr "FAIL %-55s %s@." (Explore.Case.label case)
           (Explore.Audit.violation_to_string v)
@@ -142,6 +159,6 @@ let cmd =
     (Cmd.info "morty_explore" ~doc)
     Term.(
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
-      $ clients $ cores $ measure_ms $ smoke $ quiet)
+      $ clients $ cores $ measure_ms $ smoke $ no_kill $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,13 @@
 type event =
   | Crash of int  (** net-level crash-stop of a replica slot *)
   | Recover of int
+  | Kill of int
+      (** amnesia-crash: the replica loses {e all} in-memory state; the
+          harness refuses kills beyond [f] concurrently-amnesiac
+          replicas per group *)
+  | Restart of int
+      (** bring a killed slot back as a fresh incarnation and run peer
+          catch-up; no-op unless the slot is currently killed *)
   | Isolate of int
       (** cut both directions between a replica and every other node *)
   | Heal_all  (** remove all link cuts *)
@@ -34,12 +41,20 @@ val of_list : timed list -> t
 val events : t -> timed list
 
 val generate :
-  rng:Sim.Rng.t -> horizon_us:int -> n_replicas:int -> episodes:int -> t
+  kill_restart:bool ->
+  rng:Sim.Rng.t ->
+  horizon_us:int ->
+  n_replicas:int ->
+  episodes:int ->
+  t
 (** Draw [episodes] fault episodes inside [\[0, horizon_us)].  Every
     episode is bracketed — a crash gets a recover, an isolation a heal,
-    loss and delay get cleared — so the cluster always ends the run
-    fault-free (liveness of the tail of the workload is not the
-    schedule's job to destroy forever). *)
+    loss and delay get cleared, a kill a restart — so the cluster always
+    ends the run fault-free (liveness of the tail of the workload is not
+    the schedule's job to destroy forever).  With [kill_restart], the
+    first episode is always an amnesia (kill/restart) episode and later
+    ones may be; amnesia windows are kept pairwise disjoint (with slack
+    for catch-up) so at most one replica is ever amnesiac at a time. *)
 
 val apply : t -> Harness.Run.cluster_ops -> unit
 (** Schedule every event at its absolute virtual time on the

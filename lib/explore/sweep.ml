@@ -9,6 +9,7 @@ type config = {
   warmup_us : int;
   measure_us : int;
   shrink_budget : int;
+  kill_restart : bool;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     warmup_us = 50_000;
     measure_us = 200_000;
     shrink_budget = 80;
+    kill_restart = true;
   }
 
 let smoke_config =
@@ -61,7 +63,7 @@ let schedule_for cfg ~seed ~index =
   if index = 0 then Schedule.empty
   else
     let rng = Sim.Rng.create ((seed * 1_000_003) + index) in
-    Schedule.generate ~rng
+    Schedule.generate ~kill_restart:cfg.kill_restart ~rng
       ~horizon_us:(cfg.warmup_us + cfg.measure_us)
       ~n_replicas:4 ~episodes:cfg.episodes
 

@@ -18,6 +18,9 @@ type config = {
   warmup_us : int;
   measure_us : int;
   shrink_budget : int;  (** max re-runs spent minimizing one failure *)
+  kill_restart : bool;
+      (** include amnesia-crash (kill/restart) episodes in generated
+          schedules; see {!Schedule.generate} *)
 }
 
 val default_config : config

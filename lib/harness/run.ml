@@ -64,16 +64,30 @@ type cluster_ops = {
   co_n_replicas : int;
   co_crash : int -> unit;
   co_recover : int -> unit;
+  co_kill : int -> unit;
+  co_restart : int -> unit;
   co_isolate : int -> unit;
   co_heal_all : unit -> unit;
   co_set_loss : float -> unit;
   co_set_extra_delay : int -> unit;
 }
 
+(* Per-run accounting for amnesia-crash faults, accumulated by the
+   co_kill/co_restart closures each runner builds. *)
+type fault_acc = {
+  mutable fa_kills : int;
+  mutable fa_restarts : int;
+  mutable fa_transfer_msgs : int;
+  mutable fa_transfer_bytes : int;
+}
+
+let fresh_acc () =
+  { fa_kills = 0; fa_restarts = 0; fa_transfer_msgs = 0; fa_transfer_bytes = 0 }
+
 (* Replica indices are taken mod the cluster size so that schedules
    generated without knowledge of a system's replica count stay valid
    across all four systems. *)
-let make_cluster_ops engine net replica_nodes =
+let make_cluster_ops engine net replica_nodes ~kill ~restart =
   let n = Array.length replica_nodes in
   let rnode i = replica_nodes.(((i mod n) + n) mod n) in
   {
@@ -81,6 +95,8 @@ let make_cluster_ops engine net replica_nodes =
     co_n_replicas = n;
     co_crash = (fun i -> Simnet.Net.crash net (rnode i));
     co_recover = (fun i -> Simnet.Net.recover net (rnode i));
+    co_kill = kill;
+    co_restart = restart;
     co_isolate =
       (fun i ->
         let v = rnode i in
@@ -95,10 +111,7 @@ let make_cluster_ops engine net replica_nodes =
     co_set_extra_delay = (fun d -> Simnet.Net.set_extra_delay net ~max_us:d);
   }
 
-let inject faults engine net replica_nodes =
-  match faults with
-  | None -> ()
-  | Some f -> f (make_cluster_ops engine net replica_nodes)
+let inject faults ops = match faults with None -> () | Some f -> f ops
 
 (* Generic closed-loop driver over any system's client module. *)
 module Driver (C : Cc_types.Kv_api.S) = struct
@@ -208,6 +221,74 @@ let txn_of_spanner (r : Spanner.Client.record) =
 
 (* --- Morty / MVTSO (one multi-core group) -------------------------------- *)
 
+(* Amnesia-crash operations over a Morty replica array.  [kill] stops
+   the current incarnation (dropping queued CPU work) and crashes its
+   node; [restart] registers a {e fresh} replica object — empty
+   erecord, store, and decision log — on the same node and starts the
+   catch-up protocol.  At most [f] replicas may be amnesiac (stopped or
+   still recovering) at once: beyond that no quorum is guaranteed to
+   hold every durable decision, so further kills are refused.  Both
+   operations are idempotent — the shrinker may drop either half of a
+   Kill/Restart pair. *)
+let morty_ops ~engine ~net ~rng ~cfg ~cores ~replicas ~peers ~acc =
+  let n = Array.length replicas in
+  let widx i = ((i mod n) + n) mod n in
+  let amnesiac () =
+    Array.fold_left
+      (fun c r ->
+        if Morty.Replica.is_stopped r || Morty.Replica.is_recovering r then c + 1
+        else c)
+      0 replicas
+  in
+  let kill i =
+    let r = replicas.(widx i) in
+    if (not (Morty.Replica.is_stopped r)) && amnesiac () < cfg.Morty.Config.f
+    then begin
+      Morty.Replica.stop r;
+      Simnet.Net.crash net (Morty.Replica.node r);
+      acc.fa_kills <- acc.fa_kills + 1
+    end
+  in
+  let restart i =
+    let i = widx i in
+    let old = replicas.(i) in
+    if Morty.Replica.is_stopped old then begin
+      let node = Morty.Replica.node old in
+      let fresh =
+        Morty.Replica.create_at ~node ~cfg ~engine ~net
+          ~rng:(Sim.Rng.split rng) ~index:i ~cores
+      in
+      Morty.Replica.set_peers fresh peers;
+      replicas.(i) <- fresh;
+      (* Recover the node before requesting state: sends from a crashed
+         node are dropped. *)
+      Simnet.Net.recover net node;
+      Morty.Replica.start_catchup fresh;
+      acc.fa_restarts <- acc.fa_restarts + 1
+    end
+  in
+  make_cluster_ops engine net peers ~kill ~restart
+
+let morty_recovery acc replicas =
+  let tm = ref acc.fa_transfer_msgs and tb = ref acc.fa_transfer_bytes in
+  let cu = ref 0 and cw = ref 0 in
+  Array.iter
+    (fun r ->
+      let st = Morty.Replica.stats r in
+      tm := !tm + st.Morty.Replica.state_transfer_msgs;
+      tb := !tb + st.Morty.Replica.state_transfer_bytes;
+      cu := !cu + st.Morty.Replica.catchups;
+      cw := !cw + st.Morty.Replica.catchup_wait_us)
+    replicas;
+  {
+    Stats.rc_kills = acc.fa_kills;
+    rc_restarts = acc.fa_restarts;
+    rc_transfer_msgs = !tm;
+    rc_transfer_bytes = !tb;
+    rc_catchups = !cu;
+    rc_catchup_wait_us = !cw;
+  }
+
 let run_morty ?cfg ?on_txn ?faults e ~reexecution =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
@@ -278,7 +359,9 @@ let run_morty ?cfg ?on_txn ?faults e ~reexecution =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          Array.iter (fun r -> Simnet.Cpu.reset_stats (Morty.Replica.cpu r)) replicas));
-  inject faults engine net peers;
+  let acc = fresh_acc () in
+  inject faults
+    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~replicas ~peers ~acc);
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpu =
@@ -306,7 +389,8 @@ let run_morty ?cfg ?on_txn ?faults e ~reexecution =
     else float_of_int window_msgs /. float_of_int (Stats.committed stats)
   in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
-    ~cpu_utilization:cpu ~reexecs_per_txn ~msgs_per_txn ()
+    ~cpu_utilization:cpu ~reexecs_per_txn ~msgs_per_txn
+    ~recovery:(morty_recovery acc replicas) ()
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
@@ -387,7 +471,9 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
       Tapir_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
         ~warm_end ~backoff_base_us:e.e_backoff_base_us)
     (List.init e.e_clients (fun _ -> ()));
-  let cpus =
+  (* Recompute at use: restarts swap fresh replica objects (and CPUs)
+     into [groups]. *)
+  let all_cpus () =
     Array.to_list groups
     |> List.concat_map (fun group ->
            Array.to_list (Array.map Tapir.Replica.cpu group))
@@ -396,11 +482,65 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
   ignore
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
-         List.iter Simnet.Cpu.reset_stats cpus));
-  inject faults engine net
-    (Array.concat (Array.to_list group_nodes));
+         List.iter Simnet.Cpu.reset_stats (all_cpus ())));
+  let acc = fresh_acc () in
+  let nrep = Tapir.Config.n_replicas cfg in
+  let total = n_groups * nrep in
+  let widx i = ((i mod total) + total) mod total in
+  (* Amnesia for TAPIR: kill drops the incarnation; restart registers a
+     fresh replica on the same node and instantly installs snapshots
+     (committed store + prepared table) from every surviving group peer
+     — a harness-level emulation of state transfer.  At most f
+     concurrently-dead replicas per group. *)
+  let kill i =
+    let i = widx i in
+    let g = i / nrep and k = i mod nrep in
+    let r = groups.(g).(k) in
+    let dead =
+      Array.fold_left
+        (fun c r -> if Tapir.Replica.is_stopped r then c + 1 else c)
+        0 groups.(g)
+    in
+    if (not (Tapir.Replica.is_stopped r)) && dead < cfg.Tapir.Config.f
+    then begin
+      Tapir.Replica.stop r;
+      Simnet.Net.crash net (Tapir.Replica.node r);
+      acc.fa_kills <- acc.fa_kills + 1
+    end
+  in
+  let restart i =
+    let i = widx i in
+    let g = i / nrep and k = i mod nrep in
+    let old = groups.(g).(k) in
+    if Tapir.Replica.is_stopped old then begin
+      let node = Tapir.Replica.node old in
+      let fresh =
+        Tapir.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
+          ~cores:1
+      in
+      groups.(g).(k) <- fresh;
+      Simnet.Net.recover net node;
+      Array.iter
+        (fun peer ->
+          if (not (peer == fresh)) && not (Tapir.Replica.is_stopped peer)
+          then begin
+            let sn = Tapir.Replica.snapshot peer in
+            Tapir.Replica.install fresh sn;
+            acc.fa_transfer_msgs <- acc.fa_transfer_msgs + 1;
+            acc.fa_transfer_bytes <-
+              acc.fa_transfer_bytes + Tapir.Replica.snapshot_bytes sn
+          end)
+        groups.(g);
+      acc.fa_restarts <- acc.fa_restarts + 1
+    end
+  in
+  inject faults
+    (make_cluster_ops engine net
+       (Array.concat (Array.to_list group_nodes))
+       ~kill ~restart);
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
+  let cpus = all_cpus () in
   let cpu =
     List.fold_left
       (fun acc c -> acc +. Simnet.Cpu.utilization c ~duration:e.e_measure_us)
@@ -411,8 +551,18 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
     if Stats.committed stats = 0 then 0.
     else float_of_int window_msgs /. float_of_int (Stats.committed stats)
   in
+  let recovery =
+    {
+      Stats.rc_kills = acc.fa_kills;
+      rc_restarts = acc.fa_restarts;
+      rc_transfer_msgs = acc.fa_transfer_msgs;
+      rc_transfer_bytes = acc.fa_transfer_bytes;
+      rc_catchups = acc.fa_restarts;
+      rc_catchup_wait_us = 0;
+    }
+  in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
-    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ()
+    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ~recovery ()
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
@@ -487,7 +637,9 @@ let run_spanner ?on_txn ?faults e =
       Spanner_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
         ~warm_end ~backoff_base_us:e.e_backoff_base_us)
     (List.init e.e_clients (fun _ -> ()));
-  let cpus =
+  (* Recompute at use: restarts swap fresh replica objects (and CPUs)
+     into [groups]. *)
+  let all_cpus () =
     Array.to_list groups
     |> List.concat_map (fun group ->
            Array.to_list (Array.map Spanner.Replica.cpu group))
@@ -496,11 +648,66 @@ let run_spanner ?on_txn ?faults e =
   ignore
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
-         List.iter Simnet.Cpu.reset_stats cpus));
-  inject faults engine net
-    (Array.concat (Array.to_list (Array.map (Array.map Spanner.Replica.node) groups)));
+         List.iter Simnet.Cpu.reset_stats (all_cpus ())));
+  let acc = fresh_acc () in
+  let nrep = Spanner.Config.n_replicas cfg in
+  let total = n_groups * nrep in
+  let widx i = ((i mod total) + total) mod total in
+  (* Amnesia for Spanner: followers only — the content-free Paxos
+     emulation replicates record existence, not payloads, so a leader's
+     committed writes survive nowhere else and killing one would
+     ghost-lose committed data.  Restart installs the committed store
+     from every surviving group peer (harness-level state transfer). *)
+  let kill i =
+    let i = widx i in
+    let g = i / nrep and k = i mod nrep in
+    let r = groups.(g).(k) in
+    let dead =
+      Array.fold_left
+        (fun c r -> if Spanner.Replica.is_stopped r then c + 1 else c)
+        0 groups.(g)
+    in
+    if k <> 0 && (not (Spanner.Replica.is_stopped r)) && dead < cfg.Spanner.Config.f
+    then begin
+      Spanner.Replica.stop r;
+      Simnet.Net.crash net (Spanner.Replica.node r);
+      acc.fa_kills <- acc.fa_kills + 1
+    end
+  in
+  let restart i =
+    let i = widx i in
+    let g = i / nrep and k = i mod nrep in
+    let old = groups.(g).(k) in
+    if Spanner.Replica.is_stopped old then begin
+      let node = Spanner.Replica.node old in
+      let fresh =
+        Spanner.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
+          ~cores:1
+      in
+      Spanner.Replica.set_peers fresh (Array.map Spanner.Replica.node groups.(g));
+      groups.(g).(k) <- fresh;
+      Simnet.Net.recover net node;
+      Array.iter
+        (fun peer ->
+          if (not (peer == fresh)) && not (Spanner.Replica.is_stopped peer)
+          then begin
+            let sn = Spanner.Replica.snapshot peer in
+            Spanner.Replica.install fresh sn;
+            acc.fa_transfer_msgs <- acc.fa_transfer_msgs + 1;
+            acc.fa_transfer_bytes <-
+              acc.fa_transfer_bytes + Spanner.Replica.snapshot_bytes sn
+          end)
+        groups.(g);
+      acc.fa_restarts <- acc.fa_restarts + 1
+    end
+  in
+  inject faults
+    (make_cluster_ops engine net
+       (Array.concat (Array.to_list (Array.map (Array.map Spanner.Replica.node) groups)))
+       ~kill ~restart);
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
+  let cpus = all_cpus () in
   let cpu =
     List.fold_left
       (fun acc c -> acc +. Simnet.Cpu.utilization c ~duration:e.e_measure_us)
@@ -511,8 +718,18 @@ let run_spanner ?on_txn ?faults e =
     if Stats.committed stats = 0 then 0.
     else float_of_int window_msgs /. float_of_int (Stats.committed stats)
   in
+  let recovery =
+    {
+      Stats.rc_kills = acc.fa_kills;
+      rc_restarts = acc.fa_restarts;
+      rc_transfer_msgs = acc.fa_transfer_msgs;
+      rc_transfer_bytes = acc.fa_transfer_bytes;
+      rc_catchups = acc.fa_restarts;
+      rc_catchup_wait_us = 0;
+    }
+  in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
-    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ()
+    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ~recovery ()
 
 let run_exp ?on_txn ?faults e =
   match e.e_system with
@@ -543,7 +760,7 @@ let find_peak mk ~client_counts =
    it resumes from where it was (a network blip / process pause, not a
    disk loss). *)
 
-let run_failover e ~crash_at_us ~recover_at_us ~bucket_us =
+let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -624,8 +841,14 @@ let run_failover e ~crash_at_us ~recover_at_us ~bucket_us =
       in
       next ())
     (List.init e.e_clients (fun i -> i));
-  let victim = Morty.Replica.node replicas.(Array.length replicas - 1) in
-  ignore (Engine.schedule engine ~after:crash_at_us (fun () -> Simnet.Net.crash net victim));
-  ignore (Engine.schedule engine ~after:recover_at_us (fun () -> Simnet.Net.recover net victim));
+  let ops =
+    morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~replicas ~peers
+      ~acc:(fresh_acc ())
+  in
+  let victim =
+    match victim with Some v -> v | None -> Array.length replicas - 1
+  in
+  ignore (Engine.schedule engine ~after:crash_at_us (fun () -> ops.co_crash victim));
+  ignore (Engine.schedule engine ~after:recover_at_us (fun () -> ops.co_recover victim));
   Engine.run_until engine ~limit:horizon;
   Array.to_list (Array.mapi (fun i c -> (i * bucket_us, c)) buckets)

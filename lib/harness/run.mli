@@ -58,6 +58,17 @@ type cluster_ops = {
   co_n_replicas : int;  (** replicas across all groups, flattened *)
   co_crash : int -> unit;  (** crash replica [i mod n] (net-level) *)
   co_recover : int -> unit;
+  co_kill : int -> unit;
+      (** amnesia-crash replica [i mod n]: stop the incarnation, lose
+          all in-memory state, crash its node.  Refused (no-op) when it
+          would exceed [f] concurrently-amnesiac replicas in the
+          victim's group, or when the victim is a Spanner leader (whose
+          state the content-free Paxos emulation cannot recover). *)
+  co_restart : int -> unit;
+      (** bring up a {e fresh} incarnation on the dead replica's node
+          and start peer catch-up (protocol-level for Morty/MVTSO,
+          instantaneous snapshot install for TAPIR/Spanner).  No-op
+          unless replica [i mod n] is currently killed. *)
   co_isolate : int -> unit;
       (** cut both directions between replica [i mod n] and every other
           node currently registered (replicas and clients) *)
@@ -102,12 +113,15 @@ val find_peak : (int -> exp) -> client_counts:int list -> Stats.result
     Figures 8 and 9. *)
 
 val run_failover :
+  ?victim:int ->
   exp ->
   crash_at_us:int ->
   recover_at_us:int ->
   bucket_us:int ->
   (int * int) list
 (** Availability timeline (extension): run the Morty/MVTSO cluster of
-    [exp], crash the last replica at [crash_at_us] and un-crash it at
-    [recover_at_us] (a transient outage — state survives), and return
-    committed-transaction counts per [bucket_us] time bucket. *)
+    [exp], crash replica [victim] (default: the last replica) at
+    [crash_at_us] and un-crash it at [recover_at_us] (a transient
+    outage — state survives), and return committed-transaction counts
+    per [bucket_us] time bucket.  The fault is routed through the same
+    {!cluster_ops} surface the explorer uses. *)

@@ -44,6 +44,25 @@ let percentile_latency_us t p =
     float_of_int sorted.(min idx (t.n - 1))
   end
 
+type recovery = {
+  rc_kills : int;
+  rc_restarts : int;
+  rc_transfer_msgs : int;
+  rc_transfer_bytes : int;
+  rc_catchups : int;
+  rc_catchup_wait_us : int;
+}
+
+let no_recovery =
+  {
+    rc_kills = 0;
+    rc_restarts = 0;
+    rc_transfer_msgs = 0;
+    rc_transfer_bytes = 0;
+    rc_catchups = 0;
+    rc_catchup_wait_us = 0;
+  }
+
 type result = {
   r_label : string;
   r_committed : int;
@@ -56,10 +75,11 @@ type result = {
   r_cpu_utilization : float;
   r_reexecs_per_txn : float;
   r_msgs_per_txn : float;
+  r_recovery : recovery;
 }
 
 let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
-    ?(msgs_per_txn = 0.) () =
+    ?(msgs_per_txn = 0.) ?(recovery = no_recovery) () =
   {
     r_label = label;
     r_committed = t.n;
@@ -72,6 +92,7 @@ let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     r_cpu_utilization = cpu_utilization;
     r_reexecs_per_txn = reexecs_per_txn;
     r_msgs_per_txn = msgs_per_txn;
+    r_recovery = recovery;
   }
 
 let pp_result_header ppf () =
@@ -85,12 +106,25 @@ let pp_result ppf r =
     (100. *. r.r_cpu_utilization)
     r.r_reexecs_per_txn r.r_msgs_per_txn
 
+let pp_recovery ppf r =
+  let rc = r.r_recovery in
+  Fmt.pf ppf
+    "%-28s kills=%d restarts=%d transfer_msgs=%d transfer_bytes=%d \
+     catchups=%d catchup_ms=%.1f"
+    r.r_label rc.rc_kills rc.rc_restarts rc.rc_transfer_msgs
+    rc.rc_transfer_bytes rc.rc_catchups
+    (float_of_int rc.rc_catchup_wait_us /. 1000.)
+
 let csv_header =
   "label,committed,aborted,goodput_per_s,mean_latency_ms,p50_latency_ms,\
-p99_latency_ms,commit_rate,cpu_utilization,reexecs_per_txn,msgs_per_txn"
+p99_latency_ms,commit_rate,cpu_utilization,reexecs_per_txn,msgs_per_txn,\
+kills,restarts,transfer_msgs,transfer_bytes,catchups,catchup_wait_us"
 
 let to_csv_row r =
-  Printf.sprintf "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f" r.r_label
-    r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms r.r_p50_latency_ms
-    r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization r.r_reexecs_per_txn
-    r.r_msgs_per_txn
+  Printf.sprintf "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f,%d,%d,%d,%d,%d,%d"
+    r.r_label r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms
+    r.r_p50_latency_ms r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization
+    r.r_reexecs_per_txn r.r_msgs_per_txn r.r_recovery.rc_kills
+    r.r_recovery.rc_restarts r.r_recovery.rc_transfer_msgs
+    r.r_recovery.rc_transfer_bytes r.r_recovery.rc_catchups
+    r.r_recovery.rc_catchup_wait_us

@@ -26,6 +26,20 @@ val mean_latency_us : t -> float
 val percentile_latency_us : t -> float -> float
 (** e.g. [percentile_latency_us t 0.99]. *)
 
+type recovery = {
+  rc_kills : int;  (** amnesia-crash kills injected *)
+  rc_restarts : int;  (** fresh incarnations brought up *)
+  rc_transfer_msgs : int;  (** state-transfer replies / snapshots sent *)
+  rc_transfer_bytes : int;  (** estimated state-transfer payload bytes *)
+  rc_catchups : int;
+      (** catch-up rounds completed (protocol-level for Morty/MVTSO;
+          instantaneous snapshot installs for the baselines) *)
+  rc_catchup_wait_us : int;  (** total restart-to-caught-up time *)
+}
+(** Amnesia-crash fault accounting for one run. *)
+
+val no_recovery : recovery
+
 type result = {
   r_label : string;
   r_committed : int;
@@ -40,6 +54,8 @@ type result = {
   r_msgs_per_txn : float;
       (** network messages delivered per committed transaction — the
           protocol-cost metric of the message-complexity ablation *)
+  r_recovery : recovery;
+      (** amnesia-crash accounting; {!no_recovery} when no faults ran *)
 }
 
 val to_result :
@@ -49,12 +65,16 @@ val to_result :
   cpu_utilization:float ->
   reexecs_per_txn:float ->
   ?msgs_per_txn:float ->
+  ?recovery:recovery ->
   unit ->
   result
 
 val pp_result_header : Format.formatter -> unit -> unit
 
 val pp_result : Format.formatter -> result -> unit
+
+val pp_recovery : Format.formatter -> result -> unit
+(** One-line amnesia-crash counters (print when kills/restarts > 0). *)
 
 val csv_header : string
 

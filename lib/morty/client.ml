@@ -74,6 +74,7 @@ type t = {
   engine : Engine.t;
   net : Msg.t Net.t;
   clock : Sim.Clock.t;
+  rng : Sim.Rng.t;
   node : Net.node;
   replicas : int array;
   closest : Net.node;
@@ -183,8 +184,12 @@ let rec start_prepare t txn =
 and arm_prepare_timer t txn p round =
   (* Resends back off exponentially: a Prepare suspended at replicas on
      an undecided dependency (the common case under contention) gains
-     nothing from re-broadcast, so only crash/loss recovery needs it. *)
-  let delay = t.cfg.prepare_timeout_us * (1 lsl min round 6) in
+     nothing from re-broadcast, so only crash/loss recovery needs it.
+     Seeded jitter (up to half the base) desynchronizes coordinators
+     that timed out together — without it, concurrent retries arrive in
+     lockstep and collide again (a retry storm). *)
+  let base = t.cfg.prepare_timeout_us * (1 lsl min round 6) in
+  let delay = base + Sim.Rng.int t.rng (max 1 (base / 2)) in
   let timer =
     Engine.schedule t.engine ~after:delay (fun () ->
         match txn.phase with
@@ -410,7 +415,8 @@ let handle t ~src msg =
     handle_finalize_reply t ver eid view accepted ~src
   | Msg.Get _ | Msg.Put _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Decide _
   | Msg.Paxos_prepare _ | Msg.Paxos_prepare_reply _ | Msg.Truncate _
-  | Msg.Propose_merge _ | Msg.Propose_merge_reply _ | Msg.Truncation_finished _ ->
+  | Msg.Propose_merge _ | Msg.Propose_merge_reply _ | Msg.Truncation_finished _
+  | Msg.Catchup_request | Msg.Catchup_reply _ ->
     ()
 
 (* --- Public API --------------------------------------------------------- *)
@@ -430,6 +436,7 @@ let create ~cfg ~engine ~net ~rng ~region ~replicas ?on_finish () =
       engine;
       net;
       clock = Sim.Clock.create engine rng ~max_skew:cfg.max_clock_skew_us;
+      rng;
       node;
       replicas;
       closest;

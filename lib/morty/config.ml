@@ -14,6 +14,7 @@ type t = {
   prepare_timeout_us : int;
   dep_recovery_timeout_us : int;
   truncation_interval_us : int;
+  catchup_retry_us : int;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     prepare_timeout_us = 400_000;
     dep_recovery_timeout_us = 3_000_000;
     truncation_interval_us = 0;
+    catchup_retry_us = 150_000;
   }
 
 let n_replicas t = (2 * t.f) + 1

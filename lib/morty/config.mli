@@ -35,6 +35,9 @@ type t = {
       (** how long a replica lets a Prepare wait on an undecided
           dependency before starting coordinator recovery *)
   truncation_interval_us : int;  (** 0 disables truncation/GC *)
+  catchup_retry_us : int;
+      (** how often a restarted replica re-broadcasts its state-transfer
+          request while still short of f+1 catch-up replies *)
 }
 
 val default : t

@@ -10,6 +10,12 @@ type truncate_entry = {
   t_read_set : Cc_types.Rwset.read_set;
 }
 
+type store_entry = {
+  s_key : string;
+  s_versions : (Version.t * string) list;
+  s_creads : (Version.t * Version.t) list;
+}
+
 type t =
   | Get of { ver : Version.t; key : string; seq : int }
   | Get_reply of {
@@ -58,6 +64,13 @@ type t =
   | Propose_merge of { t_upto : Version.t; t_view : int; merged : truncate_entry list }
   | Propose_merge_reply of { t_upto : Version.t; t_view : int }
   | Truncation_finished of { t_upto : Version.t; merged : truncate_entry list }
+  | Catchup_request
+  | Catchup_reply of {
+      cu_watermark : Version.t option;
+      cu_decisions : (Version.t * bool) list;
+      cu_store : store_entry list;
+      cu_erecord : truncate_entry list;
+    }
 
 let label = function
   | Get _ -> "get"
@@ -74,3 +87,5 @@ let label = function
   | Propose_merge _ -> "propose_merge"
   | Propose_merge_reply _ -> "propose_merge_reply"
   | Truncation_finished _ -> "truncation_finished"
+  | Catchup_request -> "catchup_request"
+  | Catchup_reply _ -> "catchup_reply"

@@ -18,6 +18,14 @@ type truncate_entry = {
 }
 (** One erecord entry in a truncation snapshot (§4.4). *)
 
+type store_entry = {
+  s_key : string;
+  s_versions : (Version.t * string) list;  (** committed (version, value) *)
+  s_creads : (Version.t * Version.t) list;  (** committed (reader, r_ver) *)
+}
+(** Durable per-key state shipped to a restarted replica during
+    amnesia-crash catch-up. *)
+
 type t =
   | Get of { ver : Version.t; key : string; seq : int }
   | Get_reply of {
@@ -68,6 +76,17 @@ type t =
   | Propose_merge of { t_upto : Version.t; t_view : int; merged : truncate_entry list }
   | Propose_merge_reply of { t_upto : Version.t; t_view : int }
   | Truncation_finished of { t_upto : Version.t; merged : truncate_entry list }
+  | Catchup_request
+      (** broadcast by a restarted (amnesiac) replica in [Recovering]
+          mode; peers answer with their durable state *)
+  | Catchup_reply of {
+      cu_watermark : Version.t option;
+      cu_decisions : (Version.t * bool) list;
+          (** decision log: (version, committed?) *)
+      cu_store : store_entry list;
+      cu_erecord : truncate_entry list;
+          (** full erecord snapshot, reusing the truncation entry shape *)
+    }
 
 val label : t -> string
 (** Short constructor name (tracing / service-cost dispatch). *)

@@ -42,7 +42,22 @@ type stats = {
   mutable miss_notifications : int;
   mutable recoveries : int;
   mutable truncations : int;
+  mutable state_transfer_msgs : int;
+  mutable state_transfer_bytes : int;
+  mutable catchups : int;
+  mutable catchup_wait_us : int;
 }
+
+(* State of one amnesia-crash catch-up round: donors heard from so far,
+   plus decisions that arrived mid-transfer and must replay once the
+   transferred base state is installed. *)
+type catchup = {
+  mutable cu_from : Net.node list;
+  mutable cu_buffer : (Net.node * Msg.t) list;  (* newest first *)
+  cu_started_us : int;
+}
+
+type mode = Normal | Recovering of catchup
 
 type t = {
   cfg : Config.t;
@@ -75,12 +90,28 @@ type t = {
   trunc_acks : (Version.t, int ref) Hashtbl.t;
   trunc_merged : (Version.t, Msg.truncate_entry list) Hashtbl.t;
   stats : stats;
+  (* Amnesia-crash lifecycle.  [stopped] marks a killed incarnation whose
+     queued CPU jobs may still fire; [mode] is [Recovering] between a
+     restart and the f+1-th catch-up reply. *)
+  mutable stopped : bool;
+  mutable mode : mode;
 }
 
 let node t = t.node
 let cpu t = t.cpu
 let stats t = t.stats
 let watermark t = t.watermark
+let stop t = t.stopped <- true
+let is_stopped t = t.stopped
+let is_recovering t = match t.mode with Recovering _ -> true | Normal -> false
+
+(* View stride for coordinator recovery (§4.3): views are partitioned so
+   every replica proposes from a disjoint residue class and any recovery
+   view strictly exceeds the view it supersedes.  The stride must exceed
+   the replica count so [index + 1] never collides with the next block. *)
+let recovery_view ~n_replicas ~cur_view ~index =
+  let stride = max 2 (n_replicas + 1) in
+  (((cur_view / stride) + 1) * stride) + index + 1
 let set_peers t peers = t.peers <- peers
 let load t pairs = Mvstore.Vstore.load t.store pairs
 let decision_of t ver = Hashtbl.find_opt t.decision_log ver
@@ -117,7 +148,9 @@ let entry t ver eid =
      | Some _ | None -> Hashtbl.replace t.max_eid ver eid);
     e
 
-let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+(* A killed incarnation must go silent even for CPU jobs queued before
+   the kill: its node is reused by the fresh incarnation. *)
+let send t dst msg = if not t.stopped then Net.send t.net ~src:t.node ~dst msg
 
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.peers
 
@@ -196,12 +229,26 @@ let truncated t ver =
 let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
   let vote = ref Vote.Commit in
   let missed = ref [] in
-  (* Check 4: nothing involved may be truncated. *)
+  (* Check 4: nothing involved may be truncated.  A read below the
+     watermark is still verifiable when it is the key's newest committed
+     write — [gc_below] retains exactly that version, and check 3
+     exact-matches it — so only stale truncated reads (whose
+     interleaving history is gone) force Abandon.  Without this carve-out
+     any commit gap longer than the truncation interval (an amnesia
+     episode, a quiet key) would brick the key forever: its current
+     version ages below the advancing watermark and every reader
+     abandons. *)
   if truncated t ver then vote := Vote.Abandon_final;
   List.iter
     (fun (r : Rwset.read) ->
       if (not (Version.is_zero r.r_ver)) && truncated t r.r_ver then
-        vote := Vote.Abandon_final)
+        let vr = Mvstore.Vstore.find t.store r.key in
+        let is_current =
+          match Mvstore.Vrecord.newest_committed vr with
+          | Some newest -> Version.equal newest r.r_ver
+          | None -> false
+        in
+        if not is_current then vote := Vote.Abandon_final)
     read_set;
   (* Check 3: dirty reads — every read must match a committed write
      exactly (dependencies are committed by the time we validate). *)
@@ -481,7 +528,9 @@ and start_recovery t ver =
     let cur_view =
       match Hashtbl.find_opt t.erecord (ver, eid) with Some e -> e.view | None -> 0
     in
-    let view = (((cur_view / 1000) + 1) * 1000) + t.index + 1 in
+    let view =
+      recovery_view ~n_replicas:(Config.n_replicas t.cfg) ~cur_view ~index:t.index
+    in
     t.stats.recoveries <- t.stats.recoveries + 1;
     Log.debug (fun m ->
         m "replica %d recovering %a eid %d in view %d" t.index Version.pp ver eid view);
@@ -740,6 +789,153 @@ and handle_truncation_finished t upto merged =
   List.iter (fun k -> Hashtbl.remove t.erecord k) stale;
   Mvstore.Vstore.iter t.store (fun _ vr -> Mvstore.Vrecord.gc_below vr upto)
 
+(* --- Amnesia-crash catch-up (state transfer) ---------------------------- *)
+
+let max_version = Version.make ~ts:max_int ~id:max_int
+
+(* Rough wire-size estimate of a catch-up reply, for the state-transfer
+   byte counters (the simulator has no real serialization). *)
+let catchup_reply_bytes decisions store erecord =
+  let b = ref (16 * List.length decisions) in
+  List.iter
+    (fun (s : Msg.store_entry) ->
+      b :=
+        !b + String.length s.s_key
+        + List.fold_left (fun a (_, v) -> a + 16 + String.length v) 0 s.s_versions
+        + (32 * List.length s.s_creads))
+    store;
+  List.iter
+    (fun (e : Msg.truncate_entry) ->
+      b :=
+        !b + 48
+        + List.fold_left
+            (fun a (r : Rwset.read) ->
+              a + String.length r.key + String.length r.r_val + 16)
+            0 e.t_read_set
+        + List.fold_left
+            (fun a (w : Rwset.write) -> a + String.length w.key + String.length w.w_val)
+            0 e.t_write_set)
+    erecord;
+  !b
+
+(* Donor side: ship the decision log, all committed per-key state, the
+   full erecord (as a truncation-style snapshot) and the watermark.
+   Prepared/uncommitted state is deliberately not transferred: losing it
+   only weakens Abandon_tentative votes, and the committed-state checks
+   re-validate every future Prepare. *)
+let handle_catchup_request t ~src =
+  if src <> t.node then begin
+    let decisions =
+      Hashtbl.fold (fun ver d acc -> (ver, d = `Commit) :: acc) t.decision_log []
+    in
+    let store = ref [] in
+    Mvstore.Vstore.iter t.store (fun key vr ->
+        let s_versions = Mvstore.Vrecord.committed_writes_list vr in
+        let s_creads = Mvstore.Vrecord.committed_reads_list vr in
+        if s_versions <> [] || s_creads <> [] then
+          store := { Msg.s_key = key; s_versions; s_creads } :: !store);
+    let erecord = snapshot_below t max_version in
+    t.stats.state_transfer_msgs <- t.stats.state_transfer_msgs + 1;
+    t.stats.state_transfer_bytes <-
+      t.stats.state_transfer_bytes + catchup_reply_bytes decisions !store erecord;
+    send t src
+      (Msg.Catchup_reply
+         { cu_watermark = t.watermark; cu_decisions = decisions;
+           cu_store = !store; cu_erecord = erecord })
+  end
+
+(* Receiver side: a monotone merge — decision-log union (Commit wins: a
+   Commit anywhere means the transaction durably committed), committed
+   write/read union, erecord fill-in, watermark max.  Monotonicity makes
+   stale replies from a previous incarnation harmless. *)
+let absorb_catchup t ~src cu watermark decisions store erecord =
+  if not (List.mem src cu.cu_from) then begin
+    cu.cu_from <- src :: cu.cu_from;
+    List.iter
+      (fun (ver, committed) ->
+        match (Hashtbl.find_opt t.decision_log ver, committed) with
+        | Some `Commit, _ | Some `Abort, false -> ()
+        | (Some `Abort | None), true -> Hashtbl.replace t.decision_log ver `Commit
+        | None, false -> Hashtbl.replace t.decision_log ver `Abort)
+      decisions;
+    List.iter
+      (fun (s : Msg.store_entry) ->
+        let vr = Mvstore.Vstore.find t.store s.s_key in
+        List.iter
+          (fun (ver, value) -> Mvstore.Vrecord.commit_write vr ~ver value)
+          s.s_versions;
+        List.iter
+          (fun (reader, r_ver) -> Mvstore.Vrecord.commit_read vr ~reader ~r_ver)
+          s.s_creads)
+      store;
+    List.iter
+      (fun (te : Msg.truncate_entry) ->
+        let e = entry t te.Msg.t_ver te.Msg.t_eid in
+        (match (e.vote, te.Msg.t_vote) with
+         | None, Some v -> e.vote <- Some v
+         | _ -> ());
+        (match te.Msg.t_fin with
+         | Some (fv, fd) when fv > e.fin_view ->
+           e.fin_view <- fv;
+           e.fin_dec <- Some fd;
+           if fv > e.view then e.view <- fv
+         | _ -> ());
+        (match (e.decision, te.Msg.t_decision) with
+         | None, Some d ->
+           let abort =
+             Decision.equal d Decision.Abandon
+             && Hashtbl.find_opt t.decision_log te.Msg.t_ver = Some `Abort
+           in
+           e.decision <- Some (d, abort)
+         | _ -> ());
+        if e.read_set = [] then e.read_set <- te.Msg.t_read_set;
+        if e.write_set = [] then e.write_set <- te.Msg.t_write_set)
+      erecord;
+    match watermark with
+    | Some w
+      when (match t.watermark with
+            | Some cur -> Version.compare w cur > 0
+            | None -> true) ->
+      t.watermark <- Some w
+    | _ -> ()
+  end
+
+let finish_catchup t cu =
+  t.mode <- Normal;
+  t.stats.catchups <- t.stats.catchups + 1;
+  t.stats.catchup_wait_us <-
+    t.stats.catchup_wait_us + (Engine.now t.engine - cu.cu_started_us);
+  Log.debug (fun m ->
+      m "replica %d caught up from %d donors" t.index (List.length cu.cu_from));
+  let buffered = List.rev cu.cu_buffer in
+  cu.cu_buffer <- [];
+  List.iter
+    (fun (_src, msg) ->
+      match msg with
+      | Msg.Decide { ver; eid; decision; abort; read_set; write_set } ->
+        handle_decide t ver eid decision abort read_set write_set
+      | Msg.Truncation_finished { t_upto; merged } ->
+        handle_truncation_finished t t_upto merged
+      | _ -> ())
+    buffered
+
+let handle_recovering t ~src cu msg =
+  match msg with
+  | Msg.Catchup_reply { cu_watermark; cu_decisions; cu_store; cu_erecord } ->
+    absorb_catchup t ~src cu cu_watermark cu_decisions cu_store cu_erecord;
+    if List.length cu.cu_from >= t.cfg.f + 1 then finish_catchup t cu
+  | Msg.Decide _ | Msg.Truncation_finished _ ->
+    (* Buffer and replay after the base state is installed; the decision
+       merge is idempotent so ordering does not matter. *)
+    cu.cu_buffer <- (src, msg) :: cu.cu_buffer
+  | _ ->
+    (* While recovering this replica answers nothing: no Prepare, Get,
+       Put, Finalize, Paxos_prepare, or truncation traffic.  A quorum
+       (fast-path 2f+1, forced f+1, truncation-merge f+1) must never
+       count an amnesiac replica's empty state as a vote, and a
+       recovering replica must not donate state it does not have. *)
+    ()
+
 (* --- Dispatch ----------------------------------------------------------- *)
 
 let service_cost t = function
@@ -753,8 +949,9 @@ let service_cost t = function
   | Msg.Prepare_reply _ -> t.cfg.finalize_cost_us
   | Msg.Truncate _ | Msg.Propose_merge _ | Msg.Propose_merge_reply _
   | Msg.Truncation_finished _ -> t.cfg.recovery_cost_us
+  | Msg.Catchup_request | Msg.Catchup_reply _ -> t.cfg.recovery_cost_us
 
-let handle t ~src msg =
+let handle_normal t ~src msg =
   match msg with
   | Msg.Get { ver; key; seq } -> handle_get t ~src ver key seq
   | Msg.Put { ver; key; value } -> handle_put t ver key value
@@ -777,6 +974,42 @@ let handle t ~src msg =
     handle_propose_merge_reply t t_upto t_view
   | Msg.Truncation_finished { t_upto; merged } ->
     handle_truncation_finished t t_upto merged
+  | Msg.Catchup_request -> handle_catchup_request t ~src
+  | Msg.Catchup_reply _ ->
+    (* Stale reply for an already-finished catch-up round. *)
+    ()
+
+let handle t ~src msg =
+  if t.stopped then ()
+  else
+    match t.mode with
+    | Recovering cu -> handle_recovering t ~src cu msg
+    | Normal -> handle_normal t ~src msg
+
+(* Restart entry point: called by the harness on a freshly created
+   (empty) replica after [set_peers].  Broadcasts the state-transfer
+   request and re-broadcasts every [catchup_retry_us] until f+1 distinct
+   donors replied (donors may be net-crashed or themselves recovering).
+   Quorum argument: any durable decision is held by f+1 replicas, of
+   which at least f are among this replica's 2f peers; f+1 replies from
+   those 2f peers must intersect that set in at least one replica. *)
+let start_catchup t =
+  match t.mode with
+  | Recovering _ -> ()
+  | Normal ->
+    let cu = { cu_from = []; cu_buffer = []; cu_started_us = Engine.now t.engine } in
+    t.mode <- Recovering cu;
+    broadcast t Msg.Catchup_request;
+    let rec retry () =
+      ignore
+        (Engine.schedule t.engine ~after:t.cfg.catchup_retry_us (fun () ->
+             match t.mode with
+             | Recovering cu' when cu' == cu && not t.stopped ->
+               broadcast t Msg.Catchup_request;
+               retry ()
+             | _ -> ()))
+    in
+    retry ()
 
 let schedule_truncation t =
   if t.cfg.truncation_interval_us > 0 then begin
@@ -784,22 +1017,33 @@ let schedule_truncation t =
     let rec tick () =
       ignore
         (Engine.schedule t.engine ~after:t.cfg.truncation_interval_us (fun () ->
-             let upto =
-               Version.make
-                 ~ts:(Sim.Clock.read clock - t.cfg.truncation_interval_us)
-                 ~id:min_int
-             in
-             if Version.compare upto (Version.make ~ts:0 ~id:min_int) > 0 then begin
-               let entries = snapshot_below t upto in
-               send t t.peers.(0) (Msg.Truncate { t_upto = upto; entries })
-             end;
-             tick ()))
+             if t.stopped then ()
+             else begin
+               (* A recovering replica's partial snapshot must not count
+                  toward the coordinator's f+1 merge quorum. *)
+               (match t.mode with
+                | Recovering _ -> ()
+                | Normal ->
+                  let upto =
+                    Version.make
+                      ~ts:(Sim.Clock.read clock - t.cfg.truncation_interval_us)
+                      ~id:min_int
+                  in
+                  if Version.compare upto (Version.make ~ts:0 ~id:min_int) > 0
+                  then begin
+                    let entries = snapshot_below t upto in
+                    send t t.peers.(0) (Msg.Truncate { t_upto = upto; entries })
+                  end);
+               tick ()
+             end))
     in
     tick ()
   end
 
-let create ~cfg ~engine ~net ~rng ~index ~region ~cores =
-  let node = Net.add_node net ~region in
+(* A restart reuses the dead incarnation's node id so peers and clients
+   keep a stable address; [set_handler] atomically replaces the old
+   incarnation's handler. *)
+let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores =
   let t =
     {
       cfg; engine; net; rng; index; node;
@@ -821,10 +1065,17 @@ let create ~cfg ~engine ~net ~rng ~index ~region ~cores =
       trunc_merged = Hashtbl.create 8;
       stats =
         { prepares = 0; commit_votes = 0; tentative_votes = 0; final_votes = 0;
-          miss_notifications = 0; recoveries = 0; truncations = 0 };
+          miss_notifications = 0; recoveries = 0; truncations = 0;
+          state_transfer_msgs = 0; state_transfer_bytes = 0; catchups = 0;
+          catchup_wait_us = 0 };
+      stopped = false;
+      mode = Normal;
     }
   in
   Net.set_handler net node (fun ~src msg ->
       Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
   schedule_truncation t;
   t
+
+let create ~cfg ~engine ~net ~rng ~index ~region ~cores =
+  create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~rng ~index ~cores

@@ -30,6 +30,10 @@ type stats = {
   mutable miss_notifications : int;  (** unsolicited Get_replies pushed *)
   mutable recoveries : int;
   mutable truncations : int;
+  mutable state_transfer_msgs : int;  (** catch-up replies donated *)
+  mutable state_transfer_bytes : int;  (** estimated bytes donated *)
+  mutable catchups : int;  (** catch-up rounds completed here *)
+  mutable catchup_wait_us : int;  (** total restart-to-caught-up time *)
 }
 
 val create :
@@ -43,6 +47,18 @@ val create :
   t
 (** Create replica [index] (of [2f+1]) and register it on the network.
     [peers] must be completed with {!set_peers} before traffic flows. *)
+
+val create_at :
+  node:Simnet.Net.node ->
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  rng:Sim.Rng.t ->
+  index:int ->
+  cores:int ->
+  t
+(** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
+    dead replica's existing [node] instead of allocating a new one. *)
 
 val set_peers : t -> int array -> unit
 (** Node ids of all replicas, in index order (including this one). *)
@@ -72,3 +88,27 @@ val read_current : t -> string -> string option
 
 val erecord_size : t -> int
 (** Number of live erecord entries (GC tests). *)
+
+(** {1 Amnesia-crash lifecycle} *)
+
+val stop : t -> unit
+(** Mark this incarnation dead: it stops sending and handling messages,
+    including CPU jobs already queued before the kill.  Pair with
+    [Simnet.Net.crash] and a later fresh {!create} on the same node. *)
+
+val is_stopped : t -> bool
+
+val start_catchup : t -> unit
+(** Enter [Recovering] mode and request state transfer from peers.  The
+    replica answers no Prepare/Get/Put/Finalize/Paxos_prepare traffic —
+    no quorum can count its amnesiac vote — until f+1 distinct donors
+    replied, then it resumes normal service.  Call on a freshly created
+    replica after {!set_peers} (and after [Simnet.Net.recover]). *)
+
+val is_recovering : t -> bool
+
+val recovery_view : n_replicas:int -> cur_view:int -> index:int -> int
+(** The view replica [index] proposes when recovering a transaction
+    whose highest observed view is [cur_view]: the next multiple of the
+    stride ([n_replicas + 1]) plus [index + 1], so proposals are unique
+    per replica for any cluster size and strictly exceed [cur_view]. *)

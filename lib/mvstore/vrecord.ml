@@ -104,6 +104,9 @@ let prepared_read_missing_write t ~w_ver =
 
 let committed_value t ver = Version.Map.find_opt ver t.committed_writes
 
+let newest_committed t =
+  Option.map fst (Version.Map.max_binding_opt t.committed_writes)
+
 let prepare_read t ~reader ~eid ~r_ver =
   Hashtbl.replace t.prepared_reads reader (eid, r_ver)
 
@@ -178,3 +181,10 @@ let stats t =
     Version.Map.cardinal t.uncommitted_writes,
     Hashtbl.length t.prepared_reads + Hashtbl.length t.prepared_writes,
     Version.Map.cardinal t.committed_writes )
+
+let committed_writes_list t = Version.Map.bindings t.committed_writes
+
+let committed_reads_list t =
+  List.sort compare
+    (Hashtbl.fold (fun reader r_ver acc -> (reader, r_ver) :: acc)
+       t.committed_reads [])

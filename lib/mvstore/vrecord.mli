@@ -78,6 +78,10 @@ val committed_value : t -> Version.t -> string option
 (** Check 3 (dirty reads): the committed value installed at exactly the
     given version, if any. *)
 
+val newest_committed : t -> Version.t option
+(** Version of the key's current committed value — the one write
+    {!gc_below} retains even below the truncation watermark. *)
+
 (** {1 Prepare / decide transitions} *)
 
 val prepare_read : t -> reader:Version.t -> eid:int -> r_ver:Version.t -> unit
@@ -125,3 +129,13 @@ val gc_below : t -> Version.t -> unit
 val stats : t -> int * int * int * int
 (** (uncommitted reads, uncommitted writes, prepared entries, committed
     writes) — for GC tests. *)
+
+(** {1 State transfer (amnesia-crash recovery)} *)
+
+val committed_writes_list : t -> (Version.t * string) list
+(** All committed (version, value) pairs in version order — the durable
+    per-key state shipped to a restarted replica during catch-up. *)
+
+val committed_reads_list : t -> (Version.t * Version.t) list
+(** All committed (reader, read-version) pairs, sorted — needed so a
+    restarted replica can still run validation check 2a. *)

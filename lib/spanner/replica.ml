@@ -49,12 +49,15 @@ type t = {
   mutable last_prepare_ts : int;
   mutable max_commit_ts : int;
   stats : stats;
+  mutable stopped : bool;
 }
 
 let node t = t.node
 let cpu t = t.cpu
 let is_leader t = t.index = 0
 let stats t = t.stats
+let stop t = t.stopped <- true
+let is_stopped t = t.stopped
 let set_peers t peers = t.peers <- peers
 let waiting_locks t = Lock_table.waiting t.locks
 
@@ -97,7 +100,7 @@ let load t pairs =
       m := Version.Map.add Version.zero value !m)
     pairs
 
-let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+let send t dst msg = if not t.stopped then Net.send t.net ~src:t.node ~dst msg
 
 (* --- Paxos emulation ---------------------------------------------------- *)
 
@@ -316,6 +319,8 @@ let handle_ro_read t ~src ro_id key ts seq =
   end
 
 let handle t ~src msg =
+  if t.stopped then ()
+  else
   match msg with
   | Msg.Lock_read { txn; key; seq } -> handle_lock t ~src txn key seq Lock_table.Read
   | Msg.Lock_write { txn; key; seq } -> handle_lock t ~src txn key seq Lock_table.Write
@@ -345,8 +350,40 @@ let service_cost t = function
   | Msg.Lock_reply _ | Msg.Wounded _ | Msg.Prepare_ack _ | Msg.Prepare_nack _
   | Msg.Ro_reply _ -> t.cfg.lock_cost_us
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores =
-  let node = Net.add_node net ~region in
+(* State transfer for amnesia-crash recovery.  Only followers are ever
+   killed (the leader's lock table and prepared set have no replicated
+   representation in this emulation — see EXPERIMENTS.md), so a snapshot
+   is just the committed store.  Installing also advances the timestamp
+   high-water marks past every transferred commit, preserving the
+   monotonicity discipline should this replica ever serve as leader. *)
+type snapshot = (string * (Version.t * string) list) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun key m acc -> (key, Version.Map.bindings !m) :: acc)
+    t.store []
+
+let snapshot_bytes sn =
+  List.fold_left
+    (fun acc (key, vs) ->
+      List.fold_left
+        (fun acc (_, value) -> acc + String.length key + String.length value + 16)
+        acc vs)
+    0 sn
+
+let install t sn =
+  List.iter
+    (fun (key, vs) ->
+      let m = versions t key in
+      List.iter
+        (fun (v, value) ->
+          m := Version.Map.add v value !m;
+          t.max_commit_ts <- max t.max_commit_ts v.Version.ts)
+        vs)
+    sn;
+  t.last_prepare_ts <- max t.last_prepare_ts t.max_commit_ts
+
+let create_at ~node ~cfg ~engine ~net ~group ~index ~cores =
   let t =
     {
       cfg; engine; net;
@@ -368,11 +405,16 @@ let create ~cfg ~engine ~net ~group ~index ~region ~cores =
       last_prepare_ts = 0;
       max_commit_ts = 0;
       stats = { wounds = 0; prepares = 0; nacks = 0; ro_reads = 0; lock_waits = 0 };
+      stopped = false;
     }
   in
   Net.set_handler net node (fun ~src msg ->
       Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
   t
+
+let create ~cfg ~engine ~net ~group ~index ~region ~cores =
+  create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
+    ~cores
 
 let debug_counts t =
   ( Hashtbl.length t.prepared,

@@ -34,6 +34,18 @@ val create :
   cores:int ->
   t
 
+val create_at :
+  node:Simnet.Net.node ->
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  group:int ->
+  index:int ->
+  cores:int ->
+  t
+(** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
+    dead replica's existing [node] instead of allocating a new one. *)
+
 val set_peers : t -> int array -> unit
 (** Node ids of the group's replicas in index order (leader first). *)
 
@@ -56,3 +68,29 @@ val waiting_locks : t -> int
 val debug_counts : t -> int * int * int * int
 (** (prepared, pending prepares, queued read-only reads, queued lock
     requests) — diagnostics. *)
+
+(** {1 Amnesia-crash lifecycle}
+
+    Only {e followers} may be killed: the content-free Paxos emulation
+    replicates record {e existence}, not payloads, so a leader's
+    committed writes survive nowhere else and an amnesiac leader could
+    ghost-lose committed data. *)
+
+val stop : t -> unit
+(** Mark this incarnation dead: it stops sending and handling messages,
+    including CPU jobs already queued before the kill. *)
+
+val is_stopped : t -> bool
+
+type snapshot
+(** Transferable follower state: the committed multi-version store. *)
+
+val snapshot : t -> snapshot
+
+val install : t -> snapshot -> unit
+(** Monotone merge of a donor snapshot (committed-version union); also
+    advances the timestamp high-water marks past every transferred
+    commit.  Install snapshots from {e all} surviving group peers. *)
+
+val snapshot_bytes : snapshot -> int
+(** Estimated wire size, for state-transfer accounting. *)

@@ -27,11 +27,14 @@ type t = {
   prepared_reads : (string, Version.Set.t ref) Hashtbl.t;
   prepared_writes : (string, Version.Set.t ref) Hashtbl.t;
   stats : stats;
+  mutable stopped : bool;
 }
 
 let node t = t.node
 let cpu t = t.cpu
 let stats t = t.stats
+let stop t = t.stopped <- true
+let is_stopped t = t.stopped
 
 let versions t key =
   match Hashtbl.find_opt t.store key with
@@ -82,7 +85,7 @@ let other_holds table key txn =
   | None -> false
   | Some s -> not (Version.Set.is_empty (Version.Set.remove txn !s))
 
-let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+let send t dst msg = if not t.stopped then Net.send t.net ~src:t.node ~dst msg
 
 (* OCC validation: votes abort on any stale read or conflicting
    prepared/committed state. *)
@@ -137,6 +140,8 @@ let handle_commit t txn writes =
     writes
 
 let handle t ~src msg =
+  if t.stopped then ()
+  else
   match msg with
   | Msg.Read { txn; key; seq } ->
     let w_ver, value = latest t key in
@@ -158,9 +163,63 @@ let service_cost t = function
   | Msg.Commit _ | Msg.Abort _ -> t.cfg.commit_cost_us
   | Msg.Read_reply _ | Msg.Prepare_reply _ -> t.cfg.read_cost_us
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores =
+(* State transfer for amnesia-crash recovery.  A snapshot carries the
+   committed store plus the prepared table: inheriting prepared entries
+   (and their per-key markers) keeps in-flight transactions able to
+   force abort votes against conflicting validation at the fresh
+   incarnation, closing the window where a restarted replica would vote
+   commit on state a surviving peer already promised away. *)
+type snapshot = {
+  sn_store : (string * (Version.t * string) list) list;
+  sn_prepared : prepared list;
+}
+
+let snapshot t =
+  {
+    sn_store =
+      Hashtbl.fold
+        (fun key m acc -> (key, Version.Map.bindings !m) :: acc)
+        t.store [];
+    sn_prepared = Hashtbl.fold (fun _ p acc -> p :: acc) t.prepared [];
+  }
+
+let snapshot_bytes sn =
+  let store_bytes =
+    List.fold_left
+      (fun acc (key, versions) ->
+        List.fold_left
+          (fun acc (_, value) -> acc + String.length key + String.length value + 16)
+          acc versions)
+      0 sn.sn_store
+  in
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc (key, _) -> acc + String.length key + 16)
+        (List.fold_left
+           (fun acc (key, value) ->
+             acc + String.length key + String.length value + 16)
+           (acc + 16) p.p_writes)
+        p.p_reads)
+    store_bytes sn.sn_prepared
+
+let install t sn =
+  List.iter
+    (fun (key, vs) ->
+      let m = versions t key in
+      List.iter (fun (v, value) -> m := Version.Map.add v value !m) vs)
+    sn.sn_store;
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem t.prepared p.p_txn) then begin
+        Hashtbl.replace t.prepared p.p_txn p;
+        List.iter (fun (key, _) -> mark t.prepared_reads key p.p_txn) p.p_reads;
+        List.iter (fun (key, _) -> mark t.prepared_writes key p.p_txn) p.p_writes
+      end)
+    sn.sn_prepared
+
+let create_at ~node ~cfg ~engine ~net ~group ~index ~cores =
   ignore index;
-  let node = Net.add_node net ~region in
   let t =
     {
       cfg; net; group; node;
@@ -170,8 +229,13 @@ let create ~cfg ~engine ~net ~group ~index ~region ~cores =
       prepared_reads = Hashtbl.create 256;
       prepared_writes = Hashtbl.create 256;
       stats = { prepares = 0; commit_votes = 0; abort_votes = 0 };
+      stopped = false;
     }
   in
   Net.set_handler net node (fun ~src msg ->
       Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
   t
+
+let create ~cfg ~engine ~net ~group ~index ~region ~cores =
+  create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
+    ~cores

@@ -30,6 +30,18 @@ val create :
   cores:int ->
   t
 
+val create_at :
+  node:Simnet.Net.node ->
+  cfg:Config.t ->
+  engine:Sim.Engine.t ->
+  net:Msg.t Simnet.Net.t ->
+  group:int ->
+  index:int ->
+  cores:int ->
+  t
+(** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
+    dead replica's existing [node] instead of allocating a new one. *)
+
 val node : t -> Simnet.Net.node
 
 val cpu : t -> Simnet.Cpu.t
@@ -40,3 +52,26 @@ val stats : t -> stats
 
 val read_current : t -> string -> string option
 (** Latest committed value (tests). *)
+
+(** {1 Amnesia-crash lifecycle} *)
+
+val stop : t -> unit
+(** Mark this incarnation dead: it stops sending and handling messages,
+    including CPU jobs already queued before the kill. *)
+
+val is_stopped : t -> bool
+
+type snapshot
+(** Transferable replica state: committed store plus the prepared table
+    (with per-key markers re-derived on install). *)
+
+val snapshot : t -> snapshot
+
+val install : t -> snapshot -> unit
+(** Monotone merge of a donor snapshot into this replica: committed
+    versions union, prepared entries adopted only when absent.  Install
+    snapshots from {e all} surviving group peers so the fresh
+    incarnation misses no committed write nor in-flight prepare. *)
+
+val snapshot_bytes : snapshot -> int
+(** Estimated wire size, for state-transfer accounting. *)

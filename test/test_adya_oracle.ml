@@ -113,6 +113,7 @@ let dummy_result ?(committed = 1) ?(rate = 1.0) () =
     r_cpu_utilization = 0.;
     r_reexecs_per_txn = 0.;
     r_msgs_per_txn = 0.;
+    r_recovery = Harness.Stats.no_recovery;
   }
 
 let test_audit_flags_anomaly () =

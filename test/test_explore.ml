@@ -58,7 +58,8 @@ let test_audited_run_serializable () =
 let test_schedule_generate_deterministic () =
   let gen seed =
     let rng = Sim.Rng.create seed in
-    Explore.Schedule.generate ~rng ~horizon_us:250_000 ~n_replicas:4 ~episodes:3
+    Explore.Schedule.generate ~kill_restart:true ~rng ~horizon_us:250_000
+      ~n_replicas:4 ~episodes:3
   in
   Alcotest.(check string) "same seed, same schedule"
     (Explore.Schedule.to_string (gen 42))
@@ -67,15 +68,17 @@ let test_schedule_generate_deterministic () =
     (Explore.Schedule.to_string (gen 42) <> Explore.Schedule.to_string (gen 43))
 
 let test_schedule_generate_bracketed () =
-  (* Every episode is closed: equal numbers of crash/recover and
-     isolate/heal, and the last loss/delay events clear their knob, so
-     the run always ends fault-free. *)
+  (* Every episode is closed: equal numbers of crash/recover,
+     isolate/heal, and kill/restart, and the last loss/delay events
+     clear their knob, so the run always ends fault-free. *)
   for seed = 1 to 20 do
     let rng = Sim.Rng.create seed in
     let sched =
-      Explore.Schedule.generate ~rng ~horizon_us:250_000 ~n_replicas:4 ~episodes:4
+      Explore.Schedule.generate ~kill_restart:true ~rng ~horizon_us:250_000
+        ~n_replicas:4 ~episodes:4
     in
     let crash = ref 0 and recover = ref 0 and isolate = ref 0 and heal = ref 0 in
+    let kill = ref 0 and restart = ref 0 in
     let last_loss = ref 0. and last_delay = ref 0 in
     List.iter
       (fun { Explore.Schedule.at_us; ev } ->
@@ -84,6 +87,8 @@ let test_schedule_generate_bracketed () =
         match ev with
         | Explore.Schedule.Crash _ -> incr crash
         | Recover _ -> incr recover
+        | Kill _ -> incr kill
+        | Restart _ -> incr restart
         | Isolate _ -> incr isolate
         | Heal_all -> incr heal
         | Loss p -> last_loss := p
@@ -91,8 +96,48 @@ let test_schedule_generate_bracketed () =
       (Explore.Schedule.events sched);
     Alcotest.(check int) "crashes recovered" !crash !recover;
     Alcotest.(check int) "isolations healed" !isolate !heal;
+    Alcotest.(check int) "kills restarted" !kill !restart;
+    Alcotest.(check bool) "kill episode present" true (!kill >= 1);
     Alcotest.(check (float 0.)) "loss cleared" 0. !last_loss;
     Alcotest.(check int) "delay cleared" 0 !last_delay
+  done;
+  (* With kill_restart off, no amnesia events appear at all. *)
+  for seed = 1 to 10 do
+    let rng = Sim.Rng.create seed in
+    let sched =
+      Explore.Schedule.generate ~kill_restart:false ~rng ~horizon_us:250_000
+        ~n_replicas:4 ~episodes:4
+    in
+    List.iter
+      (fun { Explore.Schedule.ev; _ } ->
+        match ev with
+        | Explore.Schedule.Kill _ | Restart _ ->
+          Alcotest.fail "kill/restart generated with kill_restart:false"
+        | _ -> ())
+      (Explore.Schedule.events sched)
+  done
+
+(* Amnesia windows never overlap: at most one replica is dead-or-
+   recovering at any instant, which keeps every system inside its
+   f-threshold for any group layout. *)
+let test_schedule_kill_windows_disjoint () =
+  for seed = 1 to 30 do
+    let rng = Sim.Rng.create (100 + seed) in
+    let sched =
+      Explore.Schedule.generate ~kill_restart:true ~rng ~horizon_us:250_000
+        ~n_replicas:4 ~episodes:6
+    in
+    let depth = ref 0 in
+    List.iter
+      (fun { Explore.Schedule.ev; _ } ->
+        match ev with
+        | Explore.Schedule.Kill _ ->
+          incr depth;
+          Alcotest.(check bool) "at most one amnesiac at a time" true (!depth <= 1)
+        | Explore.Schedule.Restart _ -> decr depth
+        | _ -> ())
+      (Explore.Schedule.events sched);
+    Alcotest.(check int) "every kill closed" 0 !depth
   done
 
 let test_schedule_of_list_sorts () =
@@ -245,6 +290,8 @@ let suites =
         Alcotest.test_case "generation deterministic" `Quick
           test_schedule_generate_deterministic;
         Alcotest.test_case "episodes bracketed" `Quick test_schedule_generate_bracketed;
+        Alcotest.test_case "kill windows disjoint" `Quick
+          test_schedule_kill_windows_disjoint;
         Alcotest.test_case "of_list sorts" `Quick test_schedule_of_list_sorts;
       ] );
     ( "explore.sweep",

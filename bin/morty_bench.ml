@@ -96,8 +96,23 @@ let victim =
            ~doc:"Replica slot for --kill-at-ms/--restart-at-ms (wraps mod the \
                  cluster size; default: the last replica).")
 
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ]
+           ~doc:"Write a per-transaction span trace (Chrome trace_event JSON, \
+                 loadable in Perfetto / chrome://tracing) to $(docv).  With \
+                 --sweep, the last point's trace wins." ~docv:"FILE")
+
+let metrics_out =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ]
+           ~doc:"Write per-replica time-series samples (CPU busy fraction, \
+                 queue depth, record/store sizes, watermark lag on a 10 ms \
+                 virtual ticker) as CSV to $(docv)." ~docv:"FILE")
+
 let run system setup workload theta keys warehouses read_pct clients cores
-    duration_ms warmup_ms seed sweep kill_at_ms restart_at_ms victim =
+    duration_ms warmup_ms seed sweep kill_at_ms restart_at_ms victim trace_out
+    metrics_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -140,11 +155,23 @@ let run system setup workload theta keys warehouses read_pct clients cores
               (Sim.Engine.schedule_at ops.co_engine ~at:(restart_ms * 1000)
                  (fun () -> ops.co_restart victim)))
   in
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
   let print_point e =
-    let r = Harness.Run.run_exp ?faults e in
+    let obs =
+      if trace_out <> None || metrics_out <> None then
+        Obs.Sink.create ~seed:e.Harness.Run.e_seed
+      else Obs.Sink.null
+    in
+    let r = Harness.Run.run_exp ?faults ~obs e in
     Fmt.pr "%a@." Harness.Stats.pp_result r;
     if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
-      Fmt.pr "%a@." Harness.Stats.pp_recovery r
+      Fmt.pr "%a@." Harness.Stats.pp_recovery r;
+    Option.iter (fun path -> write path (Obs.Trace.to_json obs)) trace_out;
+    Option.iter (fun path -> write path (Obs.Metrics.to_csv obs)) metrics_out
   in
   Fmt.pr "%a@." Harness.Stats.pp_result_header ();
   match sweep with
@@ -158,6 +185,6 @@ let cmd =
     Term.(
       const run $ system $ setup $ workload $ theta $ keys $ warehouses
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
-      $ kill_at_ms $ restart_at_ms $ victim)
+      $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

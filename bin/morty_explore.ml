@@ -101,8 +101,15 @@ let no_kill =
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
 
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ]
+           ~doc:"Write each audit failure's span trace (Chrome trace_event \
+                 JSON of the shrunk reproducer's run, Perfetto-loadable) to \
+                 $(docv), $(docv).2, ... in failure order." ~docv:"FILE")
+
 let run systems workload_names seeds seed_base schedules episodes clients cores
-    measure_ms smoke no_kill quiet =
+    measure_ms smoke no_kill quiet trace_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -131,16 +138,18 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
             r.Harness.Stats.r_aborted rc.Harness.Stats.rc_kills
             rc.Harness.Stats.rc_restarts rc.Harness.Stats.rc_transfer_msgs
         else
-          Fmt.pr "pass %-55s committed=%d aborted=%d@."
+          let ev = r.Harness.Stats.r_events in
+          Fmt.pr "pass %-55s committed=%d aborted=%d events=t:%d/d:%d/k:%d@."
             (Explore.Case.label case) r.Harness.Stats.r_committed
-            r.Harness.Stats.r_aborted
+            r.Harness.Stats.r_aborted ev.Harness.Stats.ev_timers
+            ev.Harness.Stats.ev_deliveries ev.Harness.Stats.ev_tickers
       | Error v ->
         Fmt.pr "FAIL %-55s %s@." (Explore.Case.label case)
           (Explore.Audit.violation_to_string v)
   in
   let summary = Explore.Sweep.run ~progress cfg in
-  List.iter
-    (fun { Explore.Sweep.f_original; f_shrunk } ->
+  List.iteri
+    (fun i { Explore.Sweep.f_original; f_shrunk; f_trace } ->
       Fmt.pr "@.=== audit violation: %s@."
         (Explore.Audit.violation_to_string f_shrunk.Explore.Shrink.s_violation);
       Fmt.pr "original: %s@." (Explore.Case.label f_original);
@@ -148,7 +157,15 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         (Explore.Case.label f_shrunk.Explore.Shrink.s_case);
       Fmt.pr "--- reproducer -------------------------------------------------@.";
       Fmt.pr "%s" (Explore.Shrink.reproducer f_shrunk);
-      Fmt.pr "----------------------------------------------------------------@.")
+      Fmt.pr "----------------------------------------------------------------@.";
+      match trace_out with
+      | None -> ()
+      | Some base ->
+        let path = if i = 0 then base else Printf.sprintf "%s.%d" base (i + 1) in
+        let oc = open_out path in
+        output_string oc f_trace;
+        close_out oc;
+        Fmt.pr "trace of shrunk case written to %s@." path)
     summary.Explore.Sweep.s_failures;
   Fmt.pr "SUMMARY %a@." Explore.Sweep.pp_summary summary;
   if summary.Explore.Sweep.s_failures = [] then 0 else 1
@@ -159,6 +176,6 @@ let cmd =
     (Cmd.info "morty_explore" ~doc)
     Term.(
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
-      $ clients $ cores $ measure_ms $ smoke $ no_kill $ quiet)
+      $ clients $ cores $ measure_ms $ smoke $ no_kill $ quiet $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -66,7 +66,7 @@ let () =
           if remaining > 0 then
             transfer client crng (function
               | Outcome.Committed -> loop (remaining - 1) 0
-              | Outcome.Aborted ->
+              | Outcome.Aborted _ ->
                 ignore
                   (Sim.Engine.schedule engine
                      ~after:(1 + Sim.Rng.int crng (10_000 * (1 lsl min attempt 7)))

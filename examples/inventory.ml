@@ -54,7 +54,7 @@ let () =
                 Hashtbl.replace kind_counts kind
                   (1 + try Hashtbl.find kind_counts kind with Not_found -> 0);
                 loop (remaining - 1) 0
-              | Outcome.Aborted ->
+              | Outcome.Aborted _ ->
                 ignore
                   (Sim.Engine.schedule engine
                      ~after:(1 + Sim.Rng.int crng (10_000 * (1 lsl min attempt 7)))

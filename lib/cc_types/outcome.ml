@@ -1,7 +1,9 @@
-type t = Committed | Aborted
+type t = Committed | Aborted of Obs.Abort_reason.t
 
 let pp ppf = function
   | Committed -> Fmt.string ppf "committed"
-  | Aborted -> Fmt.string ppf "aborted"
+  | Aborted r -> Fmt.pf ppf "aborted(%a)" Obs.Abort_reason.pp r
 
-let is_committed = function Committed -> true | Aborted -> false
+let is_committed = function Committed -> true | Aborted _ -> false
+
+let reason = function Committed -> None | Aborted r -> Some r

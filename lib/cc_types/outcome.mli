@@ -2,8 +2,13 @@
 
 type t =
   | Committed
-  | Aborted  (** All executions abandoned; the client may retry. *)
+  | Aborted of Obs.Abort_reason.t
+      (** All executions abandoned, with the classified cause; the
+          client may retry. *)
 
 val pp : Format.formatter -> t -> unit
 
 val is_committed : t -> bool
+
+val reason : t -> Obs.Abort_reason.t option
+(** The abort cause, or [None] for commits. *)

@@ -33,6 +33,7 @@ let smoke_config =
 type failure = {
   f_original : Case.t;
   f_shrunk : Shrink.outcome;
+  f_trace : string;
 }
 
 type summary = {
@@ -95,7 +96,19 @@ let run ?(progress = fun _ _ -> ()) cfg =
                   let shrunk =
                     Shrink.minimize ~max_runs:cfg.shrink_budget ~fails case v
                   in
-                  failures := { f_original = case; f_shrunk = shrunk } :: !failures
+                  (* Re-run the minimized case once more with tracing on:
+                     the span trace of the failing history rides along
+                     with the reproducer.  Determinism guarantees it is
+                     the same history the audit rejected. *)
+                  let trace =
+                    let sc = shrunk.Shrink.s_case in
+                    let sink = Obs.Sink.create ~seed:sc.Case.c_seed in
+                    ignore (Case.run ~obs:sink sc);
+                    Obs.Trace.to_json sink
+                  in
+                  failures :=
+                    { f_original = case; f_shrunk = shrunk; f_trace = trace }
+                    :: !failures
               done)
             cfg.seeds)
         cfg.workload_names)

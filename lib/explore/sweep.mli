@@ -35,6 +35,10 @@ val smoke_config : config
 type failure = {
   f_original : Case.t;
   f_shrunk : Shrink.outcome;
+  f_trace : string;
+      (** Chrome trace_event JSON of the shrunk case's failing run
+          (deterministic re-execution with a tracing sink) — load in
+          Perfetto alongside the reproducer *)
 }
 
 type summary = {

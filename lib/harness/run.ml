@@ -113,6 +113,45 @@ let make_cluster_ops engine net replica_nodes ~kill ~restart =
 
 let inject faults ops = match faults with None -> () | Some f -> f ops
 
+(* --- Metrics sampling ----------------------------------------------------
+
+   A virtual-time ticker samples every replica slot at a fixed interval.
+   Ticker events are read-only — they draw no randomness and mutate no
+   protocol state — so enabling metrics never perturbs the simulated
+   history.  Nothing is scheduled at all on a disabled sink. *)
+
+let metrics_interval_us = 10_000
+
+let install_metrics ~engine ~obs ~horizon ~sample =
+  if Obs.Sink.enabled obs then begin
+    let rec tick () =
+      sample ~now:(Engine.now engine);
+      if Engine.now engine + metrics_interval_us <= horizon then
+        ignore
+          (Engine.schedule engine ~kind:Engine.Ticker
+             ~after:metrics_interval_us tick)
+    in
+    ignore
+      (Engine.schedule engine ~kind:Engine.Ticker ~after:metrics_interval_us
+         tick)
+  end
+
+(* Busy fraction over one sampling interval from a monotone busy-µs
+   counter; clamped at 0 because [Cpu.reset_stats] at the warm-up
+   boundary rewinds the counter once. *)
+let busy_frac prev ~slot ~cores ~busy_us =
+  let d = max 0 (busy_us - prev.(slot)) in
+  prev.(slot) <- busy_us;
+  min 1.0 (float_of_int d /. float_of_int (metrics_interval_us * max 1 cores))
+
+let events_of_engine engine =
+  let k = Engine.events_by_kind engine in
+  {
+    Stats.ev_timers = k.Engine.k_timer;
+    ev_deliveries = k.Engine.k_delivery;
+    ev_tickers = k.Engine.k_ticker;
+  }
+
 (* Generic closed-loop driver over any system's client module. *)
 module Driver (C : Cc_types.Kv_api.S) = struct
   (* [pick rng] freshly parameterises one transaction and returns its
@@ -134,13 +173,15 @@ module Driver (C : Cc_types.Kv_api.S) = struct
             if in_window then
               Stats.record_commit stats ~latency_us:(now - txn_start);
             next ()
-          | Outcome.Aborted ->
-            if in_window then Stats.record_abort stats;
+          | Outcome.Aborted reason ->
+            if in_window then Stats.record_abort stats ~reason;
             if now < warm_end then begin
               let cap =
                 min backoff_cap_us (max 1 backoff_base_us * (1 lsl min n 8))
               in
               let wait = 1 + Sim.Rng.int rng cap in
+              if in_window then
+                Stats.record_phase stats Stats.P_backoff ~dur_us:wait;
               ignore
                 (Engine.schedule engine ~after:wait (fun () ->
                      attempt run txn_start (n + 1)))
@@ -289,7 +330,7 @@ let morty_recovery acc replicas =
     rc_catchup_wait_us = !cw;
   }
 
-let run_morty ?cfg ?on_txn ?faults e ~reexecution =
+let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -319,12 +360,27 @@ let run_morty ?cfg ?on_txn ?faults e ~reexecution =
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
-  let on_finish = Option.map (fun f r -> f (txn_of_morty r)) on_txn in
+  let record_phases (r : Morty.Client.record) =
+    if r.h_committed && r.h_end_us >= warm_start && r.h_end_us < warm_end
+    then begin
+      Stats.record_phase stats Stats.P_execute ~dur_us:r.h_exec_us;
+      Stats.record_phase stats Stats.P_prepare ~dur_us:r.h_prepare_us;
+      Stats.record_phase stats Stats.P_finalize ~dur_us:r.h_finalize_us
+    end
+  in
+  let on_finish =
+    match on_txn with
+    | None -> record_phases
+    | Some f ->
+      fun r ->
+        record_phases r;
+        f (txn_of_morty r)
+  in
   let clients =
     List.init e.e_clients (fun i ->
         let client =
           Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-            ~region:(client_region regions i) ~replicas:peers ?on_finish ()
+            ~region:(client_region regions i) ~replicas:peers ~obs ~on_finish ()
         in
         let crng = Sim.Rng.split rng in
         let pick =
@@ -359,6 +415,29 @@ let run_morty ?cfg ?on_txn ?faults e ~reexecution =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          Array.iter (fun r -> Simnet.Cpu.reset_stats (Morty.Replica.cpu r)) replicas));
+  let prev_busy = Array.make (Array.length replicas) 0 in
+  install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
+      Array.iteri
+        (fun i _ ->
+          let r = replicas.(i) in
+          let wlag =
+            match Morty.Replica.watermark r with
+            | Some w -> max 0 (now - w.Cc_types.Version.ts)
+            | None -> 0
+          in
+          Obs.Sink.sample obs
+            {
+              Obs.Sink.sm_ts = now;
+              sm_replica = Printf.sprintf "r%d" i;
+              sm_cpu_busy =
+                busy_frac prev_busy ~slot:i ~cores:e.e_cores
+                  ~busy_us:(Simnet.Cpu.busy_us (Morty.Replica.cpu r));
+              sm_queue = Simnet.Cpu.queue_length (Morty.Replica.cpu r);
+              sm_records = Morty.Replica.erecord_size r;
+              sm_versions = Morty.Replica.store_size r;
+              sm_wmark_lag = wlag;
+            })
+        replicas);
   let acc = fresh_acc () in
   inject faults
     (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~replicas ~peers ~acc);
@@ -390,11 +469,12 @@ let run_morty ?cfg ?on_txn ?faults e ~reexecution =
   in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
     ~cpu_utilization:cpu ~reexecs_per_txn ~msgs_per_txn
+    ~events:(events_of_engine engine)
     ~recovery:(morty_recovery acc replicas) ()
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
-let run_tapir ?(no_dist = false) ?on_txn ?faults e =
+let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -422,7 +502,22 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
-  let on_finish = Option.map (fun f r -> f (txn_of_tapir r)) on_txn in
+  let record_phases (r : Tapir.Client.record) =
+    if r.h_committed && r.h_end_us >= warm_start && r.h_end_us < warm_end
+    then begin
+      Stats.record_phase stats Stats.P_execute ~dur_us:r.h_exec_us;
+      Stats.record_phase stats Stats.P_prepare ~dur_us:r.h_prepare_us;
+      Stats.record_phase stats Stats.P_finalize ~dur_us:r.h_finalize_us
+    end
+  in
+  let on_finish =
+    match on_txn with
+    | None -> record_phases
+    | Some f ->
+      fun r ->
+        record_phases r;
+        f (txn_of_tapir r)
+  in
   List.iteri
     (fun i () ->
       let partition =
@@ -444,7 +539,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
       let client =
         Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
           ~region:(client_region regions i) ~groups:group_nodes ~partition
-          ?on_finish ()
+          ~obs ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -483,6 +578,28 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          List.iter Simnet.Cpu.reset_stats (all_cpus ())));
+  let prev_busy = Array.make (n_groups * Tapir.Config.n_replicas cfg) 0 in
+  install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
+      Array.iteri
+        (fun g group ->
+          Array.iteri
+            (fun k _ ->
+              let r = groups.(g).(k) in
+              let slot = (g * Array.length group) + k in
+              Obs.Sink.sample obs
+                {
+                  Obs.Sink.sm_ts = now;
+                  sm_replica = Printf.sprintf "g%dr%d" g k;
+                  sm_cpu_busy =
+                    busy_frac prev_busy ~slot ~cores:1
+                      ~busy_us:(Simnet.Cpu.busy_us (Tapir.Replica.cpu r));
+                  sm_queue = Simnet.Cpu.queue_length (Tapir.Replica.cpu r);
+                  sm_records = Tapir.Replica.prepared_count r;
+                  sm_versions = Tapir.Replica.store_size r;
+                  sm_wmark_lag = 0;
+                })
+            group)
+        groups);
   let acc = fresh_acc () in
   let nrep = Tapir.Config.n_replicas cfg in
   let total = n_groups * nrep in
@@ -562,11 +679,12 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults e =
     }
   in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
-    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ~recovery ()
+    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn
+    ~events:(events_of_engine engine) ~recovery ()
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
-let run_spanner ?on_txn ?faults e =
+let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -596,7 +714,22 @@ let run_spanner ?on_txn ?faults e =
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
-  let on_finish = Option.map (fun f r -> f (txn_of_spanner r)) on_txn in
+  let record_phases (r : Spanner.Client.record) =
+    if r.h_committed && r.h_end_us >= warm_start && r.h_end_us < warm_end
+    then begin
+      Stats.record_phase stats Stats.P_execute ~dur_us:r.h_exec_us;
+      Stats.record_phase stats Stats.P_prepare ~dur_us:r.h_prepare_us;
+      Stats.record_phase stats Stats.P_finalize ~dur_us:r.h_finalize_us
+    end
+  in
+  let on_finish =
+    match on_txn with
+    | None -> record_phases
+    | Some f ->
+      fun r ->
+        record_phases r;
+        f (txn_of_spanner r)
+  in
   List.iteri
     (fun i () ->
       let partition =
@@ -610,7 +743,8 @@ let run_spanner ?on_txn ?faults e =
       in
       let client =
         Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-          ~region:(client_region regions i) ~leaders ~partition ?on_finish ()
+          ~region:(client_region regions i) ~leaders ~partition ~obs
+          ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -649,6 +783,28 @@ let run_spanner ?on_txn ?faults e =
     (Engine.schedule engine ~after:warm_start (fun () ->
          msgs_at_warm := Simnet.Net.messages_delivered net;
          List.iter Simnet.Cpu.reset_stats (all_cpus ())));
+  let prev_busy = Array.make (n_groups * Spanner.Config.n_replicas cfg) 0 in
+  install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
+      Array.iteri
+        (fun g group ->
+          Array.iteri
+            (fun k _ ->
+              let r = groups.(g).(k) in
+              let slot = (g * Array.length group) + k in
+              Obs.Sink.sample obs
+                {
+                  Obs.Sink.sm_ts = now;
+                  sm_replica = Printf.sprintf "g%dr%d" g k;
+                  sm_cpu_busy =
+                    busy_frac prev_busy ~slot ~cores:1
+                      ~busy_us:(Simnet.Cpu.busy_us (Spanner.Replica.cpu r));
+                  sm_queue = Simnet.Cpu.queue_length (Spanner.Replica.cpu r);
+                  sm_records = Spanner.Replica.prepared_count r;
+                  sm_versions = Spanner.Replica.store_size r;
+                  sm_wmark_lag = 0;
+                })
+            group)
+        groups);
   let acc = fresh_acc () in
   let nrep = Spanner.Config.n_replicas cfg in
   let total = n_groups * nrep in
@@ -729,22 +885,24 @@ let run_spanner ?on_txn ?faults e =
     }
   in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
-    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn ~recovery ()
+    ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn
+    ~events:(events_of_engine engine) ~recovery ()
 
-let run_exp ?on_txn ?faults e =
+let run_exp ?on_txn ?faults ?obs e =
   match e.e_system with
-  | Morty -> run_morty ?on_txn ?faults e ~reexecution:true
-  | Mvtso -> run_morty ?on_txn ?faults e ~reexecution:false
-  | Tapir -> run_tapir ?on_txn ?faults e
-  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults e
-  | Spanner -> run_spanner ?on_txn ?faults e
+  | Morty -> run_morty ?on_txn ?faults ?obs e ~reexecution:true
+  | Mvtso -> run_morty ?on_txn ?faults ?obs e ~reexecution:false
+  | Tapir -> run_tapir ?on_txn ?faults ?obs e
+  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults ?obs e
+  | Spanner -> run_spanner ?on_txn ?faults ?obs e
 
-let run_exp_audited ?faults e =
+let run_exp_audited ?faults ?obs e =
   let txns = ref [] in
-  let result = run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults e in
+  let result = run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults ?obs e in
   (result, List.rev !txns)
 
-let run_morty_with_config e cfg = run_morty ~cfg e ~reexecution:cfg.Morty.Config.reexecution
+let run_morty_with_config ?obs e cfg =
+  run_morty ~cfg ?obs e ~reexecution:cfg.Morty.Config.reexecution
 
 let find_peak mk ~client_counts =
   let results = List.map (fun n -> run_exp (mk n)) client_counts in
@@ -832,7 +990,7 @@ let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
               let b = now / bucket_us in
               if b < n_buckets then buckets.(b) <- buckets.(b) + 1;
               next ()
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               if now < horizon then
                 let cap = min backoff_cap_us (max 1 e.e_backoff_base_us * (1 lsl min n 8)) in
                 ignore

@@ -1,48 +1,53 @@
+(* Streaming accumulators: latency is an HDR histogram (O(1) record, no
+   sort-per-call percentiles), aborts are counted per taxonomy entry,
+   and per-phase virtual time is accumulated in its own histograms. *)
+
+type phase = P_execute | P_prepare | P_finalize | P_backoff
+
+let phase_index = function
+  | P_execute -> 0
+  | P_prepare -> 1
+  | P_finalize -> 2
+  | P_backoff -> 3
+
+let n_phases = 4
+
 type t = {
-  mutable latencies : int array;
-  mutable n : int;
-  mutable aborted : int;
+  lat : Obs.Hist.t;
+  phases : Obs.Hist.t array;  (* per committed txn, by phase_index *)
+  aborts : int array;  (* by Obs.Abort_reason.index *)
 }
 
-let create () = { latencies = Array.make 1024 0; n = 0; aborted = 0 }
+let create () =
+  {
+    lat = Obs.Hist.create ();
+    phases = Array.init n_phases (fun _ -> Obs.Hist.create ());
+    aborts = Array.make Obs.Abort_reason.count 0;
+  }
 
-let record_commit t ~latency_us =
-  if t.n = Array.length t.latencies then begin
-    let bigger = Array.make (2 * t.n) 0 in
-    Array.blit t.latencies 0 bigger 0 t.n;
-    t.latencies <- bigger
-  end;
-  t.latencies.(t.n) <- latency_us;
-  t.n <- t.n + 1
+let record_commit t ~latency_us = Obs.Hist.record t.lat latency_us
 
-let record_abort t = t.aborted <- t.aborted + 1
+let record_abort t ~reason =
+  let i = Obs.Abort_reason.index reason in
+  t.aborts.(i) <- t.aborts.(i) + 1
 
-let committed t = t.n
+let record_phase t phase ~dur_us = Obs.Hist.record t.phases.(phase_index phase) dur_us
 
-let aborted t = t.aborted
+let committed t = Obs.Hist.count t.lat
+
+let aborted t = Array.fold_left ( + ) 0 t.aborts
+
+let aborts_by_reason t =
+  List.map (fun r -> (r, t.aborts.(Obs.Abort_reason.index r))) Obs.Abort_reason.all
 
 let commit_rate t =
-  let attempts = t.n + t.aborted in
-  if attempts = 0 then 1.0 else float_of_int t.n /. float_of_int attempts
+  let commits = committed t in
+  let attempts = commits + aborted t in
+  if attempts = 0 then 1.0 else float_of_int commits /. float_of_int attempts
 
-let mean_latency_us t =
-  if t.n = 0 then 0.
-  else begin
-    let sum = ref 0. in
-    for i = 0 to t.n - 1 do
-      sum := !sum +. float_of_int t.latencies.(i)
-    done;
-    !sum /. float_of_int t.n
-  end
+let mean_latency_us t = Obs.Hist.mean t.lat
 
-let percentile_latency_us t p =
-  if t.n = 0 then 0.
-  else begin
-    let sorted = Array.sub t.latencies 0 t.n in
-    Array.sort compare sorted;
-    let idx = int_of_float (p *. float_of_int (t.n - 1)) in
-    float_of_int sorted.(min idx (t.n - 1))
-  end
+let percentile_latency_us t p = Obs.Hist.percentile t.lat p
 
 type recovery = {
   rc_kills : int;
@@ -63,10 +68,15 @@ let no_recovery =
     rc_catchup_wait_us = 0;
   }
 
+type events = { ev_timers : int; ev_deliveries : int; ev_tickers : int }
+
+let no_events = { ev_timers = 0; ev_deliveries = 0; ev_tickers = 0 }
+
 type result = {
   r_label : string;
   r_committed : int;
   r_aborted : int;
+  r_aborts_by : (Obs.Abort_reason.t * int) list;
   r_goodput : float;
   r_mean_latency_ms : float;
   r_p50_latency_ms : float;
@@ -75,16 +85,23 @@ type result = {
   r_cpu_utilization : float;
   r_reexecs_per_txn : float;
   r_msgs_per_txn : float;
+  r_exec_ms : float;
+  r_prepare_ms : float;
+  r_finalize_ms : float;
+  r_backoff_ms : float;
+  r_events : events;
   r_recovery : recovery;
 }
 
 let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
-    ?(msgs_per_txn = 0.) ?(recovery = no_recovery) () =
+    ?(msgs_per_txn = 0.) ?(events = no_events) ?(recovery = no_recovery) () =
+  let phase_ms p = Obs.Hist.mean t.phases.(phase_index p) /. 1000. in
   {
     r_label = label;
-    r_committed = t.n;
-    r_aborted = t.aborted;
-    r_goodput = float_of_int t.n /. (float_of_int duration_us /. 1_000_000.);
+    r_committed = committed t;
+    r_aborted = aborted t;
+    r_aborts_by = aborts_by_reason t;
+    r_goodput = float_of_int (committed t) /. (float_of_int duration_us /. 1_000_000.);
     r_mean_latency_ms = mean_latency_us t /. 1000.;
     r_p50_latency_ms = percentile_latency_us t 0.50 /. 1000.;
     r_p99_latency_ms = percentile_latency_us t 0.99 /. 1000.;
@@ -92,19 +109,40 @@ let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     r_cpu_utilization = cpu_utilization;
     r_reexecs_per_txn = reexecs_per_txn;
     r_msgs_per_txn = msgs_per_txn;
+    r_exec_ms = phase_ms P_execute;
+    r_prepare_ms = phase_ms P_prepare;
+    r_finalize_ms = phase_ms P_finalize;
+    r_backoff_ms = phase_ms P_backoff;
+    r_events = events;
     r_recovery = recovery;
   }
 
+let abort_count r reason =
+  match List.assoc_opt reason r.r_aborts_by with Some n -> n | None -> 0
+
 let pp_result_header ppf () =
-  Fmt.pf ppf "%-28s %10s %9s %9s %9s %7s %6s %7s %7s" "config" "goodput/s"
-    "mean(ms)" "p50(ms)" "p99(ms)" "commit%" "cpu%" "reex/tx" "msg/tx"
+  Fmt.pf ppf "%-28s %10s %9s %9s %9s %7s %6s %7s %7s %8s %8s %8s %8s" "config"
+    "goodput/s" "mean(ms)" "p50(ms)" "p99(ms)" "commit%" "cpu%" "reex/tx"
+    "msg/tx" "exec(ms)" "prep(ms)" "fin(ms)" "back(ms)"
 
 let pp_result ppf r =
-  Fmt.pf ppf "%-28s %10.0f %9.1f %9.1f %9.1f %7.1f %6.1f %7.2f %7.1f" r.r_label
-    r.r_goodput r.r_mean_latency_ms r.r_p50_latency_ms r.r_p99_latency_ms
+  Fmt.pf ppf "%-28s %10.0f %9.1f %9.1f %9.1f %7.1f %6.1f %7.2f %7.1f %8.2f %8.2f %8.2f %8.2f"
+    r.r_label r.r_goodput r.r_mean_latency_ms r.r_p50_latency_ms
+    r.r_p99_latency_ms
     (100. *. r.r_commit_rate)
     (100. *. r.r_cpu_utilization)
-    r.r_reexecs_per_txn r.r_msgs_per_txn
+    r.r_reexecs_per_txn r.r_msgs_per_txn r.r_exec_ms r.r_prepare_ms
+    r.r_finalize_ms r.r_backoff_ms;
+  let nonzero = List.filter (fun (_, n) -> n > 0) r.r_aborts_by in
+  if nonzero <> [] then begin
+    Fmt.pf ppf " aborts{";
+    List.iteri
+      (fun i (reason, n) ->
+        if i > 0 then Fmt.pf ppf ",";
+        Fmt.pf ppf "%a=%d" Obs.Abort_reason.pp reason n)
+      nonzero;
+    Fmt.pf ppf "}"
+  end
 
 let pp_recovery ppf r =
   let rc = r.r_recovery in
@@ -115,16 +153,35 @@ let pp_recovery ppf r =
     rc.rc_transfer_bytes rc.rc_catchups
     (float_of_int rc.rc_catchup_wait_us /. 1000.)
 
+(* The first 17 columns are the pre-observability schema, kept stable
+   (r_aborted remains the taxonomy sum) so existing CSV consumers keep
+   working; phase, per-reason, and event-kind columns append after. *)
 let csv_header =
   "label,committed,aborted,goodput_per_s,mean_latency_ms,p50_latency_ms,\
 p99_latency_ms,commit_rate,cpu_utilization,reexecs_per_txn,msgs_per_txn,\
-kills,restarts,transfer_msgs,transfer_bytes,catchups,catchup_wait_us"
+kills,restarts,transfer_msgs,transfer_bytes,catchups,catchup_wait_us,\
+exec_ms,prepare_ms,finalize_ms,backoff_ms,\
+ab_missed_write,ab_validation_fail,ab_lock_conflict,ab_watermark_abandon,\
+ab_recovery_stall,ab_timeout,ab_user_abort,\
+ev_timers,ev_deliveries,ev_tickers"
 
 let to_csv_row r =
-  Printf.sprintf "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f,%d,%d,%d,%d,%d,%d"
+  let ab reason = abort_count r reason in
+  Printf.sprintf
+    "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f,%d,%d,%d,%d,%d,%d,\
+%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
     r.r_label r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms
     r.r_p50_latency_ms r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization
     r.r_reexecs_per_txn r.r_msgs_per_txn r.r_recovery.rc_kills
     r.r_recovery.rc_restarts r.r_recovery.rc_transfer_msgs
     r.r_recovery.rc_transfer_bytes r.r_recovery.rc_catchups
-    r.r_recovery.rc_catchup_wait_us
+    r.r_recovery.rc_catchup_wait_us r.r_exec_ms r.r_prepare_ms r.r_finalize_ms
+    r.r_backoff_ms
+    (ab Obs.Abort_reason.Missed_write)
+    (ab Obs.Abort_reason.Validation_fail)
+    (ab Obs.Abort_reason.Lock_conflict)
+    (ab Obs.Abort_reason.Watermark_abandon)
+    (ab Obs.Abort_reason.Recovery_stall)
+    (ab Obs.Abort_reason.Timeout)
+    (ab Obs.Abort_reason.User_abort)
+    r.r_events.ev_timers r.r_events.ev_deliveries r.r_events.ev_tickers

@@ -4,19 +4,38 @@
     committed transactions per second over the measurement window
     (warm-up and cool-down trimmed); latency is begin-to-commit
     {e including} retries after aborts; commit rate is commits over
-    attempts. *)
+    attempts.
+
+    Latency is accumulated in a streaming log2 HDR histogram
+    ({!Obs.Hist}), so recording is O(1) and percentile queries never
+    sort; aborts are counted per {!Obs.Abort_reason} entry; per-phase
+    virtual time (execute / prepare / finalize / backoff-idle) is
+    accumulated per committed transaction. *)
 
 type t
+
+type phase =
+  | P_execute  (** application logic + reads (incl. re-executions) *)
+  | P_prepare  (** Prepare / vote rounds (2PC prepare for baselines) *)
+  | P_finalize  (** Finalize rounds; TrueTime commit-wait for Spanner *)
+  | P_backoff  (** retry backoff idle time in the closed-loop driver *)
 
 val create : unit -> t
 
 val record_commit : t -> latency_us:int -> unit
 
-val record_abort : t -> unit
+val record_abort : t -> reason:Obs.Abort_reason.t -> unit
+
+val record_phase : t -> phase -> dur_us:int -> unit
+(** Record one transaction's time spent in [phase]. *)
 
 val committed : t -> int
 
 val aborted : t -> int
+(** Sum over all abort reasons. *)
+
+val aborts_by_reason : t -> (Obs.Abort_reason.t * int) list
+(** One entry per taxonomy variant, in {!Obs.Abort_reason.all} order. *)
 
 val commit_rate : t -> float
 (** commits / (commits + aborted attempts); 1.0 when idle. *)
@@ -24,7 +43,9 @@ val commit_rate : t -> float
 val mean_latency_us : t -> float
 
 val percentile_latency_us : t -> float -> float
-(** e.g. [percentile_latency_us t 0.99]. *)
+(** e.g. [percentile_latency_us t 0.99].  Returns 0. for an empty
+    accumulator and the exact sample when only one commit was
+    recorded. *)
 
 type recovery = {
   rc_kills : int;  (** amnesia-crash kills injected *)
@@ -40,10 +61,21 @@ type recovery = {
 
 val no_recovery : recovery
 
+type events = {
+  ev_timers : int;
+  ev_deliveries : int;
+  ev_tickers : int;
+}
+(** Simulation events fired by kind (see {!Sim.Engine.events_by_kind}). *)
+
+val no_events : events
+
 type result = {
   r_label : string;
   r_committed : int;
-  r_aborted : int;
+  r_aborted : int;  (** sum of [r_aborts_by] (CSV compatibility) *)
+  r_aborts_by : (Obs.Abort_reason.t * int) list;
+      (** per-taxonomy counters, one entry per variant in fixed order *)
   r_goodput : float;  (** committed transactions per second *)
   r_mean_latency_ms : float;
   r_p50_latency_ms : float;
@@ -54,6 +86,12 @@ type result = {
   r_msgs_per_txn : float;
       (** network messages delivered per committed transaction — the
           protocol-cost metric of the message-complexity ablation *)
+  r_exec_ms : float;  (** mean per committed txn, by phase *)
+  r_prepare_ms : float;
+  r_finalize_ms : float;
+  r_backoff_ms : float;
+  r_events : events;
+      (** engine events fired over the whole run, by kind *)
   r_recovery : recovery;
       (** amnesia-crash accounting; {!no_recovery} when no faults ran *)
 }
@@ -65,13 +103,18 @@ val to_result :
   cpu_utilization:float ->
   reexecs_per_txn:float ->
   ?msgs_per_txn:float ->
+  ?events:events ->
   ?recovery:recovery ->
   unit ->
   result
 
+val abort_count : result -> Obs.Abort_reason.t -> int
+(** Counter for one taxonomy entry (0 if absent). *)
+
 val pp_result_header : Format.formatter -> unit -> unit
 
 val pp_result : Format.formatter -> result -> unit
+(** Appends a [aborts{reason=n,...}] suffix when any abort occurred. *)
 
 val pp_recovery : Format.formatter -> result -> unit
 (** One-line amnesia-crash counters (print when kills/restarts > 0). *)

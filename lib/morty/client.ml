@@ -12,6 +12,7 @@ type slot = {
   s_index : int;
   s_key : string;
   s_seq : int;  (** network sequence number; [-1] when served locally *)
+  s_sent_us : int;  (** when the Get was first sent, for read spans *)
   mutable s_reply : (Version.t * string) option;
   s_cont : ctx -> string -> unit;
 }
@@ -45,6 +46,15 @@ and txn = {
   mutable commit_cont : (Outcome.t -> unit) option;
   mutable finished : bool;
   t_start_us : int;
+  (* Observability: classified cause of the latest abandon vote, start
+     of the currently open phase segment, accumulated per-phase time,
+     and whether the open execute segment came from a re-execution. *)
+  mutable t_reason : Obs.Abort_reason.t option;
+  mutable ph_start_us : int;
+  mutable exec_us : int;
+  mutable prep_us : int;
+  mutable fin_us : int;
+  mutable seg_reexec : bool;
 }
 
 and ctx = { c_txn : txn; c_eid : int }
@@ -62,11 +72,15 @@ type stats = {
 type record = {
   h_ver : Version.t;
   h_committed : bool;
+  h_abort : Obs.Abort_reason.t option;
   h_reads : (string * Version.t) list;
   h_writes : string list;
   h_start_us : int;
   h_end_us : int;
   h_reexecs : int;
+  h_exec_us : int;
+  h_prepare_us : int;
+  h_finalize_us : int;
 }
 
 type t = {
@@ -84,6 +98,7 @@ type t = {
      (ver, eid) -> acks so far. *)
   abandon_acks : (Version.t * int, Net.node list ref) Hashtbl.t;
   stats : stats;
+  obs : Obs.Sink.t;
   on_finish : (record -> unit) option;
 }
 
@@ -94,6 +109,50 @@ let send t dst msg = Net.send t.net ~src:t.node ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.replicas
 
 let stale ctx = ctx.c_eid <> ctx.c_txn.eid || ctx.c_txn.finished
+
+(* --- Observability helpers --------------------------------------------- *)
+
+let ver_arg txn = ("ver", Obs.Sink.S (Fmt.str "%a" Version.pp txn.ver))
+
+let mark t txn name args =
+  Obs.Sink.instant t.obs ~name ~cat:"txn" ~ts:(Engine.now t.engine) ~pid:t.node
+    ~args:(ver_arg txn :: args) ()
+
+(* Close the currently open phase segment, crediting its duration to the
+   right accumulator and emitting its span.  Called at every phase
+   transition and at completion. *)
+let close_segment t txn =
+  let now = Engine.now t.engine in
+  let dur = now - txn.ph_start_us in
+  let name =
+    match txn.phase with
+    | Executing ->
+      txn.exec_us <- txn.exec_us + dur;
+      if txn.seg_reexec then "reexecute" else "execute"
+    | Preparing _ ->
+      txn.prep_us <- txn.prep_us + dur;
+      "prepare"
+    | Finalizing _ ->
+      txn.fin_us <- txn.fin_us + dur;
+      "finalize"
+    | Done -> "done"
+  in
+  if Obs.Sink.enabled t.obs && txn.phase <> Done then
+    Obs.Sink.span t.obs ~name ~cat:"phase" ~ts:txn.ph_start_us ~dur ~pid:t.node
+      ~args:[ ver_arg txn; ("eid", Obs.Sink.I txn.eid) ]
+      ();
+  txn.ph_start_us <- now;
+  txn.seg_reexec <- false
+
+let note_reason txn reason =
+  match reason with
+  | None -> ()
+  | Some r ->
+    txn.t_reason <-
+      Some
+        (match txn.t_reason with
+        | None -> r
+        | Some r0 -> Obs.Abort_reason.prefer r0 r)
 
 (* --- Read/write sets of the current execution ------------------------- *)
 
@@ -119,17 +178,35 @@ let write_set_of txn =
 let finish t txn outcome =
   if not txn.finished then begin
     txn.finished <- true;
+    close_segment t txn;
     txn.phase <- Done;
     Hashtbl.remove t.txns txn.ver;
     (match outcome with
      | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
-     | Outcome.Aborted -> t.stats.aborted <- t.stats.aborted + 1);
+     | Outcome.Aborted _ -> t.stats.aborted <- t.stats.aborted + 1);
+    if Obs.Sink.enabled t.obs then begin
+      let now = Engine.now t.engine in
+      (match outcome with
+      | Outcome.Committed -> mark t txn "commit" []
+      | Outcome.Aborted r ->
+        mark t txn "abort"
+          [ ("reason", Obs.Sink.S (Obs.Abort_reason.to_string r)) ]);
+      Obs.Sink.span t.obs ~name:"txn" ~cat:"txn" ~ts:txn.t_start_us
+        ~dur:(now - txn.t_start_us) ~pid:t.node
+        ~args:
+          (ver_arg txn
+          :: ("outcome", Obs.Sink.S (Fmt.str "%a" Outcome.pp outcome))
+          :: ("reexecs", Obs.Sink.I txn.reexec_count)
+          :: [])
+        ()
+    end;
     (match t.on_finish with
      | Some f ->
        f
          {
            h_ver = txn.ver;
            h_committed = Outcome.is_committed outcome;
+           h_abort = Outcome.reason outcome;
            h_reads =
              List.map (fun (r : Rwset.read) -> (r.key, r.r_ver)) (read_set_of txn);
            h_writes =
@@ -137,6 +214,9 @@ let finish t txn outcome =
            h_start_us = txn.t_start_us;
            h_end_us = Engine.now t.engine;
            h_reexecs = txn.reexec_count;
+           h_exec_us = txn.exec_us;
+           h_prepare_us = txn.prep_us;
+           h_finalize_us = txn.fin_us;
          }
      | None -> ());
     match txn.commit_cont with
@@ -145,6 +225,12 @@ let finish t txn outcome =
   end
 
 let decide t txn eid decision ~abort =
+  if Obs.Sink.enabled t.obs then
+    mark t txn "decide"
+      [
+        ("eid", Obs.Sink.I eid);
+        ("decision", Obs.Sink.S (Fmt.str "%a" Decision.pp decision));
+      ];
   broadcast t
     (Msg.Decide
        {
@@ -168,7 +254,12 @@ let abandon_outcome t txn eid =
   if txn.eid > eid then decide t txn eid Decision.Abandon ~abort:false
   else begin
     decide t txn eid Decision.Abandon ~abort:true;
-    finish t txn Outcome.Aborted
+    (* No replica identified a conflict for this execution (e.g. a forced
+       slow path on a straggler quorum) → the fallback Timeout cause. *)
+    let reason =
+      match txn.t_reason with Some r -> r | None -> Obs.Abort_reason.Timeout
+    in
+    finish t txn (Outcome.Aborted reason)
   end
 
 (* --- Commit protocol --------------------------------------------------- *)
@@ -177,6 +268,7 @@ let rec start_prepare t txn =
   let read_set = read_set_of txn in
   let write_set = write_set_of txn in
   let p = { p_eid = txn.eid; p_votes = []; p_timer = None; p_forced = false } in
+  close_segment t txn;
   txn.phase <- Preparing p;
   broadcast t (Msg.Prepare { ver = txn.ver; eid = txn.eid; read_set; write_set });
   arm_prepare_timer t txn p 0
@@ -240,6 +332,7 @@ and cancel_timer p =
 
 and start_finalize t txn eid decision =
   let f = { f_eid = eid; f_decision = decision; f_ackers = []; f_fired = false } in
+  close_segment t txn;
   txn.phase <- Finalizing f;
   broadcast t (Msg.Finalize { ver = txn.ver; eid; view = 0; decision });
   let rec retry () =
@@ -274,8 +367,20 @@ and reexecute t txn idx (slot : slot) w_ver value =
        (Msg.Finalize
           { ver = txn.ver; eid = txn.eid; view = 0; decision = Decision.Abandon })
    | Preparing _ | Executing | Finalizing _ | Done -> ());
+  close_segment t txn;
   txn.phase <- Executing;
   txn.eid <- txn.eid + 1;
+  (* A fresh execution starts with a clean slate of abandon causes; its
+     execute segment is labelled as a re-execution span. *)
+  txn.t_reason <- None;
+  txn.seg_reexec <- true;
+  if Obs.Sink.enabled t.obs then
+    mark t txn "reexecute"
+      [
+        ("eid", Obs.Sink.I txn.eid);
+        ("from_read", Obs.Sink.I idx);
+        ("key", Obs.Sink.S slot.s_key);
+      ];
   (* Unroll: keep the operation prefix up to and including this read. *)
   txn.slots <-
     List.filter_map
@@ -344,16 +449,23 @@ let handle_get_reply t for_ver key w_ver value seq =
       match slot with
       | Some slot when slot.s_reply = None ->
         slot.s_reply <- Some (w_ver, value);
+        if Obs.Sink.enabled t.obs then
+          Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:slot.s_sent_us
+            ~dur:(Engine.now t.engine - slot.s_sent_us)
+            ~pid:t.node
+            ~args:[ ver_arg txn; ("key", Obs.Sink.S slot.s_key) ]
+            ();
         slot.s_cont { c_txn = txn; c_eid = txn.eid } value
       | Some _ | None -> (* stale or duplicate *) ())
     | None ->
       t.stats.miss_notifications <- t.stats.miss_notifications + 1;
       consider_reexec t txn key w_ver value)
 
-let handle_prepare_reply t ver eid vote missed ~src =
+let handle_prepare_reply t ver eid vote missed reason ~src =
   match Hashtbl.find_opt t.txns ver with
   | None -> ()
   | Some txn ->
+    if txn.eid = eid then note_reason txn reason;
     (* Attached misses may trigger re-execution; process them first so a
        doomed execution is superseded before we count its votes. *)
     List.iter
@@ -401,7 +513,7 @@ let handle_finalize_reply t ver eid view accepted ~src =
           (* A recovery coordinator outpaced us; treat as aborted (the
              rare at-least-once window is documented in replica.ml). *)
           f.f_fired <- true;
-          finish t txn Outcome.Aborted
+          finish t txn (Outcome.Aborted Obs.Abort_reason.Recovery_stall)
         end
       | Finalizing _ | Executing | Preparing _ | Done -> ()))
 
@@ -409,8 +521,8 @@ let handle t ~src msg =
   match msg with
   | Msg.Get_reply { for_ver; key; w_ver; value; seq } ->
     handle_get_reply t for_ver key w_ver value seq
-  | Msg.Prepare_reply { ver; eid; vote; missed } ->
-    handle_prepare_reply t ver eid vote missed ~src
+  | Msg.Prepare_reply { ver; eid; vote; missed; reason } ->
+    handle_prepare_reply t ver eid vote missed reason ~src
   | Msg.Finalize_reply { ver; eid; view; accepted } ->
     handle_finalize_reply t ver eid view accepted ~src
   | Msg.Get _ | Msg.Put _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Decide _
@@ -421,7 +533,8 @@ let handle t ~src msg =
 
 (* --- Public API --------------------------------------------------------- *)
 
-let create ~cfg ~engine ~net ~rng ~region ~replicas ?on_finish () =
+let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null)
+    ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     match
@@ -446,6 +559,7 @@ let create ~cfg ~engine ~net ~rng ~region ~replicas ?on_finish () =
       stats =
         { begun = 0; committed = 0; aborted = 0; reexecs = 0;
           miss_notifications = 0; fast_commits = 0; slow_commits = 0 };
+      obs;
       on_finish;
     }
   in
@@ -456,6 +570,7 @@ let begin_ t body =
   let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
   t.last_ts <- ts;
   let ver = Version.make ~ts ~id:t.node in
+  let now = Engine.now t.engine in
   let txn =
     {
       ver;
@@ -467,11 +582,18 @@ let begin_ t body =
       next_seq = 0;
       commit_cont = None;
       finished = false;
-      t_start_us = Engine.now t.engine;
+      t_start_us = now;
+      t_reason = None;
+      ph_start_us = now;
+      exec_us = 0;
+      prep_us = 0;
+      fin_us = 0;
+      seg_reexec = false;
     }
   in
   Hashtbl.replace t.txns ver txn;
   t.stats.begun <- t.stats.begun + 1;
+  if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn; c_eid = 0 }
 
 let get t ctx key cont =
@@ -506,7 +628,7 @@ let get t ctx key cont =
         txn.next_seq <- seq + 1;
         let slot =
           { s_index = List.length txn.slots; s_key = key; s_seq = seq;
-            s_reply = None; s_cont = cont }
+            s_sent_us = Engine.now t.engine; s_reply = None; s_cont = cont }
         in
         txn.slots <- txn.slots @ [ slot ];
         txn.ops <- txn.ops @ [ Op_read slot.s_index ];
@@ -550,7 +672,7 @@ let abort t ctx =
   else begin
     let txn = ctx.c_txn in
     decide t txn txn.eid Decision.Abandon ~abort:true;
-    finish t txn Outcome.Aborted
+    finish t txn (Outcome.Aborted Obs.Abort_reason.User_abort)
   end
 
 let begin_ro = begin_

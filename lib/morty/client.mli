@@ -35,11 +35,15 @@ type stats = {
 type record = {
   h_ver : Cc_types.Version.t;
   h_committed : bool;
+  h_abort : Obs.Abort_reason.t option;  (** classified cause on abort *)
   h_reads : (string * Cc_types.Version.t) list;
   h_writes : string list;
   h_start_us : int;
   h_end_us : int;
   h_reexecs : int;
+  h_exec_us : int;  (** virtual time spent executing (incl. re-exec) *)
+  h_prepare_us : int;  (** virtual time spent in Prepare rounds *)
+  h_finalize_us : int;  (** virtual time spent in Finalize rounds *)
 }
 (** Per-transaction history record, fed to the Adya oracle by tests. *)
 
@@ -50,6 +54,7 @@ val create :
   rng:Sim.Rng.t ->
   region:Simnet.Latency.region ->
   replicas:int array ->
+  ?obs:Obs.Sink.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t

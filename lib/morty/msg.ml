@@ -37,6 +37,9 @@ type t =
       eid : int;
       vote : Vote.t;
       missed : (string * Version.t * string) list;
+      reason : Obs.Abort_reason.t option;
+          (* why an abandon vote was cast, for the client's abort
+             classification; [None] on commit votes *)
     }
   | Finalize of { ver : Version.t; eid : int; view : int; decision : Decision.t }
   | Finalize_reply of { ver : Version.t; eid : int; view : int; accepted : bool }

@@ -49,6 +49,8 @@ type t =
       missed : (string * Version.t * string) list;
           (** (key, writer version, value) of writes the execution's
               reads missed — lets the coordinator re-execute *)
+      reason : Obs.Abort_reason.t option;
+          (** classified cause of an abandon vote; [None] on commit *)
     }
   | Finalize of { ver : Version.t; eid : int; view : int; decision : Decision.t }
   | Finalize_reply of { ver : Version.t; eid : int; view : int; accepted : bool }

@@ -13,6 +13,8 @@ type exec_entry = {
   e_eid : int;
   mutable suspended : bool;  (** a Prepare is parked on a dependency *)
   mutable vote : Vote.t option;
+  mutable vote_reason : Obs.Abort_reason.t option;
+      (** classified cause of an abandon vote, replayed on resends *)
   mutable view : int;
   mutable fin_view : int;
   mutable fin_dec : Decision.t option;
@@ -132,15 +134,16 @@ let read_current t key =
     else Some reply.r_val
 
 let erecord_size t = Hashtbl.length t.erecord
+let store_size t = Mvstore.Vstore.key_count t.store
 
 let entry t ver eid =
   match Hashtbl.find_opt t.erecord (ver, eid) with
   | Some e -> e
   | None ->
     let e =
-      { e_ver = ver; e_eid = eid; suspended = false; vote = None; view = 0;
-        fin_view = -1; fin_dec = None; decision = None; read_set = [];
-        write_set = [] }
+      { e_ver = ver; e_eid = eid; suspended = false; vote = None;
+        vote_reason = None; view = 0; fin_view = -1; fin_dec = None;
+        decision = None; read_set = []; write_set = [] }
     in
     Hashtbl.replace t.erecord (ver, eid) e;
     (match Hashtbl.find_opt t.max_eid ver with
@@ -213,7 +216,11 @@ let handle_put t ver key value =
 
 (* --- Validation (§4.2) ----------------------------------------------- *)
 
-type verdict = { v_vote : Vote.t; v_missed : (string * Version.t * string) list }
+type verdict = {
+  v_vote : Vote.t;
+  v_missed : (string * Version.t * string) list;
+  v_reason : Obs.Abort_reason.t option;
+}
 
 let worse a b =
   match (a, b) with
@@ -229,6 +236,11 @@ let truncated t ver =
 let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
   let vote = ref Vote.Commit in
   let missed = ref [] in
+  let reason = ref None in
+  let blame r =
+    reason :=
+      Some (match !reason with None -> r | Some r0 -> Obs.Abort_reason.prefer r0 r)
+  in
   (* Check 4: nothing involved may be truncated.  A read below the
      watermark is still verifiable when it is the key's newest committed
      write — [gc_below] retains exactly that version, and check 3
@@ -238,7 +250,10 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
      episode, a quiet key) would brick the key forever: its current
      version ages below the advancing watermark and every reader
      abandons. *)
-  if truncated t ver then vote := Vote.Abandon_final;
+  if truncated t ver then begin
+    vote := Vote.Abandon_final;
+    blame Obs.Abort_reason.Watermark_abandon
+  end;
   List.iter
     (fun (r : Rwset.read) ->
       if (not (Version.is_zero r.r_ver)) && truncated t r.r_ver then
@@ -248,7 +263,10 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
           | Some newest -> Version.equal newest r.r_ver
           | None -> false
         in
-        if not is_current then vote := Vote.Abandon_final)
+        if not is_current then begin
+          vote := Vote.Abandon_final;
+          blame Obs.Abort_reason.Watermark_abandon
+        end)
     read_set;
   (* Check 3: dirty reads — every read must match a committed write
      exactly (dependencies are committed by the time we validate). *)
@@ -261,7 +279,10 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
         | Some v -> String.equal v r.r_val
         | None -> Version.is_zero r.r_ver && String.equal r.r_val ""
       in
-      if not ok then vote := Vote.Abandon_final)
+      if not ok then begin
+        vote := Vote.Abandon_final;
+        blame Obs.Abort_reason.Validation_fail
+      end)
     read_set;
   (* Check 1: did our reads miss any writes? *)
   List.iter
@@ -271,21 +292,27 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
       | Mvstore.Vrecord.No_miss -> ()
       | Mvstore.Vrecord.Missed_committed m ->
         vote := worse !vote Vote.Abandon_final;
+        blame Obs.Abort_reason.Missed_write;
         missed := (r.key, m.r_ver, m.r_val) :: !missed
       | Mvstore.Vrecord.Missed_uncommitted m ->
         vote := worse !vote Vote.Abandon_tentative;
+        blame Obs.Abort_reason.Missed_write;
         missed := (r.key, m.r_ver, m.r_val) :: !missed)
     read_set;
   (* Check 2: did other transactions' validated reads miss our writes? *)
   List.iter
     (fun (w : Rwset.write) ->
       let vr = Mvstore.Vstore.find t.store w.key in
-      if Mvstore.Vrecord.committed_read_missing_write vr ~w_ver:ver then
-        vote := worse !vote Vote.Abandon_final
-      else if Mvstore.Vrecord.prepared_read_missing_write vr ~w_ver:ver then
-        vote := worse !vote Vote.Abandon_tentative)
+      if Mvstore.Vrecord.committed_read_missing_write vr ~w_ver:ver then begin
+        vote := worse !vote Vote.Abandon_final;
+        blame Obs.Abort_reason.Missed_write
+      end
+      else if Mvstore.Vrecord.prepared_read_missing_write vr ~w_ver:ver then begin
+        vote := worse !vote Vote.Abandon_tentative;
+        blame Obs.Abort_reason.Missed_write
+      end)
     write_set;
-  { v_vote = !vote; v_missed = !missed }
+  { v_vote = !vote; v_missed = !missed; v_reason = !reason }
 
 let record_vote_stat t = function
   | Vote.Commit -> t.stats.commit_votes <- t.stats.commit_votes + 1
@@ -298,18 +325,29 @@ let rec process_prepare t ~src ver eid (read_set : Rwset.read_set) write_set =
   e.write_set <- write_set;
   match (e.decision, e.vote) with
   | Some (d, _), _ ->
-    let vote =
-      match d with Decision.Commit -> Vote.Commit | Decision.Abandon -> Vote.Abandon_final
+    let vote, reason =
+      match d with
+      | Decision.Commit -> (Vote.Commit, None)
+      | Decision.Abandon ->
+        (* A cached execution-level Abandon means another coordinator
+           (recovery, §4.3) already finalized against this eid. *)
+        (Vote.Abandon_final, Some Obs.Abort_reason.Recovery_stall)
     in
-    send t src (Msg.Prepare_reply { ver; eid; vote; missed = [] })
-  | None, Some v -> send t src (Msg.Prepare_reply { ver; eid; vote = v; missed = [] })
+    send t src (Msg.Prepare_reply { ver; eid; vote; missed = []; reason })
+  | None, Some v ->
+    send t src
+      (Msg.Prepare_reply { ver; eid; vote = v; missed = []; reason = e.vote_reason })
   | None, None ->
     (* Transaction already decided at transaction level? *)
     (match Hashtbl.find_opt t.decision_log ver with
      | Some `Abort ->
        e.vote <- Some Vote.Abandon_final;
+       e.vote_reason <- Some Obs.Abort_reason.Recovery_stall;
        record_vote_stat t Vote.Abandon_final;
-       send t src (Msg.Prepare_reply { ver; eid; vote = Vote.Abandon_final; missed = [] })
+       send t src
+         (Msg.Prepare_reply
+            { ver; eid; vote = Vote.Abandon_final; missed = [];
+              reason = Some Obs.Abort_reason.Recovery_stall })
      | Some `Commit | None ->
        (* Read-validity wait: every non-initial dependency must have a
           transaction-level decision before we validate. *)
@@ -322,9 +360,12 @@ let rec process_prepare t ~src ver eid (read_set : Rwset.read_set) write_set =
        in
        if aborted_dep then begin
          e.vote <- Some Vote.Abandon_final;
+         e.vote_reason <- Some Obs.Abort_reason.Validation_fail;
          record_vote_stat t Vote.Abandon_final;
          send t src
-           (Msg.Prepare_reply { ver; eid; vote = Vote.Abandon_final; missed = [] })
+           (Msg.Prepare_reply
+              { ver; eid; vote = Vote.Abandon_final; missed = [];
+                reason = Some Obs.Abort_reason.Validation_fail })
        end
        else
          let undecided =
@@ -337,7 +378,7 @@ let rec process_prepare t ~src ver eid (read_set : Rwset.read_set) write_set =
          (match undecided with
           | [] ->
             e.suspended <- false;
-            let { v_vote; v_missed } = validate t ver read_set write_set in
+            let { v_vote; v_missed; v_reason } = validate t ver read_set write_set in
             if Vote.equal v_vote Vote.Commit then begin
               List.iter
                 (fun (r : Rwset.read) ->
@@ -353,9 +394,12 @@ let rec process_prepare t ~src ver eid (read_set : Rwset.read_set) write_set =
                 write_set
             end;
             e.vote <- Some v_vote;
+            e.vote_reason <- v_reason;
             t.stats.prepares <- t.stats.prepares + 1;
             record_vote_stat t v_vote;
-            send t src (Msg.Prepare_reply { ver; eid; vote = v_vote; missed = v_missed })
+            send t src
+              (Msg.Prepare_reply
+                 { ver; eid; vote = v_vote; missed = v_missed; reason = v_reason })
           | dep :: _ ->
             if e.suspended then ()
             else begin

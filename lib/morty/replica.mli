@@ -89,6 +89,9 @@ val read_current : t -> string -> string option
 val erecord_size : t -> int
 (** Number of live erecord entries (GC tests). *)
 
+val store_size : t -> int
+(** Number of keys in the version store (metrics sampling). *)
+
 (** {1 Amnesia-crash lifecycle} *)
 
 val stop : t -> unit

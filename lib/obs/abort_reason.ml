@@ -1,0 +1,62 @@
+type t =
+  | Missed_write
+  | Validation_fail
+  | Lock_conflict
+  | Watermark_abandon
+  | Recovery_stall
+  | Timeout
+  | User_abort
+
+let all =
+  [
+    Missed_write; Validation_fail; Lock_conflict; Watermark_abandon;
+    Recovery_stall; Timeout; User_abort;
+  ]
+
+let count = List.length all
+
+let index = function
+  | Missed_write -> 0
+  | Validation_fail -> 1
+  | Lock_conflict -> 2
+  | Watermark_abandon -> 3
+  | Recovery_stall -> 4
+  | Timeout -> 5
+  | User_abort -> 6
+
+let to_string = function
+  | Missed_write -> "missed-write"
+  | Validation_fail -> "validation-fail"
+  | Lock_conflict -> "lock-conflict"
+  | Watermark_abandon -> "watermark-abandon"
+  | Recovery_stall -> "recovery-stall"
+  | Timeout -> "timeout"
+  | User_abort -> "user-abort"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "missed-write" -> Some Missed_write
+  | "validation-fail" -> Some Validation_fail
+  | "lock-conflict" -> Some Lock_conflict
+  | "watermark-abandon" -> Some Watermark_abandon
+  | "recovery-stall" -> Some Recovery_stall
+  | "timeout" -> Some Timeout
+  | "user-abort" -> Some User_abort
+  | _ -> None
+
+let pp ppf r = Fmt.string ppf (to_string r)
+
+(* Specificity rank for merging several causes observed for one
+   transaction: a structural cause (truncation, recovery) dominates a
+   conflict cause, and any identified conflict dominates the Timeout
+   fallback. *)
+let rank = function
+  | Watermark_abandon -> 6
+  | Recovery_stall -> 5
+  | Missed_write -> 4
+  | Validation_fail -> 3
+  | Lock_conflict -> 2
+  | User_abort -> 1
+  | Timeout -> 0
+
+let prefer a b = if rank b > rank a then b else a

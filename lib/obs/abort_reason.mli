@@ -1,0 +1,53 @@
+(** Typed abort taxonomy, shared by all four protocol stacks.
+
+    Every abort a client reports carries exactly one of these causes, so
+    the harness can break the single "aborted" lump into the conflict
+    classes the paper reasons about (missed writes vs. validation
+    failures vs. lock conflicts) plus the structural causes introduced
+    by truncation and coordinator recovery. *)
+
+type t =
+  | Missed_write
+      (** Morty/MVTSO validation: a read missed a (committed or
+          uncommitted) write, or a validated read missed this
+          transaction's write (§4.2 checks 1–2). *)
+  | Validation_fail
+      (** OCC-style validation failure: a dirty/stale read that matches
+          no committed version (Morty check 3, a read from an aborted
+          dependency, or any TAPIR OCC abort vote). *)
+  | Lock_conflict
+      (** Spanner: wound-wait wound, a prepare nack, or a commit issued
+          by an already-doomed transaction. *)
+  | Watermark_abandon
+      (** Morty truncation (§4.4): the transaction or one of its stale
+          reads fell below the watermark, so its interleaving history is
+          gone and replicas must vote Abandon. *)
+  | Recovery_stall
+      (** A recovery coordinator (§4.3) finalized/decided against the
+          transaction before its own coordinator finished — includes a
+          cached transaction-level Abort found at Prepare time. *)
+  | Timeout
+      (** Forced slow-path abandon with no replica-identified conflict
+          (straggler quorums); the fallback cause. *)
+  | User_abort
+      (** Client-initiated rollback, e.g. TPC-C New-Order's 1 % user
+          abort. *)
+
+val all : t list
+(** Every variant, in {!index} order. *)
+
+val count : int
+
+val index : t -> int
+(** Stable dense index in [0, count), for counter arrays. *)
+
+val to_string : t -> string
+(** Kebab-case name, e.g. ["missed-write"]. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val prefer : t -> t -> t
+(** Merge two observed causes for the same transaction, keeping the
+    more specific one (structural causes > conflicts > timeout). *)

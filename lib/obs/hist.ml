@@ -1,0 +1,87 @@
+(* Streaming log2 HDR histogram over non-negative integer values
+   (microseconds in practice).  Each power-of-two octave is split into
+   [2^sub_bits] linear sub-buckets, giving a worst-case relative error
+   of 2^-sub_bits ≈ 3% while keeping the bucket array small and the
+   record path branch-free. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 *)
+
+(* Enough buckets for values up to 2^62 on 64-bit ints. *)
+let n_buckets = (64 - sub_bits) * sub_count
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; n = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let msb v =
+  (* Position of the most significant set bit; v > 0. *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < sub_count then v
+  else
+    let m = msb v in
+    ((m - sub_bits + 1) * sub_count) + ((v lsr (m - sub_bits)) - sub_count)
+
+(* Representative (lower-bound) value of a bucket; inverse of
+   [bucket_of] up to sub-bucket granularity. *)
+let value_of idx =
+  if idx < sub_count then idx
+  else
+    let octave = (idx / sub_count) - 1 in
+    let sub = idx mod sub_count in
+    (sub_count + sub) lsl octave
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = if t.n = 0 then 0 else t.max_v
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    let acc = ref 0 and idx = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Clamp to the observed range so single-sample histograms report
+       the exact sample rather than a bucket lower bound. *)
+    let v = value_of !idx in
+    let v = if v < t.min_v then t.min_v else if v > t.max_v then t.max_v else v in
+    float_of_int v
+  end
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum;
+  if src.n > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end

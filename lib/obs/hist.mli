@@ -1,0 +1,29 @@
+(** Streaming log2 HDR-style histogram over non-negative integers.
+
+    Replaces the sort-per-call percentile path: recording is O(1),
+    percentile queries are a single pass over a fixed bucket array, and
+    worst-case relative error is ~3% (32 linear sub-buckets per
+    octave). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample; negative values are clamped to 0. *)
+
+val count : t -> int
+val total : t -> int
+val mean : t -> float
+(** 0. when empty. *)
+
+val min_value : t -> int
+val max_value : t -> int
+(** Both 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,1]. Returns 0. on an empty
+    histogram and the exact sample on a single-sample histogram (the
+    result is clamped to the observed min/max). *)
+
+val merge : into:t -> t -> unit

@@ -1,0 +1,21 @@
+(* Per-replica time-series export.  One CSV row per (tick, replica),
+   in emission order, so output is byte-deterministic. *)
+
+let csv_header =
+  "ts_us,replica,cpu_busy_frac,queue_depth,records,store_versions,watermark_lag_us"
+
+let row (s : Sink.sample) =
+  Printf.sprintf "%d,%s,%.4f,%d,%d,%d,%d" s.Sink.sm_ts s.Sink.sm_replica
+    s.Sink.sm_cpu_busy s.Sink.sm_queue s.Sink.sm_records s.Sink.sm_versions
+    s.Sink.sm_wmark_lag
+
+let to_csv sink =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (row s);
+      Buffer.add_char buf '\n')
+    (Sink.samples sink);
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Per-replica time-series CSV export.
+
+    One row per (ticker fire, replica):
+    [ts_us,replica,cpu_busy_frac,queue_depth,records,store_versions,watermark_lag_us].
+    [cpu_busy_frac] is the busy fraction over the preceding sampling
+    interval; [records] is the erecord (Morty) or prepared-table
+    (TAPIR/Spanner) size; [watermark_lag_us] is 0 for systems without a
+    truncation watermark. *)
+
+val csv_header : string
+
+val to_csv : Sink.t -> string

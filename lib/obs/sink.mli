@@ -1,0 +1,60 @@
+(** The single sink all observability emission goes through.
+
+    A disabled sink ({!null}) turns every emitter into a cheap
+    [if false] so instrumented hot paths cost one branch when tracing is
+    off. An enabled sink accumulates events and samples in memory; all
+    timestamps are virtual-time microseconds and the only identity is
+    the run seed, so output is bit-deterministic across same-seed
+    runs. *)
+
+type arg = I of int | S of string | F of float
+
+type phase = Complete | Instant
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts : int;  (** virtual µs *)
+  ev_dur : int;  (** µs, 0 for instants *)
+  ev_pid : int;  (** emitting node id *)
+  ev_tid : int;
+  ev_args : (string * arg) list;
+}
+
+type sample = {
+  sm_ts : int;  (** virtual µs *)
+  sm_replica : string;
+  sm_cpu_busy : float;  (** busy fraction over the sampling interval *)
+  sm_queue : int;  (** message-queue depth *)
+  sm_records : int;  (** erecord / prepared-table size *)
+  sm_versions : int;  (** version-store key count *)
+  sm_wmark_lag : int;  (** now − watermark timestamp, µs; 0 if n/a *)
+}
+
+type t
+
+val null : t
+(** The disabled sink: all emitters are no-ops. *)
+
+val create : seed:int -> t
+
+val enabled : t -> bool
+val seed : t -> int
+
+val span :
+  t -> name:string -> cat:string -> ts:int -> dur:int -> pid:int ->
+  ?tid:int -> ?args:(string * arg) list -> unit -> unit
+
+val instant :
+  t -> name:string -> cat:string -> ts:int -> pid:int ->
+  ?tid:int -> ?args:(string * arg) list -> unit -> unit
+
+val sample : t -> sample -> unit
+
+val events : t -> event list
+(** In emission (chronological) order. *)
+
+val samples : t -> sample list
+
+val event_count : t -> int

@@ -1,0 +1,78 @@
+(* Chrome trace_event JSON ("JSON Object Format"), loadable directly in
+   Perfetto / chrome://tracing.  Written by hand so we stay inside the
+   container's dependency set; the emitted structure is small enough
+   that a Buffer-based printer is clearer than a generic serializer
+   anyway. *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  (* %.17g roundtrips doubles but produces noisy output; our floats are
+     ratios with few significant digits, so %.6g is stable and compact. *)
+  Buffer.add_string buf (Printf.sprintf "%.6g" f)
+
+let add_arg buf (k, v) =
+  add_string buf k;
+  Buffer.add_char buf ':';
+  match v with
+  | Sink.I i -> Buffer.add_string buf (string_of_int i)
+  | Sink.S s -> add_string buf s
+  | Sink.F f -> add_float buf f
+
+let add_event buf (e : Sink.event) =
+  Buffer.add_string buf "{\"name\":";
+  add_string buf e.ev_name;
+  Buffer.add_string buf ",\"cat\":";
+  add_string buf e.ev_cat;
+  (match e.ev_ph with
+  | Sink.Complete ->
+    Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
+    Buffer.add_string buf (string_of_int e.ev_dur)
+  | Sink.Instant -> Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\"");
+  Buffer.add_string buf ",\"ts\":";
+  Buffer.add_string buf (string_of_int e.ev_ts);
+  Buffer.add_string buf ",\"pid\":";
+  Buffer.add_string buf (string_of_int e.ev_pid);
+  Buffer.add_string buf ",\"tid\":";
+  Buffer.add_string buf (string_of_int e.ev_tid);
+  (match e.ev_args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i a ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_arg buf a)
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let to_json sink =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"seed\":";
+  Buffer.add_string buf (string_of_int (Sink.seed sink));
+  Buffer.add_string buf "},\"traceEvents\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add_event buf e)
+    (Sink.events sink);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

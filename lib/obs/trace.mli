@@ -1,0 +1,10 @@
+(** Chrome [trace_event] JSON export.
+
+    The result loads directly in Perfetto (ui.perfetto.dev) or
+    chrome://tracing: spans become [ph:"X"] complete events, markers
+    become [ph:"i"] thread-scoped instants, [pid] is the emitting node
+    and [ts]/[dur] are virtual-time microseconds. The run seed is
+    recorded under [otherData.seed]. Output is byte-deterministic for a
+    given sink content. *)
+
+val to_json : Sink.t -> string

@@ -1,26 +1,43 @@
-type event = { mutable cancelled : bool; action : unit -> unit }
+type kind = Timer | Delivery | Ticker
+
+type event = { mutable cancelled : bool; kind : kind; action : unit -> unit }
 
 type timer = event
+
+type kind_counts = { k_timer : int; k_delivery : int; k_ticker : int }
 
 type t = {
   queue : event Heap.t;
   mutable clock : int;
   mutable seq : int;
   mutable fired : int;
+  mutable fired_timer : int;
+  mutable fired_delivery : int;
+  mutable fired_ticker : int;
 }
 
-let create () = { queue = Heap.create (); clock = 0; seq = 0; fired = 0 }
+let create () =
+  {
+    queue = Heap.create ();
+    clock = 0;
+    seq = 0;
+    fired = 0;
+    fired_timer = 0;
+    fired_delivery = 0;
+    fired_ticker = 0;
+  }
 
 let now t = t.clock
 
-let schedule_at t ~at f =
+let schedule_at t ?(kind = Timer) ~at f =
   let at = max at t.clock in
-  let e = { cancelled = false; action = f } in
+  let e = { cancelled = false; kind; action = f } in
   Heap.push t.queue ~time:at ~seq:t.seq e;
   t.seq <- t.seq + 1;
   e
 
-let schedule t ~after f = schedule_at t ~at:(t.clock + max 0 after) f
+let schedule t ?(kind = Timer) ~after f =
+  schedule_at t ~kind ~at:(t.clock + max 0 after) f
 
 let cancel e = e.cancelled <- true
 
@@ -33,6 +50,10 @@ let step t =
     t.clock <- max t.clock time;
     if not e.cancelled then begin
       t.fired <- t.fired + 1;
+      (match e.kind with
+      | Timer -> t.fired_timer <- t.fired_timer + 1
+      | Delivery -> t.fired_delivery <- t.fired_delivery + 1
+      | Ticker -> t.fired_ticker <- t.fired_ticker + 1);
       e.action ()
     end;
     true
@@ -52,3 +73,6 @@ let run_until t ~limit =
   t.clock <- max t.clock limit
 
 let events_fired t = t.fired
+
+let events_by_kind t =
+  { k_timer = t.fired_timer; k_delivery = t.fired_delivery; k_ticker = t.fired_ticker }

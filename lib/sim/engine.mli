@@ -9,17 +9,25 @@ type t
 type timer
 (** Handle to a scheduled event, usable for cancellation. *)
 
+type kind =
+  | Timer  (** protocol timers, CPU completions, workload arrivals *)
+  | Delivery  (** network message deliveries (scheduled by simnet) *)
+  | Ticker  (** read-only observation ticks (metrics sampling) *)
+
+type kind_counts = { k_timer : int; k_delivery : int; k_ticker : int }
+
 val create : unit -> t
 (** Fresh engine with the clock at 0. *)
 
 val now : t -> int
 (** Current virtual time in microseconds. *)
 
-val schedule : t -> after:int -> (unit -> unit) -> timer
+val schedule : t -> ?kind:kind -> after:int -> (unit -> unit) -> timer
 (** [schedule t ~after f] runs [f] at [now t + after].  [after] is
-    clamped to be at least 0. *)
+    clamped to be at least 0.  [kind] defaults to [Timer] and only
+    affects the {!events_by_kind} accounting. *)
 
-val schedule_at : t -> at:int -> (unit -> unit) -> timer
+val schedule_at : t -> ?kind:kind -> at:int -> (unit -> unit) -> timer
 (** [schedule_at t ~at f] runs [f] at absolute time [at] (or [now t] if
     [at] is in the past). *)
 
@@ -43,3 +51,7 @@ val run_until : t -> limit:int -> unit
 
 val events_fired : t -> int
 (** Total events fired since creation (simulation-cost metric). *)
+
+val events_by_kind : t -> kind_counts
+(** {!events_fired} broken down by event kind, attributing simulation
+    cost to timers vs. message deliveries vs. observation tickers. *)

@@ -93,7 +93,7 @@ let send t ~src ~dst msg =
     let at = max (now + delay) earliest in
     Hashtbl.replace d.last_delivery src at;
     ignore
-      (Sim.Engine.schedule_at t.engine ~at (fun () ->
+      (Sim.Engine.schedule_at t.engine ~kind:Sim.Engine.Delivery ~at (fun () ->
            if d.crashed then t.dropped <- t.dropped + 1
            else
              match d.handler with

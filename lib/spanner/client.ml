@@ -17,13 +17,21 @@ type txn = {
   mutable reads : (string * Version.t) list;
   mutable read_vals : (string * string) list;
   mutable writes : (string * string) list;  (** reverse program order *)
-  mutable pending : (int * (ctx -> string -> unit)) list;
+  mutable pending : (int * (int * (ctx -> string -> unit))) list;
+      (** seq -> (send time, continuation) *)
   mutable next_seq : int;
   mutable doomed : bool;  (** wounded somewhere *)
   mutable finished : bool;
   mutable commit_cont : (Outcome.t -> unit) option;
   mutable commit_state : commit_state option;
   t_start_us : int;
+  (* Observability: currently open phase segment and accumulated
+     per-phase virtual time.  [`Fin] covers TrueTime commit-wait. *)
+  mutable seg : [ `Exec | `Prep | `Fin ];
+  mutable ph_start_us : int;
+  mutable exec_us : int;
+  mutable prep_us : int;
+  mutable fin_us : int;
 }
 
 and ctx = { c_txn : txn }
@@ -39,10 +47,14 @@ type stats = {
 type record = {
   h_ver : Version.t;
   h_committed : bool;
+  h_abort : Obs.Abort_reason.t option;
   h_reads : (string * Version.t) list;
   h_writes : string list;
   h_start_us : int;
   h_end_us : int;
+  h_exec_us : int;
+  h_prepare_us : int;
+  h_finalize_us : int;
 }
 
 type t = {
@@ -59,6 +71,7 @@ type t = {
   txns : (Version.t, txn) Hashtbl.t;
   ro_txns : (int, txn) Hashtbl.t;
   stats : stats;
+  obs : Obs.Sink.t;
   on_finish : (record -> unit) option;
 }
 
@@ -66,6 +79,37 @@ let node t = t.node
 let stats t = t.stats
 
 let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+(* --- Observability helpers --------------------------------------------- *)
+
+let ver_arg txn = ("ver", Obs.Sink.S (Fmt.str "%a" Version.pp txn.id))
+
+let mark t txn name args =
+  Obs.Sink.instant t.obs ~name ~cat:"txn" ~ts:(Engine.now t.engine) ~pid:t.node
+    ~args:(ver_arg txn :: args) ()
+
+(* Close the open phase segment, credit its duration, emit its span, and
+   open [next]. *)
+let switch_segment t txn next =
+  let now = Engine.now t.engine in
+  let dur = now - txn.ph_start_us in
+  let name =
+    match txn.seg with
+    | `Exec ->
+      txn.exec_us <- txn.exec_us + dur;
+      "execute"
+    | `Prep ->
+      txn.prep_us <- txn.prep_us + dur;
+      "prepare"
+    | `Fin ->
+      txn.fin_us <- txn.fin_us + dur;
+      "finalize"
+  in
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.span t.obs ~name ~cat:"phase" ~ts:txn.ph_start_us ~dur ~pid:t.node
+      ~args:[ ver_arg txn ] ();
+  txn.ph_start_us <- now;
+  txn.seg <- next
 
 let participants t txn =
   let tbl = Hashtbl.create 4 in
@@ -77,21 +121,39 @@ let participants t txn =
 let finish t txn ~ver outcome =
   if not txn.finished then begin
     txn.finished <- true;
+    switch_segment t txn txn.seg;
     Hashtbl.remove t.txns txn.id;
     if txn.ro then Hashtbl.remove t.ro_txns txn.ro_id;
     (match outcome with
      | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
-     | Outcome.Aborted -> t.stats.aborted <- t.stats.aborted + 1);
+     | Outcome.Aborted _ -> t.stats.aborted <- t.stats.aborted + 1);
+    if Obs.Sink.enabled t.obs then begin
+      (match outcome with
+      | Outcome.Committed -> mark t txn "commit" []
+      | Outcome.Aborted r ->
+        mark t txn "abort"
+          [ ("reason", Obs.Sink.S (Obs.Abort_reason.to_string r)) ]);
+      Obs.Sink.span t.obs ~name:"txn" ~cat:"txn" ~ts:txn.t_start_us
+        ~dur:(Engine.now t.engine - txn.t_start_us)
+        ~pid:t.node
+        ~args:
+          [ ver_arg txn; ("outcome", Obs.Sink.S (Fmt.str "%a" Outcome.pp outcome)) ]
+        ()
+    end;
     (match t.on_finish with
      | Some f ->
        f
          {
            h_ver = ver;
            h_committed = Outcome.is_committed outcome;
+           h_abort = Outcome.reason outcome;
            h_reads = List.rev txn.reads;
            h_writes = List.rev_map fst txn.writes;
            h_start_us = txn.t_start_us;
            h_end_us = Engine.now t.engine;
+           h_exec_us = txn.exec_us;
+           h_prepare_us = txn.prep_us;
+           h_finalize_us = txn.fin_us;
          }
      | None -> ());
     match txn.commit_cont with Some cont -> cont outcome | None -> ()
@@ -114,7 +176,10 @@ let abort_txn t txn =
   List.iter
     (fun g -> send t t.leaders.(g) (Msg.Abort2pc { txn = txn.id }))
     (participants t txn);
-  finish t txn ~ver:(history_label t txn) Outcome.Aborted
+  (* Every Spanner protocol abort is a lock conflict: a wound-wait wound,
+     a prepare nack, or a commit by an already-doomed transaction. *)
+  finish t txn ~ver:(history_label t txn)
+    (Outcome.Aborted Obs.Abort_reason.Lock_conflict)
 
 (* --- Message handling ----------------------------------------------------- *)
 
@@ -124,10 +189,16 @@ let handle_lock_reply t txn_id key value w_ver seq =
   | Some txn -> (
     match List.assoc_opt seq txn.pending with
     | None -> ()
-    | Some cont ->
+    | Some (sent_us, cont) ->
       txn.pending <- List.remove_assoc seq txn.pending;
       txn.reads <- (key, w_ver) :: txn.reads;
       txn.read_vals <- (key, value) :: txn.read_vals;
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:sent_us
+          ~dur:(Engine.now t.engine - sent_us)
+          ~pid:t.node
+          ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
+          ();
       cont { c_txn = txn } value)
 
 let handle_wounded t txn_id =
@@ -155,6 +226,7 @@ let do_commit_wait t txn cs =
   let wait =
     max 0 (commit_ts + t.cfg.truetime_eps_us - Sim.Clock.read t.clock)
   in
+  if txn.seg = `Prep then switch_segment t txn `Fin;
   ignore
     (Engine.schedule t.engine ~after:wait (fun () ->
          List.iter
@@ -191,10 +263,16 @@ let handle_ro_reply t ro_id key w_ver value seq =
   | Some txn -> (
     match List.assoc_opt seq txn.pending with
     | None -> ()
-    | Some cont ->
+    | Some (sent_us, cont) ->
       txn.pending <- List.remove_assoc seq txn.pending;
       txn.reads <- (key, w_ver) :: txn.reads;
       txn.read_vals <- (key, value) :: txn.read_vals;
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:sent_us
+          ~dur:(Engine.now t.engine - sent_us)
+          ~pid:t.node
+          ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
+          ();
       cont { c_txn = txn } value)
 
 let handle t ~src:_ msg =
@@ -212,7 +290,8 @@ let handle t ~src:_ msg =
 
 (* --- Public API ------------------------------------------------------------ *)
 
-let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition ?on_finish () =
+let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
+    ?(obs = Obs.Sink.null) ?on_finish () =
   let node = Net.add_node net ~region in
   let t =
     {
@@ -225,6 +304,7 @@ let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition ?on_finish () =
       txns = Hashtbl.create 16;
       ro_txns = Hashtbl.create 16;
       stats = { begun = 0; committed = 0; aborted = 0; ro_begun = 0; wounds_received = 0 };
+      obs;
       on_finish;
     }
   in
@@ -236,6 +316,7 @@ let fresh_txn t ~ro =
   t.last_ts <- ts;
   let ro_id = t.next_ro_id in
   if ro then t.next_ro_id <- ro_id + 1;
+  let now = Engine.now t.engine in
   {
     id = Version.make ~ts ~id:t.node;
     ro;
@@ -250,13 +331,19 @@ let fresh_txn t ~ro =
     finished = false;
     commit_cont = None;
     commit_state = None;
-    t_start_us = Engine.now t.engine;
+    t_start_us = now;
+    seg = `Exec;
+    ph_start_us = now;
+    exec_us = 0;
+    prep_us = 0;
+    fin_us = 0;
   }
 
 let begin_ t body =
   let txn = fresh_txn t ~ro:false in
   Hashtbl.replace t.txns txn.id txn;
   t.stats.begun <- t.stats.begun + 1;
+  if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn }
 
 let begin_ro t body =
@@ -264,6 +351,7 @@ let begin_ro t body =
   Hashtbl.replace t.ro_txns txn.ro_id txn;
   t.stats.begun <- t.stats.begun + 1;
   t.stats.ro_begun <- t.stats.ro_begun + 1;
+  if Obs.Sink.enabled t.obs then mark t txn "begin" [ ("ro", Obs.Sink.I 1) ];
   body { c_txn = txn }
 
 let do_get t ctx key cont ~mode =
@@ -278,7 +366,7 @@ let do_get t ctx key cont ~mode =
       | Some _ | None ->
         let seq = txn.next_seq in
         txn.next_seq <- seq + 1;
-        txn.pending <- (seq, cont) :: txn.pending;
+        txn.pending <- (seq, (Engine.now t.engine, cont)) :: txn.pending;
         let leader = t.leaders.(t.partition key) in
         if txn.ro then
           send t leader (Msg.Ro_read { ro_id = txn.ro_id; key; ts = txn.ro_ts; seq })
@@ -303,6 +391,12 @@ let abort t ctx =
     Hashtbl.remove t.txns txn.id;
     if txn.ro then Hashtbl.remove t.ro_txns txn.ro_id;
     t.stats.aborted <- t.stats.aborted + 1;
+    if Obs.Sink.enabled t.obs then
+      mark t txn "abort"
+        [
+          ("reason",
+           Obs.Sink.S (Obs.Abort_reason.to_string Obs.Abort_reason.User_abort));
+        ];
     (* Release any locks acquired during execution. *)
     if not txn.ro then
       List.iter
@@ -329,6 +423,7 @@ let commit t ctx cont =
     else begin
       let parts = participants t txn in
       let cs = { cs_groups = parts; cs_max_ts = 0; cs_failed = false } in
+      switch_segment t txn `Prep;
       txn.commit_state <- Some cs;
       let dedup =
         let seen = Hashtbl.create 8 in

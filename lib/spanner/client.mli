@@ -27,10 +27,14 @@ type record = {
           read-only and aborted: a unique label [(begin_ts, -(node+1))]
           in an id-space disjoint from commit versions *)
   h_committed : bool;
+  h_abort : Obs.Abort_reason.t option;  (** classified cause on abort *)
   h_reads : (string * Cc_types.Version.t) list;
   h_writes : string list;
   h_start_us : int;
   h_end_us : int;
+  h_exec_us : int;
+  h_prepare_us : int;
+  h_finalize_us : int;  (** TrueTime commit-wait *)
 }
 
 val create :
@@ -41,6 +45,7 @@ val create :
   region:Simnet.Latency.region ->
   leaders:int array ->
   partition:(string -> int) ->
+  ?obs:Obs.Sink.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t

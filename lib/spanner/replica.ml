@@ -421,3 +421,6 @@ let debug_counts t =
     Hashtbl.length t.pending_preps,
     List.length t.ro_waiting,
     Lock_table.waiting t.locks )
+
+let prepared_count t = Hashtbl.length t.prepared
+let store_size t = Hashtbl.length t.store

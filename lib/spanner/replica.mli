@@ -69,6 +69,12 @@ val debug_counts : t -> int * int * int * int
 (** (prepared, pending prepares, queued read-only reads, queued lock
     requests) — diagnostics. *)
 
+val prepared_count : t -> int
+(** Prepared-transaction table size (metrics sampling). *)
+
+val store_size : t -> int
+(** Number of keys in the committed store (metrics sampling). *)
+
 (** {1 Amnesia-crash lifecycle}
 
     Only {e followers} may be killed: the content-free Paxos emulation

@@ -18,13 +18,21 @@ type txn = {
   mutable reads : (string * Version.t) list;  (** reverse program order *)
   mutable read_vals : (string * string) list;
   mutable writes : (string * string) list;  (** reverse program order *)
-  mutable pending : (int * (ctx -> string -> unit)) list;  (** seq -> cont *)
+  mutable pending : (int * (int * (ctx -> string -> unit))) list;
+      (** seq -> (send time, continuation) *)
   mutable next_seq : int;
   mutable phase : phase;
   mutable finished : bool;
   mutable commit_cont : (Outcome.t -> unit) option;
   mutable slow : bool;
   t_start_us : int;
+  (* Observability: currently open phase segment and accumulated
+     per-phase virtual time. *)
+  mutable seg : [ `Exec | `Prep | `Fin ];
+  mutable ph_start_us : int;
+  mutable exec_us : int;
+  mutable prep_us : int;
+  mutable fin_us : int;
 }
 
 and ctx = { c_txn : txn }
@@ -40,10 +48,14 @@ type stats = {
 type record = {
   h_ver : Version.t;
   h_committed : bool;
+  h_abort : Obs.Abort_reason.t option;
   h_reads : (string * Version.t) list;
   h_writes : string list;
   h_start_us : int;
   h_end_us : int;
+  h_exec_us : int;
+  h_prepare_us : int;
+  h_finalize_us : int;
 }
 
 type t = {
@@ -58,6 +70,7 @@ type t = {
   mutable last_ts : int;
   txns : (Version.t, txn) Hashtbl.t;
   stats : stats;
+  obs : Obs.Sink.t;
   on_finish : (record -> unit) option;
 }
 
@@ -65,6 +78,37 @@ let node t = t.node
 let stats t = t.stats
 
 let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+(* --- Observability helpers --------------------------------------------- *)
+
+let ver_arg txn = ("ver", Obs.Sink.S (Fmt.str "%a" Version.pp txn.id))
+
+let mark t txn name args =
+  Obs.Sink.instant t.obs ~name ~cat:"txn" ~ts:(Engine.now t.engine) ~pid:t.node
+    ~args:(ver_arg txn :: args) ()
+
+(* Close the open phase segment, credit its duration, emit its span, and
+   open [next]. *)
+let switch_segment t txn next =
+  let now = Engine.now t.engine in
+  let dur = now - txn.ph_start_us in
+  let name =
+    match txn.seg with
+    | `Exec ->
+      txn.exec_us <- txn.exec_us + dur;
+      "execute"
+    | `Prep ->
+      txn.prep_us <- txn.prep_us + dur;
+      "prepare"
+    | `Fin ->
+      txn.fin_us <- txn.fin_us + dur;
+      "finalize"
+  in
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.span t.obs ~name ~cat:"phase" ~ts:txn.ph_start_us ~dur ~pid:t.node
+      ~args:[ ver_arg txn ] ();
+  txn.ph_start_us <- now;
+  txn.seg <- next
 
 let participants txn t =
   let tbl = Hashtbl.create 4 in
@@ -75,21 +119,39 @@ let participants txn t =
 let finish t txn outcome =
   if not txn.finished then begin
     txn.finished <- true;
+    switch_segment t txn txn.seg;
     txn.phase <- Done;
     Hashtbl.remove t.txns txn.id;
     (match outcome with
      | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
-     | Outcome.Aborted -> t.stats.aborted <- t.stats.aborted + 1);
+     | Outcome.Aborted _ -> t.stats.aborted <- t.stats.aborted + 1);
+    if Obs.Sink.enabled t.obs then begin
+      (match outcome with
+      | Outcome.Committed -> mark t txn "commit" []
+      | Outcome.Aborted r ->
+        mark t txn "abort"
+          [ ("reason", Obs.Sink.S (Obs.Abort_reason.to_string r)) ]);
+      Obs.Sink.span t.obs ~name:"txn" ~cat:"txn" ~ts:txn.t_start_us
+        ~dur:(Engine.now t.engine - txn.t_start_us)
+        ~pid:t.node
+        ~args:
+          [ ver_arg txn; ("outcome", Obs.Sink.S (Fmt.str "%a" Outcome.pp outcome)) ]
+        ()
+    end;
     (match t.on_finish with
      | Some f ->
        f
          {
            h_ver = txn.id;
            h_committed = Outcome.is_committed outcome;
+           h_abort = Outcome.reason outcome;
            h_reads = List.rev txn.reads;
            h_writes = List.rev_map fst txn.writes;
            h_start_us = txn.t_start_us;
            h_end_us = Engine.now t.engine;
+           h_exec_us = txn.exec_us;
+           h_prepare_us = txn.prep_us;
+           h_finalize_us = txn.fin_us;
          }
      | None -> ());
     match txn.commit_cont with Some cont -> cont outcome | None -> ()
@@ -108,7 +170,9 @@ let complete_commit t txn =
 
 let abort_everywhere t txn =
   List.iter (fun g -> broadcast_group t g (Msg.Abort { txn = txn.id })) (participants txn t);
-  finish t txn Outcome.Aborted
+  (* Every TAPIR abort is an OCC validation failure: some replica saw a
+     stale read or a conflicting prepared/committed write. *)
+  finish t txn (Outcome.Aborted Obs.Abort_reason.Validation_fail)
 
 let check_all_groups t txn =
   match txn.phase with
@@ -140,6 +204,7 @@ let rec evaluate_group t txn (g : group_state) ~forced =
       (* Slow path: make the majority result durable with one more
          round. *)
       g.g_finalizing <- true;
+      if txn.seg = `Prep then switch_segment t txn `Fin;
       txn.slow <- true;
       broadcast_group t g.g_index (Msg.Finalize { txn = txn.id; vote = Msg.V_commit })
     end
@@ -160,10 +225,16 @@ let handle_read_reply t txn_id key w_ver value seq =
   | Some txn -> (
     match List.assoc_opt seq txn.pending with
     | None -> ()
-    | Some cont ->
+    | Some (sent_us, cont) ->
       txn.pending <- List.remove_assoc seq txn.pending;
       txn.reads <- (key, w_ver) :: txn.reads;
       txn.read_vals <- (key, value) :: txn.read_vals;
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:sent_us
+          ~dur:(Engine.now t.engine - sent_us)
+          ~pid:t.node
+          ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
+          ();
       cont { c_txn = txn } value)
 
 let handle_prepare_reply t txn_id group ~src vote =
@@ -209,7 +280,8 @@ let handle t ~src msg =
   | Msg.Finalize_reply { txn; group; vote } -> handle_finalize_reply t txn group vote
   | Msg.Read _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Commit _ | Msg.Abort _ -> ()
 
-let create ~cfg ~engine ~net ~rng ~region ~groups ~partition ?on_finish () =
+let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
+    ?(obs = Obs.Sink.null) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     Array.map
@@ -229,6 +301,7 @@ let create ~cfg ~engine ~net ~rng ~region ~groups ~partition ?on_finish () =
       last_ts = 0;
       txns = Hashtbl.create 16;
       stats = { begun = 0; committed = 0; aborted = 0; fast_commits = 0; slow_commits = 0 };
+      obs;
       on_finish;
     }
   in
@@ -239,15 +312,18 @@ let begin_ t body =
   let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
   t.last_ts <- ts;
   let id = Version.make ~ts ~id:t.node in
+  let now = Engine.now t.engine in
   let txn =
     {
       id; reads = []; read_vals = []; writes = []; pending = []; next_seq = 0;
       phase = Executing; finished = false; commit_cont = None; slow = false;
-      t_start_us = Engine.now t.engine;
+      t_start_us = now; seg = `Exec; ph_start_us = now; exec_us = 0;
+      prep_us = 0; fin_us = 0;
     }
   in
   Hashtbl.replace t.txns id txn;
   t.stats.begun <- t.stats.begun + 1;
+  if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn }
 
 let begin_ro = begin_
@@ -264,7 +340,7 @@ let get t ctx key cont =
       | None ->
         let seq = txn.next_seq in
         txn.next_seq <- seq + 1;
-        txn.pending <- (seq, cont) :: txn.pending;
+        txn.pending <- (seq, (Engine.now t.engine, cont)) :: txn.pending;
         send t t.closest.(t.partition key) (Msg.Read { txn = txn.id; key; seq }))
 
 let get_for_update = get
@@ -280,6 +356,12 @@ let abort t ctx =
     txn.finished <- true;
     Hashtbl.remove t.txns txn.id;
     t.stats.aborted <- t.stats.aborted + 1;
+    if Obs.Sink.enabled t.obs then
+      mark t txn "abort"
+        [
+          ("reason",
+           Obs.Sink.S (Obs.Abort_reason.to_string Obs.Abort_reason.User_abort));
+        ];
     (* Nothing is prepared yet, but replicas may hold read registrations;
        an Abort message is harmless and frees any prepared state from a
        duplicate path. *)
@@ -302,6 +384,7 @@ let commit t ctx cont =
               g_finalizing = false })
           parts
       in
+      switch_segment t txn `Prep;
       txn.phase <- Committing gs;
       let dedup_writes =
         let seen = Hashtbl.create 8 in

@@ -22,10 +22,14 @@ type stats = {
 type record = {
   h_ver : Cc_types.Version.t;
   h_committed : bool;
+  h_abort : Obs.Abort_reason.t option;  (** classified cause on abort *)
   h_reads : (string * Cc_types.Version.t) list;
   h_writes : string list;
   h_start_us : int;
   h_end_us : int;
+  h_exec_us : int;
+  h_prepare_us : int;
+  h_finalize_us : int;
 }
 
 val create :
@@ -36,6 +40,7 @@ val create :
   region:Simnet.Latency.region ->
   groups:int array array ->
   partition:(string -> int) ->
+  ?obs:Obs.Sink.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t

@@ -33,6 +33,8 @@ type t = {
 let node t = t.node
 let cpu t = t.cpu
 let stats t = t.stats
+let prepared_count t = Hashtbl.length t.prepared
+let store_size t = Hashtbl.length t.store
 let stop t = t.stopped <- true
 let is_stopped t = t.stopped
 

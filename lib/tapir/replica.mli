@@ -50,6 +50,12 @@ val load : t -> (string * string) list -> unit
 
 val stats : t -> stats
 
+val prepared_count : t -> int
+(** Prepared-transaction table size (metrics sampling). *)
+
+val store_size : t -> int
+(** Number of keys in the committed store (metrics sampling). *)
+
 val read_current : t -> string -> string option
 (** Latest committed value (tests). *)
 

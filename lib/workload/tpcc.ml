@@ -232,7 +232,7 @@ module Make (C : Cc_types.Kv_api.S) = struct
                 C.get client ctx (k_customer w d c) (fun ctx _crow ->
                     if rollback then begin
                       C.abort client ctx;
-                      done_ Cc_types.Outcome.Aborted
+                      done_ (Cc_types.Outcome.Aborted Obs.Abort_reason.User_abort)
                     end
                     else
                     let line ctx (n, (i, supply, qty)) k =

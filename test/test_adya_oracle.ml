@@ -113,6 +113,12 @@ let dummy_result ?(committed = 1) ?(rate = 1.0) () =
     r_cpu_utilization = 0.;
     r_reexecs_per_txn = 0.;
     r_msgs_per_txn = 0.;
+    r_aborts_by = [];
+    r_exec_ms = 0.;
+    r_prepare_ms = 0.;
+    r_finalize_ms = 0.;
+    r_backoff_ms = 0.;
+    r_events = Harness.Stats.no_events;
     r_recovery = Harness.Stats.no_recovery;
   }
 

@@ -75,7 +75,7 @@ let increment_loop c client key ~count =
         | Outcome.Committed ->
           incr committed;
           loop (remaining - 1) 0
-        | Outcome.Aborted ->
+        | Outcome.Aborted _ ->
           ignore
             (Sim.Engine.schedule c.engine
                ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))

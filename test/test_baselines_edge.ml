@@ -111,7 +111,7 @@ let test_spanner_crossfire_liveness () =
                         | Outcome.Committed ->
                           incr finished;
                           loop (remaining - 1) 0
-                        | Outcome.Aborted ->
+                        | Outcome.Aborted _ ->
                           ignore
                             (Sim.Engine.schedule c.engine
                                ~after:(1 + Sim.Rng.int crng (20_000 * (1 lsl min attempt 6)))

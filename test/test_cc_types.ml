@@ -107,7 +107,8 @@ let test_outcome () =
   Alcotest.(check bool) "committed" true
     (Cc_types.Outcome.is_committed Cc_types.Outcome.Committed);
   Alcotest.(check bool) "aborted" false
-    (Cc_types.Outcome.is_committed Cc_types.Outcome.Aborted)
+    (Cc_types.Outcome.is_committed
+       (Cc_types.Outcome.Aborted Obs.Abort_reason.User_abort))
 
 let suites =
   [

@@ -112,7 +112,7 @@ let test_f2_contended_counter () =
         if remaining > 0 then
           increment c client "ctr" (function
             | Outcome.Committed -> loop (remaining - 1) 0
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               ignore
                 (Sim.Engine.schedule c.engine
                    ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))
@@ -152,7 +152,7 @@ let qcheck_sequential_equivalence =
                     | Outcome.Committed ->
                       Hashtbl.replace model key (Hashtbl.find model key + delta);
                       issue rest
-                    | Outcome.Aborted ->
+                    | Outcome.Aborted _ ->
                       (* Serial transactions never conflict. *)
                       issue rest)))
       in
@@ -204,7 +204,7 @@ let qcheck_validity_windows_never_overlap =
                       in
                       Morty.Client.commit client ctx (function
                         | Outcome.Committed -> loop (remaining - 1) 0
-                        | Outcome.Aborted ->
+                        | Outcome.Aborted _ ->
                           ignore
                             (Sim.Engine.schedule c.engine
                                ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))

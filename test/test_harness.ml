@@ -6,7 +6,7 @@ let test_stats_counts () =
   let s = Harness.Stats.create () in
   Harness.Stats.record_commit s ~latency_us:1000;
   Harness.Stats.record_commit s ~latency_us:3000;
-  Harness.Stats.record_abort s;
+  Harness.Stats.record_abort s ~reason:Obs.Abort_reason.Validation_fail;
   Alcotest.(check int) "committed" 2 (Harness.Stats.committed s);
   Alcotest.(check int) "aborted" 1 (Harness.Stats.aborted s);
   Alcotest.(check (float 1e-9)) "commit rate" (2. /. 3.) (Harness.Stats.commit_rate s);

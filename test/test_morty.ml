@@ -55,7 +55,7 @@ let increment_loop cluster client key ~count =
         | Outcome.Committed ->
           incr committed;
           go (remaining - 1) 0
-        | Outcome.Aborted ->
+        | Outcome.Aborted _ ->
           let cap = backoff_base * (1 lsl min attempt 8) in
           let wait = 1 + Sim.Rng.int cluster.rng cap in
           ignore
@@ -376,7 +376,7 @@ let qcheck_random_contention_serializable =
                           in
                           Morty.Client.commit client ctx (function
                             | Outcome.Committed -> go (remaining - 1)
-                            | Outcome.Aborted ->
+                            | Outcome.Aborted _ ->
                               ignore
                                 (Sim.Engine.schedule c.engine
                                    ~after:(1 + Sim.Rng.int rng 20_000)

@@ -201,7 +201,7 @@ let counter_run c ~clients ~count =
                   let ctx = Morty.Client.put client ctx "ctr" (string_of_int (n + 1)) in
                   Morty.Client.commit client ctx (function
                     | Outcome.Committed -> loop (remaining - 1) 0
-                    | Outcome.Aborted ->
+                    | Outcome.Aborted _ ->
                       ignore
                         (Sim.Engine.schedule c.engine
                            ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))

@@ -38,7 +38,7 @@ let test_truncation_under_load () =
                     | Outcome.Committed ->
                       incr total_committed;
                       loop (remaining - 1) 0
-                    | Outcome.Aborted ->
+                    | Outcome.Aborted _ ->
                       ignore
                         (Sim.Engine.schedule engine
                            ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))
@@ -240,7 +240,7 @@ let test_tpcc_rollback_leaves_consistent_state () =
             | Outcome.Committed ->
               incr committed;
               loop (remaining - 1)
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               incr aborted;
               loop (remaining - 1))
       in

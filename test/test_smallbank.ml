@@ -44,7 +44,7 @@ let run_system ~reexecution =
             | Outcome.Committed ->
               committed_delta := !committed_delta + !delta;
               loop (remaining - 1) 0
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               ignore
                 (Sim.Engine.schedule engine
                    ~after:(1 + Sim.Rng.int crng (8_000 * (1 lsl min attempt 8)))

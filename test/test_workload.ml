@@ -153,7 +153,7 @@ let run_mix c ~conf ~clients ~txns_per_client =
           let kind = Tpcc.pick_kind crng in
           M.run conf client crng ~home_w kind (function
             | Outcome.Committed -> loop (remaining - 1) 0
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               ignore
                 (Sim.Engine.schedule c.engine
                    ~after:(1 + Sim.Rng.int crng (10_000 * (1 lsl min attempt 7)))
@@ -259,7 +259,7 @@ let test_retwis_full_mix_on_morty () =
           let kind = Retwis.pick_kind crng in
           R.run client crng zipf kind (function
             | Outcome.Committed -> loop (remaining - 1) 0
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               ignore
                 (Sim.Engine.schedule c.engine
                    ~after:(1 + Sim.Rng.int crng (10_000 * (1 lsl min attempt 7)))
@@ -303,7 +303,7 @@ let test_tpcc_full_mix_on_tapir () =
           let kind = Tpcc.pick_kind crng in
           T.run small_conf client crng ~home_w kind (function
             | Outcome.Committed -> loop (remaining - 1) 0
-            | Outcome.Aborted ->
+            | Outcome.Aborted _ ->
               ignore
                 (Sim.Engine.schedule engine
                    ~after:(1 + Sim.Rng.int crng (20_000 * (1 lsl min attempt 7)))
@@ -353,7 +353,7 @@ let test_ycsb_plan_mix () =
         | Outcome.Committed ->
           incr committed;
           loop (remaining - 1)
-        | Outcome.Aborted ->
+        | Outcome.Aborted _ ->
           ignore (Sim.Engine.schedule c.engine ~after:5_000 (fun () -> loop remaining)))
   in
   loop 20;

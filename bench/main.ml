@@ -379,6 +379,203 @@ let smallbank () =
      EXPERIMENTS.md, known divergence 2.@." 
 
 (* ------------------------------------------------------------------ *)
+(* PR4 bench-regression baseline.                                      *)
+(*                                                                     *)
+(* `bench-pr4` prints headline metrics for all four systems at one     *)
+(* fixed high-contention point as single-line-per-system JSON; the     *)
+(* output is committed as bench/BENCH_PR4.json.  `bench-pr4-check      *)
+(* FILE` re-runs the same point and compares against the baseline      *)
+(* with per-metric tolerances (exit 1 on breach) — wired into          *)
+(* `dune runtest` via the bench-smoke alias.  The simulation is        *)
+(* deterministic, so a breach always means the code changed behaviour, *)
+(* never environment noise; refresh the baseline by regenerating the   *)
+(* file when the change is intentional (see EXPERIMENTS.md).           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed short configuration, independent of MORTY_BENCH_MEASURE_MS so
+   the checked-in baseline means the same thing everywhere.  The point
+   sits at the contended end of Fig. 9 (Zipf theta 1.2), where the
+   systems' profiles diverge the most: Morty salvages re-executed work
+   while the OCC/2PL baselines burn the time in abort-and-retry
+   backoff. *)
+let pr4_exp sys =
+  {
+    Run.default_exp with
+    e_system = sys;
+    e_workload =
+      Run.Ycsb { Workload.Ycsb.default_conf with n_keys = 1_000; theta = 1.2 };
+    e_clients = 48;
+    e_cores = 2;
+    e_warmup_us = 100_000;
+    e_measure_us = 300_000;
+    e_seed = 42;
+    e_label = Printf.sprintf "pr4/%s" (Run.system_name sys);
+  }
+
+type pr4_row = {
+  b_goodput : float;
+  b_p50_ms : float;
+  b_p99_ms : float;
+  b_commit_rate : float;
+  b_reexecs_per_txn : float;
+  b_useful_frac : float;
+  b_salvaged_frac : float;
+  b_discarded_frac : float;
+  b_backoff_frac : float;
+  b_idle_frac : float;
+      (* client-idle share of committed latency: backoff + protocol
+         wait.  TAPIR idles in abort backoff; Spanner idles in
+         wound-wait lock queues — both show up here, which is what the
+         paper's <=17% CPU-utilization claim is about. *)
+  b_dominant : string;
+}
+
+let pr4_row sys =
+  let prof = Obs.Profile.create ~label:(Run.system_name sys) () in
+  let r = Run.run_exp ~prof (pr4_exp sys) in
+  let w = Obs.Profile.waste prof in
+  let frac a b = if b = 0 then 0. else float_of_int a /. float_of_int b in
+  let agg = Obs.Profile.decomposition prof in
+  let latency_sum = Array.fold_left ( + ) 0 agg in
+  let comp_sum c =
+    let s = ref 0 in
+    for p = 0 to Obs.Profile.n_phases - 1 do
+      s := !s + agg.((p * Obs.Profile.n_comps) + Obs.Profile.comp_index c)
+    done;
+    !s
+  in
+  let backoff = comp_sum Obs.Profile.C_backoff in
+  let idle = backoff + comp_sum Obs.Profile.C_proto in
+  {
+    b_goodput = r.Stats.r_goodput;
+    b_p50_ms = r.Stats.r_p50_latency_ms;
+    b_p99_ms = r.Stats.r_p99_latency_ms;
+    b_commit_rate = r.Stats.r_commit_rate;
+    b_reexecs_per_txn = r.Stats.r_reexecs_per_txn;
+    b_useful_frac = frac w.Obs.Profile.w_useful_us w.Obs.Profile.w_total_us;
+    b_salvaged_frac = frac w.Obs.Profile.w_salvaged_us w.Obs.Profile.w_total_us;
+    b_discarded_frac =
+      frac w.Obs.Profile.w_discarded_us w.Obs.Profile.w_total_us;
+    b_backoff_frac = frac backoff latency_sum;
+    b_idle_frac = frac idle latency_sum;
+    b_dominant = Obs.Profile.dominant_component prof;
+  }
+
+let pr4_row_json row =
+  Printf.sprintf
+    "{\"goodput\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"commit_rate\":%.4f,\"reexecs_per_txn\":%.3f,\"useful_frac\":%.4f,\"salvaged_frac\":%.4f,\"discarded_frac\":%.4f,\"backoff_frac\":%.4f,\"idle_frac\":%.4f,\"dominant_component\":\"%s\"}"
+    row.b_goodput row.b_p50_ms row.b_p99_ms row.b_commit_rate
+    row.b_reexecs_per_txn row.b_useful_frac row.b_salvaged_frac
+    row.b_discarded_frac row.b_backoff_frac row.b_idle_frac row.b_dominant
+
+let pr4_rows () =
+  List.map (fun sys -> (Run.system_name sys, pr4_row sys)) Run.all_systems
+
+let bench_pr4 () =
+  let rows = pr4_rows () in
+  print_string "{\n";
+  List.iteri
+    (fun i (name, row) ->
+      Printf.printf "\"%s\":%s%s\n" name (pr4_row_json row)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  print_string "}\n"
+
+(* Minimal extractor for the flat JSON we emit ourselves: the [sys]
+   object's text, then a field's raw token within it. *)
+let pr4_baseline_field baseline ~sys ~field =
+  let find hay needle from =
+    let hl = String.length hay and nl = String.length needle in
+    let rec go i =
+      if i + nl > hl then None
+      else if String.sub hay i nl = needle then Some (i + nl)
+      else go (i + 1)
+    in
+    go from
+  in
+  match find baseline (Printf.sprintf "\"%s\":{" sys) 0 with
+  | None -> None
+  | Some start -> (
+    let stop =
+      match String.index_from_opt baseline start '}' with
+      | Some j -> j
+      | None -> String.length baseline
+    in
+    let obj = String.sub baseline start (stop - start) in
+    match find obj (Printf.sprintf "\"%s\":" field) 0 with
+    | None -> None
+    | Some v ->
+      let e = ref v in
+      while
+        !e < String.length obj && obj.[!e] <> ',' && obj.[!e] <> '}'
+      do
+        incr e
+      done;
+      Some (String.trim (String.sub obj v (!e - v))))
+
+let bench_pr4_check path =
+  let baseline =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let failures = ref 0 in
+  let report sys metric ~base ~cur ~tol ok =
+    if not ok then incr failures;
+    Printf.printf "%-6s %-8s %-16s baseline=%-10s current=%-10s (tol %s)\n"
+      (if ok then "ok" else "BREACH")
+      sys metric base cur tol
+  in
+  let num sys metric ~cur ~rel_tol ~abs_tol =
+    match pr4_baseline_field baseline ~sys ~field:metric with
+    | None ->
+      report sys metric ~base:"<missing>"
+        ~cur:(Printf.sprintf "%.4f" cur)
+        ~tol:"-" false
+    | Some raw ->
+      let base = float_of_string raw in
+      let slack = Float.max (abs_tol) (rel_tol *. Float.abs base) in
+      let ok = Float.abs (cur -. base) <= slack in
+      report sys metric ~base:raw
+        ~cur:(Printf.sprintf "%.4f" cur)
+        ~tol:
+          (if rel_tol > 0. then Printf.sprintf "±%.0f%%" (100. *. rel_tol)
+           else Printf.sprintf "±%.2f" abs_tol)
+        ok
+  in
+  List.iter
+    (fun (sys, row) ->
+      num sys "goodput" ~cur:row.b_goodput ~rel_tol:0.10 ~abs_tol:5.;
+      num sys "p50_ms" ~cur:row.b_p50_ms ~rel_tol:0.20 ~abs_tol:1.;
+      num sys "p99_ms" ~cur:row.b_p99_ms ~rel_tol:0.20 ~abs_tol:2.;
+      num sys "commit_rate" ~cur:row.b_commit_rate ~rel_tol:0. ~abs_tol:0.05;
+      num sys "reexecs_per_txn" ~cur:row.b_reexecs_per_txn ~rel_tol:0.
+        ~abs_tol:0.10;
+      num sys "useful_frac" ~cur:row.b_useful_frac ~rel_tol:0. ~abs_tol:0.05;
+      num sys "salvaged_frac" ~cur:row.b_salvaged_frac ~rel_tol:0.
+        ~abs_tol:0.05;
+      num sys "discarded_frac" ~cur:row.b_discarded_frac ~rel_tol:0.
+        ~abs_tol:0.05;
+      num sys "backoff_frac" ~cur:row.b_backoff_frac ~rel_tol:0. ~abs_tol:0.05;
+      num sys "idle_frac" ~cur:row.b_idle_frac ~rel_tol:0. ~abs_tol:0.05;
+      let dom = Printf.sprintf "\"%s\"" row.b_dominant in
+      match pr4_baseline_field baseline ~sys ~field:"dominant_component" with
+      | None -> report sys "dominant" ~base:"<missing>" ~cur:dom ~tol:"=" false
+      | Some raw -> report sys "dominant" ~base:raw ~cur:dom ~tol:"=" (raw = dom))
+    (pr4_rows ());
+  if !failures > 0 then begin
+    Printf.printf
+      "bench-pr4: %d metric(s) drifted beyond tolerance.  If the change is \
+       intentional, refresh the baseline:\n\
+      \  dune exec bench/main.exe -- bench-pr4 > bench/BENCH_PR4.json\n"
+      !failures;
+    exit 1
+  end
+  else Printf.printf "bench-pr4: all metrics within tolerance of %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks for the core data structures.             *)
 (* ------------------------------------------------------------------ *)
 
@@ -468,14 +665,13 @@ let all () =
   micro ()
 
 let () =
-  let targets =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "all" ]
-  in
-  List.iter
-    (fun t ->
-      match t with
+  let rec go = function
+    | [] -> ()
+    | "bench-pr4-check" :: path :: rest ->
+      bench_pr4_check path;
+      go rest
+    | t :: rest ->
+      (match t with
       | "table1" -> table1 ()
       | "table2" -> table2 ()
       | "table3" -> table3 ()
@@ -489,6 +685,11 @@ let () =
       | "smallbank" -> smallbank ()
       | "failover" -> failover ()
       | "micro" -> micro ()
+      | "bench-pr4" -> bench_pr4 ()
       | "all" -> all ()
-      | other -> Fmt.epr "unknown bench target %S@." other)
-    targets
+      | other -> Fmt.epr "unknown bench target %S@." other);
+      go rest
+  in
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as rest) -> go rest
+  | _ -> go [ "all" ]

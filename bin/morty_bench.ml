@@ -110,9 +110,17 @@ let metrics_out =
                  queue depth, record/store sizes, watermark lag on a 10 ms \
                  virtual ticker) as CSV to $(docv)." ~docv:"FILE")
 
+let profile_out =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ]
+           ~doc:"Write the critical-path profile (per-transaction latency \
+                 decomposition, wasted-work account, key-contention heatmap) \
+                 as single-line JSON to $(docv), and print a human summary.  \
+                 With --sweep, one JSON document per line, one per point." ~docv:"FILE")
+
 let run system setup workload theta keys warehouses read_pct clients cores
     duration_ms warmup_ms seed sweep kill_at_ms restart_at_ms victim trace_out
-    metrics_out =
+    metrics_out profile_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -160,23 +168,36 @@ let run system setup workload theta keys warehouses read_pct clients cores
     output_string oc s;
     close_out oc
   in
+  let profiles = Buffer.create 256 in
   let print_point e =
     let obs =
       if trace_out <> None || metrics_out <> None then
         Obs.Sink.create ~seed:e.Harness.Run.e_seed
       else Obs.Sink.null
     in
-    let r = Harness.Run.run_exp ?faults ~obs e in
+    let prof =
+      if profile_out <> None then
+        Obs.Profile.create ~label:e.Harness.Run.e_label ()
+      else Obs.Profile.null
+    in
+    let r = Harness.Run.run_exp ?faults ~obs ~prof e in
     Fmt.pr "%a@." Harness.Stats.pp_result r;
     if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
       Fmt.pr "%a@." Harness.Stats.pp_recovery r;
     Option.iter (fun path -> write path (Obs.Trace.to_json obs)) trace_out;
-    Option.iter (fun path -> write path (Obs.Metrics.to_csv obs)) metrics_out
+    Option.iter (fun path -> write path (Obs.Metrics.to_csv obs)) metrics_out;
+    if profile_out <> None then begin
+      (* [to_json] is newline-terminated: with --sweep the file is one
+         JSON document per line, one per point. *)
+      Buffer.add_string profiles (Obs.Profile.to_json prof);
+      Fmt.pr "%a" Obs.Profile.pp_summary prof
+    end
   in
   Fmt.pr "%a@." Harness.Stats.pp_result_header ();
-  match sweep with
+  (match sweep with
   | None -> print_point (mk clients)
-  | Some counts -> List.iter (fun n -> print_point (mk n)) counts
+  | Some counts -> List.iter (fun n -> print_point (mk n)) counts);
+  Option.iter (fun path -> write path (Buffer.contents profiles)) profile_out
 
 let cmd =
   let doc = "Run one experiment point of the Morty reproduction" in
@@ -185,6 +206,7 @@ let cmd =
     Term.(
       const run $ system $ setup $ workload $ theta $ keys $ warehouses
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
-      $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out)
+      $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out
+      $ profile_out)
 
 let () = exit (Cmd.eval cmd)

@@ -108,8 +108,16 @@ let trace_out =
                  JSON of the shrunk reproducer's run, Perfetto-loadable) to \
                  $(docv), $(docv).2, ... in failure order." ~docv:"FILE")
 
+let profile_out =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ]
+           ~doc:"Write each audit failure's critical-path profile (JSON, \
+                 latency decomposition + wasted work + hot keys of the shrunk \
+                 reproducer's run) to $(docv), $(docv).2, ... in failure \
+                 order." ~docv:"FILE")
+
 let run systems workload_names seeds seed_base schedules episodes clients cores
-    measure_ms smoke no_kill quiet trace_out =
+    measure_ms smoke no_kill quiet trace_out profile_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -125,7 +133,17 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
       kill_restart = not no_kill;
     }
   in
-  let progress case outcome =
+  (* One-look digest of where the run's time and contention went:
+     dominant latency component plus the three hottest keys. *)
+  let profile_digest prof =
+    let hot =
+      match Obs.Profile.hot_keys prof 3 with
+      | [] -> "-"
+      | hot -> String.concat "," (List.map fst hot)
+    in
+    Printf.sprintf "dom=%s hot=%s" (Obs.Profile.dominant_component prof) hot
+  in
+  let progress case prof outcome =
     if not quiet then
       match outcome with
       | Ok r ->
@@ -133,23 +151,35 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         if rc.Harness.Stats.rc_kills > 0 then
           Fmt.pr
             "pass %-55s committed=%d aborted=%d kills=%d restarts=%d \
-             transfer_msgs=%d@."
+             transfer_msgs=%d %s@."
             (Explore.Case.label case) r.Harness.Stats.r_committed
             r.Harness.Stats.r_aborted rc.Harness.Stats.rc_kills
             rc.Harness.Stats.rc_restarts rc.Harness.Stats.rc_transfer_msgs
+            (profile_digest prof)
         else
           let ev = r.Harness.Stats.r_events in
-          Fmt.pr "pass %-55s committed=%d aborted=%d events=t:%d/d:%d/k:%d@."
+          Fmt.pr
+            "pass %-55s committed=%d aborted=%d events=t:%d/d:%d/k:%d %s@."
             (Explore.Case.label case) r.Harness.Stats.r_committed
             r.Harness.Stats.r_aborted ev.Harness.Stats.ev_timers
             ev.Harness.Stats.ev_deliveries ev.Harness.Stats.ev_tickers
+            (profile_digest prof)
       | Error v ->
-        Fmt.pr "FAIL %-55s %s@." (Explore.Case.label case)
+        Fmt.pr "FAIL %-55s %s %s@." (Explore.Case.label case)
           (Explore.Audit.violation_to_string v)
+          (profile_digest prof)
   in
   let summary = Explore.Sweep.run ~progress cfg in
+  let numbered base i =
+    if i = 0 then base else Printf.sprintf "%s.%d" base (i + 1)
+  in
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
   List.iteri
-    (fun i { Explore.Sweep.f_original; f_shrunk; f_trace } ->
+    (fun i { Explore.Sweep.f_original; f_shrunk; f_trace; f_profile } ->
       Fmt.pr "@.=== audit violation: %s@."
         (Explore.Audit.violation_to_string f_shrunk.Explore.Shrink.s_violation);
       Fmt.pr "original: %s@." (Explore.Case.label f_original);
@@ -158,14 +188,18 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
       Fmt.pr "--- reproducer -------------------------------------------------@.";
       Fmt.pr "%s" (Explore.Shrink.reproducer f_shrunk);
       Fmt.pr "----------------------------------------------------------------@.";
-      match trace_out with
+      (match trace_out with
       | None -> ()
       | Some base ->
-        let path = if i = 0 then base else Printf.sprintf "%s.%d" base (i + 1) in
-        let oc = open_out path in
-        output_string oc f_trace;
-        close_out oc;
-        Fmt.pr "trace of shrunk case written to %s@." path)
+        let path = numbered base i in
+        write path f_trace;
+        Fmt.pr "trace of shrunk case written to %s@." path);
+      match profile_out with
+      | None -> ()
+      | Some base ->
+        let path = numbered base i in
+        write path f_profile;
+        Fmt.pr "profile of shrunk case written to %s@." path)
     summary.Explore.Sweep.s_failures;
   Fmt.pr "SUMMARY %a@." Explore.Sweep.pp_summary summary;
   if summary.Explore.Sweep.s_failures = [] then 0 else 1
@@ -176,6 +210,7 @@ let cmd =
     (Cmd.info "morty_explore" ~doc)
     Term.(
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
-      $ clients $ cores $ measure_ms $ smoke $ no_kill $ quiet $ trace_out)
+      $ clients $ cores $ measure_ms $ smoke $ no_kill $ quiet $ trace_out
+      $ profile_out)
 
 let () = exit (Cmd.eval' cmd)

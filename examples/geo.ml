@@ -16,7 +16,7 @@ let run_one setup =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:regions.(i) ~cores:2)
+          ~region:regions.(i) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;

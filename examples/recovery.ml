@@ -18,7 +18,7 @@ let () =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:2)
+          ~region:(Simnet.Latency.Az i) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;

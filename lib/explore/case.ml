@@ -74,11 +74,11 @@ let exp_of c =
     e_label = label c;
   }
 
-let run ?obs c =
+let run ?obs ?prof c =
   let faults =
     if Schedule.is_empty c.c_schedule then None else Some (Schedule.apply c.c_schedule)
   in
-  let result, txns = Harness.Run.run_exp_audited ?faults ?obs (exp_of c) in
+  let result, txns = Harness.Run.run_exp_audited ?faults ?obs ?prof (exp_of c) in
   match
     Audit.check ~expect_progress:(Schedule.is_empty c.c_schedule) txns result
   with

@@ -31,12 +31,17 @@ val default : t
 val horizon_us : t -> int
 (** Warm-up plus measurement window — the span fault schedules target. *)
 
-val run : ?obs:Obs.Sink.t -> t -> (Harness.Stats.result, Audit.violation) result
+val run :
+  ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
+  t ->
+  (Harness.Stats.result, Audit.violation) result
 (** Run the case's experiment with its fault schedule injected, audit
     the recorded history ([expect_progress] iff the schedule is empty),
     and return the measured result or the audit violation.  [obs]
-    collects a span trace of the run (instrumentation is read-only, so
-    the history is identical with or without it). *)
+    collects a span trace and [prof] a critical-path profile of the run
+    (instrumentation is read-only, so the history is identical with or
+    without them). *)
 
 val label : t -> string
 (** Short deterministic label, e.g. ["morty/ycsb-small seed=3 sched=[...]"]. *)

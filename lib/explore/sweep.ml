@@ -34,6 +34,7 @@ type failure = {
   f_original : Case.t;
   f_shrunk : Shrink.outcome;
   f_trace : string;
+  f_profile : string;
 }
 
 type summary = {
@@ -68,7 +69,7 @@ let schedule_for cfg ~seed ~index =
       ~horizon_us:(cfg.warmup_us + cfg.measure_us)
       ~n_replicas:4 ~episodes:cfg.episodes
 
-let run ?(progress = fun _ _ -> ()) cfg =
+let run ?(progress = fun _ _ _ -> ()) cfg =
   let runs = ref 0 and passed = ref 0 in
   let committed = ref 0 and aborted = ref 0 in
   let failures = ref [] in
@@ -81,9 +82,10 @@ let run ?(progress = fun _ _ -> ()) cfg =
               for index = 0 to cfg.schedules_per_seed do
                 let schedule = schedule_for cfg ~seed ~index in
                 let case = case_of cfg system wname ~seed ~schedule in
-                let outcome = Case.run case in
+                let prof = Obs.Profile.create ~label:(Case.label case) () in
+                let outcome = Case.run ~prof case in
                 incr runs;
-                progress case outcome;
+                progress case prof outcome;
                 match outcome with
                 | Ok r ->
                   incr passed;
@@ -96,18 +98,27 @@ let run ?(progress = fun _ _ -> ()) cfg =
                   let shrunk =
                     Shrink.minimize ~max_runs:cfg.shrink_budget ~fails case v
                   in
-                  (* Re-run the minimized case once more with tracing on:
-                     the span trace of the failing history rides along
-                     with the reproducer.  Determinism guarantees it is
-                     the same history the audit rejected. *)
-                  let trace =
+                  (* Re-run the minimized case once more with tracing and
+                     profiling on: the span trace and critical-path
+                     profile of the failing history ride along with the
+                     reproducer.  Determinism guarantees it is the same
+                     history the audit rejected. *)
+                  let trace, profile =
                     let sc = shrunk.Shrink.s_case in
                     let sink = Obs.Sink.create ~seed:sc.Case.c_seed in
-                    ignore (Case.run ~obs:sink sc);
-                    Obs.Trace.to_json sink
+                    let sprof =
+                      Obs.Profile.create ~label:(Case.label sc) ()
+                    in
+                    ignore (Case.run ~obs:sink ~prof:sprof sc);
+                    (Obs.Trace.to_json sink, Obs.Profile.to_json sprof)
                   in
                   failures :=
-                    { f_original = case; f_shrunk = shrunk; f_trace = trace }
+                    {
+                      f_original = case;
+                      f_shrunk = shrunk;
+                      f_trace = trace;
+                      f_profile = profile;
+                    }
                     :: !failures
               done)
             cfg.seeds)

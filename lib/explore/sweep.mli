@@ -39,6 +39,10 @@ type failure = {
       (** Chrome trace_event JSON of the shrunk case's failing run
           (deterministic re-execution with a tracing sink) — load in
           Perfetto alongside the reproducer *)
+  f_profile : string;
+      (** critical-path profile JSON ({!Obs.Profile.to_json}) of the
+          same deterministic re-execution: where the failing run's time
+          and cycles went *)
 }
 
 type summary = {
@@ -58,10 +62,15 @@ val schedule_for :
     {!Schedule.empty}). *)
 
 val run :
-  ?progress:(Case.t -> (Harness.Stats.result, Audit.violation) result -> unit) ->
+  ?progress:
+    (Case.t ->
+    Obs.Profile.t ->
+    (Harness.Stats.result, Audit.violation) result ->
+    unit) ->
   config ->
   summary
-(** Run the sweep.  [progress] is called once per audited run (before
-    any shrinking), in deterministic order. *)
+(** Run the sweep.  Every run carries a critical-path profiler;
+    [progress] is called once per audited run (before any shrinking), in
+    deterministic order, with the run's profile. *)
 
 val pp_summary : Format.formatter -> summary -> unit

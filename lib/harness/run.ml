@@ -156,22 +156,47 @@ let events_of_engine engine =
 module Driver (C : Cc_types.Kv_api.S) = struct
   (* [pick rng] freshly parameterises one transaction and returns its
      runner; retries rerun the same kind with fresh parameters, and
-     latency is measured from the first attempt (§5, Measurement). *)
+     latency is measured from the first attempt (§5, Measurement).
+
+     [comps] reads the client's per-attempt latency-component cells
+     ({!Obs.Profile}); the driver accumulates them across attempts, adds
+     each backoff wait to the (retry, backoff) cell, and records the
+     finished transaction on [prof].  Attempts and backoffs tile the
+     interval from first begin to commit exactly, so the recorded cells
+     always sum to the recorded latency. *)
   let closed_loop ~engine ~rng ~client ~pick ~stats ~warm_start ~warm_end
-      ~backoff_base_us =
+      ?(prof = Obs.Profile.null) ?comps ~backoff_base_us () =
+    let profiling = Obs.Profile.enabled prof && comps <> None in
+    let acc = Array.make Obs.Profile.n_cells 0 in
+    let add_attempt () =
+      match comps with
+      | Some f when profiling ->
+        let c = f () in
+        Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) c
+      | Some _ | None -> ()
+    in
+    let backoff_cell =
+      Obs.Profile.cell Obs.Profile.P_retry Obs.Profile.C_backoff
+    in
     let rec next () =
       if Engine.now engine < warm_end then begin
+        if profiling then Array.fill acc 0 (Array.length acc) 0;
         let run = pick rng in
         attempt run (Engine.now engine) 0
       end
     and attempt run txn_start n =
       run client rng (fun outcome ->
           let now = Engine.now engine in
+          add_attempt ();
           let in_window = now >= warm_start && now < warm_end in
           match outcome with
           | Outcome.Committed ->
-            if in_window then
+            if in_window then begin
               Stats.record_commit stats ~latency_us:(now - txn_start);
+              if profiling then
+                Obs.Profile.record_txn prof ~latency_us:(now - txn_start)
+                  ~comps:acc
+            end;
             next ()
           | Outcome.Aborted reason ->
             if in_window then Stats.record_abort stats ~reason;
@@ -180,6 +205,7 @@ module Driver (C : Cc_types.Kv_api.S) = struct
                 min backoff_cap_us (max 1 backoff_base_us * (1 lsl min n 8))
               in
               let wait = 1 + Sim.Rng.int rng cap in
+              if profiling then acc.(backoff_cell) <- acc.(backoff_cell) + wait;
               if in_window then
                 Stats.record_phase stats Stats.P_backoff ~dur_us:wait;
               ignore
@@ -271,7 +297,7 @@ let txn_of_spanner (r : Spanner.Client.record) =
    hold every durable decision, so further kills are refused.  Both
    operations are idempotent — the shrinker may drop either half of a
    Kill/Restart pair. *)
-let morty_ops ~engine ~net ~rng ~cfg ~cores ~replicas ~peers ~acc =
+let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~replicas ~peers ~acc =
   let n = Array.length replicas in
   let widx i = ((i mod n) + n) mod n in
   let amnesiac () =
@@ -297,7 +323,7 @@ let morty_ops ~engine ~net ~rng ~cfg ~cores ~replicas ~peers ~acc =
       let node = Morty.Replica.node old in
       let fresh =
         Morty.Replica.create_at ~node ~cfg ~engine ~net
-          ~rng:(Sim.Rng.split rng) ~index:i ~cores
+          ~rng:(Sim.Rng.split rng) ~index:i ~cores ~prof ()
       in
       Morty.Replica.set_peers fresh peers;
       replicas.(i) <- fresh;
@@ -330,7 +356,8 @@ let morty_recovery acc replicas =
     rc_catchup_wait_us = !cw;
   }
 
-let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
+let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
+    ?(prof = Obs.Profile.null) e ~reexecution =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -345,7 +372,7 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
   let replicas =
     Array.init (Morty.Config.n_replicas cfg) (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores)
+          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores ~prof ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -380,7 +407,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
     List.init e.e_clients (fun i ->
         let client =
           Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-            ~region:(client_region regions i) ~replicas:peers ~obs ~on_finish ()
+            ~region:(client_region regions i) ~replicas:peers ~obs ~prof
+            ~on_finish ()
         in
         let crng = Sim.Rng.split rng in
         let pick =
@@ -407,7 +435,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
                 Morty_smallbank.run conf client rng zipf kind done_
         in
         Morty_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
-          ~warm_end ~backoff_base_us:e.e_backoff_base_us;
+          ~warm_end ~prof ~comps:(fun () -> Morty.Client.last_comps client)
+          ~backoff_base_us:e.e_backoff_base_us ();
         client)
   in
   let msgs_at_warm = ref 0 in
@@ -440,7 +469,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
         replicas);
   let acc = fresh_acc () in
   inject faults
-    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~replicas ~peers ~acc);
+    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~replicas ~peers
+       ~acc);
   Engine.run_until engine ~limit:warm_end;
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpu =
@@ -474,7 +504,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null) e ~reexecution =
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
-let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
+let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
+    ?(prof = Obs.Profile.null) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -488,7 +519,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
     Array.init n_groups (fun g ->
         Array.init (Tapir.Config.n_replicas cfg) (fun i ->
             Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:regions.(i mod Array.length regions) ~cores:1))
+              ~region:regions.(i mod Array.length regions) ~cores:1 ~prof ()))
   in
   let group_nodes = Array.map (Array.map Tapir.Replica.node) groups in
   let data =
@@ -539,7 +570,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
       let client =
         Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
           ~region:(client_region regions i) ~groups:group_nodes ~partition
-          ~obs ~on_finish ()
+          ~obs ~prof ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -564,7 +595,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
             fun client rng done_ -> Tapir_smallbank.run conf client rng zipf kind done_
       in
       Tapir_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
-        ~warm_end ~backoff_base_us:e.e_backoff_base_us)
+        ~warm_end ~prof ~comps:(fun () -> Tapir.Client.last_comps client)
+        ~backoff_base_us:e.e_backoff_base_us ())
     (List.init e.e_clients (fun _ -> ()));
   (* Recompute at use: restarts swap fresh replica objects (and CPUs)
      into [groups]. *)
@@ -633,7 +665,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
       let node = Tapir.Replica.node old in
       let fresh =
         Tapir.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
-          ~cores:1
+          ~cores:1 ~prof ()
       in
       groups.(g).(k) <- fresh;
       Simnet.Net.recover net node;
@@ -684,7 +716,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null) e =
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
-let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
+let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
+    ?(prof = Obs.Profile.null) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -695,7 +728,8 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
     Array.init n_groups (fun g ->
         Array.init (Spanner.Config.n_replicas cfg) (fun i ->
             Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:regions.((g + i) mod Array.length regions) ~cores:1))
+              ~region:regions.((g + i) mod Array.length regions) ~cores:1 ~prof
+              ()))
   in
   Array.iter
     (fun group ->
@@ -743,7 +777,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
       in
       let client =
         Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-          ~region:(client_region regions i) ~leaders ~partition ~obs
+          ~region:(client_region regions i) ~leaders ~partition ~obs ~prof
           ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
@@ -769,7 +803,8 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
             fun client rng done_ -> Spanner_smallbank.run conf client rng zipf kind done_
       in
       Spanner_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
-        ~warm_end ~backoff_base_us:e.e_backoff_base_us)
+        ~warm_end ~prof ~comps:(fun () -> Spanner.Client.last_comps client)
+        ~backoff_base_us:e.e_backoff_base_us ())
     (List.init e.e_clients (fun _ -> ()));
   (* Recompute at use: restarts swap fresh replica objects (and CPUs)
      into [groups]. *)
@@ -838,7 +873,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
       let node = Spanner.Replica.node old in
       let fresh =
         Spanner.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
-          ~cores:1
+          ~cores:1 ~prof ()
       in
       Spanner.Replica.set_peers fresh (Array.map Spanner.Replica.node groups.(g));
       groups.(g).(k) <- fresh;
@@ -888,21 +923,23 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null) e =
     ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn
     ~events:(events_of_engine engine) ~recovery ()
 
-let run_exp ?on_txn ?faults ?obs e =
+let run_exp ?on_txn ?faults ?obs ?prof e =
   match e.e_system with
-  | Morty -> run_morty ?on_txn ?faults ?obs e ~reexecution:true
-  | Mvtso -> run_morty ?on_txn ?faults ?obs e ~reexecution:false
-  | Tapir -> run_tapir ?on_txn ?faults ?obs e
-  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults ?obs e
-  | Spanner -> run_spanner ?on_txn ?faults ?obs e
+  | Morty -> run_morty ?on_txn ?faults ?obs ?prof e ~reexecution:true
+  | Mvtso -> run_morty ?on_txn ?faults ?obs ?prof e ~reexecution:false
+  | Tapir -> run_tapir ?on_txn ?faults ?obs ?prof e
+  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults ?obs ?prof e
+  | Spanner -> run_spanner ?on_txn ?faults ?obs ?prof e
 
-let run_exp_audited ?faults ?obs e =
+let run_exp_audited ?faults ?obs ?prof e =
   let txns = ref [] in
-  let result = run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults ?obs e in
+  let result =
+    run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults ?obs ?prof e
+  in
   (result, List.rev !txns)
 
-let run_morty_with_config ?obs e cfg =
-  run_morty ~cfg ?obs e ~reexecution:cfg.Morty.Config.reexecution
+let run_morty_with_config ?obs ?prof e cfg =
+  run_morty ~cfg ?obs ?prof e ~reexecution:cfg.Morty.Config.reexecution
 
 let find_peak mk ~client_counts =
   let results = List.map (fun n -> run_exp (mk n)) client_counts in
@@ -934,7 +971,7 @@ let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
   let replicas =
     Array.init (Morty.Config.n_replicas cfg) (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores)
+          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -1000,8 +1037,8 @@ let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
       next ())
     (List.init e.e_clients (fun i -> i));
   let ops =
-    morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~replicas ~peers
-      ~acc:(fresh_acc ())
+    morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof:Obs.Profile.null
+      ~replicas ~peers ~acc:(fresh_acc ())
   in
   let victim =
     match victim with Some v -> v | None -> Array.length replicas - 1

@@ -86,6 +86,7 @@ val run_exp :
   ?on_txn:(Adya.History.txn -> unit) ->
   ?faults:(cluster_ops -> unit) ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
   exp ->
   Stats.result
 (** [on_txn] receives one {!Adya.History.txn} per finished transaction
@@ -94,12 +95,17 @@ val run_exp :
     may schedule crash/partition/loss/delay events via the
     {!cluster_ops}.  [obs] (default {!Obs.Sink.null}) collects span
     traces from every client and, when enabled, per-replica metrics
-    samples on a read-only virtual-time ticker; instrumentation draws no
-    randomness, so enabling it never changes the simulated history. *)
+    samples on a read-only virtual-time ticker.  [prof] (default
+    {!Obs.Profile.null}) collects the critical-path profile: per-txn
+    latency decomposition for measurement-window commits, the
+    wasted-work ledger over replica CPU time, and the key-contention
+    heatmap.  Neither draws randomness, so enabling them never changes
+    the simulated history. *)
 
 val run_exp_audited :
   ?faults:(cluster_ops -> unit) ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
   exp ->
   Stats.result * Adya.History.txn list
 (** {!run_exp} plus the recorded history, in transaction-finish order.
@@ -107,7 +113,8 @@ val run_exp_audited :
     [Explore.Audit.check], which also applies the sanity
     invariants). *)
 
-val run_morty_with_config : ?obs:Obs.Sink.t -> exp -> Morty.Config.t -> Stats.result
+val run_morty_with_config :
+  ?obs:Obs.Sink.t -> ?prof:Obs.Profile.t -> exp -> Morty.Config.t -> Stats.result
 (** Run the Morty/MVTSO cluster with an explicit configuration — the
     ablation benches use this to toggle eager visibility, the fast path,
     and the re-execution cap. *)

@@ -99,11 +99,53 @@ type t = {
   abandon_acks : (Version.t * int, Net.node list ref) Hashtbl.t;
   stats : stats;
   obs : Obs.Sink.t;
+  prof : Obs.Profile.t;
+  (* Critical-path attribution: the transaction the closed-loop driver
+     is currently running (one at a time per client), its component
+     cells, and the end of the last attributed wait interval. *)
+  mutable c_cur : txn option;
+  mutable c_comps : int array;
+  mutable c_last_ev : int;
   on_finish : (record -> unit) option;
 }
 
 let node t = t.node
 let stats t = t.stats
+let last_comps t = t.c_comps
+
+let phase_row txn =
+  match txn.phase with
+  | Executing -> Obs.Profile.phase_index Obs.Profile.P_execute
+  | Preparing _ -> Obs.Profile.phase_index Obs.Profile.P_prepare
+  | Finalizing _ -> Obs.Profile.phase_index Obs.Profile.P_finalize
+  | Done -> Obs.Profile.phase_index Obs.Profile.P_execute
+
+(* Charge the wait since the last progress point to the current
+   transaction's phase, decomposed along the provenance of the message
+   being delivered right now ([None] from timer callbacks).  Exhaustive:
+   every microsecond of a transaction's life at this client lands in
+   exactly one component cell. *)
+let profile_wait t reply =
+  match t.c_cur with
+  | None -> ()
+  | Some txn ->
+    let now = Engine.now t.engine in
+    Obs.Profile.attribute ~comps:t.c_comps ~phase:(phase_row txn)
+      ~t0:t.c_last_ev ~t1:now reply;
+    t.c_last_ev <- now
+
+let profile_arrival t =
+  let reply =
+    match Net.current_delivery t.net with
+    | Some d ->
+      Some
+        ( d.Net.di_send_us,
+          d.di_path.Net.p_transit_us,
+          d.di_path.Net.p_queue_us,
+          d.di_path.Net.p_service_us )
+    | None -> None
+  in
+  profile_wait t reply
 
 let send t dst msg = Net.send t.net ~src:t.node ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.replicas
@@ -178,6 +220,21 @@ let write_set_of txn =
 let finish t txn outcome =
   if not txn.finished then begin
     txn.finished <- true;
+    (* Tail wait: nonzero only when the finish came from a timer rather
+       than a message arrival (arrivals already attributed up to now). *)
+    (match t.c_cur with
+    | Some cur when cur == txn ->
+      profile_wait t None;
+      Obs.Profile.note_outcome t.prof
+        ~ver:(txn.ver.Version.ts, txn.ver.Version.id)
+        ~committed:(Outcome.is_committed outcome)
+        ~final_eid:txn.eid;
+      t.c_cur <- None
+    | Some _ | None ->
+      Obs.Profile.note_outcome t.prof
+        ~ver:(txn.ver.Version.ts, txn.ver.Version.id)
+        ~committed:(Outcome.is_committed outcome)
+        ~final_eid:txn.eid);
     close_segment t txn;
     txn.phase <- Done;
     Hashtbl.remove t.txns txn.ver;
@@ -351,6 +408,7 @@ and start_finalize t txn eid decision =
 and reexecute t txn idx (slot : slot) w_ver value =
   t.stats.reexecs <- t.stats.reexecs + 1;
   txn.reexec_count <- txn.reexec_count + 1;
+  Obs.Profile.note_reexec t.prof ~key:slot.s_key;
   Log.debug (fun m ->
       m "txn %a re-executes from read %d of %s" Version.pp txn.ver idx slot.s_key);
   (* If the current execution already entered Prepare, durably abandon it
@@ -534,7 +592,7 @@ let handle t ~src msg =
 (* --- Public API --------------------------------------------------------- *)
 
 let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null)
-    ?on_finish () =
+    ?(prof = Obs.Profile.null) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     match
@@ -560,10 +618,16 @@ let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null)
         { begun = 0; committed = 0; aborted = 0; reexecs = 0;
           miss_notifications = 0; fast_commits = 0; slow_commits = 0 };
       obs;
+      prof;
+      c_cur = None;
+      c_comps = Array.make Obs.Profile.n_cells 0;
+      c_last_ev = 0;
       on_finish;
     }
   in
-  Net.set_handler net node (fun ~src msg -> handle t ~src msg);
+  Net.set_handler net node (fun ~src msg ->
+      profile_arrival t;
+      handle t ~src msg);
   t
 
 let begin_ t body =
@@ -593,6 +657,9 @@ let begin_ t body =
   in
   Hashtbl.replace t.txns ver txn;
   t.stats.begun <- t.stats.begun + 1;
+  t.c_cur <- Some txn;
+  t.c_comps <- Array.make Obs.Profile.n_cells 0;
+  t.c_last_ev <- now;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn; c_eid = 0 }
 
@@ -632,7 +699,7 @@ let get t ctx key cont =
         in
         txn.slots <- txn.slots @ [ slot ];
         txn.ops <- txn.ops @ [ Op_read slot.s_index ];
-        send t t.closest (Msg.Get { ver = txn.ver; key; seq });
+        send t t.closest (Msg.Get { ver = txn.ver; key; seq; eid = txn.eid });
         (* Reads normally go only to the closest replica; if it is
            unreachable (crash, partition), retry on the others. *)
         let rec retry attempt =
@@ -643,7 +710,8 @@ let get t ctx key cont =
                    && List.memq slot txn.slots
                  then begin
                    let dst = t.replicas.(attempt mod Array.length t.replicas) in
-                   send t dst (Msg.Get { ver = txn.ver; key; seq });
+                   send t dst
+                     (Msg.Get { ver = txn.ver; key; seq; eid = txn.eid });
                    retry (attempt + 1)
                  end))
         in
@@ -655,7 +723,7 @@ let put t ctx key value =
   else begin
     let txn = ctx.c_txn in
     txn.ops <- txn.ops @ [ Op_write (key, value) ];
-    broadcast t (Msg.Put { ver = txn.ver; key; value });
+    broadcast t (Msg.Put { ver = txn.ver; key; value; eid = txn.eid });
     ctx
   end
 

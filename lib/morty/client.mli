@@ -55,17 +55,24 @@ val create :
   region:Simnet.Latency.region ->
   replicas:int array ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
 (** Register a client node in [region].  [replicas] are the replica node
     ids in index order; reads go to the replica co-located with the
     client's region (the first one whose region matches, else replica
-    0). *)
+    0).  [prof] receives latency decomposition, outcome and re-execution
+    hooks (default {!Obs.Profile.null}). *)
 
 val node : t -> Simnet.Net.node
 
 val stats : t -> stats
+
+val last_comps : t -> int array
+(** Latency-component cells accumulated for the transaction currently
+    (or most recently) driven by this client; see {!Obs.Profile}.  The
+    closed-loop driver snapshots this per attempt. *)
 
 (** {1 The CPS transactional API} *)
 

@@ -16,8 +16,12 @@ type store_entry = {
   s_creads : (Version.t * Version.t) list;
 }
 
+(* [eid] on Get/Put tags execution-phase work with the execution id it
+   serves, so the wasted-work ledger can tell a committed transaction's
+   final execution from the superseded ones it salvaged.  Replicas do
+   not act on it. *)
 type t =
-  | Get of { ver : Version.t; key : string; seq : int }
+  | Get of { ver : Version.t; key : string; seq : int; eid : int }
   | Get_reply of {
       for_ver : Version.t;
       key : string;
@@ -25,7 +29,7 @@ type t =
       value : string;
       seq : int option;
     }
-  | Put of { ver : Version.t; key : string; value : string }
+  | Put of { ver : Version.t; key : string; value : string; eid : int }
   | Prepare of {
       ver : Version.t;
       eid : int;

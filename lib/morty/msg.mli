@@ -27,7 +27,9 @@ type store_entry = {
     amnesia-crash catch-up. *)
 
 type t =
-  | Get of { ver : Version.t; key : string; seq : int }
+  | Get of { ver : Version.t; key : string; seq : int; eid : int }
+      (** [eid] tags execution-phase work with the execution id it
+          serves (wasted-work ledger); replicas do not act on it. *)
   | Get_reply of {
       for_ver : Version.t;  (** the reading transaction *)
       key : string;
@@ -35,7 +37,7 @@ type t =
       value : string;
       seq : int option;
     }
-  | Put of { ver : Version.t; key : string; value : string }
+  | Put of { ver : Version.t; key : string; value : string; eid : int }
   | Prepare of {
       ver : Version.t;
       eid : int;

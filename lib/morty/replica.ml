@@ -69,6 +69,7 @@ type t = {
   index : int;
   node : Net.node;
   cpu : Cpu.t;
+  prof : Obs.Profile.t;
   mutable peers : int array;
   store : Mvstore.Vstore.t;
   erecord : (Version.t * int, exec_entry) Hashtbl.t;
@@ -281,7 +282,9 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
       in
       if not ok then begin
         vote := Vote.Abandon_final;
-        blame Obs.Abort_reason.Validation_fail
+        blame Obs.Abort_reason.Validation_fail;
+        Obs.Profile.note_conflict t.prof ~key:r.key;
+        Obs.Profile.note_abort_key t.prof ~key:r.key
       end)
     read_set;
   (* Check 1: did our reads miss any writes? *)
@@ -293,10 +296,13 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
       | Mvstore.Vrecord.Missed_committed m ->
         vote := worse !vote Vote.Abandon_final;
         blame Obs.Abort_reason.Missed_write;
+        Obs.Profile.note_conflict t.prof ~key:r.key;
+        Obs.Profile.note_abort_key t.prof ~key:r.key;
         missed := (r.key, m.r_ver, m.r_val) :: !missed
       | Mvstore.Vrecord.Missed_uncommitted m ->
         vote := worse !vote Vote.Abandon_tentative;
         blame Obs.Abort_reason.Missed_write;
+        Obs.Profile.note_conflict t.prof ~key:r.key;
         missed := (r.key, m.r_ver, m.r_val) :: !missed)
     read_set;
   (* Check 2: did other transactions' validated reads miss our writes? *)
@@ -305,11 +311,14 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
       let vr = Mvstore.Vstore.find t.store w.key in
       if Mvstore.Vrecord.committed_read_missing_write vr ~w_ver:ver then begin
         vote := worse !vote Vote.Abandon_final;
-        blame Obs.Abort_reason.Missed_write
+        blame Obs.Abort_reason.Missed_write;
+        Obs.Profile.note_conflict t.prof ~key:w.key;
+        Obs.Profile.note_abort_key t.prof ~key:w.key
       end
       else if Mvstore.Vrecord.prepared_read_missing_write vr ~w_ver:ver then begin
         vote := worse !vote Vote.Abandon_tentative;
-        blame Obs.Abort_reason.Missed_write
+        blame Obs.Abort_reason.Missed_write;
+        Obs.Profile.note_conflict t.prof ~key:w.key
       end)
     write_set;
   { v_vote = !vote; v_missed = !missed; v_reason = !reason }
@@ -404,6 +413,7 @@ let rec process_prepare t ~src ver eid (read_set : Rwset.read_set) write_set =
             if e.suspended then ()
             else begin
             e.suspended <- true;
+            Obs.Profile.note_conflict t.prof ~key:dep.key;
             let dep_ver = dep.r_ver in
             let thunks =
               match Hashtbl.find_opt t.waiting dep_ver with
@@ -997,8 +1007,8 @@ let service_cost t = function
 
 let handle_normal t ~src msg =
   match msg with
-  | Msg.Get { ver; key; seq } -> handle_get t ~src ver key seq
-  | Msg.Put { ver; key; value } -> handle_put t ver key value
+  | Msg.Get { ver; key; seq; eid = _ } -> handle_get t ~src ver key seq
+  | Msg.Put { ver; key; value; eid = _ } -> handle_put t ver key value
   | Msg.Prepare { ver; eid; read_set; write_set } ->
     process_prepare t ~src ver eid read_set write_set
   | Msg.Finalize { ver; eid; view; decision } -> handle_finalize t ~src ver eid view decision
@@ -1029,6 +1039,22 @@ let handle t ~src msg =
     match t.mode with
     | Recovering cu -> handle_recovering t ~src cu msg
     | Normal -> handle_normal t ~src msg
+
+(* Which transaction's version (and execution id) a message's CPU time
+   serves, for the wasted-work ledger.  [None] is infrastructure work:
+   truncation, catch-up state transfer. *)
+let busy_owner = function
+  | Msg.Get { ver; eid; _ } | Msg.Put { ver; eid; _ }
+  | Msg.Prepare { ver; eid; _ } | Msg.Prepare_reply { ver; eid; _ }
+  | Msg.Finalize { ver; eid; _ } | Msg.Finalize_reply { ver; eid; _ }
+  | Msg.Decide { ver; eid; _ }
+  | Msg.Paxos_prepare { ver; eid; _ } | Msg.Paxos_prepare_reply { ver; eid; _ } ->
+    (Some (ver.Version.ts, ver.Version.id), eid)
+  | Msg.Get_reply { for_ver; _ } ->
+    (Some (for_ver.Version.ts, for_ver.Version.id), 0)
+  | Msg.Truncate _ | Msg.Propose_merge _ | Msg.Propose_merge_reply _
+  | Msg.Truncation_finished _ | Msg.Catchup_request | Msg.Catchup_reply _ ->
+    (None, 0)
 
 (* Restart entry point: called by the harness on a freshly created
    (empty) replica after [set_peers].  Broadcasts the state-transfer
@@ -1087,11 +1113,13 @@ let schedule_truncation t =
 (* A restart reuses the dead incarnation's node id so peers and clients
    keep a stable address; [set_handler] atomically replaces the old
    incarnation's handler. *)
-let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores =
+let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
+    ?(prof = Obs.Profile.null) () =
   let t =
     {
       cfg; engine; net; rng; index; node;
       cpu = Cpu.create engine ~cores;
+      prof;
       peers = [||];
       store = Mvstore.Vstore.create ();
       erecord = Hashtbl.create 4096;
@@ -1117,9 +1145,28 @@ let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores =
     }
   in
   Net.set_handler net node (fun ~src msg ->
-      Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
+      (* Provenance: capture the inbound transit here (delivery info is
+         only valid inside the net handler), then stamp replies sent by
+         the CPU job with transit + measured queueing + service so the
+         client can decompose its wait. *)
+      let transit_us =
+        match Net.current_delivery net with
+        | Some d -> d.Net.di_recv_us - d.Net.di_send_us
+        | None -> 0
+      in
+      let cost = service_cost t msg in
+      Cpu.submit t.cpu ~cost
+        ~prov:(fun ~queue_us ~start_us:_ ~end_us:_ ->
+          let ver, eid = busy_owner msg in
+          Obs.Profile.note_busy t.prof ~kind:(Msg.label msg) ~ver ~eid
+            ~cost_us:cost;
+          Net.set_send_path net ~transit_us ~queue_us ~service_us:cost)
+        (fun () ->
+          handle t ~src msg;
+          Net.clear_send_path net));
   schedule_truncation t;
   t
 
-let create ~cfg ~engine ~net ~rng ~index ~region ~cores =
+let create ~cfg ~engine ~net ~rng ~index ~region ~cores ?prof () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~rng ~index ~cores
+    ?prof ()

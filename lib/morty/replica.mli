@@ -44,9 +44,14 @@ val create :
   index:int ->
   region:Simnet.Latency.region ->
   cores:int ->
+  ?prof:Obs.Profile.t ->
+  unit ->
   t
 (** Create replica [index] (of [2f+1]) and register it on the network.
-    [peers] must be completed with {!set_peers} before traffic flows. *)
+    [peers] must be completed with {!set_peers} before traffic flows.
+    [prof] (default {!Obs.Profile.null}) receives busy-time and
+    contention hooks; when set, replies also carry message provenance
+    ({!Simnet.Net.set_send_path}) for the client-side decomposition. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -56,6 +61,8 @@ val create_at :
   rng:Sim.Rng.t ->
   index:int ->
   cores:int ->
+  ?prof:Obs.Profile.t ->
+  unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
     dead replica's existing [node] instead of allocating a new one. *)

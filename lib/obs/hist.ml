@@ -55,14 +55,21 @@ let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
 let min_value t = if t.n = 0 then 0 else t.min_v
 let max_value t = if t.n = 0 then 0 else t.max_v
 
+(* Width of a bucket: sub-buckets below [sub_count] hold exactly one
+   integer each; above that, one octave's worth split [sub_count]
+   ways. *)
+let width_of idx =
+  if idx < sub_count then 1 else 1 lsl ((idx / sub_count) - 1)
+
 let percentile t p =
   if t.n = 0 then 0.
   else begin
     let rank = int_of_float (ceil (p *. float_of_int t.n)) in
     let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
-    let acc = ref 0 and idx = ref 0 in
+    let acc = ref 0 and idx = ref 0 and before = ref 0 in
     (try
        for i = 0 to n_buckets - 1 do
+         before := !acc;
          acc := !acc + t.buckets.(i);
          if !acc >= rank then begin
            idx := i;
@@ -70,11 +77,22 @@ let percentile t p =
          end
        done
      with Exit -> ());
-    (* Clamp to the observed range so single-sample histograms report
-       the exact sample rather than a bucket lower bound. *)
-    let v = value_of !idx in
-    let v = if v < t.min_v then t.min_v else if v > t.max_v then t.max_v else v in
-    float_of_int v
+    (* Linear interpolation within the bucket: the [c] samples in bucket
+       [idx] are treated as evenly spread across its width, so the j-th
+       of them sits at lower + width*j/c.  Without this every percentile
+       reports the bucket's lower bound, biasing tails low by up to one
+       sub-bucket (~3%). *)
+    let c = t.buckets.(!idx) in
+    let pos = rank - !before in
+    let v =
+      float_of_int (value_of !idx)
+      +. (float_of_int (width_of !idx) *. float_of_int pos /. float_of_int c)
+    in
+    (* Clamp to the observed range so single-sample histograms (and
+       saturated buckets) report the exact sample rather than an
+       interpolated bucket position. *)
+    let lo = float_of_int t.min_v and hi = float_of_int t.max_v in
+    if v < lo then lo else if v > hi then hi else v
   end
 
 let merge ~into src =

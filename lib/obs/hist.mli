@@ -22,8 +22,12 @@ val max_value : t -> int
 (** Both 0 when empty. *)
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [0,1]. Returns 0. on an empty
-    histogram and the exact sample on a single-sample histogram (the
-    result is clamped to the observed min/max). *)
+(** [percentile t p] with [p] in [0,1].  The rank's bucket is found by
+    cumulative scan and the value linearly interpolated within the
+    bucket (samples assumed evenly spread across its width), so tail
+    percentiles are no longer biased low to the bucket's lower bound.
+    Returns 0. on an empty histogram and the exact sample on a
+    single-sample histogram (the result is clamped to the observed
+    min/max). *)
 
 val merge : into:t -> t -> unit

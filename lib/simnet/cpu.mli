@@ -13,9 +13,20 @@ val create : Sim.Engine.t -> cores:int -> t
 
 val cores : t -> int
 
-val submit : t -> cost:int -> (unit -> unit) -> unit
+val submit :
+  t ->
+  ?prov:(queue_us:int -> start_us:int -> end_us:int -> unit) ->
+  cost:int ->
+  (unit -> unit) ->
+  unit
 (** [submit t ~cost f] runs [f] once a core has been free for [cost]
-    microseconds of service time.  Jobs are served FIFO. *)
+    microseconds of service time.  Jobs are served FIFO.
+
+    [prov] is a provenance hook for the critical-path profiler: it is
+    invoked at service completion (just before [f]) with the job's
+    queueing delay and its service-start/-end virtual timestamps
+    ([end_us - start_us = cost]).  It must be read-only with respect to
+    simulation state. *)
 
 val busy_us : t -> int
 (** Cumulative core-busy microseconds consumed so far. *)
@@ -31,4 +42,7 @@ val utilization : t -> duration:int -> float
     in [\[0, 1\]]. *)
 
 val reset_stats : t -> unit
-(** Zero the busy/completed counters (called at the end of warm-up). *)
+(** Zero the busy/completed counters (called at the end of warm-up).
+    Jobs in flight across the reset are charged only for the portion of
+    their service time that falls after it, so utilization measured over
+    the post-reset window cannot exceed 1.0. *)

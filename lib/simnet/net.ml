@@ -1,5 +1,17 @@
 type node = int
 
+(* Message-level provenance for the critical-path profiler.  [path] is
+   the upstream work a message's causal chain already paid before it was
+   sent — request transit, CPU queueing and CPU service at the sender —
+   set by instrumented senders around [send] and read by receivers via
+   [current_delivery] while their handler runs.  Purely observational:
+   none of this draws randomness or affects scheduling. *)
+type path = { p_transit_us : int; p_queue_us : int; p_service_us : int }
+
+let no_path = { p_transit_us = 0; p_queue_us = 0; p_service_us = 0 }
+
+type delivery_info = { di_send_us : int; di_recv_us : int; di_path : path }
+
 type 'm node_state = {
   region : Latency.region;
   mutable handler : (src:node -> 'm -> unit) option;
@@ -29,12 +41,18 @@ type 'm t = {
   mutable loss_rate : float;
   link_loss : (node * node, float) Hashtbl.t;
   mutable extra_delay_us : int;
+  (* Provenance plumbing: [send_path] is the sticky sender-side context
+     captured by each [send]; [current] is set for the duration of a
+     delivery handler invocation. *)
+  mutable send_path : path;
+  mutable current : delivery_info option;
 }
 
 let create engine rng ~setup ?(base_delay_us = 60) ?(jitter_us = 20) () =
   { engine; rng; setup; base_delay_us; jitter_us; nodes = [||]; n = 0;
     sent = 0; delivered = 0; dropped = 0; cut_links = Hashtbl.create 16;
-    loss_rate = 0.; link_loss = Hashtbl.create 16; extra_delay_us = 0 }
+    loss_rate = 0.; link_loss = Hashtbl.create 16; extra_delay_us = 0;
+    send_path = no_path; current = None }
 
 let add_node t ~region =
   let state =
@@ -92,6 +110,7 @@ let send t ~src ~dst msg =
     in
     let at = max (now + delay) earliest in
     Hashtbl.replace d.last_delivery src at;
+    let path = t.send_path in
     ignore
       (Sim.Engine.schedule_at t.engine ~kind:Sim.Engine.Delivery ~at (fun () ->
            if d.crashed then t.dropped <- t.dropped + 1
@@ -100,8 +119,19 @@ let send t ~src ~dst msg =
              | None -> t.dropped <- t.dropped + 1
              | Some h ->
                t.delivered <- t.delivered + 1;
-               h ~src msg))
+               t.current <-
+                 Some { di_send_us = now; di_recv_us = at; di_path = path };
+               h ~src msg;
+               t.current <- None))
   end
+
+let set_send_path t ~transit_us ~queue_us ~service_us =
+  t.send_path <-
+    { p_transit_us = transit_us; p_queue_us = queue_us; p_service_us = service_us }
+
+let clear_send_path t = t.send_path <- no_path
+
+let current_delivery t = t.current
 
 let crash t node = (check t node).crashed <- true
 let recover t node = (check t node).crashed <- false

@@ -33,6 +33,35 @@ val send : 'm t -> src:node -> dst:node -> 'm -> unit
 (** Enqueue delivery of a message.  No-op if either endpoint is crashed.
     Local sends ([src = dst]) still pay [base_delay_us]. *)
 
+(** {2 Message provenance (critical-path profiler)}
+
+    Each delivery records its send/receive virtual timestamps plus the
+    {!path} — transit, CPU-queue and CPU-service microseconds the
+    message's causal chain accumulated upstream, as declared by the
+    sender via {!set_send_path}.  Everything here is observational: no
+    randomness is drawn and no scheduling changes, so instrumented and
+    uninstrumented runs are bit-identical. *)
+
+type path = { p_transit_us : int; p_queue_us : int; p_service_us : int }
+
+val no_path : path
+
+type delivery_info = { di_send_us : int; di_recv_us : int; di_path : path }
+
+val set_send_path :
+  'm t -> transit_us:int -> queue_us:int -> service_us:int -> unit
+(** Declare the upstream path cost attached to every subsequent {!send}
+    until {!clear_send_path}.  Instrumented replica service wrappers set
+    this around message handling so replies carry their request's
+    transit plus the handler's queueing and service time. *)
+
+val clear_send_path : 'm t -> unit
+
+val current_delivery : 'm t -> delivery_info option
+(** The delivery being handled right now — valid only during a handler
+    invocation ([None] otherwise, e.g. inside timer callbacks or CPU
+    jobs that run after the handler returned). *)
+
 val crash : 'm t -> node -> unit
 (** Crash-stop [node]: all of its queued and future messages vanish. *)
 

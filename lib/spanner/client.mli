@@ -46,14 +46,22 @@ val create :
   leaders:int array ->
   partition:(string -> int) ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
-(** [leaders.(g)] is the node id of group [g]'s leader. *)
+(** [leaders.(g)] is the node id of group [g]'s leader.  [prof] receives
+    latency decomposition and outcome hooks (default
+    {!Obs.Profile.null}). *)
 
 val node : t -> Simnet.Net.node
 
 val stats : t -> stats
+
+val last_comps : t -> int array
+(** Latency-component cells accumulated for the transaction currently
+    (or most recently) driven by this client; see {!Obs.Profile}.  The
+    closed-loop driver snapshots this per attempt. *)
 
 val begin_ : t -> (ctx -> unit) -> unit
 

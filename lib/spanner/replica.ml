@@ -28,6 +28,7 @@ type t = {
   index : int;
   node : Net.node;
   cpu : Cpu.t;
+  prof : Obs.Profile.t;
   mutable peers : int array;
   locks : Lock_table.t;
   store : (string, string Version.Map.t ref) Hashtbl.t;
@@ -208,6 +209,7 @@ and is_immune t v = Hashtbl.mem t.prepared v
 
 and acquire_lock t ~txn ~key ~mode =
   let status, wounded = Lock_table.acquire t.locks ~txn ~key ~mode ~is_immune:(is_immune t) in
+  if wounded <> [] then Obs.Profile.note_abort_key t.prof ~key;
   List.iter (fun v -> wound t v) wounded;
   status
 
@@ -239,7 +241,9 @@ let handle_lock t ~src txn key seq mode =
     Hashtbl.replace t.pending_locks (txn, key) (seq, src);
     match acquire_lock t ~txn ~key ~mode with
     | `Granted -> answer_lock t txn key
-    | `Queued -> t.stats.lock_waits <- t.stats.lock_waits + 1
+    | `Queued ->
+      t.stats.lock_waits <- t.stats.lock_waits + 1;
+      Obs.Profile.note_conflict t.prof ~key
   end
 
 let handle_prepare2pc t ~src txn writes =
@@ -258,6 +262,7 @@ let handle_prepare2pc t ~src txn writes =
         | `Granted -> ()
         | `Queued ->
           t.stats.lock_waits <- t.stats.lock_waits + 1;
+          Obs.Profile.note_conflict t.prof ~key;
           incr queued)
       writes;
     (* Wounding inside acquire_lock may have wounded [txn] itself?  No:
@@ -383,13 +388,28 @@ let install t sn =
     sn;
   t.last_prepare_ts <- max t.last_prepare_ts t.max_commit_ts
 
-let create_at ~node ~cfg ~engine ~net ~group ~index ~cores =
+(* The transaction version a message's CPU time serves (wasted-work
+   ledger).  Read-only and Paxos/Apply traffic is infrastructure: RO
+   transactions never waste work (lock-free snapshot reads) and
+   replication records serve the group, not one transaction. *)
+let busy_owner = function
+  | Msg.Lock_read { txn; _ } | Msg.Lock_write { txn; _ }
+  | Msg.Prepare2pc { txn; _ } | Msg.Commit2pc { txn; _ }
+  | Msg.Abort2pc { txn } | Msg.Lock_reply { txn; _ } | Msg.Wounded { txn }
+  | Msg.Prepare_ack { txn; _ } | Msg.Prepare_nack { txn; _ } ->
+    Some (txn.Version.ts, txn.Version.id)
+  | Msg.Ro_read _ | Msg.Ro_reply _ | Msg.Paxos_accept _ | Msg.Paxos_ack _
+  | Msg.Apply _ -> None
+
+let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
+    ?(prof = Obs.Profile.null) () =
   let t =
     {
       cfg; engine; net;
       clock = Sim.Clock.perfect engine;
       group; index; node;
       cpu = Cpu.create engine ~cores;
+      prof;
       peers = [||];
       locks = Lock_table.create ();
       store = Hashtbl.create 1024;
@@ -409,12 +429,25 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores =
     }
   in
   Net.set_handler net node (fun ~src msg ->
-      Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
+      let transit_us =
+        match Net.current_delivery net with
+        | Some d -> d.Net.di_recv_us - d.Net.di_send_us
+        | None -> 0
+      in
+      let cost = service_cost t msg in
+      Cpu.submit t.cpu ~cost
+        ~prov:(fun ~queue_us ~start_us:_ ~end_us:_ ->
+          Obs.Profile.note_busy t.prof ~kind:(Msg.label msg)
+            ~ver:(busy_owner msg) ~eid:0 ~cost_us:cost;
+          Net.set_send_path net ~transit_us ~queue_us ~service_us:cost)
+        (fun () ->
+          handle t ~src msg;
+          Net.clear_send_path net));
   t
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores =
+let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
-    ~cores
+    ~cores ?prof ()
 
 let debug_counts t =
   ( Hashtbl.length t.prepared,

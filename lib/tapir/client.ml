@@ -71,13 +71,48 @@ type t = {
   txns : (Version.t, txn) Hashtbl.t;
   stats : stats;
   obs : Obs.Sink.t;
+  prof : Obs.Profile.t;
+  (* Latency-decomposition state for the transaction this (closed-loop)
+     client is currently driving; see Obs.Profile. *)
+  mutable c_cur : txn option;
+  mutable c_comps : int array;
+  mutable c_last_ev : int;
   on_finish : (record -> unit) option;
 }
 
 let node t = t.node
 let stats t = t.stats
+let last_comps t = t.c_comps
 
 let send t dst msg = Net.send t.net ~src:t.node ~dst msg
+
+let phase_row txn =
+  match txn.seg with
+  | `Exec -> Obs.Profile.phase_index Obs.Profile.P_execute
+  | `Prep -> Obs.Profile.phase_index Obs.Profile.P_prepare
+  | `Fin -> Obs.Profile.phase_index Obs.Profile.P_finalize
+
+(* Charge the wait interval that just ended to the current transaction's
+   phase, splitting it along the ending message's provenance chain. *)
+let profile_wait t reply =
+  match t.c_cur with
+  | None -> ()
+  | Some txn ->
+    let now = Engine.now t.engine in
+    Obs.Profile.attribute ~comps:t.c_comps ~phase:(phase_row txn)
+      ~t0:t.c_last_ev ~t1:now reply;
+    t.c_last_ev <- now
+
+let profile_arrival t =
+  let reply =
+    match Net.current_delivery t.net with
+    | Some d ->
+      Some
+        (d.Net.di_send_us, d.di_path.Net.p_transit_us,
+         d.di_path.Net.p_queue_us, d.di_path.Net.p_service_us)
+    | None -> None
+  in
+  profile_wait t reply
 
 (* --- Observability helpers --------------------------------------------- *)
 
@@ -119,6 +154,14 @@ let participants txn t =
 let finish t txn outcome =
   if not txn.finished then begin
     txn.finished <- true;
+    (match t.c_cur with
+    | Some cur when cur == txn ->
+      profile_wait t None;
+      t.c_cur <- None
+    | Some _ | None -> ());
+    Obs.Profile.note_outcome t.prof
+      ~ver:(txn.id.Version.ts, txn.id.Version.id)
+      ~committed:(Outcome.is_committed outcome) ~final_eid:0;
     switch_segment t txn txn.seg;
     txn.phase <- Done;
     Hashtbl.remove t.txns txn.id;
@@ -281,7 +324,7 @@ let handle t ~src msg =
   | Msg.Read _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Commit _ | Msg.Abort _ -> ()
 
 let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
-    ?(obs = Obs.Sink.null) ?on_finish () =
+    ?(obs = Obs.Sink.null) ?(prof = Obs.Profile.null) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     Array.map
@@ -302,10 +345,16 @@ let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
       txns = Hashtbl.create 16;
       stats = { begun = 0; committed = 0; aborted = 0; fast_commits = 0; slow_commits = 0 };
       obs;
+      prof;
+      c_cur = None;
+      c_comps = Array.make Obs.Profile.n_cells 0;
+      c_last_ev = 0;
       on_finish;
     }
   in
-  Net.set_handler net node (fun ~src msg -> handle t ~src msg);
+  Net.set_handler net node (fun ~src msg ->
+      profile_arrival t;
+      handle t ~src msg);
   t
 
 let begin_ t body =
@@ -323,6 +372,9 @@ let begin_ t body =
   in
   Hashtbl.replace t.txns id txn;
   t.stats.begun <- t.stats.begun + 1;
+  t.c_cur <- Some txn;
+  t.c_comps <- Array.make Obs.Profile.n_cells 0;
+  t.c_last_ev <- now;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn }
 
@@ -354,6 +406,14 @@ let abort t ctx =
   let txn = ctx.c_txn in
   if not txn.finished then begin
     txn.finished <- true;
+    (match t.c_cur with
+    | Some cur when cur == txn ->
+      profile_wait t None;
+      t.c_cur <- None
+    | Some _ | None -> ());
+    Obs.Profile.note_outcome t.prof
+      ~ver:(txn.id.Version.ts, txn.id.Version.id)
+      ~committed:false ~final_eid:0;
     Hashtbl.remove t.txns txn.id;
     t.stats.aborted <- t.stats.aborted + 1;
     if Obs.Sink.enabled t.obs then

@@ -41,15 +41,22 @@ val create :
   groups:int array array ->
   partition:(string -> int) ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
 (** [groups.(g)] lists the replica node ids of group [g]; [partition]
-    maps a key to its group index. *)
+    maps a key to its group index.  [prof] receives latency
+    decomposition and outcome hooks (default {!Obs.Profile.null}). *)
 
 val node : t -> Simnet.Net.node
 
 val stats : t -> stats
+
+val last_comps : t -> int array
+(** Latency-component cells accumulated for the transaction currently
+    (or most recently) driven by this client; see {!Obs.Profile}.  The
+    closed-loop driver snapshots this per attempt. *)
 
 val begin_ : t -> (ctx -> unit) -> unit
 

@@ -20,6 +20,7 @@ type t = {
   group : int;
   node : Net.node;
   cpu : Cpu.t;
+  prof : Obs.Profile.t;
   (* Committed versions per key, newest accessible via find_last. *)
   store : (string, string Version.Map.t ref) Hashtbl.t;
   prepared : (Version.t, prepared) Hashtbl.t;
@@ -93,18 +94,23 @@ let send t dst msg = if not t.stopped then Net.send t.net ~src:t.node ~dst msg
    prepared/committed state. *)
 let validate t txn reads writes =
   let ok = ref true in
+  let fail key =
+    ok := false;
+    Obs.Profile.note_conflict t.prof ~key;
+    Obs.Profile.note_abort_key t.prof ~key
+  in
   List.iter
     (fun (key, r_ver) ->
       let latest_ver, _ = latest t key in
-      if not (Version.equal latest_ver r_ver) then ok := false;
-      if other_holds t.prepared_writes key txn then ok := false)
+      if not (Version.equal latest_ver r_ver) then fail key;
+      if other_holds t.prepared_writes key txn then fail key)
     reads;
   List.iter
     (fun (key, _) ->
-      if other_holds t.prepared_writes key txn then ok := false;
-      if other_holds t.prepared_reads key txn then ok := false;
+      if other_holds t.prepared_writes key txn then fail key;
+      if other_holds t.prepared_reads key txn then fail key;
       let latest_ver, _ = latest t key in
-      if Version.compare latest_ver txn >= 0 then ok := false)
+      if Version.compare latest_ver txn >= 0 then fail key)
     writes;
   !ok
 
@@ -220,12 +226,23 @@ let install t sn =
       end)
     sn.sn_prepared
 
-let create_at ~node ~cfg ~engine ~net ~group ~index ~cores =
+(* The transaction version a message's CPU time serves (wasted-work
+   ledger); TAPIR has no re-execution, so eid is always 0. *)
+let busy_owner = function
+  | Msg.Read { txn; _ } | Msg.Prepare { txn; _ } | Msg.Finalize { txn; _ }
+  | Msg.Commit { txn; _ } | Msg.Abort { txn }
+  | Msg.Read_reply { txn; _ } | Msg.Prepare_reply { txn; _ }
+  | Msg.Finalize_reply { txn; _ } ->
+    Some (txn.Version.ts, txn.Version.id)
+
+let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
+    ?(prof = Obs.Profile.null) () =
   ignore index;
   let t =
     {
       cfg; net; group; node;
       cpu = Cpu.create engine ~cores;
+      prof;
       store = Hashtbl.create 1024;
       prepared = Hashtbl.create 256;
       prepared_reads = Hashtbl.create 256;
@@ -235,9 +252,22 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores =
     }
   in
   Net.set_handler net node (fun ~src msg ->
-      Cpu.submit t.cpu ~cost:(service_cost t msg) (fun () -> handle t ~src msg));
+      let transit_us =
+        match Net.current_delivery net with
+        | Some d -> d.Net.di_recv_us - d.Net.di_send_us
+        | None -> 0
+      in
+      let cost = service_cost t msg in
+      Cpu.submit t.cpu ~cost
+        ~prov:(fun ~queue_us ~start_us:_ ~end_us:_ ->
+          Obs.Profile.note_busy t.prof ~kind:(Msg.label msg)
+            ~ver:(busy_owner msg) ~eid:0 ~cost_us:cost;
+          Net.set_send_path net ~transit_us ~queue_us ~service_us:cost)
+        (fun () ->
+          handle t ~src msg;
+          Net.clear_send_path net));
   t
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores =
+let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
-    ~cores
+    ~cores ?prof ()

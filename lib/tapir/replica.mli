@@ -28,7 +28,12 @@ val create :
   index:int ->
   region:Simnet.Latency.region ->
   cores:int ->
+  ?prof:Obs.Profile.t ->
+  unit ->
   t
+(** [prof] (default {!Obs.Profile.null}) receives busy-time and
+    contention hooks; when set, replies also carry message provenance
+    ({!Simnet.Net.set_send_path}) for the client-side decomposition. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -38,6 +43,8 @@ val create_at :
   group:int ->
   index:int ->
   cores:int ->
+  ?prof:Obs.Profile.t ->
+  unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
     dead replica's existing [node] instead of allocating a new one. *)

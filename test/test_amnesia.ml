@@ -24,7 +24,7 @@ let make_cluster ?(cfg = Morty.Config.default) ?(seed = 91) () =
   let replicas =
     Array.init n (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az (i mod 3)) ~cores:2)
+          ~region:(Simnet.Latency.Az (i mod 3)) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -48,7 +48,7 @@ let restart c i =
   let node = Morty.Replica.node old in
   let fresh =
     Morty.Replica.create_at ~node ~cfg:c.cfg ~engine:c.engine ~net:c.net
-      ~rng:(Sim.Rng.split c.rng) ~index:i ~cores:2
+      ~rng:(Sim.Rng.split c.rng) ~index:i ~cores:2 ()
   in
   Morty.Replica.set_peers fresh (Array.map Morty.Replica.node c.replicas);
   c.replicas.(i) <- fresh;

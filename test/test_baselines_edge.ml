@@ -26,7 +26,7 @@ let make_spanner ?(n_groups = 2) ?(seed = 3) () =
     Array.init n_groups (fun g ->
         Array.init 3 (fun i ->
             Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:(Simnet.Latency.Az ((g + i) mod 3)) ~cores:1))
+              ~region:(Simnet.Latency.Az ((g + i) mod 3)) ~cores:1 ()))
   in
   Array.iter
     (fun group ->
@@ -132,7 +132,7 @@ let test_tapir_slow_path_with_crashed_replica () =
   let group =
     Array.init 3 (fun i ->
         Tapir.Replica.create ~cfg ~engine ~net ~group:0 ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:1)
+          ~region:(Simnet.Latency.Az i) ~cores:1 ())
   in
   Array.iter (fun r -> Tapir.Replica.load r [ ("x", "1") ]) group;
   (* Crash a replica: the unanimous fast path is impossible, so commits
@@ -166,7 +166,7 @@ let test_tapir_abort_releases_prepared_state () =
   let group =
     Array.init 3 (fun i ->
         Tapir.Replica.create ~cfg ~engine ~net ~group:0 ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:1)
+          ~region:(Simnet.Latency.Az i) ~cores:1 ())
   in
   Array.iter (fun r -> Tapir.Replica.load r [ ("x", "1") ]) group;
   let groups = [| Array.map Tapir.Replica.node group |] in

@@ -22,7 +22,7 @@ let make_cluster ?(cfg = Morty.Config.default) ?(seed = 55) () =
   let replicas =
     Array.init n (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az (i mod 3)) ~cores:2)
+          ~region:(Simnet.Latency.Az (i mod 3)) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;

@@ -22,7 +22,7 @@ let make_cluster ?(cfg = Morty.Config.default) ?(cores = 4) ?(seed = 7) () =
   let replicas =
     Array.init n (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores)
+          ~region:(Simnet.Latency.Az i) ~cores ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;

@@ -41,6 +41,39 @@ let test_hist_accuracy () =
   check_pct 0.99 99_000.;
   Alcotest.(check int) "count" 1000 (Obs.Hist.count h)
 
+let test_hist_interpolation_pinned () =
+  (* Values 0..31 each occupy their own unit-width sub-bucket; with
+     within-bucket interpolation p50 is the exact midpoint instead of a
+     bucket lower bound. *)
+  let h = Obs.Hist.create () in
+  for v = 0 to 31 do
+    Obs.Hist.record h v
+  done;
+  Alcotest.(check (float 1e-9)) "p50 of 0..31" 16.0 (Obs.Hist.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100 clamps to observed max" 31.0
+    (Obs.Hist.percentile h 1.0);
+  (* Bucket {64,65} has width 2: the j-th of c samples interpolates to
+     lower + width*j/c, clamped to the observed range. *)
+  let h2 = Obs.Hist.create () in
+  List.iter (Obs.Hist.record h2) [ 64; 64; 65; 65 ];
+  Alcotest.(check (float 1e-9)) "p25 interpolates mid-bucket" 64.5
+    (Obs.Hist.percentile h2 0.25);
+  Alcotest.(check (float 1e-9)) "p50" 65.0 (Obs.Hist.percentile h2 0.5);
+  Alcotest.(check (float 1e-9)) "p75 clamps to max" 65.0
+    (Obs.Hist.percentile h2 0.75);
+  (* Repeated identical samples stay exact at every percentile: the
+     observed-range clamp defeats the interpolation offset. *)
+  let h3 = Obs.Hist.create () in
+  for _ = 1 to 100 do
+    Obs.Hist.record h3 7
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.2f of 100x7" p)
+        7.0 (Obs.Hist.percentile h3 p))
+    [ 0.01; 0.5; 0.99; 1.0 ]
+
 let test_hist_monotone () =
   let h = Obs.Hist.create () in
   let rng = Sim.Rng.create 9 in
@@ -408,6 +441,8 @@ let suites =
         Alcotest.test_case "empty" `Quick test_hist_empty;
         Alcotest.test_case "single sample exact" `Quick test_hist_single;
         Alcotest.test_case "accuracy" `Quick test_hist_accuracy;
+        Alcotest.test_case "pinned interpolation" `Quick
+          test_hist_interpolation_pinned;
         Alcotest.test_case "monotone percentiles" `Quick test_hist_monotone;
         Alcotest.test_case "stats percentile edges" `Quick
           test_stats_percentile_edges;

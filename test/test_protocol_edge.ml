@@ -15,7 +15,7 @@ let test_truncation_under_load () =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:2)
+          ~region:(Simnet.Latency.Az i) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -70,7 +70,7 @@ let test_duelling_recovery_single_decision () =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:2)
+          ~region:(Simnet.Latency.Az i) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -138,7 +138,7 @@ let test_abort_morty () =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:2)
+          ~region:(Simnet.Latency.Az i) ~cores:2 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -171,7 +171,7 @@ let test_abort_spanner_releases_locks () =
   let group =
     Array.init 3 (fun i ->
         Spanner.Replica.create ~cfg ~engine ~net ~group:0 ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:1)
+          ~region:(Simnet.Latency.Az i) ~cores:1 ())
   in
   let peers = Array.map Spanner.Replica.node group in
   Array.iter (fun r -> Spanner.Replica.set_peers r peers) group;
@@ -210,7 +210,7 @@ let test_tpcc_rollback_leaves_consistent_state () =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:4)
+          ~region:(Simnet.Latency.Az i) ~cores:4 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;

@@ -104,7 +104,7 @@ let make_cluster ?(cfg = Spanner.Config.default) ?(cores = 1) ?(seed = 13) () =
     Array.init cfg.n_groups (fun g ->
         Array.init (Spanner.Config.n_replicas cfg) (fun i ->
             Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:(Simnet.Latency.Az ((g + i) mod 3)) ~cores))
+              ~region:(Simnet.Latency.Az ((g + i) mod 3)) ~cores ()))
   in
   Array.iter
     (fun group ->

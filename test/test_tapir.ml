@@ -22,7 +22,7 @@ let make_cluster ?(cfg = Tapir.Config.default) ?(cores = 1) ?(seed = 11) () =
     Array.init cfg.n_groups (fun g ->
         Array.init (Tapir.Config.n_replicas cfg) (fun i ->
             Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:(Simnet.Latency.Az i) ~cores))
+              ~region:(Simnet.Latency.Az i) ~cores ()))
   in
   let partition key = Hashtbl.hash key mod cfg.n_groups in
   { engine; net; rng; groups; cfg; partition; history = ref [] }

@@ -127,7 +127,7 @@ let make_cluster ?(cfg = Morty.Config.default) () =
   let replicas =
     Array.init 3 (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:(Simnet.Latency.Az i) ~cores:4)
+          ~region:(Simnet.Latency.Az i) ~cores:4 ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -281,7 +281,7 @@ let test_tpcc_full_mix_on_tapir () =
     Array.init 2 (fun g ->
         Array.init 3 (fun i ->
             Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:(Simnet.Latency.Az i) ~cores:1))
+              ~region:(Simnet.Latency.Az i) ~cores:1 ()))
   in
   let data = Tpcc.initial_data small_conf in
   Array.iter (fun group -> Array.iter (fun r -> Tapir.Replica.load r data) group) groups;

@@ -118,9 +118,27 @@ let profile_out =
                  as single-line JSON to $(docv), and print a human summary.  \
                  With --sweep, one JSON document per line, one per point." ~docv:"FILE")
 
+let monitors =
+  Arg.(value & flag
+       & info [ "monitors" ]
+           ~doc:"Attach online invariant monitors and the flight recorder to \
+                 the run and print a violation summary after the result row.  \
+                 Monitors are pure observers: the result is byte-identical \
+                 with or without them.")
+
+let postmortem_out =
+  Arg.(value & opt (some string) None
+       & info [ "postmortem-out" ]
+           ~doc:"If the run records any incident (monitor violation or \
+                 replica kill), write a post-mortem bundle (violations, \
+                 per-replica snapshots, flight-recorder ring, trace slice, \
+                 profile, metrics) to directory $(docv).  Implies \
+                 --monitors.  With --sweep, bundles go to $(docv), \
+                 $(docv).2, ... per point." ~docv:"DIR")
+
 let run system setup workload theta keys warehouses read_pct clients cores
     duration_ms warmup_ms seed sweep kill_at_ms restart_at_ms victim trace_out
-    metrics_out profile_out =
+    metrics_out profile_out monitors postmortem_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -168,10 +186,12 @@ let run system setup workload theta keys warehouses read_pct clients cores
     output_string oc s;
     close_out oc
   in
+  let monitors = monitors || postmortem_out <> None in
   let profiles = Buffer.create 256 in
+  let point_idx = ref 0 in
   let print_point e =
     let obs =
-      if trace_out <> None || metrics_out <> None then
+      if trace_out <> None || metrics_out <> None || postmortem_out <> None then
         Obs.Sink.create ~seed:e.Harness.Run.e_seed
       else Obs.Sink.null
     in
@@ -180,10 +200,46 @@ let run system setup workload theta keys warehouses read_pct clients cores
         Obs.Profile.create ~label:e.Harness.Run.e_label ()
       else Obs.Profile.null
     in
-    let r = Harness.Run.run_exp ?faults ~obs ~prof e in
+    let mon = if monitors then Obs.Monitor.create () else Obs.Monitor.null in
+    let flight = if monitors then Obs.Flight.create () else Obs.Flight.null in
+    let r = Harness.Run.run_exp ?faults ~obs ~prof ~mon ~flight e in
     Fmt.pr "%a@." Harness.Stats.pp_result r;
     if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
       Fmt.pr "%a@." Harness.Stats.pp_recovery r;
+    if monitors then begin
+      Fmt.pr "monitors: %d violations over %d observed transitions@."
+        (Obs.Monitor.n_violations mon)
+        (Obs.Monitor.n_observed mon);
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Obs.Monitor.pp_violation v)
+        (Obs.Monitor.violations mon)
+    end;
+    (match postmortem_out with
+    | Some base when Obs.Monitor.first_incident_ts mon <> None ->
+      let dir =
+        if !point_idx = 0 then base
+        else Printf.sprintf "%s.%d" base (!point_idx + 1)
+      in
+      let reason =
+        if Obs.Monitor.n_violations mon > 0 then "monitor-violation"
+        else "replica-kill"
+      in
+      let detail =
+        match Obs.Monitor.violations mon with
+        | v :: _ -> Fmt.str "%a" Obs.Monitor.pp_violation v
+        | [] -> (
+          match Obs.Monitor.incidents mon with
+          | i :: _ -> Printf.sprintf "%s %s" i.Obs.Monitor.in_kind i.in_detail
+          | [] -> "")
+      in
+      let bundle =
+        Obs.Postmortem.make ~reason ~detail ~label:e.Harness.Run.e_label
+          ~seed:e.Harness.Run.e_seed ~mon ~flight ~sink:obs ~prof ()
+      in
+      Obs.Postmortem.write ~dir bundle;
+      Fmt.pr "post-mortem bundle written to %s/@." dir
+    | Some _ | None -> ());
+    incr point_idx;
     Option.iter (fun path -> write path (Obs.Trace.to_json obs)) trace_out;
     Option.iter (fun path -> write path (Obs.Metrics.to_csv obs)) metrics_out;
     if profile_out <> None then begin
@@ -207,6 +263,6 @@ let cmd =
       const run $ system $ setup $ workload $ theta $ keys $ warehouses
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
       $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out
-      $ profile_out)
+      $ profile_out $ monitors $ postmortem_out)
 
 let () = exit (Cmd.eval cmd)

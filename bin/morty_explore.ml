@@ -98,6 +98,14 @@ let no_kill =
            ~doc:"Exclude amnesia-crash (kill/restart) episodes from generated \
                  schedules; keep only crash/partition/loss/delay faults.")
 
+let monitors =
+  Arg.(value & flag
+       & info [ "monitors" ]
+           ~doc:"Attach online invariant monitors to every run: any monitor \
+                 firing counts as a failure and is shrunk like an audit \
+                 failure.  Monitors are pure observers, so pass/fail \
+                 histories are unchanged.")
+
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
 
@@ -116,8 +124,17 @@ let profile_out =
                  reproducer's run) to $(docv), $(docv).2, ... in failure \
                  order." ~docv:"FILE")
 
+let postmortem_out =
+  Arg.(value & opt (some string) None
+       & info [ "postmortem-out" ]
+           ~doc:"Write each failure's post-mortem bundle (violations, \
+                 per-replica snapshots, flight-recorder ring, trace slice, \
+                 profile, metrics) to directory $(docv), $(docv).2, ... in \
+                 failure order, next to the printed reproducer." ~docv:"DIR")
+
 let run systems workload_names seeds seed_base schedules episodes clients cores
-    measure_ms smoke no_kill quiet trace_out profile_out =
+    measure_ms smoke no_kill monitors quiet trace_out profile_out
+    postmortem_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -131,6 +148,7 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
       cores;
       measure_us;
       kill_restart = not no_kill;
+      monitors;
     }
   in
   (* One-look digest of where the run's time and contention went:
@@ -179,7 +197,7 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
     close_out oc
   in
   List.iteri
-    (fun i { Explore.Sweep.f_original; f_shrunk; f_trace; f_profile } ->
+    (fun i { Explore.Sweep.f_original; f_shrunk; f_trace; f_profile; f_bundle } ->
       Fmt.pr "@.=== audit violation: %s@."
         (Explore.Audit.violation_to_string f_shrunk.Explore.Shrink.s_violation);
       Fmt.pr "original: %s@." (Explore.Case.label f_original);
@@ -194,12 +212,18 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         let path = numbered base i in
         write path f_trace;
         Fmt.pr "trace of shrunk case written to %s@." path);
-      match profile_out with
+      (match profile_out with
       | None -> ()
       | Some base ->
         let path = numbered base i in
         write path f_profile;
-        Fmt.pr "profile of shrunk case written to %s@." path)
+        Fmt.pr "profile of shrunk case written to %s@." path);
+      match postmortem_out with
+      | None -> ()
+      | Some base ->
+        let dir = numbered base i in
+        Obs.Postmortem.write ~dir f_bundle;
+        Fmt.pr "post-mortem bundle of shrunk case written to %s/@." dir)
     summary.Explore.Sweep.s_failures;
   Fmt.pr "SUMMARY %a@." Explore.Sweep.pp_summary summary;
   if summary.Explore.Sweep.s_failures = [] then 0 else 1
@@ -210,7 +234,7 @@ let cmd =
     (Cmd.info "morty_explore" ~doc)
     Term.(
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
-      $ clients $ cores $ measure_ms $ smoke $ no_kill $ quiet $ trace_out
-      $ profile_out)
+      $ clients $ cores $ measure_ms $ smoke $ no_kill $ monitors $ quiet
+      $ trace_out $ profile_out $ postmortem_out)
 
 let () = exit (Cmd.eval' cmd)

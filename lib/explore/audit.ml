@@ -4,6 +4,7 @@ type violation =
   | Not_serializable of Adya.Dsg.violation
   | Bad_commit_rate of float
   | No_progress
+  | Monitor_violation of Obs.Monitor.violation
 
 let history_of txns =
   try
@@ -49,5 +50,7 @@ let pp_violation ppf = function
   | Not_serializable v -> Fmt.pf ppf "not serializable: %a" Adya.Dsg.pp_violation v
   | Bad_commit_rate r -> Fmt.pf ppf "commit rate %f outside [0, 1]" r
   | No_progress -> Fmt.pf ppf "fault-free run committed nothing"
+  | Monitor_violation v ->
+    Fmt.pf ppf "invariant monitor fired: %a" Obs.Monitor.pp_violation v
 
 let violation_to_string v = Fmt.str "%a" pp_violation v

@@ -13,7 +13,12 @@
     + the commit rate is a probability ([0 <= rate <= 1]);
     + if the run was fault-free ([expect_progress]), it committed
       something — guards against a vacuously-passing audit over an
-      empty history. *)
+      empty history.
+
+    [Monitor_violation] is reported by {!Case.run} when a run carried an
+    online invariant monitor ({!Obs.Monitor}) and any monitor fired —
+    the same failure surface, so monitor hits shrink like audit
+    failures. *)
 
 type violation =
   | Time_anomaly of { ver : Cc_types.Version.t; start_us : int; commit_us : int }
@@ -21,6 +26,7 @@ type violation =
   | Not_serializable of Adya.Dsg.violation
   | Bad_commit_rate of float
   | No_progress
+  | Monitor_violation of Obs.Monitor.violation
 
 val history_of : Adya.History.txn list -> (Adya.History.t, violation) result
 (** Assemble the Adya history, reporting duplicate versions instead of

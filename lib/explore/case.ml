@@ -74,15 +74,22 @@ let exp_of c =
     e_label = label c;
   }
 
-let run ?obs ?prof c =
+let run ?obs ?prof ?(mon = Obs.Monitor.null) ?flight c =
   let faults =
     if Schedule.is_empty c.c_schedule then None else Some (Schedule.apply c.c_schedule)
   in
-  let result, txns = Harness.Run.run_exp_audited ?faults ?obs ?prof (exp_of c) in
+  let result, txns =
+    Harness.Run.run_exp_audited ?faults ?obs ?prof ~mon ?flight (exp_of c)
+  in
   match
     Audit.check ~expect_progress:(Schedule.is_empty c.c_schedule) txns result
   with
-  | Ok () -> Ok result
+  | Ok () -> (
+    (* Monitor hits share the audit's failure surface, so the shrinker
+       minimizes them the same way. *)
+    match Obs.Monitor.violations mon with
+    | [] -> Ok result
+    | v :: _ -> Error (Audit.Monitor_violation v))
   | Error v -> Error v
 
 let system_ocaml = function

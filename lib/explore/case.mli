@@ -34,14 +34,18 @@ val horizon_us : t -> int
 val run :
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
+  ?flight:Obs.Flight.t ->
   t ->
   (Harness.Stats.result, Audit.violation) result
 (** Run the case's experiment with its fault schedule injected, audit
     the recorded history ([expect_progress] iff the schedule is empty),
     and return the measured result or the audit violation.  [obs]
-    collects a span trace and [prof] a critical-path profile of the run
-    (instrumentation is read-only, so the history is identical with or
-    without them). *)
+    collects a span trace, [prof] a critical-path profile, [mon] online
+    invariant monitors (a monitor firing is reported as
+    [Audit.Monitor_violation]) and [flight] a bounded event ring of the
+    run (instrumentation is read-only, so the history is identical with
+    or without them). *)
 
 val label : t -> string
 (** Short deterministic label, e.g. ["morty/ycsb-small seed=3 sched=[...]"]. *)

@@ -10,6 +10,7 @@ type config = {
   measure_us : int;
   shrink_budget : int;
   kill_restart : bool;
+  monitors : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     measure_us = 200_000;
     shrink_budget = 80;
     kill_restart = true;
+    monitors = false;
   }
 
 let smoke_config =
@@ -35,6 +37,7 @@ type failure = {
   f_shrunk : Shrink.outcome;
   f_trace : string;
   f_profile : string;
+  f_bundle : Obs.Postmortem.t;
 }
 
 type summary = {
@@ -73,6 +76,9 @@ let run ?(progress = fun _ _ _ -> ()) cfg =
   let runs = ref 0 and passed = ref 0 in
   let committed = ref 0 and aborted = ref 0 in
   let failures = ref [] in
+  let mon_for () =
+    if cfg.monitors then Obs.Monitor.create () else Obs.Monitor.null
+  in
   List.iter
     (fun system ->
       List.iter
@@ -83,7 +89,7 @@ let run ?(progress = fun _ _ _ -> ()) cfg =
                 let schedule = schedule_for cfg ~seed ~index in
                 let case = case_of cfg system wname ~seed ~schedule in
                 let prof = Obs.Profile.create ~label:(Case.label case) () in
-                let outcome = Case.run ~prof case in
+                let outcome = Case.run ~prof ~mon:(mon_for ()) case in
                 incr runs;
                 progress case prof outcome;
                 match outcome with
@@ -93,24 +99,46 @@ let run ?(progress = fun _ _ _ -> ()) cfg =
                   aborted := !aborted + r.Harness.Stats.r_aborted
                 | Error v ->
                   let fails c =
-                    match Case.run c with Ok _ -> None | Error v -> Some v
+                    match Case.run ~mon:(mon_for ()) c with
+                    | Ok _ -> None
+                    | Error v -> Some v
                   in
                   let shrunk =
                     Shrink.minimize ~max_runs:cfg.shrink_budget ~fails case v
                   in
-                  (* Re-run the minimized case once more with tracing and
-                     profiling on: the span trace and critical-path
-                     profile of the failing history ride along with the
-                     reproducer.  Determinism guarantees it is the same
-                     history the audit rejected. *)
-                  let trace, profile =
+                  (* Re-run the minimized case once more with the full
+                     observer set on: the span trace, critical-path
+                     profile and a post-mortem bundle of the failing
+                     history ride along with the reproducer.  Monitors
+                     and the flight recorder are always attached here —
+                     even when the sweep itself ran without them — so
+                     every bundle ships ring contents and snapshots.
+                     Determinism guarantees it is the same history the
+                     audit rejected. *)
+                  let trace, profile, bundle =
                     let sc = shrunk.Shrink.s_case in
                     let sink = Obs.Sink.create ~seed:sc.Case.c_seed in
                     let sprof =
                       Obs.Profile.create ~label:(Case.label sc) ()
                     in
-                    ignore (Case.run ~obs:sink ~prof:sprof sc);
-                    (Obs.Trace.to_json sink, Obs.Profile.to_json sprof)
+                    let smon = Obs.Monitor.create () in
+                    let sflight = Obs.Flight.create () in
+                    ignore
+                      (Case.run ~obs:sink ~prof:sprof ~mon:smon
+                         ~flight:sflight sc);
+                    let reason =
+                      match shrunk.Shrink.s_violation with
+                      | Audit.Monitor_violation _ -> "monitor-violation"
+                      | _ -> "audit-failure"
+                    in
+                    let bundle =
+                      Obs.Postmortem.make ~reason
+                        ~detail:
+                          (Audit.violation_to_string shrunk.Shrink.s_violation)
+                        ~label:(Case.label sc) ~seed:sc.Case.c_seed ~mon:smon
+                        ~flight:sflight ~sink ~prof:sprof ()
+                    in
+                    (Obs.Trace.to_json sink, Obs.Profile.to_json sprof, bundle)
                   in
                   failures :=
                     {
@@ -118,6 +146,7 @@ let run ?(progress = fun _ _ _ -> ()) cfg =
                       f_shrunk = shrunk;
                       f_trace = trace;
                       f_profile = profile;
+                      f_bundle = bundle;
                     }
                     :: !failures
               done)

@@ -21,6 +21,12 @@ type config = {
   kill_restart : bool;
       (** include amnesia-crash (kill/restart) episodes in generated
           schedules; see {!Schedule.generate} *)
+  monitors : bool;
+      (** attach a fresh {!Obs.Monitor} to every run (including shrink
+          re-runs): any monitor firing counts as a failure
+          ([Audit.Monitor_violation]) and shrinks like an audit
+          failure.  Monitors are pure observers, so histories are
+          unchanged. *)
 }
 
 val default_config : config
@@ -43,6 +49,12 @@ type failure = {
       (** critical-path profile JSON ({!Obs.Profile.to_json}) of the
           same deterministic re-execution: where the failing run's time
           and cycles went *)
+  f_bundle : Obs.Postmortem.t;
+      (** post-mortem bundle of the same re-execution (monitors and the
+          flight recorder are always attached to it): violations,
+          per-replica snapshots, ring contents, trace slice, profile
+          and metrics — write next to the reproducer with
+          {!Obs.Postmortem.write} *)
 }
 
 type summary = {

@@ -122,9 +122,16 @@ let inject faults ops = match faults with None -> () | Some f -> f ops
 
 let metrics_interval_us = 10_000
 
+(* Returns a [finish] closure the runner calls after [Engine.run_until]:
+   when the horizon is not a multiple of the sampling interval the last
+   ticker fires short of it, so the final partial window would otherwise
+   go unrecorded.  [finish] closes the series with one sample pinned at
+   the horizon (and is a no-op when a tick already landed there). *)
 let install_metrics ~engine ~obs ~horizon ~sample =
   if Obs.Sink.enabled obs then begin
+    let last = ref (-1) in
     let rec tick () =
+      last := Engine.now engine;
       sample ~now:(Engine.now engine);
       if Engine.now engine + metrics_interval_us <= horizon then
         ignore
@@ -133,8 +140,10 @@ let install_metrics ~engine ~obs ~horizon ~sample =
     in
     ignore
       (Engine.schedule engine ~kind:Engine.Ticker ~after:metrics_interval_us
-         tick)
+         tick);
+    fun () -> if !last <> horizon then sample ~now:horizon
   end
+  else fun () -> ()
 
 (* Busy fraction over one sampling interval from a monotone busy-µs
    counter; clamped at 0 because [Cpu.reset_stats] at the warm-up
@@ -143,6 +152,39 @@ let busy_frac prev ~slot ~cores ~busy_us =
   let d = max 0 (busy_us - prev.(slot)) in
   prev.(slot) <- busy_us;
   min 1.0 (float_of_int d /. float_of_int (metrics_interval_us * max 1 cores))
+
+(* Flight-recorder taps: read-only observers on the engine dispatcher,
+   the network (sends with drop flags, handler deliveries) and the trace
+   sink (span openings).  All three draw no randomness and change no
+   scheduling, so a seeded run stays byte-identical with the recorder
+   attached. *)
+let attach_flight ~engine ~net ~obs ~flight ~label =
+  if Obs.Flight.enabled flight then begin
+    Engine.set_observer engine (fun ~ts kind ->
+        let kind =
+          match kind with
+          | Engine.Timer -> "timer"
+          | Engine.Delivery -> "delivery"
+          | Engine.Ticker -> "ticker"
+        in
+        Obs.Flight.record flight (Obs.Flight.Engine_ev { fl_ts = ts; kind }));
+    Simnet.Net.set_observer net (function
+      | Simnet.Net.Sent { ne_ts; ne_src; ne_dst; ne_msg; ne_dropped } ->
+        Obs.Flight.record flight
+          (Obs.Flight.Send
+             { fl_ts = ne_ts; src = ne_src; dst = ne_dst; kind = label ne_msg;
+               dropped = ne_dropped })
+      | Simnet.Net.Delivered { ne_ts; ne_src; ne_dst; ne_msg; ne_send_us } ->
+        Obs.Flight.record flight
+          (Obs.Flight.Deliver
+             { fl_ts = ne_ts; src = ne_src; dst = ne_dst; kind = label ne_msg;
+               send_us = ne_send_us }));
+    Obs.Sink.set_observer obs (fun (e : Obs.Sink.event) ->
+        Obs.Flight.record flight
+          (Obs.Flight.Span
+             { fl_ts = e.ev_ts; name = e.ev_name; cat = e.ev_cat;
+               pid = e.ev_pid; dur = e.ev_dur }))
+  end
 
 let events_of_engine engine =
   let k = Engine.events_by_kind engine in
@@ -297,7 +339,7 @@ let txn_of_spanner (r : Spanner.Client.record) =
    hold every durable decision, so further kills are refused.  Both
    operations are idempotent — the shrinker may drop either half of a
    Kill/Restart pair. *)
-let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~replicas ~peers ~acc =
+let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon ~replicas ~peers ~acc =
   let n = Array.length replicas in
   let widx i = ((i mod n) + n) mod n in
   let amnesiac () =
@@ -313,6 +355,8 @@ let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~replicas ~peers ~acc =
     then begin
       Morty.Replica.stop r;
       Simnet.Net.crash net (Morty.Replica.node r);
+      Obs.Monitor.note_kill mon ~ts:(Engine.now engine)
+        ~replica:(Printf.sprintf "r%d" (widx i));
       acc.fa_kills <- acc.fa_kills + 1
     end
   in
@@ -323,7 +367,7 @@ let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~replicas ~peers ~acc =
       let node = Morty.Replica.node old in
       let fresh =
         Morty.Replica.create_at ~node ~cfg ~engine ~net
-          ~rng:(Sim.Rng.split rng) ~index:i ~cores ~prof ()
+          ~rng:(Sim.Rng.split rng) ~index:i ~cores ~prof ~mon ()
       in
       Morty.Replica.set_peers fresh peers;
       replicas.(i) <- fresh;
@@ -357,7 +401,8 @@ let morty_recovery acc replicas =
   }
 
 let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) e ~reexecution =
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null)
+    ?(flight = Obs.Flight.null) e ~reexecution =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -372,10 +417,15 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
   let replicas =
     Array.init (Morty.Config.n_replicas cfg) (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
-          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores ~prof ())
+          ~region:regions.(i mod Array.length regions) ~cores:e.e_cores ~prof
+          ~mon ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
+  (* [replicas] is read at dump time, so restarted incarnations show up. *)
+  Obs.Monitor.register_views mon (fun () ->
+      Array.to_list (Array.map Morty.Replica.state_view replicas));
+  attach_flight ~engine ~net ~obs ~flight ~label:Morty.Msg.label;
   let data =
     match e.e_workload with
     | Tpcc conf -> Workload.Tpcc.initial_data conf
@@ -407,7 +457,7 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
     List.init e.e_clients (fun i ->
         let client =
           Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-            ~region:(client_region regions i) ~replicas:peers ~obs ~prof
+            ~region:(client_region regions i) ~replicas:peers ~obs ~prof ~mon
             ~on_finish ()
         in
         let crng = Sim.Rng.split rng in
@@ -445,7 +495,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
          msgs_at_warm := Simnet.Net.messages_delivered net;
          Array.iter (fun r -> Simnet.Cpu.reset_stats (Morty.Replica.cpu r)) replicas));
   let prev_busy = Array.make (Array.length replicas) 0 in
-  install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
+  let finish_metrics =
+    install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
       Array.iteri
         (fun i _ ->
           let r = replicas.(i) in
@@ -466,12 +517,14 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
               sm_versions = Morty.Replica.store_size r;
               sm_wmark_lag = wlag;
             })
-        replicas);
+        replicas)
+  in
   let acc = fresh_acc () in
   inject faults
-    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~replicas ~peers
-       ~acc);
+    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~mon ~replicas
+       ~peers ~acc);
   Engine.run_until engine ~limit:warm_end;
+  finish_metrics ();
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpu =
     let total =
@@ -505,7 +558,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
 let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) e =
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null)
+    ?(flight = Obs.Flight.null) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -519,9 +573,15 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
     Array.init n_groups (fun g ->
         Array.init (Tapir.Config.n_replicas cfg) (fun i ->
             Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
-              ~region:regions.(i mod Array.length regions) ~cores:1 ~prof ()))
+              ~region:regions.(i mod Array.length regions) ~cores:1 ~prof ~mon
+              ()))
   in
   let group_nodes = Array.map (Array.map Tapir.Replica.node) groups in
+  Obs.Monitor.register_views mon (fun () ->
+      Array.to_list groups
+      |> List.concat_map (fun group ->
+             Array.to_list (Array.map Tapir.Replica.state_view group)));
+  attach_flight ~engine ~net ~obs ~flight ~label:Tapir.Msg.label;
   let data =
     match e.e_workload with
     | Tpcc conf -> Workload.Tpcc.initial_data conf
@@ -611,7 +671,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
          msgs_at_warm := Simnet.Net.messages_delivered net;
          List.iter Simnet.Cpu.reset_stats (all_cpus ())));
   let prev_busy = Array.make (n_groups * Tapir.Config.n_replicas cfg) 0 in
-  install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
+  let finish_metrics =
+    install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
       Array.iteri
         (fun g group ->
           Array.iteri
@@ -631,7 +692,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
                   sm_wmark_lag = 0;
                 })
             group)
-        groups);
+        groups)
+  in
   let acc = fresh_acc () in
   let nrep = Tapir.Config.n_replicas cfg in
   let total = n_groups * nrep in
@@ -654,6 +716,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
     then begin
       Tapir.Replica.stop r;
       Simnet.Net.crash net (Tapir.Replica.node r);
+      Obs.Monitor.note_kill mon ~ts:(Engine.now engine)
+        ~replica:(Printf.sprintf "g%dr%d" g k);
       acc.fa_kills <- acc.fa_kills + 1
     end
   in
@@ -665,7 +729,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
       let node = Tapir.Replica.node old in
       let fresh =
         Tapir.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
-          ~cores:1 ~prof ()
+          ~cores:1 ~prof ~mon ()
       in
       groups.(g).(k) <- fresh;
       Simnet.Net.recover net node;
@@ -688,6 +752,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
        (Array.concat (Array.to_list group_nodes))
        ~kill ~restart);
   Engine.run_until engine ~limit:warm_end;
+  finish_metrics ();
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpus = all_cpus () in
   let cpu =
@@ -717,7 +782,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
 let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) e =
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null)
+    ?(flight = Obs.Flight.null) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -729,8 +795,13 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
         Array.init (Spanner.Config.n_replicas cfg) (fun i ->
             Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
               ~region:regions.((g + i) mod Array.length regions) ~cores:1 ~prof
-              ()))
+              ~mon ()))
   in
+  Obs.Monitor.register_views mon (fun () ->
+      Array.to_list groups
+      |> List.concat_map (fun group ->
+             Array.to_list (Array.map Spanner.Replica.state_view group)));
+  attach_flight ~engine ~net ~obs ~flight ~label:Spanner.Msg.label;
   Array.iter
     (fun group ->
       let peers = Array.map Spanner.Replica.node group in
@@ -819,7 +890,8 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
          msgs_at_warm := Simnet.Net.messages_delivered net;
          List.iter Simnet.Cpu.reset_stats (all_cpus ())));
   let prev_busy = Array.make (n_groups * Spanner.Config.n_replicas cfg) 0 in
-  install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
+  let finish_metrics =
+    install_metrics ~engine ~obs ~horizon:warm_end ~sample:(fun ~now ->
       Array.iteri
         (fun g group ->
           Array.iteri
@@ -839,7 +911,8 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
                   sm_wmark_lag = 0;
                 })
             group)
-        groups);
+        groups)
+  in
   let acc = fresh_acc () in
   let nrep = Spanner.Config.n_replicas cfg in
   let total = n_groups * nrep in
@@ -862,6 +935,8 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
     then begin
       Spanner.Replica.stop r;
       Simnet.Net.crash net (Spanner.Replica.node r);
+      Obs.Monitor.note_kill mon ~ts:(Engine.now engine)
+        ~replica:(Printf.sprintf "g%dr%d" g k);
       acc.fa_kills <- acc.fa_kills + 1
     end
   in
@@ -873,7 +948,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
       let node = Spanner.Replica.node old in
       let fresh =
         Spanner.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
-          ~cores:1 ~prof ()
+          ~cores:1 ~prof ~mon ()
       in
       Spanner.Replica.set_peers fresh (Array.map Spanner.Replica.node groups.(g));
       groups.(g).(k) <- fresh;
@@ -897,6 +972,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
        (Array.concat (Array.to_list (Array.map (Array.map Spanner.Replica.node) groups)))
        ~kill ~restart);
   Engine.run_until engine ~limit:warm_end;
+  finish_metrics ();
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
   let cpus = all_cpus () in
   let cpu =
@@ -923,23 +999,25 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
     ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn
     ~events:(events_of_engine engine) ~recovery ()
 
-let run_exp ?on_txn ?faults ?obs ?prof e =
+let run_exp ?on_txn ?faults ?obs ?prof ?mon ?flight e =
   match e.e_system with
-  | Morty -> run_morty ?on_txn ?faults ?obs ?prof e ~reexecution:true
-  | Mvtso -> run_morty ?on_txn ?faults ?obs ?prof e ~reexecution:false
-  | Tapir -> run_tapir ?on_txn ?faults ?obs ?prof e
-  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults ?obs ?prof e
-  | Spanner -> run_spanner ?on_txn ?faults ?obs ?prof e
+  | Morty -> run_morty ?on_txn ?faults ?obs ?prof ?mon ?flight e ~reexecution:true
+  | Mvtso -> run_morty ?on_txn ?faults ?obs ?prof ?mon ?flight e ~reexecution:false
+  | Tapir -> run_tapir ?on_txn ?faults ?obs ?prof ?mon ?flight e
+  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults ?obs ?prof ?mon ?flight e
+  | Spanner -> run_spanner ?on_txn ?faults ?obs ?prof ?mon ?flight e
 
-let run_exp_audited ?faults ?obs ?prof e =
+let run_exp_audited ?faults ?obs ?prof ?mon ?flight e =
   let txns = ref [] in
   let result =
-    run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults ?obs ?prof e
+    run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults ?obs ?prof ?mon
+      ?flight e
   in
   (result, List.rev !txns)
 
-let run_morty_with_config ?obs ?prof e cfg =
-  run_morty ~cfg ?obs ?prof e ~reexecution:cfg.Morty.Config.reexecution
+let run_morty_with_config ?obs ?prof ?mon ?flight e cfg =
+  run_morty ~cfg ?obs ?prof ?mon ?flight e
+    ~reexecution:cfg.Morty.Config.reexecution
 
 let find_peak mk ~client_counts =
   let results = List.map (fun n -> run_exp (mk n)) client_counts in
@@ -1038,7 +1116,7 @@ let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
     (List.init e.e_clients (fun i -> i));
   let ops =
     morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof:Obs.Profile.null
-      ~replicas ~peers ~acc:(fresh_acc ())
+      ~mon:Obs.Monitor.null ~replicas ~peers ~acc:(fresh_acc ())
   in
   let victim =
     match victim with Some v -> v | None -> Array.length replicas - 1

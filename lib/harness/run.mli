@@ -87,6 +87,8 @@ val run_exp :
   ?faults:(cluster_ops -> unit) ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
+  ?flight:Obs.Flight.t ->
   exp ->
   Stats.result
 (** [on_txn] receives one {!Adya.History.txn} per finished transaction
@@ -99,13 +101,20 @@ val run_exp :
     {!Obs.Profile.null}) collects the critical-path profile: per-txn
     latency decomposition for measurement-window commits, the
     wasted-work ledger over replica CPU time, and the key-contention
-    heatmap.  Neither draws randomness, so enabling them never changes
-    the simulated history. *)
+    heatmap.  [mon] (default {!Obs.Monitor.null}) receives every
+    replica's and coordinator's state-transition hooks, the cluster's
+    {!Obs.Monitor.state_view} source and kill incidents.  [flight]
+    (default {!Obs.Flight.null}) taps engine dispatches, message traffic
+    and span openings into its bounded ring.  None of the four draws
+    randomness or alters scheduling, so enabling them never changes the
+    simulated history. *)
 
 val run_exp_audited :
   ?faults:(cluster_ops -> unit) ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
+  ?flight:Obs.Flight.t ->
   exp ->
   Stats.result * Adya.History.txn list
 (** {!run_exp} plus the recorded history, in transaction-finish order.
@@ -114,7 +123,13 @@ val run_exp_audited :
     invariants). *)
 
 val run_morty_with_config :
-  ?obs:Obs.Sink.t -> ?prof:Obs.Profile.t -> exp -> Morty.Config.t -> Stats.result
+  ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
+  ?flight:Obs.Flight.t ->
+  exp ->
+  Morty.Config.t ->
+  Stats.result
 (** Run the Morty/MVTSO cluster with an explicit configuration — the
     ablation benches use this to toggle eager visibility, the fast path,
     and the re-execution cap. *)

@@ -100,6 +100,7 @@ type t = {
   stats : stats;
   obs : Obs.Sink.t;
   prof : Obs.Profile.t;
+  mon : Obs.Monitor.t;
   (* Critical-path attribution: the transaction the closed-loop driver
      is currently running (one at a time per client), its component
      cells, and the end of the last attributed wait interval. *)
@@ -360,6 +361,20 @@ and arm_prepare_timer t txn p round =
   in
   p.p_timer <- Some timer
 
+and observe_fast_path t txn p votes =
+  (* Fast-path vote consistency: taking the fast path claims a full
+     2f+1 quorum of matching Commit votes — hand the monitor the votes
+     actually held so it can re-check. *)
+  if Obs.Monitor.enabled t.mon then
+    Obs.Monitor.observe t.mon ~ts:(Engine.now t.engine)
+      (Obs.Monitor.Fast_path
+         {
+           ver = (txn.ver.Version.ts, txn.ver.Version.id);
+           quorum = (2 * t.cfg.f) + 1;
+           votes = List.map (fun v -> Fmt.str "%a" Vote.pp v) votes;
+         });
+  ignore p
+
 and evaluate_votes t txn p =
   let votes = List.map snd p.p_votes in
   match Vote.aggregate ~f:t.cfg.f ~force:p.p_forced votes with
@@ -368,6 +383,7 @@ and evaluate_votes t txn p =
     cancel_timer p;
     start_finalize t txn p.p_eid Decision.Commit
   | Vote.Commit_fast ->
+    observe_fast_path t txn p votes;
     cancel_timer p;
     finish_commit t txn p.p_eid ~fast:true
   | Vote.Abandon_fast ->
@@ -592,7 +608,7 @@ let handle t ~src msg =
 (* --- Public API --------------------------------------------------------- *)
 
 let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) ?on_finish () =
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     match
@@ -619,6 +635,7 @@ let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null)
           miss_notifications = 0; fast_commits = 0; slow_commits = 0 };
       obs;
       prof;
+      mon;
       c_cur = None;
       c_comps = Array.make Obs.Profile.n_cells 0;
       c_last_ev = 0;

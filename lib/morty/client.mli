@@ -56,6 +56,7 @@ val create :
   replicas:int array ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
@@ -63,7 +64,8 @@ val create :
     ids in index order; reads go to the replica co-located with the
     client's region (the first one whose region matches, else replica
     0).  [prof] receives latency decomposition, outcome and re-execution
-    hooks (default {!Obs.Profile.null}). *)
+    hooks (default {!Obs.Profile.null}); [mon] (default
+    {!Obs.Monitor.null}) checks fast-path vote consistency. *)
 
 val node : t -> Simnet.Net.node
 

@@ -70,6 +70,7 @@ type t = {
   node : Net.node;
   cpu : Cpu.t;
   prof : Obs.Profile.t;
+  mon : Obs.Monitor.t;
   mutable peers : int array;
   store : Mvstore.Vstore.t;
   erecord : (Version.t * int, exec_entry) Hashtbl.t;
@@ -104,6 +105,14 @@ let node t = t.node
 let cpu t = t.cpu
 let stats t = t.stats
 let watermark t = t.watermark
+
+(* --- Invariant-monitor plumbing ---------------------------------------- *)
+
+let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
+let mon_label t = Printf.sprintf "r%d" t.index
+
+let observe t tr =
+  Obs.Monitor.observe t.mon ~ts:(Sim.Engine.now t.engine) tr
 let stop t = t.stopped <- true
 let is_stopped t = t.stopped
 let is_recovering t = match t.mode with Recovering _ -> true | Normal -> false
@@ -147,6 +156,10 @@ let entry t ver eid =
         decision = None; read_set = []; write_set = [] }
     in
     Hashtbl.replace t.erecord (ver, eid) e;
+    if Obs.Monitor.enabled t.mon then
+      observe t
+        (Obs.Monitor.Record_count
+           { replica = mon_label t; count = Hashtbl.length t.erecord });
     (match Hashtbl.find_opt t.max_eid ver with
      | Some m when m >= eid -> ()
      | Some _ | None -> Hashtbl.replace t.max_eid ver eid);
@@ -186,6 +199,11 @@ let handle_get t ~src ver key seq =
   in
   Mvstore.Vrecord.add_read vr ~reader:ver ~coord:src reply;
   add_to_keyset t.read_keys ver key;
+  if Obs.Monitor.enabled t.mon then
+    observe t
+      (Obs.Monitor.Read_serve
+         { replica = mon_label t; key; reader = vpair ver;
+           served = vpair reply.r_ver });
   send t src
     (Msg.Get_reply
        { for_ver = ver; key; w_ver = reply.r_ver; value = reply.r_val; seq = Some seq })
@@ -195,6 +213,11 @@ let handle_get t ~src ver key seq =
 let notify_read t key (r : Mvstore.Vrecord.read) (reply : Mvstore.Vrecord.reply) =
   r.last <- reply;
   t.stats.miss_notifications <- t.stats.miss_notifications + 1;
+  if Obs.Monitor.enabled t.mon then
+    observe t
+      (Obs.Monitor.Read_serve
+         { replica = mon_label t; key; reader = vpair r.reader;
+           served = vpair reply.r_ver });
   send t r.coord
     (Msg.Get_reply
        { for_ver = r.reader; key; w_ver = reply.r_ver; value = reply.r_val; seq = None })
@@ -259,15 +282,27 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
     (fun (r : Rwset.read) ->
       if (not (Version.is_zero r.r_ver)) && truncated t r.r_ver then
         let vr = Mvstore.Vstore.find t.store r.key in
+        let newest = Mvstore.Vrecord.newest_committed vr in
         let is_current =
-          match Mvstore.Vrecord.newest_committed vr with
+          match newest with
           | Some newest -> Version.equal newest r.r_ver
           | None -> false
         in
         if not is_current then begin
           vote := Vote.Abandon_final;
           blame Obs.Abort_reason.Watermark_abandon
-        end)
+        end
+        else if Obs.Monitor.enabled t.mon then
+          (* Truncation-safety carve-out taken: the monitor re-checks
+             that the accepted below-watermark read really names the
+             newest committed write. *)
+          match newest with
+          | Some n ->
+            observe t
+              (Obs.Monitor.Trunc_read
+                 { replica = mon_label t; key = r.key; served = vpair r.r_ver;
+                   newest = vpair n })
+          | None -> ())
     read_set;
   (* Check 3: dirty reads — every read must match a committed write
      exactly (dependencies are committed by the time we validate). *)
@@ -452,6 +487,10 @@ and apply_commit t ver eid (read_set : Rwset.read_set) (write_set : Rwset.write_
     (fun (w : Rwset.write) ->
       let vr = Mvstore.Vstore.find t.store w.key in
       Mvstore.Vrecord.commit_write vr ~ver w.w_val;
+      if Obs.Monitor.enabled t.mon then
+        observe t
+          (Obs.Monitor.Commit_install
+             { replica = mon_label t; key = w.key; ver = vpair ver });
       List.iter
         (fun (r : Mvstore.Vrecord.read) ->
           if not (String.equal r.last.r_val w.w_val) then
@@ -831,6 +870,8 @@ and handle_truncation_finished t upto merged =
         handle_decide t e.t_ver e.t_eid d abort e.t_read_set e.t_write_set
       | None -> ())
     merged;
+  if Obs.Monitor.enabled t.mon then
+    observe t (Obs.Monitor.Watermark { replica = mon_label t; wm = vpair upto });
   t.watermark <- Some upto;
   (* Garbage collect: erecord entries and committed metadata below the
      watermark. *)
@@ -841,7 +882,16 @@ and handle_truncation_finished t upto merged =
       t.erecord []
   in
   List.iter (fun k -> Hashtbl.remove t.erecord k) stale;
-  Mvstore.Vstore.iter t.store (fun _ vr -> Mvstore.Vrecord.gc_below vr upto)
+  Mvstore.Vstore.iter t.store (fun _ vr -> Mvstore.Vrecord.gc_below vr upto);
+  if Obs.Monitor.enabled t.mon then
+    (* Store-version monotonicity across GC: truncation must retain each
+       key's newest committed write. *)
+    Mvstore.Vstore.iter t.store (fun key vr ->
+        observe t
+          (Obs.Monitor.Gc_survivor
+             { replica = mon_label t; key;
+               newest = Option.map vpair (Mvstore.Vrecord.newest_committed vr);
+               wm = vpair upto }))
 
 (* --- Amnesia-crash catch-up (state transfer) ---------------------------- *)
 
@@ -916,7 +966,12 @@ let absorb_catchup t ~src cu watermark decisions store erecord =
       (fun (s : Msg.store_entry) ->
         let vr = Mvstore.Vstore.find t.store s.s_key in
         List.iter
-          (fun (ver, value) -> Mvstore.Vrecord.commit_write vr ~ver value)
+          (fun (ver, value) ->
+            Mvstore.Vrecord.commit_write vr ~ver value;
+            if Obs.Monitor.enabled t.mon then
+              observe t
+                (Obs.Monitor.Commit_install
+                   { replica = mon_label t; key = s.s_key; ver = vpair ver }))
           s.s_versions;
         List.iter
           (fun (reader, r_ver) -> Mvstore.Vrecord.commit_read vr ~reader ~r_ver)
@@ -950,6 +1005,8 @@ let absorb_catchup t ~src cu watermark decisions store erecord =
       when (match t.watermark with
             | Some cur -> Version.compare w cur > 0
             | None -> true) ->
+      if Obs.Monitor.enabled t.mon then
+        observe t (Obs.Monitor.Watermark { replica = mon_label t; wm = vpair w });
       t.watermark <- Some w
     | _ -> ()
   end
@@ -1114,12 +1171,13 @@ let schedule_truncation t =
    keep a stable address; [set_handler] atomically replaces the old
    incarnation's handler. *)
 let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
-    ?(prof = Obs.Profile.null) () =
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) () =
   let t =
     {
       cfg; engine; net; rng; index; node;
       cpu = Cpu.create engine ~cores;
       prof;
+      mon;
       peers = [||];
       store = Mvstore.Vstore.create ();
       erecord = Hashtbl.create 4096;
@@ -1167,6 +1225,36 @@ let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
   schedule_truncation t;
   t
 
-let create ~cfg ~engine ~net ~rng ~index ~region ~cores ?prof () =
+let create ~cfg ~engine ~net ~rng ~index ~region ~cores ?prof ?mon () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~rng ~index ~cores
-    ?prof ()
+    ?prof ?mon ()
+
+(* Per-replica introspection: a protocol-agnostic snapshot of this
+   replica's state for monitors and post-mortem bundles. *)
+let state_view t =
+  let versions = ref 0 in
+  Mvstore.Vstore.iter t.store (fun _ vr ->
+      versions :=
+        !versions + List.length (Mvstore.Vrecord.committed_writes_list vr));
+  {
+    Obs.Monitor.v_replica = mon_label t;
+    v_stopped = t.stopped;
+    v_recovering = is_recovering t;
+    v_watermark = Option.map vpair t.watermark;
+    v_records = Hashtbl.length t.erecord;
+    v_store_keys = store_size t;
+    v_store_versions = !versions;
+    v_counters =
+      [
+        ("prepares", t.stats.prepares);
+        ("commit_votes", t.stats.commit_votes);
+        ("tentative_votes", t.stats.tentative_votes);
+        ("final_votes", t.stats.final_votes);
+        ("miss_notifications", t.stats.miss_notifications);
+        ("recoveries", t.stats.recoveries);
+        ("truncations", t.stats.truncations);
+        ("catchups", t.stats.catchups);
+        ("decisions", Hashtbl.length t.decision_log);
+        ("suspended", Hashtbl.length t.waiting);
+      ];
+  }

@@ -45,13 +45,16 @@ val create :
   region:Simnet.Latency.region ->
   cores:int ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   unit ->
   t
 (** Create replica [index] (of [2f+1]) and register it on the network.
     [peers] must be completed with {!set_peers} before traffic flows.
     [prof] (default {!Obs.Profile.null}) receives busy-time and
     contention hooks; when set, replies also carry message provenance
-    ({!Simnet.Net.set_send_path}) for the client-side decomposition. *)
+    ({!Simnet.Net.set_send_path}) for the client-side decomposition.
+    [mon] (default {!Obs.Monitor.null}) receives state-transition hooks
+    for the online invariant monitors; purely observational. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -62,6 +65,7 @@ val create_at :
   index:int ->
   cores:int ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
@@ -98,6 +102,11 @@ val erecord_size : t -> int
 
 val store_size : t -> int
 (** Number of keys in the version store (metrics sampling). *)
+
+val state_view : t -> Obs.Monitor.state_view
+(** Per-replica introspection snapshot: lifecycle flags, watermark,
+    erecord size, store shape and protocol counters — what a
+    post-mortem bundle records for every replica. *)
 
 (** {1 Amnesia-crash lifecycle} *)
 

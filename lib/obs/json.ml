@@ -1,0 +1,58 @@
+(* Shared hand-rolled JSON emission: one escaper and a small set of
+   Buffer combinators used by every JSON writer in [obs] (trace,
+   profile, flight recorder, post-mortem bundles).  Written by hand so
+   we stay inside the container's dependency set; output is fully
+   deterministic — field order is the call order. *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let str buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let int buf i = Buffer.add_string buf (string_of_int i)
+
+(* %.17g roundtrips doubles but produces noisy output; our floats are
+   ratios with few significant digits, so %.6g is stable and compact. *)
+let float buf f = Buffer.add_string buf (Printf.sprintf "%.6g" f)
+
+let bool buf b = Buffer.add_string buf (if b then "true" else "false")
+
+(* Field separator + key: [fld buf first name] starts a field, adding
+   the comma unless it is the first of its object. *)
+let fld buf first name =
+  if not first then Buffer.add_char buf ',';
+  str buf name;
+  Buffer.add_char buf ':'
+
+let obj buf body =
+  Buffer.add_char buf '{';
+  body ();
+  Buffer.add_char buf '}'
+
+let arr buf body =
+  Buffer.add_char buf '[';
+  body ();
+  Buffer.add_char buf ']'
+
+(* Comma-separated iteration over a list, for array elements or when
+   emitting a dynamic set of fields. *)
+let sep_iter buf f l =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      f x)
+    l

@@ -1,0 +1,30 @@
+(** Shared hand-rolled JSON emission helpers.
+
+    One escaper and a handful of [Buffer] combinators used by every
+    JSON writer in [obs] — trace, profile, flight recorder and
+    post-mortem bundles — so the escaping rules live in exactly one
+    place.  All output is deterministic: field order is call order and
+    floats print as [%.6g]. *)
+
+val escape : Buffer.t -> string -> unit
+(** Append [s] with JSON string escaping (no surrounding quotes). *)
+
+val str : Buffer.t -> string -> unit
+(** Append [s] as a quoted, escaped JSON string. *)
+
+val int : Buffer.t -> int -> unit
+val float : Buffer.t -> float -> unit
+val bool : Buffer.t -> bool -> unit
+
+val fld : Buffer.t -> bool -> string -> unit
+(** [fld buf first name] starts an object field: a leading comma unless
+    [first], then the quoted key and a colon. *)
+
+val obj : Buffer.t -> (unit -> unit) -> unit
+(** Braces around [body ()]. *)
+
+val arr : Buffer.t -> (unit -> unit) -> unit
+(** Brackets around [body ()]. *)
+
+val sep_iter : Buffer.t -> ('a -> unit) -> 'a list -> unit
+(** Apply [f] to each element with commas in between. *)

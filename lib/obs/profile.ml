@@ -295,34 +295,12 @@ let decomposition t = Array.copy t.agg
 
 (* --- deterministic JSON -------------------------------------------------- *)
 
-let escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
 let frac num den = if den <= 0 then 0. else float_of_int num /. float_of_int den
 
 let to_json t =
   let b = Buffer.create 4096 in
-  let str s =
-    Buffer.add_char b '"';
-    escape b s;
-    Buffer.add_char b '"'
-  in
-  let fld first name =
-    if not first then Buffer.add_char b ',';
-    str name;
-    Buffer.add_char b ':'
-  in
+  let str s = Json.str b s in
+  let fld first name = Json.fld b first name in
   Buffer.add_char b '{';
   fld true "label";
   str t.label;

@@ -34,32 +34,42 @@ type t = {
   mutable events : event list; (* newest first *)
   mutable n_events : int;
   mutable samples : sample list; (* newest first *)
+  (* Read-only tap on recorded events (the flight recorder).  Observers
+     see exactly what the sink stores and cannot change it, so an
+     attached observer leaves the run's output byte-identical. *)
+  mutable observer : (event -> unit) option;
 }
 
-let null = { enabled = false; seed = 0; events = []; n_events = 0; samples = [] }
-let create ~seed = { enabled = true; seed; events = []; n_events = 0; samples = [] }
+let null =
+  { enabled = false; seed = 0; events = []; n_events = 0; samples = [];
+    observer = None }
+
+let create ~seed =
+  { enabled = true; seed; events = []; n_events = 0; samples = [];
+    observer = None }
 
 let enabled t = t.enabled
 let seed t = t.seed
 
+let set_observer t f = if t.enabled then t.observer <- Some f
+
+let push t e =
+  t.events <- e :: t.events;
+  t.n_events <- t.n_events + 1;
+  match t.observer with None -> () | Some f -> f e
+
 let span t ~name ~cat ~ts ~dur ~pid ?(tid = 0) ?(args = []) () =
-  if t.enabled then begin
-    t.events <-
+  if t.enabled then
+    push t
       { ev_name = name; ev_cat = cat; ev_ph = Complete; ev_ts = ts;
         ev_dur = (if dur < 0 then 0 else dur); ev_pid = pid; ev_tid = tid;
         ev_args = args }
-      :: t.events;
-    t.n_events <- t.n_events + 1
-  end
 
 let instant t ~name ~cat ~ts ~pid ?(tid = 0) ?(args = []) () =
-  if t.enabled then begin
-    t.events <-
+  if t.enabled then
+    push t
       { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts = ts; ev_dur = 0;
         ev_pid = pid; ev_tid = tid; ev_args = args }
-      :: t.events;
-    t.n_events <- t.n_events + 1
-  end
 
 let sample t s = if t.enabled then t.samples <- s :: t.samples
 

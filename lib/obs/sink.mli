@@ -52,6 +52,10 @@ val instant :
 
 val sample : t -> sample -> unit
 
+val set_observer : t -> (event -> unit) -> unit
+(** Read-only tap called for every recorded event (the flight recorder
+    uses it to see span openings).  No-op on the {!null} sink. *)
+
 val events : t -> event list
 (** In emission (chronological) order. *)
 

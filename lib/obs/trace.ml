@@ -4,29 +4,8 @@
    that a Buffer-based printer is clearer than a generic serializer
    anyway. *)
 
-let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let add_string buf s =
-  Buffer.add_char buf '"';
-  escape buf s;
-  Buffer.add_char buf '"'
-
-let add_float buf f =
-  (* %.17g roundtrips doubles but produces noisy output; our floats are
-     ratios with few significant digits, so %.6g is stable and compact. *)
-  Buffer.add_string buf (Printf.sprintf "%.6g" f)
+let add_string = Json.str
+let add_float = Json.float
 
 let add_arg buf (k, v) =
   add_string buf k;
@@ -64,15 +43,29 @@ let add_event buf (e : Sink.event) =
     Buffer.add_char buf '}');
   Buffer.add_char buf '}'
 
-let to_json sink =
+let to_json ?window sink =
+  let keep =
+    match window with
+    | None -> fun _ -> true
+    | Some (t0, t1) ->
+      fun (e : Sink.event) -> e.ev_ts + e.ev_dur >= t0 && e.ev_ts <= t1
+  in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"seed\":";
   Buffer.add_string buf (string_of_int (Sink.seed sink));
+  (match window with
+  | None -> ()
+  | Some (t0, t1) ->
+    Buffer.add_string buf (Printf.sprintf ",\"window_us\":[%d,%d]" t0 t1));
   Buffer.add_string buf "},\"traceEvents\":[\n";
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_string buf ",\n";
-      add_event buf e)
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if keep e then begin
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        add_event buf e
+      end)
     (Sink.events sink);
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

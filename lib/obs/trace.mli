@@ -7,4 +7,7 @@
     recorded under [otherData.seed]. Output is byte-deterministic for a
     given sink content. *)
 
-val to_json : Sink.t -> string
+val to_json : ?window:int * int -> Sink.t -> string
+(** [window] restricts the output to events overlapping the virtual-µs
+    interval [(t0, t1)] — the slice a post-mortem bundle ships; the
+    window is recorded under [otherData.window_us]. *)

@@ -14,6 +14,9 @@ type t = {
   mutable fired_timer : int;
   mutable fired_delivery : int;
   mutable fired_ticker : int;
+  (* Read-only tap on fired events (the flight recorder): sees the
+     dispatch time and kind, cannot reorder or cancel anything. *)
+  mutable observer : (ts:int -> kind -> unit) option;
 }
 
 let create () =
@@ -25,7 +28,10 @@ let create () =
     fired_timer = 0;
     fired_delivery = 0;
     fired_ticker = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
 
 let now t = t.clock
 
@@ -54,6 +60,9 @@ let step t =
       | Timer -> t.fired_timer <- t.fired_timer + 1
       | Delivery -> t.fired_delivery <- t.fired_delivery + 1
       | Ticker -> t.fired_ticker <- t.fired_ticker + 1);
+      (match t.observer with
+      | Some f -> f ~ts:t.clock e.kind
+      | None -> ());
       e.action ()
     end;
     true

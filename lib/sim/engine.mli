@@ -55,3 +55,8 @@ val events_fired : t -> int
 val events_by_kind : t -> kind_counts
 (** {!events_fired} broken down by event kind, attributing simulation
     cost to timers vs. message deliveries vs. observation tickers. *)
+
+val set_observer : t -> (ts:int -> kind -> unit) -> unit
+(** Read-only tap called for every fired (non-cancelled) event just
+    before its action runs, with the dispatch time.  The flight
+    recorder uses it; observers cannot affect scheduling. *)

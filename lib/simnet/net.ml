@@ -46,13 +46,30 @@ type 'm t = {
      delivery handler invocation. *)
   mutable send_path : path;
   mutable current : delivery_info option;
+  (* Read-only tap on message traffic (the flight recorder).  Observers
+     see sends (including drops) and handler deliveries; they draw no
+     randomness and cannot touch the message, so attaching one leaves
+     the run byte-identical. *)
+  mutable observer : 'm option_observer;
 }
+
+and 'm net_event =
+  | Sent of { ne_ts : int; ne_src : node; ne_dst : node; ne_msg : 'm;
+              ne_dropped : bool }
+  | Delivered of { ne_ts : int; ne_src : node; ne_dst : node; ne_msg : 'm;
+                   ne_send_us : int }
+
+and 'm option_observer = ('m net_event -> unit) option
 
 let create engine rng ~setup ?(base_delay_us = 60) ?(jitter_us = 20) () =
   { engine; rng; setup; base_delay_us; jitter_us; nodes = [||]; n = 0;
     sent = 0; delivered = 0; dropped = 0; cut_links = Hashtbl.create 16;
     loss_rate = 0.; link_loss = Hashtbl.create 16; extra_delay_us = 0;
-    send_path = no_path; current = None }
+    send_path = no_path; current = None; observer = None }
+
+let set_observer t f = t.observer <- Some f
+
+let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let add_node t ~region =
   let state =
@@ -94,8 +111,12 @@ let send t ~src ~dst msg =
   let s = check t src and d = check t dst in
   t.sent <- t.sent + 1;
   if s.crashed || d.crashed || Hashtbl.mem t.cut_links (src, dst)
-     || lost t ~src ~dst then
-    t.dropped <- t.dropped + 1
+     || lost t ~src ~dst then begin
+    t.dropped <- t.dropped + 1;
+    notify t
+      (Sent { ne_ts = Sim.Engine.now t.engine; ne_src = src; ne_dst = dst;
+              ne_msg = msg; ne_dropped = true })
+  end
   else begin
     let jitter = if t.jitter_us = 0 then 0 else Sim.Rng.int t.rng (t.jitter_us + 1) in
     let extra =
@@ -111,6 +132,9 @@ let send t ~src ~dst msg =
     let at = max (now + delay) earliest in
     Hashtbl.replace d.last_delivery src at;
     let path = t.send_path in
+    notify t
+      (Sent { ne_ts = now; ne_src = src; ne_dst = dst; ne_msg = msg;
+              ne_dropped = false });
     ignore
       (Sim.Engine.schedule_at t.engine ~kind:Sim.Engine.Delivery ~at (fun () ->
            if d.crashed then t.dropped <- t.dropped + 1
@@ -119,6 +143,9 @@ let send t ~src ~dst msg =
              | None -> t.dropped <- t.dropped + 1
              | Some h ->
                t.delivered <- t.delivered + 1;
+               notify t
+                 (Delivered { ne_ts = at; ne_src = src; ne_dst = dst;
+                              ne_msg = msg; ne_send_us = now });
                t.current <-
                  Some { di_send_us = now; di_recv_us = at; di_path = path };
                h ~src msg;

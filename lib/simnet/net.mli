@@ -62,6 +62,21 @@ val current_delivery : 'm t -> delivery_info option
     invocation ([None] otherwise, e.g. inside timer callbacks or CPU
     jobs that run after the handler returned). *)
 
+(** {2 Traffic observer (flight recorder)}
+
+    A read-only tap on message traffic: sends (including drops at send
+    time) and handler deliveries.  Observers draw no randomness and
+    cannot touch the message, so attaching one leaves a seeded run
+    byte-identical. *)
+
+type 'm net_event =
+  | Sent of { ne_ts : int; ne_src : node; ne_dst : node; ne_msg : 'm;
+              ne_dropped : bool }
+  | Delivered of { ne_ts : int; ne_src : node; ne_dst : node; ne_msg : 'm;
+                   ne_send_us : int  (** virtual µs the message was sent *) }
+
+val set_observer : 'm t -> ('m net_event -> unit) -> unit
+
 val crash : 'm t -> node -> unit
 (** Crash-stop [node]: all of its queued and future messages vanish. *)
 

@@ -160,6 +160,11 @@ let holds t ~txn ~key mode =
     | Write -> (
       match e.writer with Some w -> Version.equal w txn | None -> false))
 
+let holders t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> (None, [])
+  | Some e -> (e.writer, Version.Set.elements e.readers)
+
 let waiting t =
   Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.entries 0
 

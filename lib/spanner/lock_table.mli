@@ -44,6 +44,10 @@ val release_all :
 
 val holds : t -> txn:Version.t -> key:string -> mode -> bool
 
+val holders : t -> key:string -> Version.t option * Version.t list
+(** Current writer and readers of a key's entry — evidence the invariant
+    monitor records with each lock grant. *)
+
 val waiting : t -> int
 (** Total queued requests (tests). *)
 

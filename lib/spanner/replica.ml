@@ -29,6 +29,7 @@ type t = {
   node : Net.node;
   cpu : Cpu.t;
   prof : Obs.Profile.t;
+  mon : Obs.Monitor.t;
   mutable peers : int array;
   locks : Lock_table.t;
   store : (string, string Version.Map.t ref) Hashtbl.t;
@@ -61,6 +62,32 @@ let stop t = t.stopped <- true
 let is_stopped t = t.stopped
 let set_peers t peers = t.peers <- peers
 let waiting_locks t = Lock_table.waiting t.locks
+
+(* --- Invariant-monitor plumbing ---------------------------------------- *)
+
+let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
+let mon_label t = Printf.sprintf "g%dr%d" t.group t.index
+
+let observe t tr = Obs.Monitor.observe t.mon ~ts:(Engine.now t.engine) tr
+
+(* Report a lock grant together with the key's resulting holder sets, so
+   the monitor can check mutual exclusion independently of the table's
+   own bookkeeping. *)
+let observe_grant t ~txn ~key ~(mode : Lock_table.mode) =
+  if Obs.Monitor.enabled t.mon then begin
+    let writer, readers = Lock_table.holders t.locks ~key in
+    observe t
+      (Obs.Monitor.Lock_grant
+         {
+           replica = mon_label t;
+           key;
+           txn = vpair txn;
+           mode = (match mode with Lock_table.Read -> Obs.Monitor.Read
+                                 | Lock_table.Write -> Obs.Monitor.Write);
+           writer = Option.map vpair writer;
+           readers = List.map vpair readers;
+         })
+  end
 
 let versions t key =
   match Hashtbl.find_opt t.store key with
@@ -167,6 +194,7 @@ let rec deliver_grants t grants =
     (fun (g : Lock_table.grant) ->
       (* A grant either answers a waiting read/write lock request or
          makes progress on a pending prepare's write-lock set. *)
+      observe_grant t ~txn:g.g_txn ~key:g.g_key ~mode:g.g_mode;
       answer_lock t g.g_txn g.g_key;
       match Hashtbl.find_opt t.pending_preps g.g_txn with
       | Some pp ->
@@ -211,6 +239,9 @@ and acquire_lock t ~txn ~key ~mode =
   let status, wounded = Lock_table.acquire t.locks ~txn ~key ~mode ~is_immune:(is_immune t) in
   if wounded <> [] then Obs.Profile.note_abort_key t.prof ~key;
   List.iter (fun v -> wound t v) wounded;
+  (match status with
+   | `Granted -> observe_grant t ~txn ~key ~mode
+   | `Queued -> ());
   status
 
 and finish_prepare t txn (pp : pending_prep) =
@@ -221,6 +252,10 @@ and finish_prepare t txn (pp : pending_prep) =
       if (not (Hashtbl.mem t.wounded txn)) && not (Hashtbl.mem t.finished txn)
       then begin
         Hashtbl.replace t.prepared txn { pr_ts = ts; pr_writes = pp.pp_writes };
+        if Obs.Monitor.enabled t.mon then
+          observe t
+            (Obs.Monitor.Record_count
+               { replica = mon_label t; count = Hashtbl.length t.prepared });
         send t pp.pp_client (Msg.Prepare_ack { txn; group = t.group; prepare_ts = ts })
       end
       else begin
@@ -301,7 +336,11 @@ let handle_commit2pc t txn commit_ver =
         List.iter
           (fun (key, value) ->
             let m = versions t key in
-            m := Version.Map.add commit_ver value !m)
+            m := Version.Map.add commit_ver value !m;
+            if Obs.Monitor.enabled t.mon then
+              observe t
+                (Obs.Monitor.Commit_install
+                   { replica = mon_label t; key; ver = vpair commit_ver }))
           p.pr_writes;
         t.max_commit_ts <- max t.max_commit_ts commit_ver.Version.ts;
         Array.iteri
@@ -341,7 +380,11 @@ let handle t ~src msg =
     List.iter
       (fun (key, value) ->
         let m = versions t key in
-        m := Version.Map.add commit_ver value !m)
+        m := Version.Map.add commit_ver value !m;
+        if Obs.Monitor.enabled t.mon then
+          observe t
+            (Obs.Monitor.Commit_install
+               { replica = mon_label t; key; ver = vpair commit_ver }))
       writes
   | Msg.Lock_reply _ | Msg.Wounded _ | Msg.Prepare_ack _ | Msg.Prepare_nack _
   | Msg.Ro_reply _ -> ()
@@ -383,7 +426,11 @@ let install t sn =
       List.iter
         (fun (v, value) ->
           m := Version.Map.add v value !m;
-          t.max_commit_ts <- max t.max_commit_ts v.Version.ts)
+          t.max_commit_ts <- max t.max_commit_ts v.Version.ts;
+          if Obs.Monitor.enabled t.mon then
+            observe t
+              (Obs.Monitor.Commit_install
+                 { replica = mon_label t; key; ver = vpair v }))
         vs)
     sn;
   t.last_prepare_ts <- max t.last_prepare_ts t.max_commit_ts
@@ -402,7 +449,7 @@ let busy_owner = function
   | Msg.Apply _ -> None
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
-    ?(prof = Obs.Profile.null) () =
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) () =
   let t =
     {
       cfg; engine; net;
@@ -410,6 +457,7 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
       group; index; node;
       cpu = Cpu.create engine ~cores;
       prof;
+      mon;
       peers = [||];
       locks = Lock_table.create ();
       store = Hashtbl.create 1024;
@@ -445,9 +493,34 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
           Net.clear_send_path net));
   t
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof () =
+let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof ?mon () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
-    ~cores ?prof ()
+    ~cores ?prof ?mon ()
+
+(* Per-replica introspection: protocol-agnostic snapshot for monitors
+   and post-mortem bundles. *)
+let state_view t =
+  let versions_total =
+    Hashtbl.fold (fun _ m acc -> acc + Version.Map.cardinal !m) t.store 0
+  in
+  {
+    Obs.Monitor.v_replica = mon_label t;
+    v_stopped = t.stopped;
+    v_recovering = false;
+    v_watermark = None;
+    v_records = Hashtbl.length t.prepared;
+    v_store_keys = Hashtbl.length t.store;
+    v_store_versions = versions_total;
+    v_counters =
+      [
+        ("prepares", t.stats.prepares);
+        ("wounds", t.stats.wounds);
+        ("nacks", t.stats.nacks);
+        ("ro_reads", t.stats.ro_reads);
+        ("lock_waits", t.stats.lock_waits);
+        ("locks_waiting", Lock_table.waiting t.locks);
+      ];
+  }
 
 let debug_counts t =
   ( Hashtbl.length t.prepared,

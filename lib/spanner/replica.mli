@@ -33,11 +33,15 @@ val create :
   region:Simnet.Latency.region ->
   cores:int ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   unit ->
   t
 (** [prof] (default {!Obs.Profile.null}) receives busy-time and
     contention hooks; when set, replies also carry message provenance
-    ({!Simnet.Net.set_send_path}) for the client-side decomposition. *)
+    ({!Simnet.Net.set_send_path}) for the client-side decomposition.
+    [mon] (default {!Obs.Monitor.null}) receives state-transition hooks
+    (lock grants with holder evidence, prepared-table size, commit
+    installs); purely observational. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -48,6 +52,7 @@ val create_at :
   index:int ->
   cores:int ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
@@ -81,6 +86,11 @@ val prepared_count : t -> int
 
 val store_size : t -> int
 (** Number of keys in the committed store (metrics sampling). *)
+
+val state_view : t -> Obs.Monitor.state_view
+(** Per-replica introspection snapshot: lifecycle flags, prepared-table
+    size, store shape, wound/nack counters and lock-queue depth — what a
+    post-mortem bundle records for every replica. *)
 
 (** {1 Amnesia-crash lifecycle}
 

@@ -16,11 +16,14 @@ type stats = {
 
 type t = {
   cfg : Config.t;
+  engine : Sim.Engine.t;
   net : Msg.t Net.t;
   group : int;
+  index : int;
   node : Net.node;
   cpu : Cpu.t;
   prof : Obs.Profile.t;
+  mon : Obs.Monitor.t;
   (* Committed versions per key, newest accessible via find_last. *)
   store : (string, string Version.Map.t ref) Hashtbl.t;
   prepared : (Version.t, prepared) Hashtbl.t;
@@ -33,6 +36,16 @@ type t = {
 
 let node t = t.node
 let cpu t = t.cpu
+
+let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
+let mon_label t = Printf.sprintf "g%dr%d" t.group t.index
+let observe t tr = Obs.Monitor.observe t.mon ~ts:(Sim.Engine.now t.engine) tr
+
+(* Witness IR operation classes: Prepare/Finalize run as consensus
+   operations, Commit/Abort as inconsistent ones. *)
+let observe_ir_op t op consensus =
+  if Obs.Monitor.enabled t.mon then
+    observe t (Obs.Monitor.Ir_op { replica = mon_label t; op; consensus })
 let stats t = t.stats
 let prepared_count t = Hashtbl.length t.prepared
 let store_size t = Hashtbl.length t.store
@@ -122,6 +135,10 @@ let handle_prepare t ~src txn reads writes =
       Hashtbl.replace t.prepared txn { p_txn = txn; p_reads = reads; p_writes = writes };
       List.iter (fun (key, _) -> mark t.prepared_reads key txn) reads;
       List.iter (fun (key, _) -> mark t.prepared_writes key txn) writes;
+      if Obs.Monitor.enabled t.mon then
+        observe t
+          (Obs.Monitor.Record_count
+             { replica = mon_label t; count = Hashtbl.length t.prepared });
       Msg.V_commit
     end
     else Msg.V_abort
@@ -144,7 +161,11 @@ let handle_commit t txn writes =
   List.iter
     (fun (key, value) ->
       let m = versions t key in
-      m := Version.Map.add txn value !m)
+      m := Version.Map.add txn value !m;
+      if Obs.Monitor.enabled t.mon then
+        observe t
+          (Obs.Monitor.Commit_install
+             { replica = mon_label t; key; ver = vpair txn }))
     writes
 
 let handle t ~src msg =
@@ -154,14 +175,21 @@ let handle t ~src msg =
   | Msg.Read { txn; key; seq } ->
     let w_ver, value = latest t key in
     send t src (Msg.Read_reply { txn; key; w_ver; value; seq })
-  | Msg.Prepare { txn; reads; writes } -> handle_prepare t ~src txn reads writes
+  | Msg.Prepare { txn; reads; writes } ->
+    observe_ir_op t "prepare" true;
+    handle_prepare t ~src txn reads writes
   | Msg.Finalize { txn; vote } ->
+    observe_ir_op t "finalize" true;
     (* The slow path makes the majority result durable; an abort result
        releases prepared state. *)
     (match vote with Msg.V_abort -> unprepare t txn | Msg.V_commit -> ());
     send t src (Msg.Finalize_reply { txn; group = t.group; vote })
-  | Msg.Commit { txn; writes } -> handle_commit t txn writes
-  | Msg.Abort { txn } -> unprepare t txn
+  | Msg.Commit { txn; writes } ->
+    observe_ir_op t "commit" false;
+    handle_commit t txn writes
+  | Msg.Abort { txn } ->
+    observe_ir_op t "abort" false;
+    unprepare t txn
   | Msg.Read_reply _ | Msg.Prepare_reply _ | Msg.Finalize_reply _ -> ()
 
 let service_cost t = function
@@ -215,7 +243,14 @@ let install t sn =
   List.iter
     (fun (key, vs) ->
       let m = versions t key in
-      List.iter (fun (v, value) -> m := Version.Map.add v value !m) vs)
+      List.iter
+        (fun (v, value) ->
+          m := Version.Map.add v value !m;
+          if Obs.Monitor.enabled t.mon then
+            observe t
+              (Obs.Monitor.Commit_install
+                 { replica = mon_label t; key; ver = vpair v }))
+        vs)
     sn.sn_store;
   List.iter
     (fun p ->
@@ -236,13 +271,13 @@ let busy_owner = function
     Some (txn.Version.ts, txn.Version.id)
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
-    ?(prof = Obs.Profile.null) () =
-  ignore index;
+    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) () =
   let t =
     {
-      cfg; net; group; node;
+      cfg; engine; net; group; index; node;
       cpu = Cpu.create engine ~cores;
       prof;
+      mon;
       store = Hashtbl.create 1024;
       prepared = Hashtbl.create 256;
       prepared_reads = Hashtbl.create 256;
@@ -268,6 +303,24 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
           Net.clear_send_path net));
   t
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof () =
+let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof ?mon () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
-    ~cores ?prof ()
+    ~cores ?prof ?mon ()
+
+let state_view t =
+  {
+    Obs.Monitor.v_replica = mon_label t;
+    v_stopped = t.stopped;
+    v_recovering = false;
+    v_watermark = None;
+    v_records = Hashtbl.length t.prepared;
+    v_store_keys = Hashtbl.length t.store;
+    v_store_versions =
+      Hashtbl.fold (fun _ m acc -> acc + Version.Map.cardinal !m) t.store 0;
+    v_counters =
+      [
+        ("prepares", t.stats.prepares);
+        ("commit_votes", t.stats.commit_votes);
+        ("abort_votes", t.stats.abort_votes);
+      ];
+  }

@@ -29,11 +29,15 @@ val create :
   region:Simnet.Latency.region ->
   cores:int ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   unit ->
   t
 (** [prof] (default {!Obs.Profile.null}) receives busy-time and
     contention hooks; when set, replies also carry message provenance
-    ({!Simnet.Net.set_send_path}) for the client-side decomposition. *)
+    ({!Simnet.Net.set_send_path}) for the client-side decomposition.
+    [mon] (default {!Obs.Monitor.null}) receives state-transition hooks
+    (prepared-table size, commit installs, IR operation classing);
+    purely observational. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -44,6 +48,7 @@ val create_at :
   index:int ->
   cores:int ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a
@@ -65,6 +70,11 @@ val store_size : t -> int
 
 val read_current : t -> string -> string option
 (** Latest committed value (tests). *)
+
+val state_view : t -> Obs.Monitor.state_view
+(** Per-replica introspection snapshot: lifecycle flags, prepared-table
+    size, store shape and vote counters — what a post-mortem bundle
+    records for every replica. *)
 
 (** {1 Amnesia-crash lifecycle} *)
 

@@ -2,9 +2,14 @@
    evaluation (§5), plus ablations of Morty's design choices and a
    Bechamel micro-benchmark suite for the core data structures.
 
-   Usage:  dune exec bench/main.exe [-- TARGET ...]
+   Usage:  dune exec bench/main.exe [-- [--jobs N] TARGET ...]
    Targets: table1 table2 table3 fig6 fig7 fig8 fig9 headline ablation
             micro all (default: all)
+
+   --jobs N fans independent experiment points across N worker domains
+   (0 = recommended_domain_count - 1); every table, figure, CSV and
+   baseline check is byte-identical to --jobs 1 because results merge
+   in submission order and all throughput reporting goes to stderr.
 
    Environment: MORTY_BENCH_MEASURE_MS overrides the per-point
    measurement window (virtual milliseconds, default 1000);
@@ -12,6 +17,28 @@
    section into that directory (for plotting). *)
 
 open Harness
+
+let jobs = ref 1
+
+let pool = ref None
+
+(* Evaluate a list of independent experiment thunks, preserving list
+   order in the results.  Serial (--jobs 1) runs them inline — the
+   ground-truth path; parallel fans them across a lazily-created
+   orchestrator pool.  Either way the caller renders results in
+   submission order, so stdout and the CSVs never depend on --jobs. *)
+let par_map thunks =
+  if !jobs <= 1 then List.map (fun f -> f ()) thunks
+  else
+    let p =
+      match !pool with
+      | Some p -> p
+      | None ->
+        let p = Orchestrate.Pool.create ~jobs:!jobs in
+        pool := Some p;
+        p
+    in
+    Orchestrate.Pool.map p (fun f -> f ()) thunks
 
 let measure_us =
   match Sys.getenv_opt "MORTY_BENCH_MEASURE_MS" with
@@ -46,7 +73,16 @@ let open_csv name =
 
 let header () = Fmt.pr "%a@." Stats.pp_result_header ()
 
+let n_rows = ref 0
+
+let n_events = ref 0
+
 let show r =
+  incr n_rows;
+  let ev = r.Stats.r_events in
+  n_events :=
+    !n_events + ev.Stats.ev_timers + ev.Stats.ev_deliveries
+    + ev.Stats.ev_tickers;
   Fmt.pr "%a@." Stats.pp_result r;
   match !csv_channel with
   | Some oc ->
@@ -117,25 +153,26 @@ let curve ~workload ~wl_name ~clients_grid () =
     (fun setup ->
       Fmt.pr "@.--- %s, %s ---@." wl_name (Simnet.Latency.setup_name setup);
       header ();
-      List.iter
-        (fun sys ->
-          List.iter
-            (fun n ->
-              let e =
-                {
-                  base_exp with
-                  e_system = sys;
-                  e_setup = setup;
-                  e_workload = workload;
-                  e_clients = n;
-                  e_label =
-                    Printf.sprintf "%s %s c=%d" (Run.system_name sys)
-                      (Simnet.Latency.setup_name setup) n;
-                }
-              in
-              show (Run.run_exp e))
-            clients_grid)
-        Run.all_systems)
+      let points =
+        List.concat_map
+          (fun sys ->
+            List.map
+              (fun n () ->
+                Run.run_exp
+                  {
+                    base_exp with
+                    e_system = sys;
+                    e_setup = setup;
+                    e_workload = workload;
+                    e_clients = n;
+                    e_label =
+                      Printf.sprintf "%s %s c=%d" (Run.system_name sys)
+                        (Simnet.Latency.setup_name setup) n;
+                  })
+              clients_grid)
+          Run.all_systems
+      in
+      List.iter show (par_map points))
     [ Simnet.Latency.Reg; Simnet.Latency.Con; Simnet.Latency.Glo ]
 
 let fig6 () =
@@ -166,24 +203,25 @@ let fig8 () =
         if theta = 0. then Run.all_systems @ [ Run.Tapir_nodist ]
         else Run.all_systems
       in
-      List.iter
-        (fun sys ->
-          List.iter
-            (fun cores ->
-              let e =
-                {
-                  base_exp with
-                  e_system = sys;
-                  e_workload = Run.Retwis (retwis_conf theta);
-                  e_cores = cores;
-                  e_clients = 56 * cores;
-                  e_label =
-                    Printf.sprintf "%s cores=%d" (Run.system_name sys) cores;
-                }
-              in
-              show (Run.run_exp e))
-            [ 1; 2; 4; 8 ])
-        systems)
+      let points =
+        List.concat_map
+          (fun sys ->
+            List.map
+              (fun cores () ->
+                Run.run_exp
+                  {
+                    base_exp with
+                    e_system = sys;
+                    e_workload = Run.Retwis (retwis_conf theta);
+                    e_cores = cores;
+                    e_clients = 56 * cores;
+                    e_label =
+                      Printf.sprintf "%s cores=%d" (Run.system_name sys) cores;
+                  })
+              [ 1; 2; 4; 8 ])
+          systems
+      in
+      List.iter show (par_map points))
     [ 0.0; 0.9 ]
 
 (* ------------------------------------------------------------------ *)
@@ -194,29 +232,31 @@ let fig9 () =
   open_csv "fig9";
   section "Figure 9: goodput and commit rate vs Zipf coefficient (REG)";
   header ();
-  List.iter
-    (fun sys ->
-      List.iter
-        (fun theta ->
-          let e =
-            {
-              base_exp with
-              e_system = sys;
-              e_workload = Run.Retwis (retwis_conf theta);
-              e_clients = 192;
-              e_label = Printf.sprintf "%s theta=%.1f" (Run.system_name sys) theta;
-            }
-          in
-          show (Run.run_exp e))
-        [ 0.0; 0.3; 0.6; 0.9; 1.2 ])
-    Run.all_systems
+  let points =
+    List.concat_map
+      (fun sys ->
+        List.map
+          (fun theta () ->
+            Run.run_exp
+              {
+                base_exp with
+                e_system = sys;
+                e_workload = Run.Retwis (retwis_conf theta);
+                e_clients = 192;
+                e_label =
+                  Printf.sprintf "%s theta=%.1f" (Run.system_name sys) theta;
+              })
+          [ 0.0; 0.3; 0.6; 0.9; 1.2 ])
+      Run.all_systems
+  in
+  List.iter show (par_map points)
 
 (* ------------------------------------------------------------------ *)
 (* Headline: the abstract's throughput ratios.                         *)
 (* ------------------------------------------------------------------ *)
 
 let peak sys workload label =
-  Run.find_peak
+  Run.find_peak ~runner:par_map
     (fun n ->
       {
         base_exp with
@@ -270,25 +310,36 @@ let ablation () =
       e_label = label;
     }
   in
-  let run label cfg = show (Run.run_morty_with_config (e label) cfg) in
   let d = Morty.Config.default in
-  run "morty (full)" d;
-  run "no re-execution (mvtso)" { d with reexecution = false };
-  run "commit-time visibility" { d with eager_writes = false };
-  run "re-exec cap = 1" { d with max_reexecs = 1 };
-  run "no fast path" { d with always_slow_path = true };
+  let variants =
+    [
+      ("morty (full)", d);
+      ("no re-execution (mvtso)", { d with Morty.Config.reexecution = false });
+      ("commit-time visibility", { d with Morty.Config.eager_writes = false });
+      ("re-exec cap = 1", { d with Morty.Config.max_reexecs = 1 });
+      ("no fast path", { d with Morty.Config.always_slow_path = true });
+    ]
+  in
+  List.iter show
+    (par_map
+       (List.map
+          (fun (label, cfg) () -> Run.run_morty_with_config (e label) cfg)
+          variants));
   Fmt.pr "@.backoff policy (MVTSO baseline, same workload):@.";
   let mv = { d with Morty.Config.reexecution = false } in
-  List.iter
-    (fun (label, base) ->
-      show
-        (Run.run_morty_with_config { (e label) with e_backoff_base_us = base } mv))
-    [
-      ("backoff base 0 (immediate retry)", 0);
-      ("backoff base 10ms", 10_000);
-      ("backoff base 100ms", 100_000);
-      ("backoff base 500ms", 500_000);
-    ]
+  List.iter show
+    (par_map
+       (List.map
+          (fun (label, base) () ->
+            Run.run_morty_with_config
+              { (e label) with e_backoff_base_us = base }
+              mv)
+          [
+            ("backoff base 0 (immediate retry)", 0);
+            ("backoff base 10ms", 10_000);
+            ("backoff base 100ms", 100_000);
+            ("backoff base 500ms", 500_000);
+          ]))
 
 (* ------------------------------------------------------------------ *)
 (* YCSB extension: conflict-rate sweep (read% x all four systems).     *)
@@ -298,24 +349,25 @@ let ycsb () =
   open_csv "ycsb";
   section "YCSB extension: goodput vs write fraction (theta 0.9, REG, 128 clients)";
   header ();
-  List.iter
-    (fun sys ->
-      List.iter
-        (fun read_pct ->
-          let e =
-            {
-              base_exp with
-              e_system = sys;
-              e_workload =
-                Run.Ycsb { Workload.Ycsb.default_conf with read_pct };
-              e_clients = 128;
-              e_label =
-                Printf.sprintf "%s reads=%d%%" (Run.system_name sys) read_pct;
-            }
-          in
-          show (Run.run_exp e))
-        [ 100; 95; 50; 0 ])
-    Run.all_systems
+  let points =
+    List.concat_map
+      (fun sys ->
+        List.map
+          (fun read_pct () ->
+            Run.run_exp
+              {
+                base_exp with
+                e_system = sys;
+                e_workload =
+                  Run.Ycsb { Workload.Ycsb.default_conf with read_pct };
+                e_clients = 128;
+                e_label =
+                  Printf.sprintf "%s reads=%d%%" (Run.system_name sys) read_pct;
+              })
+          [ 100; 95; 50; 0 ])
+      Run.all_systems
+  in
+  List.iter show (par_map points)
 
 (* ------------------------------------------------------------------ *)
 (* Failover timeline (extension): goodput around a replica outage.     *)
@@ -354,24 +406,25 @@ let smallbank () =
   open_csv "smallbank";
   section "SmallBank extension (1000 customers, REG, 64 clients)";
   header ();
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun sys ->
-          let e =
-            {
-              base_exp with
-              e_system = sys;
-              e_workload =
-                Run.Smallbank { Workload.Smallbank.default_conf with theta };
-              e_clients = 64;
-              e_label =
-                Printf.sprintf "%s theta=%.1f" (Run.system_name sys) theta;
-            }
-          in
-          show (Run.run_exp e))
-        Run.all_systems)
-    [ 0.5; 0.9 ];
+  let points =
+    List.concat_map
+      (fun theta ->
+        List.map
+          (fun sys () ->
+            Run.run_exp
+              {
+                base_exp with
+                e_system = sys;
+                e_workload =
+                  Run.Smallbank { Workload.Smallbank.default_conf with theta };
+                e_clients = 64;
+                e_label =
+                  Printf.sprintf "%s theta=%.1f" (Run.system_name sys) theta;
+              })
+          Run.all_systems)
+      [ 0.5; 0.9 ]
+  in
+  List.iter show (par_map points);
   Fmt.pr
     "@.At theta=0.5 re-execution wins; at theta=0.9 SmallBank's multi-key@.\
      RMWs on a ~10%%-hot customer sit past the convoy crossover where@.\
@@ -469,7 +522,8 @@ let pr4_row_json row =
     row.b_discarded_frac row.b_backoff_frac row.b_idle_frac row.b_dominant
 
 let pr4_rows () =
-  List.map (fun sys -> (Run.system_name sys, pr4_row sys)) Run.all_systems
+  par_map
+    (List.map (fun sys () -> (Run.system_name sys, pr4_row sys)) Run.all_systems)
 
 let bench_pr4 () =
   let rows = pr4_rows () in
@@ -664,7 +718,24 @@ let all () =
   failover ();
   micro ()
 
+(* Strip --jobs N / --jobs=N from the argv target list, setting the
+   global parallelism; everything else dispatches as before. *)
+let rec parse_jobs acc = function
+  | [] -> List.rev acc
+  | "--jobs" :: n :: rest -> set_jobs n; parse_jobs acc rest
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+    set_jobs (String.sub arg 7 (String.length arg - 7));
+    parse_jobs acc rest
+  | t :: rest -> parse_jobs (t :: acc) rest
+
+and set_jobs s =
+  match int_of_string_opt s with
+  | Some 0 -> jobs := Orchestrate.Pool.default_jobs ()
+  | Some n -> jobs := max 1 n
+  | None -> Fmt.epr "bad --jobs value %S (want an integer)@." s
+
 let () =
+  let t0 = Unix.gettimeofday () in
   let rec go = function
     | [] -> ()
     | "bench-pr4-check" :: path :: rest ->
@@ -690,6 +761,21 @@ let () =
       | other -> Fmt.epr "unknown bench target %S@." other);
       go rest
   in
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as rest) -> go rest
-  | _ -> go [ "all" ]
+  let targets =
+    match parse_jobs [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "all" ]
+    | ts -> ts
+  in
+  go targets;
+  Option.iter Orchestrate.Pool.shutdown !pool;
+  (* Throughput report on stderr only: stdout carries the tables,
+     figures and baseline verdicts and must not depend on --jobs. *)
+  if !n_rows > 0 then
+    Fmt.epr "%s@."
+      (Orchestrate.Report.to_string
+         {
+           Orchestrate.Report.o_jobs = !jobs;
+           o_runs = !n_rows;
+           o_events = !n_events;
+           o_wall_s = Unix.gettimeofday () -. t0;
+         })

@@ -78,6 +78,15 @@ let sweep =
            ~doc:"Comma-separated client counts: run one point per count and \
                  print the whole load-latency curve.")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ]
+           ~doc:"Worker domains for --sweep points.  $(b,1) (default) runs \
+                 the points serially on the calling domain; $(b,0) picks \
+                 recommended_domain_count - 1.  Rows, files and summaries \
+                 are byte-identical whatever the value — throughput \
+                 reporting goes to stderr.")
+
 let kill_at_ms =
   Arg.(value & opt (some int) None
        & info [ "kill-at-ms" ]
@@ -137,8 +146,8 @@ let postmortem_out =
                  $(docv).2, ... per point." ~docv:"DIR")
 
 let run system setup workload theta keys warehouses read_pct clients cores
-    duration_ms warmup_ms seed sweep kill_at_ms restart_at_ms victim trace_out
-    metrics_out profile_out monitors postmortem_out =
+    duration_ms warmup_ms seed sweep jobs kill_at_ms restart_at_ms victim
+    trace_out metrics_out profile_out monitors postmortem_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -189,20 +198,35 @@ let run system setup workload theta keys warehouses read_pct clients cores
   let monitors = monitors || postmortem_out <> None in
   let profiles = Buffer.create 256 in
   let point_idx = ref 0 in
-  let print_point e =
+  let events = ref 0 in
+  (* Worker half of a point: build private observers, run the
+     experiment.  Everything it creates travels back to the main domain
+     as a read-only result — with --jobs this is the only code that
+     executes on a worker domain. *)
+  let compute_point e =
     let obs =
       if trace_out <> None || metrics_out <> None || postmortem_out <> None then
         Obs.Sink.create ~seed:e.Harness.Run.e_seed
-      else Obs.Sink.null
+      else Obs.Sink.null ()
     in
     let prof =
       if profile_out <> None then
         Obs.Profile.create ~label:e.Harness.Run.e_label ()
-      else Obs.Profile.null
+      else Obs.Profile.null ()
     in
-    let mon = if monitors then Obs.Monitor.create () else Obs.Monitor.null in
-    let flight = if monitors then Obs.Flight.create () else Obs.Flight.null in
+    let mon = if monitors then Obs.Monitor.create () else Obs.Monitor.null () in
+    let flight = if monitors then Obs.Flight.create () else Obs.Flight.null () in
     let r = Harness.Run.run_exp ?faults ~obs ~prof ~mon ~flight e in
+    (e, obs, prof, mon, flight, r)
+  in
+  (* Render half: all printing and file writes, always on the calling
+     domain, in submission order — so stdout and every output file are
+     byte-identical whatever --jobs is. *)
+  let render_point (e, obs, prof, mon, flight, r) =
+    let ev = r.Harness.Stats.r_events in
+    events :=
+      !events + ev.Harness.Stats.ev_timers + ev.Harness.Stats.ev_deliveries
+      + ev.Harness.Stats.ev_tickers;
     Fmt.pr "%a@." Harness.Stats.pp_result r;
     if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
       Fmt.pr "%a@." Harness.Stats.pp_recovery r;
@@ -250,10 +274,37 @@ let run system setup workload theta keys warehouses read_pct clients cores
     end
   in
   Fmt.pr "%a@." Harness.Stats.pp_result_header ();
-  (match sweep with
-  | None -> print_point (mk clients)
-  | Some counts -> List.iter (fun n -> print_point (mk n)) counts);
-  Option.iter (fun path -> write path (Buffer.contents profiles)) profile_out
+  let exps =
+    match sweep with
+    | None -> [ mk clients ]
+    | Some counts -> List.map mk counts
+  in
+  let jobs = if jobs = 0 then Orchestrate.Pool.default_jobs () else max 1 jobs in
+  let t0 = Unix.gettimeofday () in
+  (if jobs <= 1 then
+     (* Ground-truth serial path: compute and render interleave exactly
+        as they always have. *)
+     List.iter (fun e -> render_point (compute_point e)) exps
+   else begin
+     let pool = Orchestrate.Pool.create ~jobs in
+     Fun.protect
+       ~finally:(fun () -> Orchestrate.Pool.shutdown pool)
+       (fun () ->
+         ignore
+           (Orchestrate.Pool.map pool
+              ~on_ready:(fun _i p -> render_point p)
+              compute_point exps))
+   end);
+  Option.iter (fun path -> write path (Buffer.contents profiles)) profile_out;
+  (* Throughput report on stderr only: stdout is the diff surface. *)
+  Fmt.epr "%s@."
+    (Orchestrate.Report.to_string
+       {
+         Orchestrate.Report.o_jobs = jobs;
+         o_runs = List.length exps;
+         o_events = !events;
+         o_wall_s = Unix.gettimeofday () -. t0;
+       })
 
 let cmd =
   let doc = "Run one experiment point of the Morty reproduction" in
@@ -262,7 +313,7 @@ let cmd =
     Term.(
       const run $ system $ setup $ workload $ theta $ keys $ warehouses
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
-      $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out
+      $ jobs $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out
       $ profile_out $ monitors $ postmortem_out)
 
 let () = exit (Cmd.eval cmd)

@@ -109,6 +109,24 @@ let monitors =
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ]
+           ~doc:"Worker domains for the run fan-out.  $(b,1) (default) runs \
+                 the original serial loop; $(b,0) picks \
+                 recommended_domain_count - 1.  Output on stdout is \
+                 byte-identical whatever the value — timing goes to stderr.")
+
+let scaling =
+  Arg.(value & opt (some string) None
+       & info [ "scaling" ]
+           ~doc:"Self-sweep the orchestrator: run the identical sweep once \
+                 per jobs value in this comma-separated list (e.g. \
+                 $(b,1,2,4)), print per-value throughput and a fitted \
+                 USL $(b,scaling:) line to stderr.  Stdout carries the \
+                 first value's transcript only (the repeats are \
+                 byte-identical by construction)." ~docv:"JOBS")
+
 let trace_out =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ]
@@ -133,7 +151,7 @@ let postmortem_out =
                  failure order, next to the printed reproducer." ~docv:"DIR")
 
 let run systems workload_names seeds seed_base schedules episodes clients cores
-    measure_ms smoke no_kill monitors quiet trace_out profile_out
+    measure_ms smoke no_kill monitors quiet jobs scaling trace_out profile_out
     postmortem_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
@@ -187,7 +205,62 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
           (Explore.Audit.violation_to_string v)
           (profile_digest prof)
   in
-  let summary = Explore.Sweep.run ~progress cfg in
+  let jobs = if jobs = 0 then Orchestrate.Pool.default_jobs () else max 1 jobs in
+  let jobs_list =
+    match scaling with
+    | None -> [ jobs ]
+    | Some spec ->
+      let vals =
+        List.filter_map
+          (fun s -> int_of_string_opt (String.trim s))
+          (String.split_on_char ',' spec)
+      in
+      let vals = List.filter (fun j -> j >= 1) vals in
+      if vals = [] then [ jobs ] else vals
+  in
+  (* All timing and throughput reporting goes to stderr: stdout is the
+     byte-identical diff surface the smoke aliases compare, and wall
+     clock must never leak into it. *)
+  let events = ref 0 in
+  let count_events _case _prof outcome =
+    match outcome with
+    | Ok r ->
+      let ev = r.Harness.Stats.r_events in
+      events :=
+        !events + ev.Harness.Stats.ev_timers + ev.Harness.Stats.ev_deliveries
+        + ev.Harness.Stats.ev_tickers
+    | Error _ -> ()
+  in
+  let timed_sweep ~jobs ~transcript =
+    let progress c p o =
+      if transcript then begin
+        count_events c p o;
+        progress c p o
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    let summary = Explore.Sweep.run ~progress ~jobs cfg in
+    (summary, Unix.gettimeofday () -. t0)
+  in
+  let measured =
+    List.mapi
+      (fun i jobs ->
+        let summary, wall = timed_sweep ~jobs ~transcript:(i = 0) in
+        (jobs, summary, wall))
+      jobs_list
+  in
+  let summary, report =
+    match measured with
+    | (jobs, summary, wall) :: _ ->
+      ( summary,
+        {
+          Orchestrate.Report.o_jobs = jobs;
+          o_runs = summary.Explore.Sweep.s_runs;
+          o_events = !events;
+          o_wall_s = wall;
+        } )
+    | [] -> assert false
+  in
   let numbered base i =
     if i = 0 then base else Printf.sprintf "%s.%d" base (i + 1)
   in
@@ -226,6 +299,17 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         Fmt.pr "post-mortem bundle of shrunk case written to %s/@." dir)
     summary.Explore.Sweep.s_failures;
   Fmt.pr "SUMMARY %a@." Explore.Sweep.pp_summary summary;
+  Fmt.epr "%s@." (Orchestrate.Report.to_string report);
+  (match measured with
+  | _ :: _ :: _ ->
+    let points =
+      List.map
+        (fun (jobs, (s : Explore.Sweep.summary), wall) ->
+          (jobs, float_of_int s.Explore.Sweep.s_runs /. Float.max wall 1e-9))
+        measured
+    in
+    Fmt.epr "%s@." (Orchestrate.Report.scaling_line points)
+  | _ -> ());
   if summary.Explore.Sweep.s_failures = [] then 0 else 1
 
 let cmd =
@@ -235,6 +319,6 @@ let cmd =
     Term.(
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
       $ clients $ cores $ measure_ms $ smoke $ no_kill $ monitors $ quiet
-      $ trace_out $ profile_out $ postmortem_out)
+      $ jobs $ scaling $ trace_out $ profile_out $ postmortem_out)
 
 let () = exit (Cmd.eval' cmd)

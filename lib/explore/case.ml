@@ -74,7 +74,7 @@ let exp_of c =
     e_label = label c;
   }
 
-let run ?obs ?prof ?(mon = Obs.Monitor.null) ?flight c =
+let run ?obs ?prof ?(mon = Obs.Monitor.null ()) ?flight c =
   let faults =
     if Schedule.is_empty c.c_schedule then None else Some (Schedule.apply c.c_schedule)
   in

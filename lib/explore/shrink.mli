@@ -16,13 +16,41 @@ type outcome = {
   s_runs : int;  (** oracle invocations spent shrinking *)
 }
 
+type batch = budget:int -> Case.t list -> (int * Audit.violation) option * int
+(** A batch evaluator for one shrink step: given at most [budget]
+    oracle runs and an ordered candidate list, return the
+    lowest-indexed candidate that still fails (with its violation) and
+    the number of oracle runs {e charged}.
+
+    The charging rule mirrors the serial scan exactly, so a parallel
+    evaluator is output-equivalent to the serial one: candidates past
+    [budget] are never charged; a first failure at index [i] charges
+    [i + 1] (the serial scan would have stopped there — speculative
+    evaluations of later candidates are free because every run is
+    isolated); no failure charges [min (length candidates) budget].
+    First-failure-wins ties are resolved by candidate {e index}, never
+    by completion order. *)
+
+val serial_batch : fails:(Case.t -> Audit.violation option) -> batch
+(** The ground-truth evaluator: runs candidates one at a time, in
+    order, stopping at the first failure or when the budget runs out.
+    [minimize] uses it when no [batch] is supplied. *)
+
 val minimize :
   ?max_runs:int ->
+  ?batch:batch ->
   fails:(Case.t -> Audit.violation option) ->
   Case.t ->
   Audit.violation ->
   outcome
-(** [max_runs] (default 80) bounds the number of candidate re-runs. *)
+(** [max_runs] (default 80) bounds the number of candidate re-runs.
+    [batch] (default [serial_batch ~fails]) evaluates the candidate
+    list of each event-dropping shrink step; the parallel sweep passes
+    a pool-backed evaluator here.  Phases that are inherently
+    sequential (time halving, window/client halving, seed bisection —
+    each candidate depends on the previous verdict) always use [fails]
+    directly, so shrinking stays serial per failure and the outcome is
+    identical whichever evaluator is plugged in. *)
 
 val reproducer : outcome -> string
 (** A ready-to-paste OCaml test case asserting the violation

@@ -67,6 +67,13 @@ type summary = {
 
 val case_of : config -> Harness.Run.system -> string -> seed:int -> schedule:Schedule.t -> Case.t
 
+val pool_batch : Orchestrate.Pool.t -> config -> Shrink.batch
+(** The parallel sweep's shrink-step evaluator: fans a step's candidate
+    list across the pool, resolves first-failure-wins by candidate
+    index and charges oracle runs by the serial rule — see
+    {!Shrink.batch}.  Exposed so the differential tests can drive it
+    directly. *)
+
 val schedule_for :
   config -> seed:int -> index:int -> Schedule.t
 (** The [index]-th generated schedule for [seed] (deterministic;
@@ -79,10 +86,22 @@ val run :
     Obs.Profile.t ->
     (Harness.Stats.result, Audit.violation) result ->
     unit) ->
+  ?jobs:int ->
   config ->
   summary
 (** Run the sweep.  Every run carries a critical-path profiler;
     [progress] is called once per audited run (before any shrinking), in
-    deterministic order, with the run's profile. *)
+    deterministic order, with the run's profile.
+
+    [jobs] (default 1) sets the orchestrator parallelism.  With
+    [jobs <= 1] the original serial loop runs on the calling domain —
+    the ground truth.  With [jobs > 1] the independent runs fan across
+    an {!Orchestrate.Pool} of worker domains and the merged summary,
+    [progress] call sequence and shrunk reproducers are byte-identical
+    to the serial sweep's: results merge in submission order, shrinking
+    stays serial per failure (candidates within one event-dropping step
+    evaluate in parallel with first-failure-wins resolved by candidate
+    index), and failure artifacts are re-derived on the calling
+    domain. *)
 
 val pp_summary : Format.formatter -> summary -> unit

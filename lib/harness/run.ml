@@ -207,7 +207,7 @@ module Driver (C : Cc_types.Kv_api.S) = struct
      interval from first begin to commit exactly, so the recorded cells
      always sum to the recorded latency. *)
   let closed_loop ~engine ~rng ~client ~pick ~stats ~warm_start ~warm_end
-      ?(prof = Obs.Profile.null) ?comps ~backoff_base_us () =
+      ?(prof = Obs.Profile.null ()) ?comps ~backoff_base_us () =
     let profiling = Obs.Profile.enabled prof && comps <> None in
     let acc = Array.make Obs.Profile.n_cells 0 in
     let add_attempt () =
@@ -400,9 +400,9 @@ let morty_recovery acc replicas =
     rc_catchup_wait_us = !cw;
   }
 
-let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null)
-    ?(flight = Obs.Flight.null) e ~reexecution =
+let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(flight = Obs.Flight.null ()) e ~reexecution =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -557,9 +557,9 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null)
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
-let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null)
-    ?(flight = Obs.Flight.null) e =
+let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(flight = Obs.Flight.null ()) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -781,9 +781,9 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null)
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
-let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null)
-    ?(flight = Obs.Flight.null) e =
+let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(flight = Obs.Flight.null ()) e =
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -1019,8 +1019,8 @@ let run_morty_with_config ?obs ?prof ?mon ?flight e cfg =
   run_morty ~cfg ?obs ?prof ?mon ?flight e
     ~reexecution:cfg.Morty.Config.reexecution
 
-let find_peak mk ~client_counts =
-  let results = List.map (fun n -> run_exp (mk n)) client_counts in
+let find_peak ?(runner = List.map (fun f -> f ())) mk ~client_counts =
+  let results = runner (List.map (fun n () -> run_exp (mk n)) client_counts) in
   match results with
   | [] -> invalid_arg "find_peak: no client counts"
   | first :: rest ->
@@ -1115,8 +1115,8 @@ let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
       next ())
     (List.init e.e_clients (fun i -> i));
   let ops =
-    morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof:Obs.Profile.null
-      ~mon:Obs.Monitor.null ~replicas ~peers ~acc:(fresh_acc ())
+    morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof:(Obs.Profile.null ())
+      ~mon:(Obs.Monitor.null ()) ~replicas ~peers ~acc:(fresh_acc ())
   in
   let victim =
     match victim with Some v -> v | None -> Array.length replicas - 1

@@ -134,10 +134,17 @@ val run_morty_with_config :
     ablation benches use this to toggle eager visibility, the fast path,
     and the re-execution cap. *)
 
-val find_peak : (int -> exp) -> client_counts:int list -> Stats.result
+val find_peak :
+  ?runner:((unit -> Stats.result) list -> Stats.result list) ->
+  (int -> exp) ->
+  client_counts:int list ->
+  Stats.result
 (** Run the experiment at each offered load and return the result with
     the highest goodput — the "maximum goodput" the paper reports in
-    Figures 8 and 9. *)
+    Figures 8 and 9.  [runner] (default: run each thunk in order on the
+    calling domain) evaluates the per-load runs; the parallel bench
+    passes a pool-backed runner that preserves list order, so the
+    strict-greater/first-wins fold picks the same peak either way. *)
 
 val run_failover :
   ?victim:int ->

@@ -607,8 +607,8 @@ let handle t ~src msg =
 
 (* --- Public API --------------------------------------------------------- *)
 
-let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null)
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) ?on_finish () =
+let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null ())
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     match

@@ -1171,7 +1171,7 @@ let schedule_truncation t =
    keep a stable address; [set_handler] atomically replaces the old
    incarnation's handler. *)
 let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
   let t =
     {
       cfg; engine; net; rng; index; node;

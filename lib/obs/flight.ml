@@ -29,7 +29,11 @@ type t = {
 
 let default_capacity = 4096
 
-let null = { enabled = false; cap = 0; buf = [||]; total = 0 }
+(* Per-domain disabled instance — see the note on [Sink.null]. *)
+let null_key =
+  Domain.DLS.new_key (fun () -> { enabled = false; cap = 0; buf = [||]; total = 0 })
+
+let null () = Domain.DLS.get null_key
 
 let create ?(capacity = default_capacity) () =
   let cap = max 1 capacity in

@@ -22,7 +22,10 @@ type entry =
 
 type t
 
-val null : t
+val null : unit -> t
+(** The calling domain's disabled recorder (per-domain via
+    [Domain.DLS]; see {!Sink.null}): recording is a no-op. *)
+
 val create : ?capacity:int -> unit -> t
 
 val enabled : t -> bool

@@ -97,7 +97,9 @@ let make ~enabled ~max_records =
     view_sources = [];
   }
 
-let null = make ~enabled:false ~max_records:0
+(* Per-domain disabled instance — see the note on [Sink.null]. *)
+let null_key = Domain.DLS.new_key (fun () -> make ~enabled:false ~max_records:0)
+let null () = Domain.DLS.get null_key
 let create ?(max_records = 1 lsl 20) () = make ~enabled:true ~max_records
 let enabled t = t.enabled
 

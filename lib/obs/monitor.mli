@@ -79,8 +79,11 @@ type state_view = {
 
 type t
 
-val null : t
-(** The disabled monitor: every hook is a no-op. *)
+val null : unit -> t
+(** The calling domain's disabled monitor: every hook is a no-op.
+    Per-domain via [Domain.DLS] (see {!Sink.null}) — the disabled
+    instance still owns hash tables, which must not be shared across
+    the orchestrator's worker domains. *)
 
 val create : ?max_records:int -> unit -> t
 (** [max_records] bounds the ["records-bounded"] invariant

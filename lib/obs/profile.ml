@@ -113,7 +113,9 @@ let make ~enabled ~label =
     keys = Hashtbl.create 64;
   }
 
-let null = make ~enabled:false ~label:"null"
+(* Per-domain disabled instance — see the note on [Sink.null]. *)
+let null_key = Domain.DLS.new_key (fun () -> make ~enabled:false ~label:"null")
+let null () = Domain.DLS.get null_key
 let create ?(label = "profile") () = make ~enabled:true ~label
 let enabled t = t.enabled
 let label t = t.label

@@ -15,8 +15,11 @@
 
 type t
 
-val null : t
-(** Disabled profiler: every hook is a no-op. *)
+val null : unit -> t
+(** The calling domain's disabled profiler: every hook is a no-op.
+    Per-domain via [Domain.DLS] (see {!Sink.null}) — the disabled
+    instance still owns hash tables and accumulator arrays, which must
+    not be shared across the orchestrator's worker domains. *)
 
 val create : ?label:string -> unit -> t
 

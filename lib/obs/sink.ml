@@ -40,9 +40,16 @@ type t = {
   mutable observer : (event -> unit) option;
 }
 
-let null =
-  { enabled = false; seed = 0; events = []; n_events = 0; samples = [];
-    observer = None }
+(* One disabled sink per domain: a top-level singleton would be mutable
+   state shared across the orchestrator's worker domains, safe only as
+   long as every write site remembers its [enabled] guard.  DLS makes
+   the safety structural. *)
+let null_key =
+  Domain.DLS.new_key (fun () ->
+      { enabled = false; seed = 0; events = []; n_events = 0; samples = [];
+        observer = None })
+
+let null () = Domain.DLS.get null_key
 
 let create ~seed =
   { enabled = true; seed; events = []; n_events = 0; samples = [];

@@ -34,8 +34,12 @@ type sample = {
 
 type t
 
-val null : t
-(** The disabled sink: all emitters are no-ops. *)
+val null : unit -> t
+(** The disabled sink for the calling domain: all emitters are no-ops.
+    One instance per domain ([Domain.DLS]), never shared across
+    domains — a disabled observer still carries mutable fields, and the
+    parallel sweep orchestrator must not let any mutable top-level
+    value cross domains. *)
 
 val create : seed:int -> t
 

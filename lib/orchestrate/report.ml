@@ -1,0 +1,32 @@
+type t = { o_jobs : int; o_runs : int; o_events : int; o_wall_s : float }
+
+let per_s n wall = if wall <= 0. then 0. else float_of_int n /. wall
+
+let runs_per_s t = per_s t.o_runs t.o_wall_s
+
+let events_per_s t = per_s t.o_events t.o_wall_s
+
+let to_string t =
+  Printf.sprintf
+    "orchestrator: jobs=%d runs=%d events=%d wall_s=%.2f runs_per_s=%.1f \
+     events_per_s=%.3g"
+    t.o_jobs t.o_runs t.o_events t.o_wall_s (runs_per_s t) (events_per_s t)
+
+let scaling_line pts =
+  let pts = List.sort compare pts in
+  let points =
+    String.concat " "
+      (List.map (fun (j, rps) -> Printf.sprintf "jobs=%d:%.1fr/s" j rps) pts)
+  in
+  let speedup =
+    match (List.assoc_opt 1 pts, List.rev pts) with
+    | Some base, (jmax, rmax) :: _ when base > 0. && jmax > 1 ->
+      Printf.sprintf " speedup=%.2fx" (rmax /. base)
+    | _ -> ""
+  in
+  let usl =
+    match Usl.fit pts with
+    | Some f -> " " ^ Usl.to_string f
+    | None -> " usl=unfit"
+  in
+  "scaling: " ^ points ^ speedup ^ usl

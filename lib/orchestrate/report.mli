@@ -1,0 +1,32 @@
+(** Orchestrator throughput reporting.
+
+    Wall-clock numbers are inherently nondeterministic, so everything
+    this module prints is meant for {e stderr}: the byte-identical diff
+    surface (stdout CSV rows, audit verdicts, reproducers, summaries)
+    never contains a timing field.  See EXPERIMENTS.md "Parallel
+    sweeps". *)
+
+type t = {
+  o_jobs : int;  (** configured [--jobs] *)
+  o_runs : int;  (** simulation runs completed (shrink re-runs included) *)
+  o_events : int;  (** simulator events dispatched, summed across domains *)
+  o_wall_s : float;  (** wall-clock seconds for the whole sweep *)
+}
+
+val runs_per_s : t -> float
+
+val events_per_s : t -> float
+
+val to_string : t -> string
+(** ["orchestrator: jobs=4 runs=40 events=123456 wall_s=1.23
+    runs_per_s=32.5 events_per_s=1.0e+05"]. *)
+
+val scaling_line : (int * float) list -> string
+(** [scaling_line [(jobs, runs_per_s); ...]] renders the self-sweep
+    measurements, the speedup of the widest point over [jobs=1], and
+    the fitted USL parameters, e.g.
+
+    ["scaling: jobs=1:10.1r/s jobs=2:19.8r/s jobs=4:36.0r/s
+    speedup=3.56x alpha=0.021 beta=0.0007 lambda=10.1 peak_jobs=37"].
+
+    Points that could not be fitted render as ["usl=unfit"]. *)

@@ -1,0 +1,101 @@
+type fit = { u_lambda : float; u_alpha : float; u_beta : float }
+
+(* Solve the k x k system [a] x = [b] by Gaussian elimination with
+   partial pivoting.  Returns None when the pivot degenerates. *)
+let solve a b =
+  let k = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  let ok = ref true in
+  for col = 0 to k - 1 do
+    let piv = ref col in
+    for r = col + 1 to k - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if Float.abs a.(!piv).(col) < 1e-12 then ok := false
+    else begin
+      if !piv <> col then begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!piv);
+        a.(!piv) <- tmp;
+        let tb = b.(col) in
+        b.(col) <- b.(!piv);
+        b.(!piv) <- tb
+      end;
+      for r = col + 1 to k - 1 do
+        let f = a.(r).(col) /. a.(col).(col) in
+        for c = col to k - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      done
+    end
+  done;
+  if not !ok then None
+  else begin
+    let x = Array.make k 0. in
+    for r = k - 1 downto 0 do
+      let s = ref b.(r) in
+      for c = r + 1 to k - 1 do
+        s := !s -. (a.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. a.(r).(r)
+    done;
+    Some x
+  end
+
+let fit pts =
+  let pts =
+    List.sort_uniq compare
+      (List.filter (fun (n, x) -> n >= 1 && x > 0.) pts)
+  in
+  let distinct = List.sort_uniq compare (List.map fst pts) in
+  if List.length distinct < 2 then None
+  else begin
+    (* basis over n: phi0 = 1, phi1 = n-1, phi2 = n(n-1); drop the
+       coherency column when only two distinct job counts exist *)
+    let k = if List.length distinct >= 3 then 3 else 2 in
+    let phi n =
+      let n = float_of_int n in
+      [| 1.; n -. 1.; n *. (n -. 1.) |]
+    in
+    let a = Array.make_matrix k k 0. and b = Array.make k 0. in
+    List.iter
+      (fun (n, x) ->
+        let p = phi n in
+        let y = float_of_int n /. x in
+        for r = 0 to k - 1 do
+          for c = 0 to k - 1 do
+            a.(r).(c) <- a.(r).(c) +. (p.(r) *. p.(c))
+          done;
+          b.(r) <- b.(r) +. (p.(r) *. y)
+        done)
+      pts;
+    match solve a b with
+    | None -> None
+    | Some c ->
+      let c0 = c.(0) in
+      if c0 <= 0. then None
+      else
+        Some
+          {
+            u_lambda = 1. /. c0;
+            u_alpha = Float.max 0. (c.(1) /. c0);
+            u_beta = (if k >= 3 then Float.max 0. (c.(2) /. c0) else 0.);
+          }
+  end
+
+let predict f n =
+  let nf = float_of_int n in
+  f.u_lambda *. nf
+  /. (1. +. (f.u_alpha *. (nf -. 1.)) +. (f.u_beta *. nf *. (nf -. 1.)))
+
+let peak_jobs f =
+  if f.u_beta <= 0. then None
+  else
+    let n = sqrt ((1. -. f.u_alpha) /. f.u_beta) in
+    Some (max 1 (int_of_float (Float.round n)))
+
+let to_string f =
+  Printf.sprintf "alpha=%.4g beta=%.4g lambda=%.4g peak_jobs=%s" f.u_alpha
+    f.u_beta f.u_lambda
+    (match peak_jobs f with None -> "inf" | Some n -> string_of_int n)

@@ -1,0 +1,42 @@
+(** Universal Scalability Law fit for the orchestrator's self-sweep.
+
+    Gunther's USL models throughput at concurrency [n] as
+
+    {v X(n) = lambda * n / (1 + alpha*(n-1) + beta*n*(n-1)) v}
+
+    where [alpha] is the contention (serial-fraction) penalty and
+    [beta] the coherency (pairwise-exchange) penalty.  Fitting both
+    from a [jobs in {1, 2, 4, ...}] sweep of the sweep orchestrator
+    itself tells later PRs when merge-lock contention ([alpha]) or
+    cross-domain coherency traffic ([beta]) starts to bite, and
+    predicts the job count past which adding domains loses throughput.
+
+    The fit linearises to least squares on [n/X(n) = c0 + c1*(n-1) +
+    c2*n*(n-1)]: an exact 3x3 normal-equation solve, no iteration, so
+    the fit itself is deterministic in its inputs.  (The inputs are
+    wall-clock throughputs, which are not — scaling reports therefore
+    go to stderr, outside the byte-identical diff surface.) *)
+
+type fit = {
+  u_lambda : float;  (** ideal single-job throughput *)
+  u_alpha : float;  (** contention coefficient, clamped to [0, +inf) *)
+  u_beta : float;  (** coherency coefficient, clamped to [0, +inf) *)
+}
+
+val fit : (int * float) list -> fit option
+(** [fit [(jobs, throughput); ...]] — needs at least two points with
+    distinct positive job counts and positive throughput; with exactly
+    two, [beta] is pinned to 0.  [None] when the system is singular or
+    under-determined. *)
+
+val predict : fit -> int -> float
+(** Modelled throughput at a job count. *)
+
+val peak_jobs : fit -> int option
+(** The concurrency that maximises modelled throughput:
+    [sqrt ((1 - alpha) / beta)] rounded — [None] when [beta = 0]
+    (no coherency term: the model never peaks). *)
+
+val to_string : fit -> string
+(** ["alpha=... beta=... lambda=... peak_jobs=..."] with [%.4g]
+    fields. *)

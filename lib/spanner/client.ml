@@ -338,7 +338,7 @@ let handle t ~src:_ msg =
 (* --- Public API ------------------------------------------------------------ *)
 
 let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
-    ?(obs = Obs.Sink.null) ?(prof = Obs.Profile.null) ?on_finish () =
+    ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
   let t =
     {

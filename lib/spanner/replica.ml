@@ -449,7 +449,7 @@ let busy_owner = function
   | Msg.Apply _ -> None
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
   let t =
     {
       cfg; engine; net;

@@ -324,7 +324,7 @@ let handle t ~src msg =
   | Msg.Read _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Commit _ | Msg.Abort _ -> ()
 
 let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
-    ?(obs = Obs.Sink.null) ?(prof = Obs.Profile.null) ?on_finish () =
+    ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest =
     Array.map

@@ -271,7 +271,7 @@ let busy_owner = function
     Some (txn.Version.ts, txn.Version.id)
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
-    ?(prof = Obs.Profile.null) ?(mon = Obs.Monitor.null) () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
   let t =
     {
       cfg; engine; net; group; index; node;

@@ -182,7 +182,7 @@ let test_violation_cap () =
   Alcotest.(check int) "all transitions observed" 300 (M.n_observed mon)
 
 let test_null_monitor () =
-  let mon = M.null in
+  let mon = M.null () in
   Alcotest.(check bool) "disabled" false (M.enabled mon);
   M.observe mon ~ts (M.Watermark { replica = "r0"; wm = (10, 1) });
   M.observe mon ~ts (M.Watermark { replica = "r0"; wm = (1, 0) });
@@ -212,7 +212,7 @@ let test_flight_ring () =
     texts;
   (try Test_obs.validate_json (Obs.Flight.to_json fl)
    with Test_obs.Bad_json m -> Alcotest.failf "flight JSON invalid: %s" m);
-  let null = Obs.Flight.null in
+  let null = Obs.Flight.null () in
   Obs.Flight.note null ~ts:1 "dropped";
   Alcotest.(check int) "null records nothing" 0 (Obs.Flight.total null)
 

@@ -1,0 +1,543 @@
+(* The orchestrator's determinism contract, proven differentially:
+   merge-order invariance under adversarial completion orders, exactly-
+   once execution across random pool sizes, first-failure-wins index
+   tie-breaking in parallel shrink, per-domain observer isolation, and
+   byte-identical sweep output at --jobs 1 vs --jobs 4 for all four
+   systems — clean runs and failing runs (shrink, trace, profile and
+   post-mortem emissions included). *)
+
+module Merge = Orchestrate.Merge
+module Pool = Orchestrate.Pool
+module Usl = Orchestrate.Usl
+module Report = Orchestrate.Report
+
+(* ------------------------------------------------------------------ *)
+(* Merge: the indexed reorder buffer.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_in_order () =
+  let m = Merge.create 3 in
+  Merge.offer m 0 "a";
+  Alcotest.(check (list (pair int string))) "prefix a" [ (0, "a") ]
+    (Merge.take_ready m);
+  Merge.offer m 1 "b";
+  Merge.offer m 2 "c";
+  Alcotest.(check (list (pair int string))) "prefix bc" [ (1, "b"); (2, "c") ]
+    (Merge.take_ready m);
+  Alcotest.(check bool) "complete" true (Merge.complete m);
+  Alcotest.(check (list (pair int string))) "drained" [] (Merge.take_ready m)
+
+let test_merge_reverse () =
+  let n = 8 in
+  let m = Merge.create n in
+  (* Adversarial completion order: the last-submitted job finishes
+     first.  Nothing is releasable until index 0 lands, then the whole
+     prefix releases at once, in index order. *)
+  for i = n - 1 downto 1 do
+    Merge.offer m i (i * 10);
+    Alcotest.(check int) "nothing ready" 0 (Merge.ready m)
+  done;
+  Merge.offer m 0 0;
+  Alcotest.(check (list (pair int int)))
+    "whole prefix, index order"
+    (List.init n (fun i -> (i, i * 10)))
+    (Merge.take_ready m)
+
+let test_merge_exactly_once () =
+  let m = Merge.create 2 in
+  Merge.offer m 0 'x';
+  Alcotest.check_raises "duplicate offer"
+    (Invalid_argument "Merge.offer: index 0 filed twice") (fun () ->
+      Merge.offer m 0 'y');
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Merge.offer: index 2 out of range [0,2)") (fun () ->
+      Merge.offer m 2 'z')
+
+(* ------------------------------------------------------------------ *)
+(* Pool: ordering, streaming, shutdown-on-exception.                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_inline () =
+  let p = Pool.create ~jobs:1 in
+  let seen = ref [] in
+  let ys =
+    Pool.map p ~on_ready:(fun i y -> seen := (i, y) :: !seen)
+      (fun x -> x * x)
+      [ 1; 2; 3; 4 ]
+  in
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "results" [ 1; 4; 9; 16 ] ys;
+  Alcotest.(check (list (pair int int)))
+    "on_ready in index order"
+    [ (0, 1); (1, 4); (2, 9); (3, 16) ]
+    (List.rev !seen)
+
+(* Jobs stalled so that later submissions finish first: the earliest
+   submission sleeps longest.  Merged output must not care. *)
+let test_pool_adversarial_order () =
+  let p = Pool.create ~jobs:4 in
+  let n = 8 in
+  let seen = ref [] in
+  let ys =
+    Pool.map p ~on_ready:(fun i _ -> seen := i :: !seen)
+      (fun i ->
+        Unix.sleepf (float_of_int (n - i) *. 0.004);
+        i * 100)
+      (List.init n (fun i -> i))
+  in
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "results in submission order"
+    (List.init n (fun i -> i * 100))
+    ys;
+  Alcotest.(check (list int)) "on_ready strictly in index order"
+    (List.init n (fun i -> i))
+    (List.rev !seen)
+
+let test_pool_worker_exception () =
+  let p = Pool.create ~jobs:3 in
+  let ran = Array.make 6 false in
+  (try
+     ignore
+       (Pool.map p
+          (fun i ->
+            ran.(i) <- true;
+            if i = 2 then failwith "boom2";
+            if i = 4 then failwith "boom4";
+            i)
+          [ 0; 1; 2; 3; 4; 5 ]);
+     Alcotest.fail "expected map to raise"
+   with Failure msg ->
+     (* Deterministic: the lowest-indexed failure wins, whatever order
+        the workers actually hit them in. *)
+     Alcotest.(check string) "lowest-indexed failure" "boom2" msg);
+  Array.iteri
+    (fun i r -> Alcotest.(check bool) (Printf.sprintf "job %d ran" i) true r)
+    ran;
+  (* The pool survives a failed map: workers drained the poisoned batch
+     and keep serving. *)
+  let ys = Pool.map p (fun x -> x + 1) [ 10; 20 ] in
+  Alcotest.(check (list int)) "pool survives" [ 11; 21 ] ys;
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: merge-order invariance and exactly-once execution.          *)
+(* ------------------------------------------------------------------ *)
+
+(* A permutation of [0..n-1] derived from a list of random sort keys:
+   stable sort by (key, index) — every key list yields a permutation,
+   and QCheck shrinks it naturally. *)
+let perm_of_keys keys =
+  let keyed = List.mapi (fun i k -> (k, i)) keys in
+  List.map snd (List.sort compare keyed)
+
+let qcheck_merge_any_completion_order =
+  QCheck.Test.make ~count:200
+    ~name:"merge releases the same sequence under any completion order"
+    QCheck.(list_of_size Gen.(int_range 1 24) (int_bound 1000))
+    (fun keys ->
+      QCheck.assume (keys <> []);
+      let perm = perm_of_keys keys in
+      let n = List.length perm in
+      let m = Merge.create n in
+      let released = ref [] in
+      List.iter
+        (fun i ->
+          Merge.offer m i (i * 7);
+          List.iter (fun r -> released := r :: !released) (Merge.take_ready m))
+        perm;
+      Merge.complete m
+      && List.rev !released = List.init n (fun i -> (i, i * 7)))
+
+let qcheck_pool_exactly_once =
+  QCheck.Test.make ~count:30
+    ~name:"every job executes exactly once across random pool sizes"
+    QCheck.(pair (int_range 1 5) (int_range 0 30))
+    (fun (jobs, n) ->
+      let counters = Array.init n (fun _ -> Atomic.make 0) in
+      let p = Pool.create ~jobs in
+      let ys =
+        Pool.map p
+          (fun i ->
+            Atomic.incr counters.(i);
+            i)
+          (List.init n (fun i -> i))
+      in
+      Pool.shutdown p;
+      ys = List.init n (fun i -> i)
+      && Array.for_all (fun c -> Atomic.get c = 1) counters)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel shrink: first-failure-wins by index, serial-equivalent     *)
+(* charging, and end-to-end minimize equivalence.                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk_case ?(seed = 5) ?(clients = 4) schedule =
+  {
+    Explore.Case.c_system = Harness.Run.Morty;
+    c_workload = "ycsb-small";
+    c_seed = seed;
+    c_clients = clients;
+    c_cores = 2;
+    c_warmup_us = 20_000;
+    c_measure_us = 100_000;
+    c_schedule = schedule;
+  }
+
+let timed at_us : Explore.Schedule.timed =
+  { Explore.Schedule.at_us; ev = Explore.Schedule.Heal_all }
+
+(* Synthetic oracle: fails while the schedule still contains the
+   culprit event (at_us = 7000).  Sleep is keyed on the case seed so a
+   test can force late candidates to complete first. *)
+let culprit_fails ?(sleep_ms_of_seed = fun _ -> 0.) (c : Explore.Case.t) =
+  Unix.sleepf (sleep_ms_of_seed c.Explore.Case.c_seed /. 1000.);
+  if
+    List.exists
+      (fun (t : Explore.Schedule.timed) -> t.Explore.Schedule.at_us = 7_000)
+      (Explore.Schedule.events c.Explore.Case.c_schedule)
+  then Some Explore.Audit.No_progress
+  else None
+
+let pool_batch_of pool fails ~budget cands =
+  let take = min (List.length cands) budget in
+  let submitted = List.filteri (fun i _ -> i < take) cands in
+  let verdicts = Pool.map pool fails submitted in
+  let rec first i = function
+    | [] -> None
+    | Some v :: _ -> Some (i, v)
+    | None :: rest -> first (i + 1) rest
+  in
+  match first 0 verdicts with
+  | Some (i, v) -> (Some (i, v), i + 1)
+  | None -> (None, take)
+
+let test_parallel_shrink_tie_break () =
+  let p = Pool.create ~jobs:4 in
+  (* Candidates 2 and 4 both fail; candidate 4 is made to finish well
+     before candidate 2 (shorter sleep).  The winner must still be
+     index 2, charged 3 runs — first-failure-wins is by index, never by
+     completion order. *)
+  let cands =
+    [
+      mk_case ~seed:1 Explore.Schedule.empty;
+      mk_case ~seed:2 Explore.Schedule.empty;
+      mk_case ~seed:3 (Explore.Schedule.of_list [ timed 7_000 ]);
+      mk_case ~seed:4 Explore.Schedule.empty;
+      mk_case ~seed:5 (Explore.Schedule.of_list [ timed 7_000 ]);
+    ]
+  in
+  let sleep_ms_of_seed = function 3 -> 30. | _ -> 2. in
+  let fails = culprit_fails ~sleep_ms_of_seed in
+  let hit, used = pool_batch_of p fails ~budget:80 cands in
+  Pool.shutdown p;
+  (match hit with
+  | Some (2, Explore.Audit.No_progress) -> ()
+  | Some (i, _) -> Alcotest.failf "wrong winner: index %d (want 2)" i
+  | None -> Alcotest.fail "no failure found");
+  Alcotest.(check int) "serial-equivalent charge" 3 used
+
+let test_parallel_shrink_budget () =
+  let p = Pool.create ~jobs:4 in
+  let fails = culprit_fails in
+  let passing = List.init 6 (fun i -> mk_case ~seed:i Explore.Schedule.empty) in
+  (* No failure within budget: charge min(len, budget), never more. *)
+  let hit, used = pool_batch_of p fails ~budget:4 passing in
+  Alcotest.(check bool) "no hit" true (hit = None);
+  Alcotest.(check int) "budget-capped charge" 4 used;
+  (* A failure past the budget cut-off is never even submitted. *)
+  let cands = passing @ [ mk_case (Explore.Schedule.of_list [ timed 7_000 ]) ] in
+  let hit, used = pool_batch_of p fails ~budget:6 cands in
+  Pool.shutdown p;
+  Alcotest.(check bool) "failure past budget invisible" true (hit = None);
+  Alcotest.(check int) "charge" 6 used
+
+let outcome_eq (a : Explore.Shrink.outcome) (b : Explore.Shrink.outcome) =
+  a.Explore.Shrink.s_case = b.Explore.Shrink.s_case
+  && a.Explore.Shrink.s_violation = b.Explore.Shrink.s_violation
+  && a.Explore.Shrink.s_runs = b.Explore.Shrink.s_runs
+
+let test_minimize_batch_equivalence () =
+  (* ddmin over a 6-event schedule with one culprit event: the serial
+     scan and the pool-fanned scan must land on the same minimized
+     case, same violation, same run count. *)
+  let schedule =
+    Explore.Schedule.of_list
+      (List.map timed [ 1_000; 3_000; 7_000; 9_000; 11_000; 13_000 ])
+  in
+  let case = mk_case schedule in
+  let fails = culprit_fails in
+  let serial =
+    Explore.Shrink.minimize ~max_runs:80 ~fails case Explore.Audit.No_progress
+  in
+  let p = Pool.create ~jobs:4 in
+  let parallel =
+    Explore.Shrink.minimize ~max_runs:80 ~batch:(pool_batch_of p fails) ~fails
+      case Explore.Audit.No_progress
+  in
+  Pool.shutdown p;
+  Alcotest.(check bool) "identical outcomes" true (outcome_eq serial parallel);
+  Alcotest.(check int) "culprit isolated" 1
+    (List.length
+       (Explore.Schedule.events serial.Explore.Shrink.s_case.Explore.Case.c_schedule))
+
+let test_sweep_pool_batch () =
+  (* The sweep's own evaluator, driven end-to-end through real
+     [Case.run] oracles: a clients=0 case fails (No_progress) exactly
+     when its schedule is empty, so candidate 1 is the first failure. *)
+  let cfg =
+    { Explore.Sweep.smoke_config with clients = 0; measure_us = 100_000 }
+  in
+  let p = Pool.create ~jobs:2 in
+  let pass = mk_case ~clients:0 (Explore.Schedule.of_list [ timed 7_000 ]) in
+  let fail = mk_case ~clients:0 Explore.Schedule.empty in
+  let hit, used =
+    Explore.Sweep.pool_batch p cfg ~budget:80 [ pass; fail; fail ]
+  in
+  Pool.shutdown p;
+  (match hit with
+  | Some (1, Explore.Audit.No_progress) -> ()
+  | Some (i, v) ->
+    Alcotest.failf "wrong hit: index %d, %s" i
+      (Explore.Audit.violation_to_string v)
+  | None -> Alcotest.fail "no failure found");
+  Alcotest.(check int) "charge" 2 used
+
+(* ------------------------------------------------------------------ *)
+(* Domain safety: per-domain null observers, concurrent-run isolation. *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_observers_per_domain () =
+  let s = Obs.Sink.null () in
+  Alcotest.(check bool) "stable within a domain" true (s == Obs.Sink.null ());
+  let other = Domain.join (Domain.spawn (fun () -> Obs.Sink.null ())) in
+  Alcotest.(check bool) "distinct across domains" false (other == s);
+  let m = Obs.Monitor.null () in
+  let m' = Domain.join (Domain.spawn (fun () -> Obs.Monitor.null ())) in
+  Alcotest.(check bool) "monitor distinct across domains" false (m' == m);
+  let p = Obs.Profile.null () in
+  let p' = Domain.join (Domain.spawn (fun () -> Obs.Profile.null ())) in
+  Alcotest.(check bool) "profile distinct across domains" false (p' == p);
+  let f = Obs.Flight.null () in
+  let f' = Domain.join (Domain.spawn (fun () -> Obs.Flight.null ())) in
+  Alcotest.(check bool) "flight distinct across domains" false (f' == f)
+
+let run_row case =
+  match Explore.Case.run case with
+  | Ok r -> Harness.Stats.to_csv_row r
+  | Error v -> Explore.Audit.violation_to_string v
+
+let test_concurrent_runs_isolated () =
+  (* Two runs with different seeds, executed concurrently on separate
+     domains, must each produce exactly the stats their serial
+     executions produce: no cross-domain perturbation through any
+     shared global. *)
+  let a = mk_case ~seed:11 Explore.Schedule.empty in
+  let b = mk_case ~seed:22 Explore.Schedule.empty in
+  let serial_a = run_row a and serial_b = run_row b in
+  Alcotest.(check bool) "different seeds differ" false (serial_a = serial_b);
+  let p = Pool.create ~jobs:2 in
+  let rows = Pool.map p run_row [ a; b; a; b ] in
+  Pool.shutdown p;
+  Alcotest.(check (list string))
+    "concurrent rows identical to serial"
+    [ serial_a; serial_b; serial_a; serial_b ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Differential sweeps: --jobs 4 byte-identical to --jobs 1, all four  *)
+(* systems, clean and failing.                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the sweep emits per run, rendered to strings: progress
+   transcript (label + CSV row or violation + profile JSON), and per
+   failure the shrunk label, run count, reproducer, trace JSON, profile
+   JSON and post-mortem bundle.  Comparing these lists for equality is
+   comparing the full byte surface of the two sweeps. *)
+let transcript_of ~jobs cfg =
+  let lines = ref [] in
+  let progress case prof outcome =
+    let body =
+      match outcome with
+      | Ok r -> Harness.Stats.to_csv_row r
+      | Error v -> Explore.Audit.violation_to_string v
+    in
+    lines :=
+      Printf.sprintf "%s|%s|%s" (Explore.Case.label case) body
+        (Obs.Profile.to_json prof)
+      :: !lines
+  in
+  let summary = Explore.Sweep.run ~progress ~jobs cfg in
+  let failure_lines =
+    List.concat_map
+      (fun f ->
+        let sh = f.Explore.Sweep.f_shrunk in
+        [
+          Printf.sprintf "original=%s" (Explore.Case.label f.Explore.Sweep.f_original);
+          Printf.sprintf "shrunk=%s runs=%d violation=%s"
+            (Explore.Case.label sh.Explore.Shrink.s_case)
+            sh.Explore.Shrink.s_runs
+            (Explore.Audit.violation_to_string sh.Explore.Shrink.s_violation);
+          Explore.Shrink.reproducer sh;
+          f.Explore.Sweep.f_trace;
+          f.Explore.Sweep.f_profile;
+          String.concat ";"
+            (List.map
+               (fun (name, contents) -> name ^ "=" ^ contents)
+               f.Explore.Sweep.f_bundle);
+        ])
+      summary.Explore.Sweep.s_failures
+  in
+  let summary_line = Fmt.str "%a" Explore.Sweep.pp_summary summary in
+  (List.rev !lines @ failure_lines @ [ summary_line ], summary)
+
+let check_differential name cfg =
+  let t1, s1 = transcript_of ~jobs:1 cfg in
+  let t4, s4 = transcript_of ~jobs:4 cfg in
+  Alcotest.(check (list string)) (name ^ ": byte-identical transcript") t1 t4;
+  Alcotest.(check int)
+    (name ^ ": same run count")
+    s1.Explore.Sweep.s_runs s4.Explore.Sweep.s_runs;
+  s1
+
+let test_differential_clean () =
+  (* All four systems, fault schedules and monitors on: 16 audited
+     runs per leg. *)
+  let cfg = { Explore.Sweep.smoke_config with monitors = true } in
+  let s = check_differential "clean sweep" cfg in
+  Alcotest.(check int) "all passed" s.Explore.Sweep.s_runs
+    s.Explore.Sweep.s_passed
+
+let test_differential_failing () =
+  (* clients = 0 forces No_progress on every fault-free run (the
+     expect-progress leg), driving shrink, trace, profile and
+     post-mortem emission through both orchestrators. *)
+  let cfg =
+    {
+      Explore.Sweep.smoke_config with
+      clients = 0;
+      schedules_per_seed = 0;
+      measure_us = 100_000;
+    }
+  in
+  let s = check_differential "failing sweep" cfg in
+  Alcotest.(check int) "one failure per system x seed" 8
+    (List.length s.Explore.Sweep.s_failures)
+
+(* ------------------------------------------------------------------ *)
+(* USL fit and reporting.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_usl_linear () =
+  match Usl.fit [ (1, 100.); (2, 200.); (4, 400.) ] with
+  | None -> Alcotest.fail "linear fit failed"
+  | Some f ->
+    Alcotest.(check (float 1e-6)) "alpha" 0. f.Usl.u_alpha;
+    Alcotest.(check (float 1e-6)) "beta" 0. f.Usl.u_beta;
+    Alcotest.(check (float 1e-3)) "lambda" 100. f.Usl.u_lambda;
+    Alcotest.(check (float 1e-3)) "predict 8" 800. (Usl.predict f 8);
+    Alcotest.(check bool) "no peak" true (Usl.peak_jobs f = None)
+
+let test_usl_recovers_parameters () =
+  (* Synthesize points from a known USL and recover its parameters
+     exactly (the linearized system is exact on model-generated
+     data). *)
+  let lambda = 50. and alpha = 0.1 and beta = 0.01 in
+  let x n =
+    let nf = float_of_int n in
+    lambda *. nf /. (1. +. (alpha *. (nf -. 1.)) +. (beta *. nf *. (nf -. 1.)))
+  in
+  let points = List.map (fun n -> (n, x n)) [ 1; 2; 4; 8; 16 ] in
+  match Usl.fit points with
+  | None -> Alcotest.fail "fit failed"
+  | Some f ->
+    Alcotest.(check (float 1e-6)) "alpha" alpha f.Usl.u_alpha;
+    Alcotest.(check (float 1e-6)) "beta" beta f.Usl.u_beta;
+    Alcotest.(check (float 1e-4)) "lambda" lambda f.Usl.u_lambda;
+    (match Usl.peak_jobs f with
+    | Some p -> Alcotest.(check int) "peak ~ sqrt(0.9/0.01)" 9 p
+    | None -> Alcotest.fail "expected a peak")
+
+let test_usl_underdetermined () =
+  Alcotest.(check bool) "one point" true (Usl.fit [ (1, 10.) ] = None);
+  Alcotest.(check bool) "same job count twice" true
+    (Usl.fit [ (2, 10.); (2, 11.) ] = None);
+  Alcotest.(check bool) "empty" true (Usl.fit [] = None)
+
+let test_report_lines () =
+  let r =
+    { Report.o_jobs = 4; o_runs = 40; o_events = 123_456; o_wall_s = 2.0 }
+  in
+  Alcotest.(check (float 1e-9)) "runs_per_s" 20. (Report.runs_per_s r);
+  Alcotest.(check string) "orchestrator line"
+    "orchestrator: jobs=4 runs=40 events=123456 wall_s=2.00 runs_per_s=20.0 \
+     events_per_s=6.17e+04"
+    (Report.to_string r);
+  let line = Report.scaling_line [ (1, 100.); (2, 180.); (4, 250.) ] in
+  Alcotest.(check bool) "scaling prefix" true
+    (String.length line > 8 && String.sub line 0 8 = "scaling:");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "speedup rendered" true (contains "speedup=2.50x" line);
+  Alcotest.(check bool) "usl rendered" true (contains "alpha=" line)
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "orchestrate-merge",
+      [
+        Alcotest.test_case "in-order release" `Quick test_merge_in_order;
+        Alcotest.test_case "reverse completion order" `Quick test_merge_reverse;
+        Alcotest.test_case "exactly-once enforcement" `Quick
+          test_merge_exactly_once;
+        QCheck_alcotest.to_alcotest qcheck_merge_any_completion_order;
+      ] );
+    ( "orchestrate-pool",
+      [
+        Alcotest.test_case "inline serial map" `Quick test_pool_inline;
+        Alcotest.test_case "adversarial completion order" `Quick
+          test_pool_adversarial_order;
+        Alcotest.test_case "worker exception" `Quick test_pool_worker_exception;
+        Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        QCheck_alcotest.to_alcotest qcheck_pool_exactly_once;
+      ] );
+    ( "orchestrate-shrink",
+      [
+        Alcotest.test_case "first-failure-wins by index" `Quick
+          test_parallel_shrink_tie_break;
+        Alcotest.test_case "budget charging" `Quick test_parallel_shrink_budget;
+        Alcotest.test_case "minimize serial/parallel equivalence" `Quick
+          test_minimize_batch_equivalence;
+        Alcotest.test_case "sweep pool_batch end-to-end" `Quick
+          test_sweep_pool_batch;
+      ] );
+    ( "orchestrate-domains",
+      [
+        Alcotest.test_case "null observers are per-domain" `Quick
+          test_null_observers_per_domain;
+        Alcotest.test_case "concurrent runs isolated" `Quick
+          test_concurrent_runs_isolated;
+      ] );
+    ( "orchestrate-differential",
+      [
+        Alcotest.test_case "clean sweep jobs 1 = jobs 4" `Quick
+          test_differential_clean;
+        Alcotest.test_case "failing sweep jobs 1 = jobs 4" `Quick
+          test_differential_failing;
+      ] );
+    ( "orchestrate-usl",
+      [
+        Alcotest.test_case "linear scaling" `Quick test_usl_linear;
+        Alcotest.test_case "parameter recovery" `Quick
+          test_usl_recovers_parameters;
+        Alcotest.test_case "underdetermined" `Quick test_usl_underdetermined;
+        Alcotest.test_case "report lines" `Quick test_report_lines;
+      ] );
+  ]

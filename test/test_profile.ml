@@ -139,7 +139,7 @@ let test_hot_keys () =
   Alcotest.(check int) "top-3 is at most 3" 3 (max 3 (List.length hot))
 
 let test_null_profiler () =
-  let p = Obs.Profile.null in
+  let p = Obs.Profile.null () in
   Alcotest.(check bool) "null disabled" false (Obs.Profile.enabled p);
   (* hooks on the null profiler are no-ops, not crashes *)
   Obs.Profile.note_busy p ~kind:"x" ~ver:(Some (1, 1)) ~eid:0 ~cost_us:5;

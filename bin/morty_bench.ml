@@ -105,6 +105,32 @@ let victim =
            ~doc:"Replica slot for --kill-at-ms/--restart-at-ms (wraps mod the \
                  cluster size; default: the last replica).")
 
+let partition_at_ms =
+  Arg.(value & opt (some int) None
+       & info [ "partition-at-ms" ]
+           ~doc:"Cut one datacenter (latency region) off from the rest of the \
+                 cluster — replicas and clients alike — at this virtual time.")
+
+let heal_at_ms =
+  Arg.(value & opt (some int) None
+       & info [ "heal-at-ms" ]
+           ~doc:"Heal the --partition-at-ms cut at this virtual time, \
+                 restoring exactly the links it removed.")
+
+let partition_group =
+  Arg.(value & opt int 0
+       & info [ "partition-group" ]
+           ~doc:"Region index for --partition-at-ms (wraps mod the region \
+                 count).")
+
+let max_staleness_us =
+  Arg.(value & opt int 0
+       & info [ "max-staleness-us" ]
+           ~doc:"Follower-read staleness bound, virtual µs.  $(b,0) (default) \
+                 disables follower reads; positive values route read-only \
+                 transactions to watermark-fresh replicas and print an \
+                 availability row after the result.")
+
 let trace_out =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ]
@@ -147,7 +173,8 @@ let postmortem_out =
 
 let run system setup workload theta keys warehouses read_pct clients cores
     duration_ms warmup_ms seed sweep jobs kill_at_ms restart_at_ms victim
-    trace_out metrics_out profile_out monitors postmortem_out =
+    partition_at_ms heal_at_ms partition_group max_staleness_us trace_out
+    metrics_out profile_out monitors postmortem_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -169,26 +196,41 @@ let run system setup workload theta keys warehouses read_pct clients cores
       e_measure_us = duration_ms * 1000;
       e_warmup_us = warmup_ms * 1000;
       e_seed = seed;
+      e_max_staleness_us = max 0 max_staleness_us;
       e_label =
         Printf.sprintf "%s/%s c=%d cores=%d" (Harness.Run.system_name system)
           (Simnet.Latency.setup_name setup) clients cores;
     }
   in
   let faults =
-    match kill_at_ms with
-    | None -> None
-    | Some kill_ms ->
+    if kill_at_ms = None && partition_at_ms = None then None
+    else
       Some
         (fun (ops : Harness.Run.cluster_ops) ->
-          ignore
-            (Sim.Engine.schedule_at ops.co_engine ~at:(kill_ms * 1000)
-               (fun () -> ops.co_kill victim));
-          match restart_at_ms with
+          (match kill_at_ms with
           | None -> ()
-          | Some restart_ms ->
+          | Some kill_ms ->
             ignore
-              (Sim.Engine.schedule_at ops.co_engine ~at:(restart_ms * 1000)
-                 (fun () -> ops.co_restart victim)))
+              (Sim.Engine.schedule_at ops.co_engine ~at:(kill_ms * 1000)
+                 (fun () -> ops.co_kill victim));
+            (match restart_at_ms with
+            | None -> ()
+            | Some restart_ms ->
+              ignore
+                (Sim.Engine.schedule_at ops.co_engine ~at:(restart_ms * 1000)
+                   (fun () -> ops.co_restart victim))));
+          match partition_at_ms with
+          | None -> ()
+          | Some part_ms ->
+            ignore
+              (Sim.Engine.schedule_at ops.co_engine ~at:(part_ms * 1000)
+                 (fun () -> ops.co_partition partition_group));
+            (match heal_at_ms with
+            | None -> ()
+            | Some heal_ms ->
+              ignore
+                (Sim.Engine.schedule_at ops.co_engine ~at:(heal_ms * 1000)
+                   (fun () -> ops.co_heal partition_group))))
   in
   let write path s =
     let oc = open_out path in
@@ -230,6 +272,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
     Fmt.pr "%a@." Harness.Stats.pp_result r;
     if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
       Fmt.pr "%a@." Harness.Stats.pp_recovery r;
+    if max_staleness_us > 0 then Fmt.pr "%a@." Harness.Stats.pp_avail r;
     if monitors then begin
       Fmt.pr "monitors: %d violations over %d observed transitions@."
         (Obs.Monitor.n_violations mon)
@@ -313,7 +356,8 @@ let cmd =
     Term.(
       const run $ system $ setup $ workload $ theta $ keys $ warehouses
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
-      $ jobs $ kill_at_ms $ restart_at_ms $ victim $ trace_out $ metrics_out
-      $ profile_out $ monitors $ postmortem_out)
+      $ jobs $ kill_at_ms $ restart_at_ms $ victim $ partition_at_ms
+      $ heal_at_ms $ partition_group $ max_staleness_us $ trace_out
+      $ metrics_out $ profile_out $ monitors $ postmortem_out)
 
 let () = exit (Cmd.eval cmd)

@@ -98,6 +98,20 @@ let no_kill =
            ~doc:"Exclude amnesia-crash (kill/restart) episodes from generated \
                  schedules; keep only crash/partition/loss/delay faults.")
 
+let partitions =
+  Arg.(value & flag
+       & info [ "partitions" ]
+           ~doc:"Include datacenter partition+heal episodes in generated \
+                 schedules (named asymmetric cuts at region granularity).")
+
+let max_staleness_us =
+  Arg.(value & opt int 0
+       & info [ "max-staleness-us" ]
+           ~doc:"Follower-read staleness bound, virtual µs.  $(b,0) (default) \
+                 disables follower reads; positive values route read-only \
+                 transactions to watermark-fresh replicas with graceful \
+                 degradation under partitions.")
+
 let monitors =
   Arg.(value & flag
        & info [ "monitors" ]
@@ -151,8 +165,8 @@ let postmortem_out =
                  failure order, next to the printed reproducer." ~docv:"DIR")
 
 let run systems workload_names seeds seed_base schedules episodes clients cores
-    measure_ms smoke no_kill monitors quiet jobs scaling trace_out profile_out
-    postmortem_out =
+    measure_ms smoke no_kill partitions max_staleness_us monitors quiet jobs
+    scaling trace_out profile_out postmortem_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -166,6 +180,8 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
       cores;
       measure_us;
       kill_restart = not no_kill;
+      partitions;
+      max_staleness_us = max 0 max_staleness_us;
       monitors;
     }
   in
@@ -318,7 +334,8 @@ let cmd =
     (Cmd.info "morty_explore" ~doc)
     Term.(
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
-      $ clients $ cores $ measure_ms $ smoke $ no_kill $ monitors $ quiet
-      $ jobs $ scaling $ trace_out $ profile_out $ postmortem_out)
+      $ clients $ cores $ measure_ms $ smoke $ no_kill $ partitions
+      $ max_staleness_us $ monitors $ quiet $ jobs $ scaling $ trace_out
+      $ profile_out $ postmortem_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@ type t = {
   c_cores : int;
   c_warmup_us : int;
   c_measure_us : int;
+  c_max_staleness_us : int;
   c_schedule : Schedule.t;
 }
 
@@ -50,6 +51,7 @@ let default =
     c_cores = 2;
     c_warmup_us = 50_000;
     c_measure_us = 200_000;
+    c_max_staleness_us = 0;
     c_schedule = Schedule.empty;
   }
 
@@ -72,6 +74,7 @@ let exp_of c =
     e_measure_us = c.c_measure_us;
     e_seed = c.c_seed;
     e_label = label c;
+    e_max_staleness_us = c.c_max_staleness_us;
   }
 
 let run ?obs ?prof ?(mon = Obs.Monitor.null ()) ?flight c =
@@ -109,8 +112,9 @@ let to_ocaml c =
     \    c_cores = %d;\n\
     \    c_warmup_us = %d;\n\
     \    c_measure_us = %d;\n\
+    \    c_max_staleness_us = %d;\n\
     \    c_schedule = %s;\n\
     \  }"
     (system_ocaml c.c_system) c.c_workload c.c_seed c.c_clients c.c_cores
-    c.c_warmup_us c.c_measure_us
+    c.c_warmup_us c.c_measure_us c.c_max_staleness_us
     (Schedule.to_ocaml c.c_schedule)

@@ -13,6 +13,10 @@ type t = {
   c_cores : int;
   c_warmup_us : int;
   c_measure_us : int;
+  c_max_staleness_us : int;
+      (** follower-read staleness bound forwarded to
+          {!Harness.Run.exp.e_max_staleness_us}; [0] disables the
+          follower-read path *)
   c_schedule : Schedule.t;
 }
 

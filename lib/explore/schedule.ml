@@ -5,6 +5,8 @@ type event =
   | Restart of int
   | Isolate of int
   | Heal_all
+  | Partition of int
+  | Heal of int
   | Loss of float
   | Delay of int
 
@@ -27,7 +29,8 @@ let events t = t
    Restart fires. *)
 let kill_pad_us = 50_000
 
-let generate ~kill_restart ~rng ~horizon_us ~n_replicas ~episodes =
+let generate ~kill_restart ?(partitions = false) ~rng ~horizon_us ~n_replicas
+    ~episodes () =
   let n_replicas = max 1 n_replicas in
   let acc = ref [] in
   let push at_us ev = acc := { at_us; ev } :: !acc in
@@ -45,10 +48,16 @@ let generate ~kill_restart ~rng ~horizon_us ~n_replicas ~episodes =
     (* The first episode of a kill-enabled schedule is always an
        amnesia episode, so every generated schedule exercises the
        restart/catch-up path at least once. *)
+    (* Kind 5 is the datacenter-partition episode, only drawn when
+       [partitions] widens the range — the default range is unchanged so
+       pre-existing seeded schedules replay bit-identically. *)
     let kind =
-      if not kill_restart then Sim.Rng.int rng 4
+      if not kill_restart then begin
+        let k = Sim.Rng.int rng (if partitions then 5 else 4) in
+        if k = 4 then 5 else k
+      end
       else if ep = 1 then 4
-      else Sim.Rng.int rng 5
+      else Sim.Rng.int rng (if partitions then 6 else 5)
     in
     match kind with
     | 0 ->
@@ -67,6 +76,13 @@ let generate ~kill_restart ~rng ~horizon_us ~n_replicas ~episodes =
       let d = 200 + Sim.Rng.int rng 4_800 in
       push t0 (Delay d);
       push t1 (Delay 0)
+    | 5 ->
+      (* Region 0 holds replica 0 (Morty's truncation merger and the
+         Spanner leaders), so group 0 is the leader-isolating cut and
+         the others are minority read-site cuts. *)
+      let g = Sim.Rng.int rng 3 in
+      push t0 (Partition g);
+      push t1 (Heal g)
     | _ ->
       let r = Sim.Rng.int rng n_replicas in
       if kill_free t0 t1 then begin
@@ -90,6 +106,8 @@ let fire (ops : Harness.Run.cluster_ops) = function
   | Restart i -> ops.co_restart i
   | Isolate i -> ops.co_isolate i
   | Heal_all -> ops.co_heal_all ()
+  | Partition g -> ops.co_partition g
+  | Heal g -> ops.co_heal g
   | Loss p -> ops.co_set_loss p
   | Delay d -> ops.co_set_extra_delay d
 
@@ -106,6 +124,8 @@ let pp_event ppf = function
   | Restart i -> Fmt.pf ppf "restart %d" i
   | Isolate i -> Fmt.pf ppf "isolate %d" i
   | Heal_all -> Fmt.pf ppf "heal-all"
+  | Partition g -> Fmt.pf ppf "partition %d" g
+  | Heal g -> Fmt.pf ppf "heal %d" g
   | Loss p -> Fmt.pf ppf "loss %.3f" p
   | Delay d -> Fmt.pf ppf "delay %dus" d
 
@@ -124,6 +144,8 @@ let ocaml_of_event = function
   | Restart i -> Printf.sprintf "Explore.Schedule.Restart %d" i
   | Isolate i -> Printf.sprintf "Explore.Schedule.Isolate %d" i
   | Heal_all -> "Explore.Schedule.Heal_all"
+  | Partition g -> Printf.sprintf "Explore.Schedule.Partition %d" g
+  | Heal g -> Printf.sprintf "Explore.Schedule.Heal %d" g
   | Loss p -> Printf.sprintf "Explore.Schedule.Loss %h" p
   | Delay d -> Printf.sprintf "Explore.Schedule.Delay %d" d
 

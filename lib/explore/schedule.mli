@@ -23,6 +23,13 @@ type event =
   | Isolate of int
       (** cut both directions between a replica and every other node *)
   | Heal_all  (** remove all link cuts *)
+  | Partition of int
+      (** named datacenter cut: isolate every node of latency region
+          [g mod n_regions] (replicas {e and} clients) from the rest.
+          Region 0 holds replica 0, so group 0 is the leader-isolating
+          cut; other groups are minority read-site cuts. *)
+  | Heal of int
+      (** heal exactly the links the matching {!Partition} severed *)
   | Loss of float  (** global message-loss probability; [0.] clears *)
   | Delay of int  (** extra uniform delivery-delay cap in µs; [0] clears *)
 
@@ -42,10 +49,12 @@ val events : t -> timed list
 
 val generate :
   kill_restart:bool ->
+  ?partitions:bool ->
   rng:Sim.Rng.t ->
   horizon_us:int ->
   n_replicas:int ->
   episodes:int ->
+  unit ->
   t
 (** Draw [episodes] fault episodes inside [\[0, horizon_us)].  Every
     episode is bracketed — a crash gets a recover, an isolation a heal,
@@ -54,7 +63,11 @@ val generate :
     the schedule's job to destroy forever).  With [kill_restart], the
     first episode is always an amnesia (kill/restart) episode and later
     ones may be; amnesia windows are kept pairwise disjoint (with slack
-    for catch-up) so at most one replica is ever amnesiac at a time. *)
+    for catch-up) so at most one replica is ever amnesiac at a time.
+    With [partitions] (default false), episodes may also be bracketed
+    datacenter cuts ({!Partition}/{!Heal}); leaving it off keeps the
+    RNG draw sequence — and hence every pre-existing seeded schedule —
+    unchanged. *)
 
 val apply : t -> Harness.Run.cluster_ops -> unit
 (** Schedule every event at its absolute virtual time on the

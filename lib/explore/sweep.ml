@@ -10,6 +10,8 @@ type config = {
   measure_us : int;
   shrink_budget : int;
   kill_restart : bool;
+  partitions : bool;
+  max_staleness_us : int;
   monitors : bool;
 }
 
@@ -26,6 +28,8 @@ let default_config =
     measure_us = 200_000;
     shrink_budget = 80;
     kill_restart = true;
+    partitions = false;
+    max_staleness_us = 0;
     monitors = false;
   }
 
@@ -57,6 +61,7 @@ let case_of cfg system workload_name ~seed ~schedule =
     c_cores = cfg.cores;
     c_warmup_us = cfg.warmup_us;
     c_measure_us = cfg.measure_us;
+    c_max_staleness_us = cfg.max_staleness_us;
     c_schedule = schedule;
   }
 
@@ -68,9 +73,10 @@ let schedule_for cfg ~seed ~index =
   if index = 0 then Schedule.empty
   else
     let rng = Sim.Rng.create ((seed * 1_000_003) + index) in
-    Schedule.generate ~kill_restart:cfg.kill_restart ~rng
+    Schedule.generate ~kill_restart:cfg.kill_restart ~partitions:cfg.partitions
+      ~rng
       ~horizon_us:(cfg.warmup_us + cfg.measure_us)
-      ~n_replicas:4 ~episodes:cfg.episodes
+      ~n_replicas:4 ~episodes:cfg.episodes ()
 
 (* Every run of the sweep — worker-domain runs included — attaches a
    fresh monitor set (or the calling domain's disabled singleton), so

@@ -21,6 +21,12 @@ type config = {
   kill_restart : bool;
       (** include amnesia-crash (kill/restart) episodes in generated
           schedules; see {!Schedule.generate} *)
+  partitions : bool;
+      (** include datacenter partition+heal episodes in generated
+          schedules; see {!Schedule.generate} *)
+  max_staleness_us : int;
+      (** follower-read staleness bound for every case ([0] = follower
+          reads off; see {!Case.t.c_max_staleness_us}) *)
   monitors : bool;
       (** attach a fresh {!Obs.Monitor} to every run (including shrink
           re-runs): any monitor firing counts as a failure

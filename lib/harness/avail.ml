@@ -1,0 +1,65 @@
+type t = {
+  fresh_us : int;
+  mutable ro_committed : int;
+  mutable ro_aborted : int;
+  mutable rw_committed : int;
+  mutable rw_aborted : int;
+  stale : Obs.Hist.t;  (* staleness of committed RO snapshots, µs *)
+  mutable last_heal_us : int;  (* -1 before the first heal *)
+  mutable ttr_write_us : int;  (* 0 = not yet recovered *)
+  mutable ttr_wm_us : int;
+}
+
+let create ?(fresh_us = 50_000) () =
+  {
+    fresh_us;
+    ro_committed = 0;
+    ro_aborted = 0;
+    rw_committed = 0;
+    rw_aborted = 0;
+    stale = Obs.Hist.create ();
+    last_heal_us = -1;
+    ttr_write_us = 0;
+    ttr_wm_us = 0;
+  }
+
+let note_txn t ~now ~in_window ~ro ~committed ~staleness_us =
+  if in_window then begin
+    (match (ro, committed) with
+     | true, true -> t.ro_committed <- t.ro_committed + 1
+     | true, false -> t.ro_aborted <- t.ro_aborted + 1
+     | false, true -> t.rw_committed <- t.rw_committed + 1
+     | false, false -> t.rw_aborted <- t.rw_aborted + 1);
+    if ro && committed then Obs.Hist.record t.stale staleness_us
+  end;
+  (* Time-to-recover ignores the window: measured from the last heal to
+     the first qualifying commit, wherever either lands. *)
+  if committed && t.last_heal_us >= 0 then
+    if ro then begin
+      if t.ttr_wm_us = 0 && staleness_us <= t.fresh_us then
+        t.ttr_wm_us <- max 1 (now - t.last_heal_us)
+    end
+    else if t.ttr_write_us = 0 then
+      t.ttr_write_us <- max 1 (now - t.last_heal_us)
+
+let note_heal t ~now =
+  t.last_heal_us <- now;
+  t.ttr_write_us <- 0;
+  t.ttr_wm_us <- 0
+
+let ttr_write_us t = t.ttr_write_us
+
+let ttr_wm_us t = t.ttr_wm_us
+
+let rate committed aborted =
+  let att = committed + aborted in
+  if att = 0 then 1.0 else float_of_int committed /. float_of_int att
+
+let result t =
+  {
+    Stats.av_ro_committed = t.ro_committed;
+    av_ro_aborted = t.ro_aborted;
+    av_read_avail = rate t.ro_committed t.ro_aborted;
+    av_write_avail = rate t.rw_committed t.rw_aborted;
+    av_stale_p99_ms = Obs.Hist.percentile t.stale 0.99 /. 1000.;
+  }

@@ -1,0 +1,44 @@
+(** Availability accountant for partition experiments.
+
+    One accumulator per run, fed from every client's [on_finish] record.
+    It tracks read (RO) and write (read-write) success rates over the
+    measurement window, the staleness distribution of served RO
+    snapshots, and — after {!note_heal} — the time the cluster takes to
+    recover: the first read-write commit after the heal (writes
+    unblocked) and the first RO commit served within [fresh_us] of the
+    clock (watermarks re-converged as seen by clients).
+
+    Counters respect the caller's measurement window; time-to-recover
+    deliberately does not — a heal late in the warm-down still gets
+    credited with the commit that answers it.  All methods are O(1) and
+    draw no randomness, so attaching the accountant never perturbs a
+    seeded run. *)
+
+type t
+
+val create : ?fresh_us:int -> unit -> t
+(** [fresh_us] (default [50_000]) is the staleness threshold below
+    which an RO commit counts as "fresh" for watermark recovery. *)
+
+val note_txn :
+  t -> now:int -> in_window:bool -> ro:bool -> committed:bool ->
+  staleness_us:int -> unit
+(** Account one finished transaction.  [now] is the finish time
+    (virtual µs); [in_window] gates the rate counters only.
+    [staleness_us] is meaningful for committed RO transactions and
+    ignored otherwise. *)
+
+val note_heal : t -> now:int -> unit
+(** A partition was healed at [now].  Restarts both time-to-recover
+    clocks: the figures reported are measured from the {e last} heal. *)
+
+val ttr_write_us : t -> int
+(** µs from the last heal to the first read-write commit after it; 0
+    when no heal happened or nothing committed afterwards. *)
+
+val ttr_wm_us : t -> int
+(** µs from the last heal to the first sufficiently-fresh RO commit
+    after it; 0 when not (yet) observed. *)
+
+val result : t -> Stats.avail
+(** Fold the counters into the per-run availability record. *)

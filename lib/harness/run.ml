@@ -39,6 +39,7 @@ type exp = {
   e_seed : int;
   e_label : string;
   e_backoff_base_us : int;
+  e_max_staleness_us : int;
 }
 
 let default_exp =
@@ -53,6 +54,7 @@ let default_exp =
     e_seed = 1;
     e_label = "default";
     e_backoff_base_us = 100_000;
+    e_max_staleness_us = 0;
   }
 
 let backoff_cap_us = 2_500_000 (* the paper's 2.5 s cap *)
@@ -68,6 +70,8 @@ type cluster_ops = {
   co_restart : int -> unit;
   co_isolate : int -> unit;
   co_heal_all : unit -> unit;
+  co_partition : int -> unit;
+  co_heal : int -> unit;
   co_set_loss : float -> unit;
   co_set_extra_delay : int -> unit;
 }
@@ -86,10 +90,25 @@ let fresh_acc () =
 
 (* Replica indices are taken mod the cluster size so that schedules
    generated without knowledge of a system's replica count stay valid
-   across all four systems. *)
-let make_cluster_ops engine net replica_nodes ~kill ~restart =
+   across all four systems; likewise partition-group indices are taken
+   mod the number of latency regions, so one schedule names the same
+   datacenter on every deployment. *)
+let make_cluster_ops engine net replica_nodes ~regions ?(on_heal = fun () -> ())
+    ~kill ~restart () =
   let n = Array.length replica_nodes in
   let rnode i = replica_nodes.(((i mod n) + n) mod n) in
+  let n_regions = max 1 (Array.length regions) in
+  let gidx g = ((g mod n_regions) + n_regions) mod n_regions in
+  (* Datacenter granularity: the group is every node — replicas and
+     clients alike — placed in the region.  Resolved at fire time so
+     clients registered after the ops were built are included. *)
+  let region_group g =
+    let r = regions.(gidx g) in
+    List.filter
+      (fun nd -> Simnet.Net.region_of net nd = r)
+      (List.init (Simnet.Net.node_count net) (fun x -> x))
+  in
+  let gname g = "region-" ^ string_of_int (gidx g) in
   {
     co_engine = engine;
     co_n_replicas = n;
@@ -106,7 +125,17 @@ let make_cluster_ops engine net replica_nodes ~kill ~restart =
             (List.init (Simnet.Net.node_count net) (fun x -> x))
         in
         Simnet.Net.partition net [ v ] others);
-    co_heal_all = (fun () -> Simnet.Net.heal_all net);
+    co_heal_all =
+      (fun () ->
+        Simnet.Net.heal_all net;
+        on_heal ());
+    co_partition =
+      (fun g ->
+        Simnet.Net.cut_group net ~name:(gname g) ~group:(region_group g) ());
+    co_heal =
+      (fun g ->
+        Simnet.Net.heal_group net ~name:(gname g);
+        on_heal ());
     co_set_loss = (fun p -> Simnet.Net.set_loss_rate net p);
     co_set_extra_delay = (fun d -> Simnet.Net.set_extra_delay net ~max_us:d);
   }
@@ -243,10 +272,10 @@ module Driver (C : Cc_types.Kv_api.S) = struct
           | Outcome.Aborted reason ->
             if in_window then Stats.record_abort stats ~reason;
             if now < warm_end then begin
-              let cap =
-                min backoff_cap_us (max 1 backoff_base_us * (1 lsl min n 8))
+              let wait =
+                Sim.Backoff.full_jitter rng ~base_us:backoff_base_us
+                  ~cap_us:backoff_cap_us ~attempt:n
               in
-              let wait = 1 + Sim.Rng.int rng cap in
               if profiling then acc.(backoff_cell) <- acc.(backoff_cell) + wait;
               if in_window then
                 Stats.record_phase stats Stats.P_backoff ~dur_us:wait;
@@ -339,7 +368,8 @@ let txn_of_spanner (r : Spanner.Client.record) =
    hold every durable decision, so further kills are refused.  Both
    operations are idempotent — the shrinker may drop either half of a
    Kill/Restart pair. *)
-let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon ~replicas ~peers ~acc =
+let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon ~regions ?on_heal
+    ~replicas ~peers ~acc () =
   let n = Array.length replicas in
   let widx i = ((i mod n) + n) mod n in
   let amnesiac () =
@@ -378,7 +408,7 @@ let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon ~replicas ~peers ~acc =
       acc.fa_restarts <- acc.fa_restarts + 1
     end
   in
-  make_cluster_ops engine net peers ~kill ~restart
+  make_cluster_ops engine net peers ~regions ?on_heal ~kill ~restart ()
 
 let morty_recovery acc replicas =
   let tm = ref acc.fa_transfer_msgs and tb = ref acc.fa_transfer_bytes in
@@ -398,6 +428,8 @@ let morty_recovery acc replicas =
     rc_transfer_bytes = !tb;
     rc_catchups = !cu;
     rc_catchup_wait_us = !cw;
+    rc_ttr_write_us = 0;
+    rc_ttr_wm_us = 0;
   }
 
 let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
@@ -411,8 +443,19 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
     match cfg with
     | Some c -> c
     | None ->
-      { Morty.Config.default with reexecution;
-        prepare_timeout_us = timeout_for e.e_setup }
+      let base =
+        { Morty.Config.default with reexecution;
+          prepare_timeout_us = timeout_for e.e_setup }
+      in
+      if e.e_max_staleness_us > 0 then
+        (* Follower reads pin snapshots at the truncation watermark, so
+           the watermark protocol must actually run. *)
+        { base with
+          max_staleness_us = e.e_max_staleness_us;
+          truncation_interval_us =
+            (if base.truncation_interval_us = 0 then 25_000
+             else base.truncation_interval_us) }
+      else base
   in
   let replicas =
     Array.init (Morty.Config.n_replicas cfg) (fun i ->
@@ -437,7 +480,11 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
+  let av = Avail.create () in
   let record_phases (r : Morty.Client.record) =
+    Avail.note_txn av ~now:r.h_end_us
+      ~in_window:(r.h_end_us >= warm_start && r.h_end_us < warm_end)
+      ~ro:r.h_ro ~committed:r.h_committed ~staleness_us:r.h_staleness_us;
     if r.h_committed && r.h_end_us >= warm_start && r.h_end_us < warm_end
     then begin
       Stats.record_phase stats Stats.P_execute ~dur_us:r.h_exec_us;
@@ -521,8 +568,9 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
   in
   let acc = fresh_acc () in
   inject faults
-    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~mon ~replicas
-       ~peers ~acc);
+    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~mon ~regions
+       ~on_heal:(fun () -> Avail.note_heal av ~now:(Engine.now engine))
+       ~replicas ~peers ~acc ());
   Engine.run_until engine ~limit:warm_end;
   finish_metrics ();
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
@@ -553,7 +601,13 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
     ~cpu_utilization:cpu ~reexecs_per_txn ~msgs_per_txn
     ~events:(events_of_engine engine)
-    ~recovery:(morty_recovery acc replicas) ()
+    ~recovery:
+      { (morty_recovery acc replicas) with
+        Stats.rc_ttr_write_us = Avail.ttr_write_us av;
+        rc_ttr_wm_us = Avail.ttr_wm_us av }
+    ?avail:
+      (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
+    ()
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
@@ -567,7 +621,8 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
   let n_groups = max 1 e.e_cores in
   let cfg =
     { Tapir.Config.default with n_groups;
-      prepare_timeout_us = timeout_for e.e_setup }
+      prepare_timeout_us = timeout_for e.e_setup;
+      max_staleness_us = e.e_max_staleness_us }
   in
   let groups =
     Array.init n_groups (fun g ->
@@ -577,6 +632,12 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
               ()))
   in
   let group_nodes = Array.map (Array.map Tapir.Replica.node) groups in
+  (* Watermark rounds (replica 0 of each group) broadcast to the group;
+     they idle until the peer list is installed. *)
+  Array.iteri
+    (fun g group ->
+      Array.iter (fun r -> Tapir.Replica.set_peers r group_nodes.(g)) group)
+    groups;
   Obs.Monitor.register_views mon (fun () ->
       Array.to_list groups
       |> List.concat_map (fun group ->
@@ -593,7 +654,11 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
+  let av = Avail.create () in
   let record_phases (r : Tapir.Client.record) =
+    Avail.note_txn av ~now:r.h_end_us
+      ~in_window:(r.h_end_us >= warm_start && r.h_end_us < warm_end)
+      ~ro:r.h_ro ~committed:r.h_committed ~staleness_us:r.h_staleness_us;
     if r.h_committed && r.h_end_us >= warm_start && r.h_end_us < warm_end
     then begin
       Stats.record_phase stats Stats.P_execute ~dur_us:r.h_exec_us;
@@ -630,7 +695,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
       let client =
         Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
           ~region:(client_region regions i) ~groups:group_nodes ~partition
-          ~obs ~prof ~on_finish ()
+          ~obs ~prof ~mon ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -731,6 +796,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
         Tapir.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
           ~cores:1 ~prof ~mon ()
       in
+      Tapir.Replica.set_peers fresh group_nodes.(g);
       groups.(g).(k) <- fresh;
       Simnet.Net.recover net node;
       Array.iter
@@ -750,7 +816,9 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
   inject faults
     (make_cluster_ops engine net
        (Array.concat (Array.to_list group_nodes))
-       ~kill ~restart);
+       ~regions
+       ~on_heal:(fun () -> Avail.note_heal av ~now:(Engine.now engine))
+       ~kill ~restart ());
   Engine.run_until engine ~limit:warm_end;
   finish_metrics ();
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
@@ -773,11 +841,16 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
       rc_transfer_bytes = acc.fa_transfer_bytes;
       rc_catchups = acc.fa_restarts;
       rc_catchup_wait_us = 0;
+      rc_ttr_write_us = Avail.ttr_write_us av;
+      rc_ttr_wm_us = Avail.ttr_wm_us av;
     }
   in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
     ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn
-    ~events:(events_of_engine engine) ~recovery ()
+    ~events:(events_of_engine engine) ~recovery
+    ?avail:
+      (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
+    ()
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
@@ -789,7 +862,10 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
   let regions = Latency.regions e.e_setup in
   let n_groups = max 1 e.e_cores in
-  let cfg = { Spanner.Config.default with n_groups } in
+  let cfg =
+    { Spanner.Config.default with n_groups;
+      max_staleness_us = e.e_max_staleness_us }
+  in
   let groups =
     Array.init n_groups (fun g ->
         Array.init (Spanner.Config.n_replicas cfg) (fun i ->
@@ -802,10 +878,10 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
       |> List.concat_map (fun group ->
              Array.to_list (Array.map Spanner.Replica.state_view group)));
   attach_flight ~engine ~net ~obs ~flight ~label:Spanner.Msg.label;
-  Array.iter
-    (fun group ->
-      let peers = Array.map Spanner.Replica.node group in
-      Array.iter (fun r -> Spanner.Replica.set_peers r peers) group)
+  let group_nodes = Array.map (Array.map Spanner.Replica.node) groups in
+  Array.iteri
+    (fun g group ->
+      Array.iter (fun r -> Spanner.Replica.set_peers r group_nodes.(g)) group)
     groups;
   let leaders = Array.map (fun g -> Spanner.Replica.node g.(0)) groups in
   let data =
@@ -819,7 +895,11 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
   let stats = Stats.create () in
   let warm_start = e.e_warmup_us in
   let warm_end = e.e_warmup_us + e.e_measure_us in
+  let av = Avail.create () in
   let record_phases (r : Spanner.Client.record) =
+    Avail.note_txn av ~now:r.h_end_us
+      ~in_window:(r.h_end_us >= warm_start && r.h_end_us < warm_end)
+      ~ro:r.h_ro ~committed:r.h_committed ~staleness_us:r.h_staleness_us;
     if r.h_committed && r.h_end_us >= warm_start && r.h_end_us < warm_end
     then begin
       Stats.record_phase stats Stats.P_execute ~dur_us:r.h_exec_us;
@@ -848,8 +928,8 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
       in
       let client =
         Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
-          ~region:(client_region regions i) ~leaders ~partition ~obs ~prof
-          ~on_finish ()
+          ~region:(client_region regions i) ~leaders ~partition
+          ~groups:group_nodes ~obs ~prof ~mon ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -969,8 +1049,10 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
   in
   inject faults
     (make_cluster_ops engine net
-       (Array.concat (Array.to_list (Array.map (Array.map Spanner.Replica.node) groups)))
-       ~kill ~restart);
+       (Array.concat (Array.to_list group_nodes))
+       ~regions
+       ~on_heal:(fun () -> Avail.note_heal av ~now:(Engine.now engine))
+       ~kill ~restart ());
   Engine.run_until engine ~limit:warm_end;
   finish_metrics ();
   let window_msgs = Simnet.Net.messages_delivered net - !msgs_at_warm in
@@ -993,11 +1075,16 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
       rc_transfer_bytes = acc.fa_transfer_bytes;
       rc_catchups = acc.fa_restarts;
       rc_catchup_wait_us = 0;
+      rc_ttr_write_us = Avail.ttr_write_us av;
+      rc_ttr_wm_us = Avail.ttr_wm_us av;
     }
   in
   Stats.to_result stats ~label:e.e_label ~duration_us:e.e_measure_us
     ~cpu_utilization:cpu ~reexecs_per_txn:0. ~msgs_per_txn
-    ~events:(events_of_engine engine) ~recovery ()
+    ~events:(events_of_engine engine) ~recovery
+    ?avail:
+      (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
+    ()
 
 let run_exp ?on_txn ?faults ?obs ?prof ?mon ?flight e =
   match e.e_system with
@@ -1107,16 +1194,20 @@ let run_failover ?victim e ~crash_at_us ~recover_at_us ~bucket_us =
               next ()
             | Outcome.Aborted _ ->
               if now < horizon then
-                let cap = min backoff_cap_us (max 1 e.e_backoff_base_us * (1 lsl min n 8)) in
+                let wait =
+                  Sim.Backoff.full_jitter crng ~base_us:e.e_backoff_base_us
+                    ~cap_us:backoff_cap_us ~attempt:n
+                in
                 ignore
-                  (Engine.schedule engine ~after:(1 + Sim.Rng.int crng cap) (fun () ->
+                  (Engine.schedule engine ~after:wait (fun () ->
                        attempt run (n + 1))))
       in
       next ())
     (List.init e.e_clients (fun i -> i));
   let ops =
     morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof:(Obs.Profile.null ())
-      ~mon:(Obs.Monitor.null ()) ~replicas ~peers ~acc:(fresh_acc ())
+      ~mon:(Obs.Monitor.null ()) ~regions ~replicas ~peers ~acc:(fresh_acc ())
+      ()
   in
   let victim =
     match victim with Some v -> v | None -> Array.length replicas - 1

@@ -47,6 +47,13 @@ type exp = {
   e_label : string;
   e_backoff_base_us : int;
       (** randomized exponential backoff base for abort retries *)
+  e_max_staleness_us : int;
+      (** follower-read staleness bound: [begin_ro] transactions may be
+          served by any replica whose watermark lags real time by at
+          most this much.  [0] (the default) disables the follower-read
+          path entirely — RO transactions run exactly as read-write
+          ones and no new timers or RNG draws are introduced, keeping
+          seeded histories identical to earlier revisions. *)
 }
 
 val default_exp : exp
@@ -73,6 +80,14 @@ type cluster_ops = {
       (** cut both directions between replica [i mod n] and every other
           node currently registered (replicas and clients) *)
   co_heal_all : unit -> unit;  (** remove all link cuts *)
+  co_partition : int -> unit;
+      (** named datacenter cut: isolate every node (replicas {e and}
+          clients) of latency region [g mod n_regions] from the rest of
+          the network.  Idempotent while active; resolved at fire time
+          so late-registered clients are included. *)
+  co_heal : int -> unit;
+      (** heal the named cut of region [g mod n_regions], restoring
+          exactly the links it severed; no-op when not active *)
   co_set_loss : float -> unit;  (** global message-loss probability *)
   co_set_extra_delay : int -> unit;  (** extra uniform delay cap, µs *)
 }

@@ -56,6 +56,8 @@ type recovery = {
   rc_transfer_bytes : int;
   rc_catchups : int;
   rc_catchup_wait_us : int;
+  rc_ttr_write_us : int;
+  rc_ttr_wm_us : int;
 }
 
 let no_recovery =
@@ -66,6 +68,25 @@ let no_recovery =
     rc_transfer_bytes = 0;
     rc_catchups = 0;
     rc_catchup_wait_us = 0;
+    rc_ttr_write_us = 0;
+    rc_ttr_wm_us = 0;
+  }
+
+type avail = {
+  av_ro_committed : int;
+  av_ro_aborted : int;
+  av_read_avail : float;
+  av_write_avail : float;
+  av_stale_p99_ms : float;
+}
+
+let no_avail =
+  {
+    av_ro_committed = 0;
+    av_ro_aborted = 0;
+    av_read_avail = 1.;
+    av_write_avail = 1.;
+    av_stale_p99_ms = 0.;
   }
 
 type events = { ev_timers : int; ev_deliveries : int; ev_tickers : int }
@@ -91,10 +112,12 @@ type result = {
   r_backoff_ms : float;
   r_events : events;
   r_recovery : recovery;
+  r_avail : avail;
 }
 
 let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
-    ?(msgs_per_txn = 0.) ?(events = no_events) ?(recovery = no_recovery) () =
+    ?(msgs_per_txn = 0.) ?(events = no_events) ?(recovery = no_recovery)
+    ?(avail = no_avail) () =
   let phase_ms p = Obs.Hist.mean t.phases.(phase_index p) /. 1000. in
   {
     r_label = label;
@@ -115,6 +138,7 @@ let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     r_backoff_ms = phase_ms P_backoff;
     r_events = events;
     r_recovery = recovery;
+    r_avail = avail;
   }
 
 let abort_count r reason =
@@ -151,7 +175,19 @@ let pp_recovery ppf r =
      catchups=%d catchup_ms=%.1f"
     r.r_label rc.rc_kills rc.rc_restarts rc.rc_transfer_msgs
     rc.rc_transfer_bytes rc.rc_catchups
-    (float_of_int rc.rc_catchup_wait_us /. 1000.)
+    (float_of_int rc.rc_catchup_wait_us /. 1000.);
+  if rc.rc_ttr_write_us > 0 || rc.rc_ttr_wm_us > 0 then
+    Fmt.pf ppf " ttr_write_ms=%.1f ttr_wm_ms=%.1f"
+      (float_of_int rc.rc_ttr_write_us /. 1000.)
+      (float_of_int rc.rc_ttr_wm_us /. 1000.)
+
+let pp_avail ppf r =
+  let a = r.r_avail in
+  Fmt.pf ppf
+    "%-28s ro_committed=%d ro_aborted=%d read_avail=%.4f write_avail=%.4f \
+     stale_p99_ms=%.1f"
+    r.r_label a.av_ro_committed a.av_ro_aborted a.av_read_avail
+    a.av_write_avail a.av_stale_p99_ms
 
 (* The first 17 columns are the pre-observability schema, kept stable
    (r_aborted remains the taxonomy sum) so existing CSV consumers keep
@@ -162,14 +198,17 @@ p99_latency_ms,commit_rate,cpu_utilization,reexecs_per_txn,msgs_per_txn,\
 kills,restarts,transfer_msgs,transfer_bytes,catchups,catchup_wait_us,\
 exec_ms,prepare_ms,finalize_ms,backoff_ms,\
 ab_missed_write,ab_validation_fail,ab_lock_conflict,ab_watermark_abandon,\
-ab_recovery_stall,ab_timeout,ab_user_abort,\
-ev_timers,ev_deliveries,ev_tickers"
+ab_recovery_stall,ab_timeout,ab_user_abort,ab_stale_replica,\
+ev_timers,ev_deliveries,ev_tickers,\
+ro_committed,ro_aborted,read_avail,write_avail,stale_p99_ms,\
+ttr_write_ms,ttr_wm_ms"
 
 let to_csv_row r =
   let ab reason = abort_count r reason in
   Printf.sprintf
     "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f,%d,%d,%d,%d,%d,%d,\
-%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
+%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
+%d,%d,%.4f,%.4f,%.3f,%.3f,%.3f"
     r.r_label r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms
     r.r_p50_latency_ms r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization
     r.r_reexecs_per_txn r.r_msgs_per_txn r.r_recovery.rc_kills
@@ -184,4 +223,9 @@ let to_csv_row r =
     (ab Obs.Abort_reason.Recovery_stall)
     (ab Obs.Abort_reason.Timeout)
     (ab Obs.Abort_reason.User_abort)
+    (ab Obs.Abort_reason.Stale_replica)
     r.r_events.ev_timers r.r_events.ev_deliveries r.r_events.ev_tickers
+    r.r_avail.av_ro_committed r.r_avail.av_ro_aborted r.r_avail.av_read_avail
+    r.r_avail.av_write_avail r.r_avail.av_stale_p99_ms
+    (float_of_int r.r_recovery.rc_ttr_write_us /. 1000.)
+    (float_of_int r.r_recovery.rc_ttr_wm_us /. 1000.)

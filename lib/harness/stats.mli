@@ -56,10 +56,35 @@ type recovery = {
       (** catch-up rounds completed (protocol-level for Morty/MVTSO;
           instantaneous snapshot installs for the baselines) *)
   rc_catchup_wait_us : int;  (** total restart-to-caught-up time *)
+  rc_ttr_write_us : int;
+      (** time-to-recover, writes: virtual µs from the (last) heal to the
+          first committed read-write transaction after it; 0 when no heal
+          happened or no write committed afterwards *)
+  rc_ttr_wm_us : int;
+      (** time-to-recover, watermarks: virtual µs from the (last) heal to
+          the first RO commit served within the freshness threshold —
+          i.e. watermark re-convergence as seen by clients *)
 }
-(** Amnesia-crash fault accounting for one run. *)
+(** Amnesia-crash and partition fault accounting for one run. *)
 
 val no_recovery : recovery
+
+type avail = {
+  av_ro_committed : int;  (** RO transactions committed in the window *)
+  av_ro_aborted : int;  (** RO transactions aborted in the window *)
+  av_read_avail : float;
+      (** RO commits / RO attempts over the measurement window; 1.0 when
+          no RO transaction ran *)
+  av_write_avail : float;
+      (** read-write commits / attempts over the window; 1.0 when idle *)
+  av_stale_p99_ms : float;
+      (** p99 staleness of served RO snapshots (commit-time watermark
+          lag), milliseconds *)
+}
+(** Availability accounting for one run (all zeros/1.0 when the
+    follower-read path is off, i.e. [max_staleness_us = 0]). *)
+
+val no_avail : avail
 
 type events = {
   ev_timers : int;
@@ -94,6 +119,8 @@ type result = {
       (** engine events fired over the whole run, by kind *)
   r_recovery : recovery;
       (** amnesia-crash accounting; {!no_recovery} when no faults ran *)
+  r_avail : avail;
+      (** availability accounting; {!no_avail} when follower reads off *)
 }
 
 val to_result :
@@ -105,6 +132,7 @@ val to_result :
   ?msgs_per_txn:float ->
   ?events:events ->
   ?recovery:recovery ->
+  ?avail:avail ->
   unit ->
   result
 
@@ -117,7 +145,11 @@ val pp_result : Format.formatter -> result -> unit
 (** Appends a [aborts{reason=n,...}] suffix when any abort occurred. *)
 
 val pp_recovery : Format.formatter -> result -> unit
-(** One-line amnesia-crash counters (print when kills/restarts > 0). *)
+(** One-line amnesia-crash counters (print when kills/restarts > 0);
+    appends time-to-recover figures when a heal was observed. *)
+
+val pp_avail : Format.formatter -> result -> unit
+(** One-line availability counters (print when follower reads are on). *)
 
 val csv_header : string
 

@@ -8,6 +8,15 @@ let src_log = Logs.Src.create "morty.client" ~doc:"Morty coordinator"
 
 module Log = (val Logs.src_log src_log : Logs.LOG)
 
+(* Follower-read mode of a transaction.  [Ro_pinned] reads a snapshot at
+   the pinned replica's truncation watermark; [Ro_doomed] is the
+   graceful-degradation terminal state — every reachable replica was too
+   stale (or unreachable), so the body runs against a void store and the
+   commit resolves to the typed abort. *)
+type ro_mode =
+  | Ro_pinned of { rp_replica : Net.node; rp_stale_us : int; rp_id : int }
+  | Ro_doomed of Obs.Abort_reason.t
+
 type slot = {
   s_index : int;
   s_key : string;
@@ -55,9 +64,25 @@ and txn = {
   mutable prep_us : int;
   mutable fin_us : int;
   mutable seg_reexec : bool;
+  ro : ro_mode option;  (** [Some] marks a follower-read transaction *)
 }
 
 and ctx = { c_txn : txn; c_eid : int }
+
+(* One follower-read pin series: the redirect cycle over replicas, the
+   stored body (re-run in full on every re-pin — a snapshot change
+   invalidates everything already read), and the transaction currently
+   executing against the pinned snapshot. *)
+type ro_pin_st = {
+  rs_id : int;
+  rs_body : ctx -> unit;
+  mutable rs_attempt : int;
+  mutable rs_saw_stale : bool;
+      (** a reachable replica answered but was too stale: exhaustion
+          classifies as [Stale_replica] rather than [Timeout] *)
+  mutable rs_txn : txn option;
+  mutable rs_done : bool;
+}
 
 type stats = {
   mutable begun : int;
@@ -81,6 +106,8 @@ type record = {
   h_exec_us : int;
   h_prepare_us : int;
   h_finalize_us : int;
+  h_ro : bool;
+  h_staleness_us : int;
 }
 
 type t = {
@@ -92,8 +119,12 @@ type t = {
   node : Net.node;
   replicas : int array;
   closest : Net.node;
+  closest_ix : int;
   mutable last_ts : int;
   txns : (Version.t, txn) Hashtbl.t;
+  (* Follower-read pin series in flight, keyed by pin id. *)
+  ro_pins : (int, ro_pin_st) Hashtbl.t;
+  mutable ro_seq : int;
   (* Outstanding Finalize–Abandon rounds for superseded executions:
      (ver, eid) -> acks so far. *)
   abandon_acks : (Version.t * int, Net.node list ref) Hashtbl.t;
@@ -239,6 +270,16 @@ let finish t txn outcome =
     close_segment t txn;
     txn.phase <- Done;
     Hashtbl.remove t.txns txn.ver;
+    (* A finished follower read closes its pin series: late Ro_stale or
+       pin replies must not restart the body. *)
+    (match txn.ro with
+     | Some (Ro_pinned p) -> (
+       match Hashtbl.find_opt t.ro_pins p.rp_id with
+       | Some st ->
+         st.rs_done <- true;
+         Hashtbl.remove t.ro_pins p.rp_id
+       | None -> ())
+     | Some (Ro_doomed _) | None -> ());
     (match outcome with
      | Outcome.Committed -> t.stats.committed <- t.stats.committed + 1
      | Outcome.Aborted _ -> t.stats.aborted <- t.stats.aborted + 1);
@@ -275,6 +316,9 @@ let finish t txn outcome =
            h_exec_us = txn.exec_us;
            h_prepare_us = txn.prep_us;
            h_finalize_us = txn.fin_us;
+           h_ro = txn.ro <> None;
+           h_staleness_us =
+             (match txn.ro with Some (Ro_pinned p) -> p.rp_stale_us | _ -> 0);
          }
      | None -> ());
     match txn.commit_cont with
@@ -338,8 +382,10 @@ and arm_prepare_timer t txn p round =
      Seeded jitter (up to half the base) desynchronizes coordinators
      that timed out together — without it, concurrent retries arrive in
      lockstep and collide again (a retry storm). *)
-  let base = t.cfg.prepare_timeout_us * (1 lsl min round 6) in
-  let delay = base + Sim.Rng.int t.rng (max 1 (base / 2)) in
+  let delay =
+    Sim.Backoff.equal_jitter t.rng ~base_us:t.cfg.prepare_timeout_us
+      ~attempt:round ()
+  in
   let timer =
     Engine.schedule t.engine ~after:delay (fun () ->
         match txn.phase with
@@ -591,6 +637,170 @@ let handle_finalize_reply t ver eid view accepted ~src =
         end
       | Finalizing _ | Executing | Preparing _ | Done -> ()))
 
+(* --- Follower reads (watermark-pinned snapshots) ------------------------ *)
+
+let ro_attempt_cap t = max (2 * Array.length t.replicas) 6
+
+(* Redirect backoff: capped exponential with full seeded jitter so
+   clients bounced off the same stale replica do not stampede the next
+   one in lockstep. *)
+let ro_backoff t attempt =
+  Sim.Backoff.full_jitter t.rng ~base_us:5_000 ~cap_us:160_000 ~attempt
+
+(* The snapshot version for a pin at watermark timestamp [wm_ts].  The
+   negative id places the snapshot above the watermark sentinel
+   (id [min_int]) but below every real commit at the same timestamp
+   (ids are client node ids, >= 0), so [latest_committed_before]
+   observes exactly the commits strictly below the watermark.  Ids are
+   globally unique: node ids are distinct and the per-client sequence
+   stays below the stride. *)
+let ro_ver t wm_ts =
+  let seq = t.ro_seq in
+  t.ro_seq <- seq + 1;
+  Version.make ~ts:wm_ts ~id:(-((t.node * 1_000_000) + seq + 1))
+
+let ro_replica_ix t node =
+  let ix = ref None in
+  Array.iteri (fun i r -> if r = node && !ix = None then ix := Some i) t.replicas;
+  !ix
+
+let ro_mk_txn t ~ver ~ro =
+  let now = Engine.now t.engine in
+  let txn =
+    {
+      ver; eid = 0; slots = []; ops = []; phase = Executing; reexec_count = 0;
+      next_seq = 0; commit_cont = None; finished = false; t_start_us = now;
+      t_reason = None; ph_start_us = now; exec_us = 0; prep_us = 0; fin_us = 0;
+      seg_reexec = false; ro = Some ro;
+    }
+  in
+  Hashtbl.replace t.txns ver txn;
+  t.c_cur <- Some txn;
+  t.c_comps <- Array.make Obs.Profile.n_cells 0;
+  t.c_last_ev <- now;
+  if Obs.Sink.enabled t.obs then mark t txn "begin" [];
+  txn
+
+(* Retire a pinned execution without recording anything: the re-pin
+   replays the whole body against a fresher snapshot ([finished] stales
+   every stored continuation of the old one). *)
+let ro_retire t txn =
+  txn.finished <- true;
+  Hashtbl.remove t.txns txn.ver;
+  match t.c_cur with
+  | Some cur when cur == txn -> t.c_cur <- None
+  | Some _ | None -> ()
+
+let rec ro_try_pin t st =
+  if (not st.rs_done) && st.rs_txn = None then begin
+    let n = Array.length t.replicas in
+    let dst = t.replicas.((t.closest_ix + st.rs_attempt) mod n) in
+    send t dst (Msg.Ro_pin { ro_id = st.rs_id });
+    let at = st.rs_attempt in
+    ignore
+      (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+           if (not st.rs_done) && st.rs_txn = None && st.rs_attempt = at then
+             ro_advance t st))
+  end
+
+and ro_advance t st =
+  st.rs_attempt <- st.rs_attempt + 1;
+  if st.rs_attempt >= ro_attempt_cap t then ro_exhausted t st
+  else begin
+    let wait = ro_backoff t st.rs_attempt in
+    ignore (Engine.schedule t.engine ~after:wait (fun () -> ro_try_pin t st))
+  end
+
+(* Graceful degradation's floor: no reachable replica could serve within
+   the bound.  The body still runs — against a doomed transaction whose
+   reads return immediately and whose commit resolves to the typed
+   abort — so the caller's continuation chain always reaches its
+   outcome and the closed-loop driver never deadlocks. *)
+and ro_exhausted t st =
+  st.rs_done <- true;
+  Hashtbl.remove t.ro_pins st.rs_id;
+  let reason =
+    if st.rs_saw_stale then Obs.Abort_reason.Stale_replica
+    else Obs.Abort_reason.Timeout
+  in
+  let txn = ro_mk_txn t ~ver:(ro_ver t (Sim.Clock.read t.clock)) ~ro:(Ro_doomed reason) in
+  st.rs_txn <- Some txn;
+  st.rs_body { c_txn = txn; c_eid = 0 }
+
+let ro_handle_pin_reply t st ~src wm =
+  if st.rs_done || st.rs_txn <> None then ()
+  else
+    match wm with
+    | Some (w : Version.t) ->
+      let staleness = max 0 (Sim.Clock.read t.clock - w.Version.ts) in
+      if staleness > t.cfg.max_staleness_us then begin
+        st.rs_saw_stale <- true;
+        ro_advance t st
+      end
+      else begin
+        let ver = ro_ver t w.Version.ts in
+        (if Obs.Monitor.enabled t.mon then
+           match ro_replica_ix t src with
+           | Some ix ->
+             Obs.Monitor.observe t.mon ~ts:(Engine.now t.engine)
+               (Obs.Monitor.Ro_pin
+                  {
+                    replica = Printf.sprintf "r%d" ix;
+                    snap = (ver.Version.ts, ver.Version.id);
+                    wm = (w.Version.ts, w.Version.id);
+                    staleness_us = staleness;
+                    bound_us = t.cfg.max_staleness_us;
+                  })
+           | None -> ());
+        (* A fresh pin starts a fresh redirect cycle. *)
+        st.rs_attempt <- 0;
+        let txn =
+          ro_mk_txn t ~ver
+            ~ro:(Ro_pinned { rp_replica = src; rp_stale_us = staleness; rp_id = st.rs_id })
+        in
+        st.rs_txn <- Some txn;
+        st.rs_body { c_txn = txn; c_eid = 0 }
+      end
+    | None ->
+      (* The replica answered but has no certifiable snapshot yet:
+         infinitely stale for our purposes. *)
+      st.rs_saw_stale <- true;
+      ro_advance t st
+
+(* The watermark overtook the pinned snapshot mid-read: re-pin. *)
+let ro_handle_stale t st =
+  match st.rs_txn with
+  | Some txn when (not txn.finished) && not st.rs_done ->
+    st.rs_saw_stale <- true;
+    ro_retire t txn;
+    st.rs_txn <- None;
+    ro_advance t st
+  | Some _ | None -> ()
+
+(* The pinned replica stopped answering reads (crash or partition):
+   re-pin elsewhere.  Reached from the per-read timeout in [get]. *)
+let ro_unreachable t rp_id txn =
+  match Hashtbl.find_opt t.ro_pins rp_id with
+  | Some st -> (
+    match st.rs_txn with
+    | Some cur when cur == txn && (not txn.finished) && not st.rs_done ->
+      ro_retire t txn;
+      st.rs_txn <- None;
+      ro_advance t st
+    | Some _ | None -> ())
+  | None -> ()
+
+let ro_begin t body =
+  t.stats.begun <- t.stats.begun + 1;
+  let id = t.ro_seq in
+  t.ro_seq <- id + 1;
+  let st =
+    { rs_id = id; rs_body = body; rs_attempt = 0; rs_saw_stale = false;
+      rs_txn = None; rs_done = false }
+  in
+  Hashtbl.replace t.ro_pins id st;
+  ro_try_pin t st
+
 let handle t ~src msg =
   match msg with
   | Msg.Get_reply { for_ver; key; w_ver; value; seq } ->
@@ -599,10 +809,18 @@ let handle t ~src msg =
     handle_prepare_reply t ver eid vote missed reason ~src
   | Msg.Finalize_reply { ver; eid; view; accepted } ->
     handle_finalize_reply t ver eid view accepted ~src
+  | Msg.Ro_pin_reply { ro_id; wm } -> (
+    match Hashtbl.find_opt t.ro_pins ro_id with
+    | Some st -> ro_handle_pin_reply t st ~src wm
+    | None -> ())
+  | Msg.Ro_stale { ro_id } -> (
+    match Hashtbl.find_opt t.ro_pins ro_id with
+    | Some st -> ro_handle_stale t st
+    | None -> ())
   | Msg.Get _ | Msg.Put _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Decide _
   | Msg.Paxos_prepare _ | Msg.Paxos_prepare_reply _ | Msg.Truncate _
   | Msg.Propose_merge _ | Msg.Propose_merge_reply _ | Msg.Truncation_finished _
-  | Msg.Catchup_request | Msg.Catchup_reply _ ->
+  | Msg.Catchup_request | Msg.Catchup_reply _ | Msg.Ro_pin _ | Msg.Ro_get _ ->
     ()
 
 (* --- Public API --------------------------------------------------------- *)
@@ -610,13 +828,16 @@ let handle t ~src msg =
 let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
-  let closest =
-    match
-      List.find_opt (fun r -> Net.region_of net r = region) (Array.to_list replicas)
-    with
-    | Some r -> r
-    | None -> replicas.(0)
+  let closest_ix =
+    let n = Array.length replicas in
+    let rec scan i =
+      if i >= n then 0
+      else if Net.region_of net replicas.(i) = region then i
+      else scan (i + 1)
+    in
+    scan 0
   in
+  let closest = replicas.(closest_ix) in
   let t =
     {
       cfg;
@@ -627,8 +848,11 @@ let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null ())
       node;
       replicas;
       closest;
+      closest_ix;
       last_ts = 0;
       txns = Hashtbl.create 16;
+      ro_pins = Hashtbl.create 8;
+      ro_seq = 0;
       abandon_acks = Hashtbl.create 16;
       stats =
         { begun = 0; committed = 0; aborted = 0; reexecs = 0;
@@ -670,6 +894,7 @@ let begin_ t body =
       prep_us = 0;
       fin_us = 0;
       seg_reexec = false;
+      ro = None;
     }
   in
   Hashtbl.replace t.txns ver txn;
@@ -680,8 +905,47 @@ let begin_ t body =
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn; c_eid = 0 }
 
+(* Snapshot read of a pinned follower-read transaction: all reads go to
+   the one pinned replica, which serves them at the snapshot (or
+   answers [Ro_stale], triggering a re-pin). *)
+let ro_get t ctx key cont =
+  let txn = ctx.c_txn in
+  match txn.ro with
+  | Some (Ro_pinned p) -> (
+    (* Repeatable reads: a second read of the same key returns the value
+       already observed (snapshot reads are stable anyway). *)
+    let existing =
+      List.find_opt
+        (fun s -> String.equal s.s_key key && s.s_reply <> None)
+        txn.slots
+    in
+    match existing with
+    | Some s ->
+      let value = match s.s_reply with Some (_, v) -> v | None -> "" in
+      cont ctx value
+    | None ->
+      let seq = txn.next_seq in
+      txn.next_seq <- seq + 1;
+      let slot =
+        { s_index = List.length txn.slots; s_key = key; s_seq = seq;
+          s_sent_us = Engine.now t.engine; s_reply = None; s_cont = cont }
+      in
+      txn.slots <- txn.slots @ [ slot ];
+      txn.ops <- txn.ops @ [ Op_read slot.s_index ];
+      send t p.rp_replica
+        (Msg.Ro_get { snap = txn.ver; key; seq; ro_id = p.rp_id });
+      (* If the pinned replica goes silent (crash, partition), re-pin
+         the whole transaction elsewhere rather than retrying here: any
+         other replica's snapshot differs, so partial reads are void. *)
+      ignore
+        (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+             if (not txn.finished) && slot.s_reply = None then
+               ro_unreachable t p.rp_id txn)))
+  | Some (Ro_doomed _) | None -> cont ctx ""
+
 let get t ctx key cont =
   if stale ctx then ()
+  else if ctx.c_txn.ro <> None then ro_get t ctx key cont
   else begin
     let txn = ctx.c_txn in
     (* Read-your-own-writes: serve from the write buffer. *)
@@ -736,7 +1000,7 @@ let get t ctx key cont =
   end
 
 let put t ctx key value =
-  if stale ctx then ctx
+  if stale ctx || ctx.c_txn.ro <> None then ctx
   else begin
     let txn = ctx.c_txn in
     txn.ops <- txn.ops @ [ Op_write (key, value) ];
@@ -749,17 +1013,28 @@ let commit t ctx cont =
   else begin
     let txn = ctx.c_txn in
     txn.commit_cont <- Some cont;
-    start_prepare t txn
+    match txn.ro with
+    | Some (Ro_doomed reason) -> finish t txn (Outcome.Aborted reason)
+    | Some (Ro_pinned _) ->
+      (* Snapshot reads at the watermark need no validation: nothing
+         below an installed watermark can newly commit (a Prepare below
+         it is abandoned), so the read set is stable and the
+         serialization point is the watermark itself. *)
+      finish t txn Outcome.Committed
+    | None -> start_prepare t txn
   end
 
 let abort t ctx =
   if stale ctx then ()
   else begin
     let txn = ctx.c_txn in
-    decide t txn txn.eid Decision.Abandon ~abort:true;
+    if txn.ro = None then decide t txn txn.eid Decision.Abandon ~abort:true;
     finish t txn (Outcome.Aborted Obs.Abort_reason.User_abort)
   end
 
-let begin_ro = begin_
+(* With follower reads off (the default), [begin_ro] is exactly
+   [begin_]: no pin traffic, no extra timers, no RNG draws. *)
+let begin_ro t body =
+  if t.cfg.max_staleness_us > 0 then ro_begin t body else begin_ t body
 
 let get_for_update = get

@@ -44,6 +44,10 @@ type record = {
   h_exec_us : int;  (** virtual time spent executing (incl. re-exec) *)
   h_prepare_us : int;  (** virtual time spent in Prepare rounds *)
   h_finalize_us : int;  (** virtual time spent in Finalize rounds *)
+  h_ro : bool;  (** ran on the follower-read (snapshot) path *)
+  h_staleness_us : int;
+      (** snapshot staleness at pin time (clock − watermark); [0] for
+          read-write transactions and unpinned aborts *)
 }
 (** Per-transaction history record, fed to the Adya oracle by tests. *)
 
@@ -81,7 +85,17 @@ val last_comps : t -> int array
 val begin_ : t -> (ctx -> unit) -> unit
 
 val begin_ro : t -> (ctx -> unit) -> unit
-(** Same as {!begin_}: Morty has no separate read-only path. *)
+(** With [Config.max_staleness_us = 0] (default), same as {!begin_}.
+    Otherwise the transaction becomes a follower read: the client pins
+    a snapshot at some replica's truncation watermark (closest replica
+    first, redirecting across replicas under capped jittered backoff
+    when one is unreachable or its watermark lags the staleness bound),
+    reads run at that snapshot on the pinned replica alone, and commit
+    needs no validation.  When every reachable replica is too stale the
+    transaction aborts with {!Obs.Abort_reason.Stale_replica}; when
+    none is reachable at all, with [Timeout].  The body may be re-run
+    in full if a re-pin becomes necessary mid-flight (the watermark
+    overtook the snapshot, or the pinned replica went silent). *)
 
 val get : t -> ctx -> string -> (ctx -> string -> unit) -> unit
 

@@ -15,6 +15,9 @@ type t = {
   dep_recovery_timeout_us : int;
   truncation_interval_us : int;
   catchup_retry_us : int;
+  max_staleness_us : int;
+  apply_cost_per_write_us : int;
+  apply_partitions : int;
 }
 
 let default =
@@ -35,6 +38,9 @@ let default =
     dep_recovery_timeout_us = 3_000_000;
     truncation_interval_us = 0;
     catchup_retry_us = 150_000;
+    max_staleness_us = 0;
+    apply_cost_per_write_us = 0;
+    apply_partitions = 1;
   }
 
 let n_replicas t = (2 * t.f) + 1

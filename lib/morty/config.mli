@@ -38,6 +38,21 @@ type t = {
   catchup_retry_us : int;
       (** how often a restarted replica re-broadcasts its state-transfer
           request while still short of f+1 catch-up replies *)
+  max_staleness_us : int;
+      (** follower-read staleness bound: [begin_ro] transactions pin a
+          snapshot at some replica's truncation watermark and abort with
+          [Stale_replica] only when every reachable replica's watermark
+          lags the local clock by more than this bound.  [0] (default)
+          disables follower reads entirely — [begin_ro] is [begin_] and
+          no new timers or RNG draws occur, keeping seeded runs
+          byte-identical *)
+  apply_cost_per_write_us : int;
+      (** extra CPU service cost per committed write installed by a
+          Decide, modelling follower-side apply work ([0] = free) *)
+  apply_partitions : int;
+      (** key-partitions over which follower apply work proceeds in
+          parallel (Pacheco-style): the per-Decide apply cost divides by
+          [min apply_partitions cores], bounding watermark lag *)
 }
 
 val default : t

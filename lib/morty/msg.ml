@@ -78,6 +78,10 @@ type t =
       cu_store : store_entry list;
       cu_erecord : truncate_entry list;
     }
+  | Ro_pin of { ro_id : int }
+  | Ro_pin_reply of { ro_id : int; wm : Version.t option }
+  | Ro_get of { snap : Version.t; key : string; seq : int; ro_id : int }
+  | Ro_stale of { ro_id : int }
 
 let label = function
   | Get _ -> "get"
@@ -96,3 +100,7 @@ let label = function
   | Truncation_finished _ -> "truncation_finished"
   | Catchup_request -> "catchup_request"
   | Catchup_reply _ -> "catchup_reply"
+  | Ro_pin _ -> "ro_pin"
+  | Ro_pin_reply _ -> "ro_pin_reply"
+  | Ro_get _ -> "ro_get"
+  | Ro_stale _ -> "ro_stale"

@@ -91,6 +91,20 @@ type t =
       cu_erecord : truncate_entry list;
           (** full erecord snapshot, reusing the truncation entry shape *)
     }
+  | Ro_pin of { ro_id : int }
+      (** follower-read pin request: the replica answers with its
+          current truncation watermark, the only snapshot that is both
+          complete (every commit below it is applied) and GC-safe *)
+  | Ro_pin_reply of { ro_id : int; wm : Version.t option }
+      (** [None]: no truncation round has completed yet, so no
+          certifiably complete snapshot exists at this replica *)
+  | Ro_get of { snap : Version.t; key : string; seq : int; ro_id : int }
+      (** snapshot read at the pinned version; answered with a plain
+          [Get_reply] when [snap] is still at or above the replica's
+          watermark, else with [Ro_stale] *)
+  | Ro_stale of { ro_id : int }
+      (** the watermark advanced past the pinned snapshot (GC may have
+          dropped versions it needs): the client must re-pin *)
 
 val label : t -> string
 (** Short constructor name (tracing / service-cost dispatch). *)

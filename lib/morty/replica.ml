@@ -68,6 +68,7 @@ type t = {
   rng : Sim.Rng.t;
   index : int;
   node : Net.node;
+  cores : int;
   cpu : Cpu.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
@@ -89,6 +90,12 @@ type t = {
   recovering : (Version.t, recovery) Hashtbl.t;
   pending_fin : (Version.t * int * int, pending_finalize) Hashtbl.t;
   mutable watermark : Version.t option;
+  (* Vote fence: the highest truncation cutoff this replica has donated a
+     snapshot for (or acked a merge of).  Donating is a promise — the
+     merge decides every below-cutoff execution from the snapshots, so a
+     Commit vote issued after the snapshot would race the merged
+     decision.  Below the fence only Abandon_final may be voted. *)
+  mutable trunc_fence : Version.t option;
   (* Truncation coordinator state (replica 0 only). *)
   trunc_snapshots : (Version.t, (int * Msg.truncate_entry list) list ref) Hashtbl.t;
   trunc_acks : (Version.t, int ref) Hashtbl.t;
@@ -257,6 +264,22 @@ let truncated t ver =
   | None -> false
   | Some w -> Version.compare ver w < 0
 
+(* A version below the vote fence may be decided by an in-flight
+   truncation merge, so this replica must not issue new Commit votes for
+   it (reads of such versions are unaffected: nothing is GC'd until the
+   round finishes). *)
+let vote_fenced t ver =
+  truncated t ver
+  ||
+  match t.trunc_fence with
+  | None -> false
+  | Some fence -> Version.compare ver fence < 0
+
+let raise_fence t upto =
+  match t.trunc_fence with
+  | Some cur when Version.compare upto cur <= 0 -> ()
+  | Some _ | None -> t.trunc_fence <- Some upto
+
 let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
   let vote = ref Vote.Commit in
   let missed = ref [] in
@@ -274,7 +297,7 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
      episode, a quiet key) would brick the key forever: its current
      version ages below the advancing watermark and every reader
      abandons. *)
-  if truncated t ver then begin
+  if vote_fenced t ver then begin
     vote := Vote.Abandon_final;
     blame Obs.Abort_reason.Watermark_abandon
   end;
@@ -774,18 +797,28 @@ and handle_truncate t ~src upto entries =
     if not (List.mem_assoc src !snaps) then snaps := (src, entries) :: !snaps;
     if List.length !snaps >= t.cfg.f + 1 && not (Hashtbl.mem t.trunc_merged upto)
     then begin
-      let merged = merge_snapshots t (List.map snd !snaps) in
+      let merged, m_upto = merge_snapshots t upto (List.map snd !snaps) in
       Hashtbl.remove t.trunc_snapshots upto;
-      Hashtbl.replace t.trunc_acks upto (ref 0);
-      Hashtbl.replace t.trunc_merged upto merged;
-      broadcast t (Msg.Propose_merge { t_upto = upto; t_view = 0; merged })
+      Hashtbl.replace t.trunc_acks m_upto (ref 0);
+      Hashtbl.replace t.trunc_merged m_upto merged;
+      broadcast t (Msg.Propose_merge { t_upto = m_upto; t_view = 0; merged })
     end
   end
 
-and merge_snapshots t snapshots =
-  (* Preserve any decision that could have been reached in a constituent
-     erecord: learned decision > finalize decision at the highest view >
-     vote aggregation; otherwise Abandon. *)
+and merge_snapshots _t upto snapshots =
+  (* Preserve any decision that was actually reached: learned decision >
+     finalize decision at the highest view.  An execution with neither —
+     votes only — is still the coordinator's call, and the donor
+     snapshots cannot make it for him: any commit quorum intersects the
+     f+1 fenced donors in at least one replica, but the one Commit vote
+     that intersection guarantees is not a quorum, so force-deciding
+     from the visible votes can contradict a concurrent slow-path commit
+     built from pre-fence votes (or, symmetrically, a coordinator
+     abandon of an execution the donors saw Commit votes for).  Instead
+     the round truncates below the oldest such execution and leaves it
+     live; once the coordinator's Decide lands, a later round picks it
+     up.  The donor fence stays at the original cutoff, so no commit
+     quorum can form that a future round's snapshots will not see. *)
   let table = Hashtbl.create 64 in
   List.iter
     (fun entries ->
@@ -796,27 +829,46 @@ and merge_snapshots t snapshots =
           Hashtbl.replace table key (e :: cur))
         entries)
     snapshots;
+  let decided_of entries =
+    List.find_map (fun (e : Msg.truncate_entry) -> e.t_decision) entries
+  in
+  let best_fin_of entries =
+    List.fold_left
+      (fun acc (e : Msg.truncate_entry) ->
+        match (acc, e.t_fin) with
+        | None, f -> f
+        | Some (av, _), Some (fv, fd) when fv > av -> Some (fv, fd)
+        | some, _ -> some)
+      None entries
+  in
+  let m_upto =
+    Hashtbl.fold
+      (fun (ver, _eid) entries acc ->
+        if decided_of entries = None && best_fin_of entries = None then begin
+          (* Floor to the sentinel id so the cutoff keeps the shape the
+             snapshot order relies on: RO pins use negative ids above
+             [min_int], so a watermark must never carry a real
+             (non-negative) id. *)
+          let floor = Version.make ~ts:ver.Version.ts ~id:min_int in
+          if Version.compare floor acc < 0 then floor else acc
+        end
+        else acc)
+      table upto
+  in
   Hashtbl.fold
     (fun (ver, eid) entries acc ->
-      let decided = List.find_map (fun (e : Msg.truncate_entry) -> e.t_decision) entries in
-      let best_fin =
-        List.fold_left
-          (fun acc (e : Msg.truncate_entry) ->
-            match (acc, e.t_fin) with
-            | None, f -> f
-            | Some (av, _), Some (fv, fd) when fv > av -> Some (fv, fd)
-            | some, _ -> some)
-          None entries
-      in
-      let votes = List.filter_map (fun (e : Msg.truncate_entry) -> e.t_vote) entries in
+      if Version.compare ver m_upto >= 0 then acc
+      else begin
+      let decided = decided_of entries in
+      let best_fin = best_fin_of entries in
       let decision =
         match (decided, best_fin) with
         | Some d, _ -> d
         | None, Some (_, fd) -> fd
-        | None, None -> (
-          match Vote.aggregate ~f:t.cfg.f ~force:true votes with
-          | Vote.Commit_fast | Vote.Commit_slow -> Decision.Commit
-          | Vote.Abandon_fast | Vote.Abandon_slow | Vote.Undecided -> Decision.Abandon)
+        | None, None ->
+          (* Unreachable: an undecided execution lowered [m_upto] below
+             its own version. *)
+          assert false
       in
       let sets =
         List.find_map
@@ -836,11 +888,18 @@ and merge_snapshots t snapshots =
         t_read_set = read_set;
         t_write_set = write_set;
       }
-      :: acc)
-    table []
+      :: acc
+      end)
+    table [],
+  m_upto
 
 and handle_propose_merge t ~src upto view merged =
   ignore merged;
+  (* Acking a merge is the same promise as donating a snapshot: the
+     round will decide every execution below [upto], so stop voting
+     Commit on them.  This also fences non-donor replicas, whose votes
+     the merge never saw. *)
+  raise_fence t upto;
   send t src (Msg.Propose_merge_reply { t_upto = upto; t_view = view })
 
 and handle_propose_merge_reply t upto _view =
@@ -861,6 +920,26 @@ and handle_propose_merge_reply t upto _view =
 
 and handle_truncation_finished t upto merged =
   t.stats.truncations <- t.stats.truncations + 1;
+  (* Install the watermark (monotonically) BEFORE applying the merged
+     decisions.  Applying a dependency's decision wakes suspended
+     prepares of other below-cutoff executions, and those validations
+     must already see the watermark: otherwise a woken prepare can vote
+     Commit for an execution whose merged Abandon sits later in this
+     very list, and the coordinator commits a transaction the round
+     abandoned.  Monotone because a stale round replayed from the
+     catch-up buffer must not regress a watermark the state transfer
+     already installed. *)
+  let advanced =
+    match t.watermark with
+    | Some cur -> Version.compare upto cur > 0
+    | None -> true
+  in
+  if advanced then begin
+    if Obs.Monitor.enabled t.mon then
+      observe t (Obs.Monitor.Watermark { replica = mon_label t; wm = vpair upto });
+    t.watermark <- Some upto
+  end;
+  raise_fence t upto;
   (* Apply merged decisions for executions we have not decided locally. *)
   List.iter
     (fun (e : Msg.truncate_entry) ->
@@ -870,9 +949,6 @@ and handle_truncation_finished t upto merged =
         handle_decide t e.t_ver e.t_eid d abort e.t_read_set e.t_write_set
       | None -> ())
     merged;
-  if Obs.Monitor.enabled t.mon then
-    observe t (Obs.Monitor.Watermark { replica = mon_label t; wm = vpair upto });
-  t.watermark <- Some upto;
   (* Garbage collect: erecord entries and committed metadata below the
      watermark. *)
   let stale =
@@ -892,6 +968,36 @@ and handle_truncation_finished t upto merged =
              { replica = mon_label t; key;
                newest = Option.map vpair (Mvstore.Vrecord.newest_committed vr);
                wm = vpair upto }))
+
+(* --- Follower reads (watermark snapshots) ------------------------------- *)
+
+(* The truncation watermark is the only snapshot a replica can certify:
+   complete (every commit below it was applied by the round that
+   installed it) and GC-safe ([gc_below wm] keeps each key's newest
+   committed version at or below wm, which is exactly what
+   [latest_committed_before snap] needs for any snap >= wm).  A replica
+   with no watermark yet has nothing certifiable to offer. *)
+let handle_ro_pin t ~src ro_id =
+  send t src (Msg.Ro_pin_reply { ro_id; wm = t.watermark })
+
+(* Serve iff the pinned snapshot is still at or above our current
+   watermark; once truncation GC overtakes it, versions the snapshot
+   must observe may be gone, so the client re-pins at the new
+   watermark. *)
+let handle_ro_get t ~src snap key seq ro_id =
+  match t.watermark with
+  | Some wm when Version.compare snap wm >= 0 ->
+    let vr = Mvstore.Vstore.find t.store key in
+    let reply = Mvstore.Vrecord.latest_committed_before vr snap in
+    if Obs.Monitor.enabled t.mon then
+      observe t
+        (Obs.Monitor.Ro_serve
+           { replica = mon_label t; key; snap = vpair snap; wm = vpair wm });
+    send t src
+      (Msg.Get_reply
+         { for_ver = snap; key; w_ver = reply.r_ver; value = reply.r_val;
+           seq = Some seq })
+  | Some _ | None -> send t src (Msg.Ro_stale { ro_id })
 
 (* --- Amnesia-crash catch-up (state transfer) ---------------------------- *)
 
@@ -1049,18 +1155,32 @@ let handle_recovering t ~src cu msg =
 
 (* --- Dispatch ----------------------------------------------------------- *)
 
+(* Follower-side apply work for a Decide's committed writes, divided
+   across [apply_partitions] key-partitions applied in parallel (capped
+   at the core count).  With the default [apply_cost_per_write_us = 0]
+   this is exactly zero and Decide costs what it always did. *)
+let apply_cost t (write_set : Rwset.write_set) =
+  if t.cfg.apply_cost_per_write_us = 0 then 0
+  else begin
+    let lanes = max 1 (min t.cfg.apply_partitions t.cores) in
+    let total = List.length write_set * t.cfg.apply_cost_per_write_us in
+    (total + lanes - 1) / lanes
+  end
+
 let service_cost t = function
   | Msg.Get _ -> t.cfg.get_cost_us
   | Msg.Put _ -> t.cfg.put_cost_us
   | Msg.Prepare _ -> t.cfg.prepare_cost_us
   | Msg.Finalize _ | Msg.Finalize_reply _ -> t.cfg.finalize_cost_us
-  | Msg.Decide _ -> t.cfg.decide_cost_us
+  | Msg.Decide { write_set; _ } -> t.cfg.decide_cost_us + apply_cost t write_set
   | Msg.Paxos_prepare _ | Msg.Paxos_prepare_reply _ -> t.cfg.recovery_cost_us
   | Msg.Get_reply _ -> t.cfg.get_cost_us
   | Msg.Prepare_reply _ -> t.cfg.finalize_cost_us
   | Msg.Truncate _ | Msg.Propose_merge _ | Msg.Propose_merge_reply _
   | Msg.Truncation_finished _ -> t.cfg.recovery_cost_us
   | Msg.Catchup_request | Msg.Catchup_reply _ -> t.cfg.recovery_cost_us
+  | Msg.Ro_pin _ | Msg.Ro_pin_reply _ | Msg.Ro_get _ | Msg.Ro_stale _ ->
+    t.cfg.get_cost_us
 
 let handle_normal t ~src msg =
   match msg with
@@ -1089,6 +1209,11 @@ let handle_normal t ~src msg =
   | Msg.Catchup_reply _ ->
     (* Stale reply for an already-finished catch-up round. *)
     ()
+  | Msg.Ro_pin { ro_id } -> handle_ro_pin t ~src ro_id
+  | Msg.Ro_get { snap; key; seq; ro_id } -> handle_ro_get t ~src snap key seq ro_id
+  | Msg.Ro_pin_reply _ | Msg.Ro_stale _ ->
+    (* Client-bound follower-read traffic. *)
+    ()
 
 let handle t ~src msg =
   if t.stopped then ()
@@ -1109,8 +1234,10 @@ let busy_owner = function
     (Some (ver.Version.ts, ver.Version.id), eid)
   | Msg.Get_reply { for_ver; _ } ->
     (Some (for_ver.Version.ts, for_ver.Version.id), 0)
+  | Msg.Ro_get { snap; _ } -> (Some (snap.Version.ts, snap.Version.id), 0)
   | Msg.Truncate _ | Msg.Propose_merge _ | Msg.Propose_merge_reply _
-  | Msg.Truncation_finished _ | Msg.Catchup_request | Msg.Catchup_reply _ ->
+  | Msg.Truncation_finished _ | Msg.Catchup_request | Msg.Catchup_reply _
+  | Msg.Ro_pin _ | Msg.Ro_pin_reply _ | Msg.Ro_stale _ ->
     (None, 0)
 
 (* Restart entry point: called by the harness on a freshly created
@@ -1159,6 +1286,7 @@ let schedule_truncation t =
                   if Version.compare upto (Version.make ~ts:0 ~id:min_int) > 0
                   then begin
                     let entries = snapshot_below t upto in
+                    raise_fence t upto;
                     send t t.peers.(0) (Msg.Truncate { t_upto = upto; entries })
                   end);
                tick ()
@@ -1174,7 +1302,7 @@ let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
   let t =
     {
-      cfg; engine; net; rng; index; node;
+      cfg; engine; net; rng; index; node; cores;
       cpu = Cpu.create engine ~cores;
       prof;
       mon;
@@ -1190,6 +1318,7 @@ let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
       recovering = Hashtbl.create 16;
       pending_fin = Hashtbl.create 16;
       watermark = None;
+      trunc_fence = None;
       trunc_snapshots = Hashtbl.create 8;
       trunc_acks = Hashtbl.create 8;
       trunc_merged = Hashtbl.create 8;

@@ -166,14 +166,20 @@ let gc_below t watermark =
       t.committed_reads []
   in
   List.iter (Hashtbl.remove t.committed_reads) to_remove;
-  (* Keep the newest committed write (the key's current value) even if it
-     is below the watermark. *)
-  match Version.Map.max_binding_opt t.committed_writes with
+  (* Keep the newest committed write below the watermark (the key's
+     current value as of the watermark): it is what any snapshot read at
+     [snap >= watermark] observes, and what the below-watermark
+     read-validation exact-match compares against.  Truncation rounds
+     complete well after their cutoff, so commits above the watermark
+     usually exist by now — the global newest is NOT a safe stand-in. *)
+  match
+    Version.Map.find_last_opt (fun v -> stale v) t.committed_writes
+  with
   | None -> ()
-  | Some (newest, _) ->
+  | Some (newest_below, _) ->
     t.committed_writes <-
       Version.Map.filter
-        (fun v _ -> Version.equal v newest || not (stale v))
+        (fun v _ -> Version.equal v newest_below || not (stale v))
         t.committed_writes
 
 let stats t =

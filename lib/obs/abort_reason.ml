@@ -6,11 +6,12 @@ type t =
   | Recovery_stall
   | Timeout
   | User_abort
+  | Stale_replica
 
 let all =
   [
     Missed_write; Validation_fail; Lock_conflict; Watermark_abandon;
-    Recovery_stall; Timeout; User_abort;
+    Recovery_stall; Timeout; User_abort; Stale_replica;
   ]
 
 let count = List.length all
@@ -23,6 +24,7 @@ let index = function
   | Recovery_stall -> 4
   | Timeout -> 5
   | User_abort -> 6
+  | Stale_replica -> 7
 
 let to_string = function
   | Missed_write -> "missed-write"
@@ -32,6 +34,7 @@ let to_string = function
   | Recovery_stall -> "recovery-stall"
   | Timeout -> "timeout"
   | User_abort -> "user-abort"
+  | Stale_replica -> "stale-replica"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -42,6 +45,7 @@ let of_string s =
   | "recovery-stall" -> Some Recovery_stall
   | "timeout" -> Some Timeout
   | "user-abort" -> Some User_abort
+  | "stale-replica" -> Some Stale_replica
   | _ -> None
 
 let pp ppf r = Fmt.string ppf (to_string r)
@@ -51,6 +55,7 @@ let pp ppf r = Fmt.string ppf (to_string r)
    conflict cause, and any identified conflict dominates the Timeout
    fallback. *)
 let rank = function
+  | Stale_replica -> 7
   | Watermark_abandon -> 6
   | Recovery_stall -> 5
   | Missed_write -> 4

@@ -32,6 +32,12 @@ type t =
   | User_abort
       (** Client-initiated rollback, e.g. TPC-C New-Order's 1 % user
           abort. *)
+  | Stale_replica
+      (** A read-only transaction found {e every} reachable replica's
+          watermark lagging past the configured staleness bound
+          ([max_staleness_us]) — the graceful-degradation abort of the
+          follower-read path.  Replicas that were merely unreachable
+          (no reply at all) report {!Timeout} instead. *)
 
 val all : t list
 (** Every variant, in {!index} order. *)

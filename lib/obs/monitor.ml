@@ -46,6 +46,19 @@ type transition =
   | Ir_op of { replica : string; op : string; consensus : bool }
       (** a TAPIR replica processed IR operation [op], classed as
           consensus ([true]) or inconsistent ([false]) *)
+  | Ro_pin of {
+      replica : string;
+      snap : ver;
+      wm : ver;
+      staleness_us : int;
+      bound_us : int;
+    }
+      (** a follower-read snapshot [snap] was pinned at [replica], whose
+          watermark was [wm]; the snapshot lagged real time by
+          [staleness_us] against the configured [bound_us] *)
+  | Ro_serve of { replica : string; key : string; snap : ver; wm : ver }
+      (** [replica] served a follower-read at snapshot [snap] for [key]
+          while its watermark was [wm] *)
 
 type violation = {
   vi_invariant : string;
@@ -113,6 +126,8 @@ let invariants =
     "store-version-monotone";
     "lock-exclusion";
     "ir-op-class";
+    "ro-snapshot-watermark";
+    "ro-staleness-bound";
   ]
 
 let pp_ver ppf (ts, id) = Format.fprintf ppf "%d.%d" ts id
@@ -254,6 +269,26 @@ let check_ir_op t ~ts ~replica ~op ~consensus =
              (if consensus then "consensus" else "inconsistent")
              (if expect then "consensus" else "inconsistent"))
 
+(* A follower-read snapshot must sit at or above the serving replica's
+   watermark: GC keeps (at least) the newest committed version <= wm per
+   key, so reads at snap >= wm are complete, while snap < wm may have
+   lost the version the snapshot should observe. *)
+let check_ro_wm t ~ts ~replica ~what ~snap ~wm =
+  if vcmp snap wm < 0 then
+    violate t ~ts ~invariant:"ro-snapshot-watermark" ~where:replica
+      ~detail:
+        (Printf.sprintf "%s at snapshot %s below the replica watermark %s"
+           what (ver_str snap) (ver_str wm))
+
+let check_ro_pin t ~ts ~replica ~snap ~wm ~staleness_us ~bound_us =
+  check_ro_wm t ~ts ~replica ~what:"RO pin" ~snap ~wm;
+  if staleness_us > bound_us then
+    violate t ~ts ~invariant:"ro-staleness-bound" ~where:replica
+      ~detail:
+        (Printf.sprintf
+           "RO snapshot %s served %d us stale, bound is %d us" (ver_str snap)
+           staleness_us bound_us)
+
 let observe t ~ts tr =
   if t.enabled then begin
     t.n_observed <- t.n_observed + 1;
@@ -271,6 +306,12 @@ let observe t ~ts tr =
     | Lock_grant { replica; key; txn; mode; writer; readers } ->
       check_lock_grant t ~ts ~replica ~key ~txn ~mode ~writer ~readers
     | Ir_op { replica; op; consensus } -> check_ir_op t ~ts ~replica ~op ~consensus
+    | Ro_pin { replica; snap; wm; staleness_us; bound_us } ->
+      check_ro_pin t ~ts ~replica ~snap ~wm ~staleness_us ~bound_us
+    | Ro_serve { replica; key; snap; wm } ->
+      check_ro_wm t ~ts ~replica
+        ~what:(Printf.sprintf "RO read of key %s" key)
+        ~snap ~wm
   end
 
 let note_kill t ~ts ~replica =

@@ -27,7 +27,12 @@
       holders the table records (one writer, no concurrent readers).
     - ["ir-op-class"] — TAPIR executes each IR operation under its fixed
       class: Prepare/Finalize as consensus, Commit/Abort as
-      inconsistent. *)
+      inconsistent.
+    - ["ro-snapshot-watermark"] — a follower-read snapshot is pinned and
+      served at or above the serving replica's watermark (below it, GC
+      may already have dropped versions the snapshot must observe).
+    - ["ro-staleness-bound"] — a served RO snapshot's staleness at pin
+      time respects the configured [max_staleness_us] bound. *)
 
 type ver = int * int
 (** A transaction version as a [(ts, id)] pair, ordered
@@ -52,6 +57,19 @@ type transition =
       readers : ver list;
     }
   | Ir_op of { replica : string; op : string; consensus : bool }
+  | Ro_pin of {
+      replica : string;
+      snap : ver;
+      wm : ver;
+      staleness_us : int;
+      bound_us : int;
+    }
+      (** a follower-read snapshot was pinned: checks both
+          ["ro-snapshot-watermark"] and ["ro-staleness-bound"] *)
+  | Ro_serve of { replica : string; key : string; snap : ver; wm : ver }
+      (** a follower-read was served one key at [snap]: checks
+          ["ro-snapshot-watermark"] only — a long-running RO transaction
+          lawfully ages past the staleness bound while it runs *)
 
 type violation = {
   vi_invariant : string;  (** a name from {!invariants} *)

@@ -1,0 +1,15 @@
+(* Shared client retry backoff: capped exponential with seeded jitter.
+
+   Before this module every stack carried its own copy of the formula
+   (the closed-loop driver's abort-retry wait, the failover driver's
+   inline duplicate, Morty's prepare-retry jitter).  Both families draw
+   exactly one [Rng.int] per wait, so replacing the inline copies with
+   these helpers leaves every seeded history byte-identical. *)
+
+let full_jitter rng ~base_us ~cap_us ~attempt =
+  let cap = min cap_us (max 1 base_us * (1 lsl min attempt 8)) in
+  1 + Rng.int rng cap
+
+let equal_jitter rng ~base_us ?(max_exp = 6) ~attempt () =
+  let base = base_us * (1 lsl min attempt max_exp) in
+  base + Rng.int rng (max 1 (base / 2))

@@ -1,0 +1,16 @@
+(** Shared client retry backoff: capped exponential with seeded jitter.
+
+    One helper per jitter family, replacing the per-stack ad-hoc copies:
+    every wait draws exactly one number from the caller's seeded
+    {!Rng.t}, so seeded histories are reproducible and the helpers are
+    drop-in equivalents of the formulas they replaced. *)
+
+val full_jitter : Rng.t -> base_us:int -> cap_us:int -> attempt:int -> int
+(** AWS-style full jitter: uniform in [\[1, min cap_us (base_us *
+    2^min(attempt,8))\]].  The closed-loop driver's abort-retry wait and
+    the follower-read redirect wait. *)
+
+val equal_jitter : Rng.t -> base_us:int -> ?max_exp:int -> attempt:int -> unit -> int
+(** Half-deterministic jitter: [base * 2^min(attempt,max_exp)] plus a
+    uniform draw of up to half that (default [max_exp = 6]).  Morty's
+    prepare-retry timer. *)

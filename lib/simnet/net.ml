@@ -34,6 +34,12 @@ type 'm t = {
   mutable dropped : int;
   (* Severed directed links (network partition injection). *)
   cut_links : (node * node, unit) Hashtbl.t;
+  (* Named partition groups (datacenter-granularity cuts): for each
+     active name, exactly the directed links that cut NEWLY severed —
+     links that were already cut (by another group or by [cut_link]) are
+     not recorded, so healing a name restores exactly the pre-cut
+     state. *)
+  named_cuts : (string, (node * node) list) Hashtbl.t;
   (* Fault-injection knobs (deterministic exploration harness).  A
      message is lost with the per-link probability if one is set, else
      the global rate; every surviving message pays up to
@@ -64,6 +70,7 @@ and 'm option_observer = ('m net_event -> unit) option
 let create engine rng ~setup ?(base_delay_us = 60) ?(jitter_us = 20) () =
   { engine; rng; setup; base_delay_us; jitter_us; nodes = [||]; n = 0;
     sent = 0; delivered = 0; dropped = 0; cut_links = Hashtbl.create 16;
+    named_cuts = Hashtbl.create 4;
     loss_rate = 0.; link_loss = Hashtbl.create 16; extra_delay_us = 0;
     send_path = no_path; current = None; observer = None }
 
@@ -182,7 +189,44 @@ let partition t group_a group_b =
         group_b)
     group_a
 
-let heal_all t = Hashtbl.reset t.cut_links
+let heal_all t =
+  Hashtbl.reset t.cut_links;
+  Hashtbl.reset t.named_cuts
+
+let cut_group t ~name ~group ?(dir = `Both) () =
+  if not (Hashtbl.mem t.named_cuts name) then begin
+    let in_group = Array.make t.n false in
+    List.iter
+      (fun g ->
+        ignore (check t g);
+        in_group.(g) <- true)
+      group;
+    let cut = ref [] in
+    let sever src dst =
+      if not (Hashtbl.mem t.cut_links (src, dst)) then begin
+        Hashtbl.replace t.cut_links (src, dst) ();
+        cut := (src, dst) :: !cut
+      end
+    in
+    for other = 0 to t.n - 1 do
+      if not in_group.(other) then
+        List.iter
+          (fun g ->
+            (match dir with `Both | `Out -> sever g other | `In -> ());
+            match dir with `Both | `In -> sever other g | `Out -> ())
+          group
+    done;
+    Hashtbl.replace t.named_cuts name !cut
+  end
+
+let heal_group t ~name =
+  match Hashtbl.find_opt t.named_cuts name with
+  | None -> ()
+  | Some links ->
+    List.iter (fun (src, dst) -> Hashtbl.remove t.cut_links (src, dst)) links;
+    Hashtbl.remove t.named_cuts name
+
+let partition_active t ~name = Hashtbl.mem t.named_cuts name
 
 let set_loss_rate t p =
   if p < 0. || p >= 1. then invalid_arg "Net.set_loss_rate: need 0 <= p < 1";
@@ -201,4 +245,5 @@ let clear_faults t =
   t.loss_rate <- 0.;
   Hashtbl.reset t.link_loss;
   t.extra_delay_us <- 0;
-  Hashtbl.reset t.cut_links
+  Hashtbl.reset t.cut_links;
+  Hashtbl.reset t.named_cuts

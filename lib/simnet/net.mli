@@ -93,10 +93,39 @@ val cut_link : 'm t -> src:node -> dst:node -> unit
 val heal_link : 'm t -> src:node -> dst:node -> unit
 
 val partition : 'm t -> node list -> node list -> unit
-(** Cut every link (both directions) between the two groups. *)
+(** Cut every link (both directions) between the two groups.  Idempotent:
+    repeating a cut is a no-op (cut links form a set, not a count). *)
 
 val heal_all : 'm t -> unit
-(** Remove all link cuts (crashed nodes stay crashed). *)
+(** Remove all link cuts, including named group cuts (crashed nodes stay
+    crashed). *)
+
+(** {2 Named partition groups (datacenter-granularity faults)}
+
+    A named cut isolates a node group — typically every replica and
+    client of one datacenter/region — from the rest of the network, and
+    remembers exactly which directed links {e it} severed: links that
+    were already cut (by another overlapping group or by {!cut_link})
+    are left alone, so healing the name restores exactly the pre-cut
+    connectivity no matter how cuts were layered.  Like {!cut_link},
+    group cuts drop messages at send time, so messages already in flight
+    across the boundary still arrive. *)
+
+val cut_group :
+  'm t -> name:string -> group:node list ->
+  ?dir:[ `Both | `In | `Out ] -> unit -> unit
+(** Sever links between [group] and every other node.  [dir] (default
+    [`Both]) selects which directions to cut relative to the group:
+    [`Out] drops only messages leaving the group, [`In] only messages
+    entering it — asymmetric cuts model one-way reachability failures.
+    Idempotent: if [name] is already active the call is a no-op (heal it
+    first to re-cut with a different group or direction). *)
+
+val heal_group : 'm t -> name:string -> unit
+(** Restore exactly the links {!cut_group} [name] severed; no-op if
+    [name] is not active. *)
+
+val partition_active : 'm t -> name:string -> bool
 
 val set_loss_rate : 'm t -> float -> unit
 (** Probabilistic fault injection: every message is independently lost
@@ -117,8 +146,9 @@ val set_extra_delay : 'm t -> max_us:int -> unit
     RNG. *)
 
 val clear_faults : 'm t -> unit
-(** Reset loss rates, extra delay and all link cuts.  Crashed nodes stay
-    crashed ({!recover} them explicitly). *)
+(** Reset loss rates, extra delay and all link cuts (named groups
+    included).  Crashed nodes stay crashed ({!recover} them
+    explicitly). *)
 
 val messages_sent : 'm t -> int
 

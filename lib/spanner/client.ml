@@ -9,16 +9,28 @@ type commit_state = {
   mutable cs_failed : bool;
 }
 
+(* Follower-read state ([Config.max_staleness_us > 0] only): snapshot
+   reads rotate across the whole group instead of pinning the leader. *)
+type fr_state = {
+  mutable fr_stale_us : int;  (** clock − ro_ts at begin: the pin staleness *)
+  mutable fr_saw_stale : bool;
+  mutable fr_doomed : Obs.Abort_reason.t option;
+      (** set when every redirect is exhausted; reads then resolve
+          immediately so the body still reaches [commit], which reports
+          the typed abort *)
+  fr_redirect : int array;  (** per-group replica-rotation offset *)
+}
+
 type txn = {
   id : Version.t;  (** wound-wait priority *)
   ro : bool;
   ro_id : int;
   ro_ts : int;  (** snapshot timestamp for read-only transactions *)
+  frs : fr_state option;
   mutable reads : (string * Version.t) list;
   mutable read_vals : (string * string) list;
   mutable writes : (string * string) list;  (** reverse program order *)
-  mutable pending : (int * (int * (ctx -> string -> unit))) list;
-      (** seq -> (send time, continuation) *)
+  mutable pending : (int * pend) list;
   mutable next_seq : int;
   mutable doomed : bool;  (** wounded somewhere *)
   mutable finished : bool;
@@ -32,6 +44,13 @@ type txn = {
   mutable exec_us : int;
   mutable prep_us : int;
   mutable fin_us : int;
+}
+
+and pend = {
+  pd_sent : int;
+  pd_key : string;
+  mutable pd_tries : int;  (** redirects so far (follower reads) *)
+  pd_cont : ctx -> string -> unit;
 }
 
 and ctx = { c_txn : txn }
@@ -55,6 +74,8 @@ type record = {
   h_exec_us : int;
   h_prepare_us : int;
   h_finalize_us : int;
+  h_ro : bool;
+  h_staleness_us : int;
 }
 
 type t = {
@@ -62,8 +83,11 @@ type t = {
   engine : Engine.t;
   net : Msg.t Net.t;
   clock : Sim.Clock.t;
+  rng : Sim.Rng.t;
   node : Net.node;
   leaders : int array;
+  groups : int array array;  (** full membership per group, leader first *)
+  closest_ix : int array;  (** per group: index of the closest replica *)
   partition : string -> int;
   mutable last_ts : int;
   mutable last_commit_ts : int;
@@ -73,6 +97,7 @@ type t = {
   stats : stats;
   obs : Obs.Sink.t;
   prof : Obs.Profile.t;
+  mon : Obs.Monitor.t;
   (* Latency-decomposition state for the transaction this (closed-loop)
      client is currently driving; see Obs.Profile. *)
   mutable c_cur : txn option;
@@ -201,6 +226,9 @@ let finish t txn ~ver outcome =
            h_exec_us = txn.exec_us;
            h_prepare_us = txn.prep_us;
            h_finalize_us = txn.fin_us;
+           h_ro = txn.ro;
+           h_staleness_us =
+             (match txn.frs with Some fr -> fr.fr_stale_us | None -> 0);
          }
      | None -> ());
     match txn.commit_cont with Some cont -> cont outcome | None -> ()
@@ -230,23 +258,25 @@ let abort_txn t txn =
 
 (* --- Message handling ----------------------------------------------------- *)
 
+let deliver_read t txn (p : pend) key w_ver value seq =
+  txn.pending <- List.remove_assoc seq txn.pending;
+  txn.reads <- (key, w_ver) :: txn.reads;
+  txn.read_vals <- (key, value) :: txn.read_vals;
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:p.pd_sent
+      ~dur:(Engine.now t.engine - p.pd_sent)
+      ~pid:t.node
+      ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
+      ();
+  p.pd_cont { c_txn = txn } value
+
 let handle_lock_reply t txn_id key value w_ver seq =
   match Hashtbl.find_opt t.txns txn_id with
   | None -> ()
   | Some txn -> (
     match List.assoc_opt seq txn.pending with
     | None -> ()
-    | Some (sent_us, cont) ->
-      txn.pending <- List.remove_assoc seq txn.pending;
-      txn.reads <- (key, w_ver) :: txn.reads;
-      txn.read_vals <- (key, value) :: txn.read_vals;
-      if Obs.Sink.enabled t.obs then
-        Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:sent_us
-          ~dur:(Engine.now t.engine - sent_us)
-          ~pid:t.node
-          ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
-          ();
-      cont { c_txn = txn } value)
+    | Some p -> deliver_read t txn p key w_ver value seq)
 
 let handle_wounded t txn_id =
   match Hashtbl.find_opt t.txns txn_id with
@@ -310,17 +340,77 @@ let handle_ro_reply t ro_id key w_ver value seq =
   | Some txn -> (
     match List.assoc_opt seq txn.pending with
     | None -> ()
-    | Some (sent_us, cont) ->
-      txn.pending <- List.remove_assoc seq txn.pending;
-      txn.reads <- (key, w_ver) :: txn.reads;
-      txn.read_vals <- (key, value) :: txn.read_vals;
-      if Obs.Sink.enabled t.obs then
-        Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:sent_us
-          ~dur:(Engine.now t.engine - sent_us)
-          ~pid:t.node
-          ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
-          ();
-      cont { c_txn = txn } value)
+    | Some p -> deliver_read t txn p key w_ver value seq)
+
+(* --- Follower-read redirects ([Config.max_staleness_us > 0] only) ------ *)
+
+let fr_attempt_cap t = max (2 * Config.n_replicas t.cfg) 6
+
+(* Every redirect path is exhausted: release the outstanding reads with
+   empty values so the body's CPS chain still reaches [commit] (the
+   closed-loop driver blocks on its outcome continuation), where the
+   typed abort is reported. *)
+let fr_doom txn (fr : fr_state) reason =
+  if fr.fr_doomed = None && not txn.finished then begin
+    fr.fr_doomed <- Some reason;
+    let pend = List.sort (fun (a, _) (b, _) -> compare a b) txn.pending in
+    txn.pending <- [];
+    List.iter (fun (_, (p : pend)) -> p.pd_cont { c_txn = txn } "") pend
+  end
+
+let rec fr_send_read t txn (fr : fr_state) seq (p : pend) =
+  let g = t.partition p.pd_key in
+  let members = t.groups.(g) in
+  let n = Array.length members in
+  let dst = members.((t.closest_ix.(g) + fr.fr_redirect.(g)) mod n) in
+  send t dst (Msg.Ro_read { ro_id = txn.ro_id; key = p.pd_key; ts = txn.ro_ts; seq });
+  let tries = p.pd_tries in
+  ignore
+    (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+         (* Unchanged [pd_tries] means no reply and no redirect landed in
+            the meantime: treat the replica as unreachable. *)
+         if
+           (not txn.finished) && fr.fr_doomed = None && p.pd_tries = tries
+           && List.mem_assoc seq txn.pending
+         then fr_redirect_read t txn fr seq p))
+
+and fr_redirect_read t txn (fr : fr_state) seq (p : pend) =
+  if (not txn.finished) && fr.fr_doomed = None then begin
+    p.pd_tries <- p.pd_tries + 1;
+    if p.pd_tries >= fr_attempt_cap t then
+      fr_doom txn fr
+        (if fr.fr_saw_stale then Obs.Abort_reason.Stale_replica
+         else Obs.Abort_reason.Timeout)
+    else begin
+      let g = t.partition p.pd_key in
+      fr.fr_redirect.(g) <- fr.fr_redirect.(g) + 1;
+      let wait =
+        Sim.Backoff.full_jitter t.rng ~base_us:5_000 ~cap_us:160_000
+          ~attempt:p.pd_tries
+      in
+      ignore
+        (Engine.schedule t.engine ~after:wait (fun () ->
+             if
+               (not txn.finished) && fr.fr_doomed = None
+               && List.mem_assoc seq txn.pending
+             then fr_send_read t txn fr seq p))
+    end
+  end
+
+let handle_ro_stale t ro_id seq =
+  match Hashtbl.find_opt t.ro_txns ro_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.frs with
+    | None -> ()
+    | Some fr -> (
+      if txn.finished || fr.fr_doomed <> None then ()
+      else
+        match List.assoc_opt seq txn.pending with
+        | None -> ()
+        | Some p ->
+          fr.fr_saw_stale <- true;
+          fr_redirect_read t txn fr seq p))
 
 let handle t ~src:_ msg =
   match msg with
@@ -331,20 +421,42 @@ let handle t ~src:_ msg =
   | Msg.Prepare_nack { txn; group } -> handle_prepare_nack t txn group
   | Msg.Ro_reply { ro_id; key; w_ver; value; seq } ->
     handle_ro_reply t ro_id key w_ver value seq
+  | Msg.Ro_stale { ro_id; seq } -> handle_ro_stale t ro_id seq
   | Msg.Lock_read _ | Msg.Lock_write _ | Msg.Prepare2pc _ | Msg.Commit2pc _
   | Msg.Abort2pc _ | Msg.Ro_read _ | Msg.Paxos_accept _ | Msg.Paxos_ack _
-  | Msg.Apply _ -> ()
+  | Msg.Apply _ | Msg.Apply_hb _ | Msg.Apply_since _ -> ()
 
 (* --- Public API ------------------------------------------------------------ *)
 
 let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
-    ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ()) ?on_finish () =
+    ?groups ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ())
+    ?(mon = Obs.Monitor.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
+  let groups =
+    match groups with
+    | Some gs -> gs
+    | None -> Array.map (fun l -> [| l |]) leaders
+  in
+  let closest_ix =
+    Array.map
+      (fun members ->
+        let ix = ref 0 and found = ref false in
+        Array.iteri
+          (fun i r ->
+            if (not !found) && Net.region_of net r = region then begin
+              found := true;
+              ix := i
+            end)
+          members;
+        !ix)
+      groups
+  in
   let t =
     {
       cfg; engine; net;
       clock = Sim.Clock.create engine rng ~max_skew:cfg.max_clock_skew_us;
-      node; leaders; partition;
+      rng;
+      node; leaders; groups; closest_ix; partition;
       last_ts = 0;
       last_commit_ts = 0;
       next_ro_id = 0;
@@ -353,6 +465,7 @@ let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
       stats = { begun = 0; committed = 0; aborted = 0; ro_begun = 0; wounds_received = 0 };
       obs;
       prof;
+      mon;
       c_cur = None;
       c_comps = Array.make Obs.Profile.n_cells 0;
       c_last_ev = 0;
@@ -364,7 +477,7 @@ let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
       handle t ~src msg);
   t
 
-let fresh_txn t ~ro =
+let fresh_txn t ~ro ~frs =
   let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
   t.last_ts <- ts;
   let ro_id = t.next_ro_id in
@@ -374,7 +487,13 @@ let fresh_txn t ~ro =
     id = Version.make ~ts ~id:t.node;
     ro;
     ro_id;
-    ro_ts = ts - t.cfg.truetime_eps_us;
+    ro_ts =
+      (* Clamp at 0 under follower reads: in the first eps of a run
+         [ts - eps] is negative, i.e. below any replica's initial safe
+         timestamp, and nothing precedes the epoch anyway. *)
+      (if frs <> None then max 0 (ts - t.cfg.truetime_eps_us)
+       else ts - t.cfg.truetime_eps_us);
+    frs;
     reads = [];
     read_vals = [];
     writes = [];
@@ -398,7 +517,7 @@ let track t txn =
   t.c_last_ev <- txn.t_start_us
 
 let begin_ t body =
-  let txn = fresh_txn t ~ro:false in
+  let txn = fresh_txn t ~ro:false ~frs:None in
   Hashtbl.replace t.txns txn.id txn;
   t.stats.begun <- t.stats.begun + 1;
   track t txn;
@@ -406,7 +525,35 @@ let begin_ t body =
   body { c_txn = txn }
 
 let begin_ro t body =
-  let txn = fresh_txn t ~ro:true in
+  let frs =
+    if t.cfg.max_staleness_us <= 0 then None
+    else
+      Some
+        {
+          (* The snapshot is pinned at begin: ro_ts = ts − eps, so its
+             staleness is the TrueTime uncertainty plus clock skew. *)
+          fr_stale_us = 0;  (* patched below once ro_ts is known *)
+          fr_saw_stale = false;
+          fr_doomed = None;
+          fr_redirect = Array.make (Array.length t.groups) 0;
+        }
+  in
+  let txn = fresh_txn t ~ro:true ~frs in
+  (match frs with
+  | None -> ()
+  | Some fr ->
+    let stale = max 0 (Sim.Clock.read t.clock - txn.ro_ts) in
+    fr.fr_stale_us <- stale;
+    if Obs.Monitor.enabled t.mon then
+      Obs.Monitor.observe t.mon ~ts:(Engine.now t.engine)
+        (Obs.Monitor.Ro_pin
+           {
+             replica = Printf.sprintf "c%d" t.node;
+             snap = (txn.ro_ts, 0);
+             wm = (0, min_int);
+             staleness_us = stale;
+             bound_us = t.cfg.max_staleness_us;
+           }));
   Hashtbl.replace t.ro_txns txn.ro_id txn;
   t.stats.begun <- t.stats.begun + 1;
   t.stats.ro_begun <- t.stats.ro_begun + 1;
@@ -423,17 +570,28 @@ let do_get t ctx key cont ~mode =
     | None -> (
       match List.assoc_opt key txn.read_vals with
       | Some v when mode = `Read -> cont ctx v
-      | Some _ | None ->
-        let seq = txn.next_seq in
-        txn.next_seq <- seq + 1;
-        txn.pending <- (seq, (Engine.now t.engine, cont)) :: txn.pending;
-        let leader = t.leaders.(t.partition key) in
-        if txn.ro then
-          send t leader (Msg.Ro_read { ro_id = txn.ro_id; key; ts = txn.ro_ts; seq })
-        else
-          match mode with
-          | `Read -> send t leader (Msg.Lock_read { txn = txn.id; key; seq })
-          | `Write -> send t leader (Msg.Lock_write { txn = txn.id; key; seq }))
+      | Some _ | None -> (
+        match txn.frs with
+        | Some fr when fr.fr_doomed <> None -> cont ctx ""
+        | frs ->
+          let seq = txn.next_seq in
+          txn.next_seq <- seq + 1;
+          let p =
+            { pd_sent = Engine.now t.engine; pd_key = key; pd_tries = 0;
+              pd_cont = cont }
+          in
+          txn.pending <- (seq, p) :: txn.pending;
+          (match frs with
+          | Some fr -> fr_send_read t txn fr seq p
+          | None ->
+            let leader = t.leaders.(t.partition key) in
+            if txn.ro then
+              send t leader
+                (Msg.Ro_read { ro_id = txn.ro_id; key; ts = txn.ro_ts; seq })
+            else (
+              match mode with
+              | `Read -> send t leader (Msg.Lock_read { txn = txn.id; key; seq })
+              | `Write -> send t leader (Msg.Lock_write { txn = txn.id; key; seq })))))
 
 let get t ctx key cont = do_get t ctx key cont ~mode:`Read
 
@@ -477,9 +635,14 @@ let commit t ctx cont =
   if txn.finished then ()
   else begin
     txn.commit_cont <- Some cont;
-    if txn.ro then
-      (* Snapshot reads commit unilaterally. *)
-      finish t txn ~ver:(history_label t txn) Outcome.Committed
+    if txn.ro then (
+      (* Snapshot reads commit unilaterally — unless every replica of
+         some group was unreachable or too stale. *)
+      match txn.frs with
+      | Some { fr_doomed = Some reason; _ } ->
+        finish t txn ~ver:(history_label t txn) (Outcome.Aborted reason)
+      | Some _ | None ->
+        finish t txn ~ver:(history_label t txn) Outcome.Committed)
     else if txn.doomed then abort_txn t txn
     else if txn.writes = [] then begin
       (* Read-only 2PL transaction: just release the read locks. *)

@@ -35,6 +35,10 @@ type record = {
   h_exec_us : int;
   h_prepare_us : int;
   h_finalize_us : int;  (** TrueTime commit-wait *)
+  h_ro : bool;  (** ran as a read-only snapshot transaction *)
+  h_staleness_us : int;
+      (** snapshot staleness at begin (clock − ro_ts); [0] unless
+          follower reads are enabled ([Config.max_staleness_us > 0]) *)
 }
 
 val create :
@@ -45,14 +49,20 @@ val create :
   region:Simnet.Latency.region ->
   leaders:int array ->
   partition:(string -> int) ->
+  ?groups:int array array ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
-(** [leaders.(g)] is the node id of group [g]'s leader.  [prof] receives
-    latency decomposition and outcome hooks (default
-    {!Obs.Profile.null}). *)
+(** [leaders.(g)] is the node id of group [g]'s leader.  [groups.(g)]
+    (default: just the leaders) lists group [g]'s full membership,
+    leader first — required for follower reads, whose snapshot requests
+    rotate across the whole group.  [prof] receives latency
+    decomposition and outcome hooks (default {!Obs.Profile.null});
+    [mon] (default {!Obs.Monitor.null}) checks snapshot pins against
+    the staleness bound. *)
 
 val node : t -> Simnet.Net.node
 
@@ -66,6 +76,15 @@ val last_comps : t -> int array
 val begin_ : t -> (ctx -> unit) -> unit
 
 val begin_ro : t -> (ctx -> unit) -> unit
+(** Lock-free snapshot read at [ro_ts = begin_ts − truetime_eps].  With
+    [Config.max_staleness_us = 0] (default) every read goes to the
+    key's group leader, queueing until safe time passes the snapshot.
+    Otherwise reads rotate across the whole group (closest replica
+    first, leader included, capped jittered backoff between redirects):
+    followers serve from their heartbeat-driven safe time and bounce
+    requests they cannot serve.  When the rotation exhausts after at
+    least one stale bounce the transaction aborts with
+    {!Obs.Abort_reason.Stale_replica}; with silence only, [Timeout]. *)
 
 val get : t -> ctx -> string -> (ctx -> string -> unit) -> unit
 

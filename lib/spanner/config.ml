@@ -9,6 +9,8 @@ type t = {
   ro_cost_us : int;
   paxos_cost_us : int;
   prepare_timeout_us : int;
+  max_staleness_us : int;
+  hb_interval_us : int;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     ro_cost_us = 8;
     paxos_cost_us = 6;
     prepare_timeout_us = 1_000_000;
+    max_staleness_us = 0;
+    hb_interval_us = 25_000;
   }
 
 let n_replicas t = (2 * t.f) + 1

@@ -18,6 +18,16 @@ type t = {
   prepare_timeout_us : int;
       (** breaks cross-leader 2PC deadlocks: a prepare whose write locks
           are still queued after this long is wounded *)
+  max_staleness_us : int;
+      (** follower-read staleness bound for [begin_ro] transactions.
+          [0] (default) keeps all read-only traffic on the leader — no
+          new messages, timers or RNG draws, so seeded runs stay
+          byte-identical.  When positive, snapshot reads rotate across
+          the whole group: followers serve timestamps at or below their
+          safe time, built from gap-free leader applies and heartbeats *)
+  hb_interval_us : int;
+      (** leader safe-time heartbeat period to followers (only active
+          when [max_staleness_us > 0]) *)
 }
 
 val default : t

@@ -14,7 +14,15 @@ type t =
   | Ro_reply of { ro_id : int; key : string; w_ver : Version.t; value : string; seq : int }
   | Paxos_accept of { group : int; log_index : int }
   | Paxos_ack of { group : int; log_index : int }
-  | Apply of { writes : (string * string) list; commit_ver : Version.t }
+  | Apply of {
+      seq : int;
+      safe_ts : int;
+      writes : (string * string) list;
+      commit_ver : Version.t;
+    }
+  | Ro_stale of { ro_id : int; seq : int }
+  | Apply_hb of { last_seq : int; safe_ts : int }
+  | Apply_since of { from_seq : int }
 
 let label = function
   | Lock_read _ -> "lock_read"
@@ -31,3 +39,6 @@ let label = function
   | Paxos_accept _ -> "paxos_accept"
   | Paxos_ack _ -> "paxos_ack"
   | Apply _ -> "apply"
+  | Ro_stale _ -> "ro_stale"
+  | Apply_hb _ -> "apply_hb"
+  | Apply_since _ -> "apply_since"

@@ -28,7 +28,24 @@ type t =
   | Paxos_accept of { group : int; log_index : int }
       (** leader → follower: replicate a prepare/commit record *)
   | Paxos_ack of { group : int; log_index : int }
-  | Apply of { writes : (string * string) list; commit_ver : Version.t }
+  | Apply of {
+      seq : int;  (** per-group apply sequence number (gap detection) *)
+      safe_ts : int;
+          (** leader safe time when the apply was shipped: once a
+              follower has applied gap-free through [seq], every commit
+              with timestamp [<= safe_ts] is in its store *)
+      writes : (string * string) list;
+      commit_ver : Version.t;
+    }
       (** leader → followers: install committed data *)
+  | Ro_stale of { ro_id : int; seq : int }
+      (** follower → client: its safe time lags the snapshot — redirect *)
+  | Apply_hb of { last_seq : int; safe_ts : int }
+      (** leader → followers: safe-time heartbeat, so follower reads
+          stay fresh across write-idle periods (only sent when
+          [Config.max_staleness_us > 0]) *)
+  | Apply_since of { from_seq : int }
+      (** follower → leader: replay applies after [from_seq] (gap
+          detected via heartbeat) *)
 
 val label : t -> string

@@ -52,11 +52,21 @@ type t = {
   mutable max_commit_ts : int;
   stats : stats;
   mutable stopped : bool;
+  (* Follower reads (leader side): applies are numbered so followers can
+     detect gaps, and logged for replay when max_staleness_us > 0. *)
+  mutable apply_seq : int;
+  apply_log : (int, (string * string) list * Version.t * int) Hashtbl.t;
+  (* Follower reads (follower side): highest gap-free apply, buffered
+     out-of-order applies, and the safe time those applies support. *)
+  mutable applied_seq : int;
+  apply_buf : (int, (string * string) list * Version.t * int) Hashtbl.t;
+  mutable follower_safe_ts : int;  (* -1 = none yet *)
 }
 
 let node t = t.node
 let cpu t = t.cpu
 let is_leader t = t.index = 0
+let follower_safe_ts t = t.follower_safe_ts
 let stats t = t.stats
 let stop t = t.stopped <- true
 let is_stopped t = t.stopped
@@ -343,10 +353,19 @@ let handle_commit2pc t txn commit_ver =
                    { replica = mon_label t; key; ver = vpair commit_ver }))
           p.pr_writes;
         t.max_commit_ts <- max t.max_commit_ts commit_ver.Version.ts;
+        t.apply_seq <- t.apply_seq + 1;
+        let seq = t.apply_seq in
+        (* The safe time shipped with an apply is computed after the
+           install above, so a gap-free follower at [seq] holds every
+           commit with timestamp <= safe_ts. *)
+        let safe_ts = safe_time t in
+        if t.cfg.max_staleness_us > 0 then
+          Hashtbl.replace t.apply_log seq (p.pr_writes, commit_ver, safe_ts);
         Array.iteri
           (fun i dst ->
             if i <> t.index then
-              send t dst (Msg.Apply { writes = p.pr_writes; commit_ver }))
+              send t dst
+                (Msg.Apply { seq; safe_ts; writes = p.pr_writes; commit_ver }))
           t.peers;
         cleanup_txn t txn)
 
@@ -356,11 +375,74 @@ let handle_ro_read t ~src ro_id key ts seq =
     let w_ver, value = latest_below t key (Version.make ~ts ~id:max_int) in
     send t src (Msg.Ro_reply { ro_id; key; w_ver; value; seq })
   in
-  if ts <= safe_time t then serve ()
-  else begin
-    t.ro_waiting <- (ts, serve) :: t.ro_waiting;
-    ignore (Engine.schedule t.engine ~after:1_000 (fun () -> check_ro_queue t))
+  if is_leader t then
+    (* Leader: safe time always catches up, so queue rather than bounce. *)
+    if ts <= safe_time t then serve ()
+    else begin
+      t.ro_waiting <- (ts, serve) :: t.ro_waiting;
+      ignore (Engine.schedule t.engine ~after:1_000 (fun () -> check_ro_queue t))
+    end
+  else if ts <= t.follower_safe_ts then begin
+    if Obs.Monitor.enabled t.mon then
+      observe t
+        (Obs.Monitor.Ro_serve
+           { replica = mon_label t; key; snap = (ts, 0); wm = (0, min_int) });
+    serve ()
   end
+  else send t src (Msg.Ro_stale { ro_id; seq })
+
+(* --- Follower apply stream (follower reads) ------------------------------- *)
+
+let apply_writes t writes commit_ver =
+  List.iter
+    (fun (key, value) ->
+      let m = versions t key in
+      m := Version.Map.add commit_ver value !m;
+      if Obs.Monitor.enabled t.mon then
+        observe t
+          (Obs.Monitor.Commit_install
+             { replica = mon_label t; key; ver = vpair commit_ver }))
+    writes
+
+(* Install every buffered apply that extends the gap-free prefix; the
+   safe time advances with the newest installed entry. *)
+let drain_applies t =
+  let rec go () =
+    match Hashtbl.find_opt t.apply_buf (t.applied_seq + 1) with
+    | None -> ()
+    | Some (writes, commit_ver, safe_ts) ->
+      Hashtbl.remove t.apply_buf (t.applied_seq + 1);
+      t.applied_seq <- t.applied_seq + 1;
+      apply_writes t writes commit_ver;
+      t.follower_safe_ts <- max t.follower_safe_ts safe_ts;
+      go ()
+  in
+  go ()
+
+let handle_apply t seq safe_ts writes commit_ver =
+  if t.cfg.max_staleness_us = 0 then apply_writes t writes commit_ver
+  else begin
+    if seq > t.applied_seq then
+      Hashtbl.replace t.apply_buf seq (writes, commit_ver, safe_ts);
+    drain_applies t
+  end
+
+let handle_apply_hb t ~src last_seq safe_ts =
+  drain_applies t;
+  if t.applied_seq >= last_seq then
+    t.follower_safe_ts <- max t.follower_safe_ts safe_ts
+  else
+    (* Heartbeat-paced catch-up keeps the request rate bounded even when
+       a partition dropped a long run of applies. *)
+    send t src (Msg.Apply_since { from_seq = t.applied_seq })
+
+let handle_apply_since t ~src from_seq =
+  for seq = from_seq + 1 to t.apply_seq do
+    match Hashtbl.find_opt t.apply_log seq with
+    | None -> ()
+    | Some (writes, commit_ver, safe_ts) ->
+      send t src (Msg.Apply { seq; safe_ts; writes; commit_ver })
+  done
 
 let handle t ~src msg =
   if t.stopped then ()
@@ -376,25 +458,20 @@ let handle t ~src msg =
     (* Follower: acknowledge to the leader. *)
     send t t.peers.(0) (Msg.Paxos_ack { group = t.group; log_index })
   | Msg.Paxos_ack { group = _; log_index } -> handle_paxos_ack t log_index
-  | Msg.Apply { writes; commit_ver } ->
-    List.iter
-      (fun (key, value) ->
-        let m = versions t key in
-        m := Version.Map.add commit_ver value !m;
-        if Obs.Monitor.enabled t.mon then
-          observe t
-            (Obs.Monitor.Commit_install
-               { replica = mon_label t; key; ver = vpair commit_ver }))
-      writes
+  | Msg.Apply { seq; safe_ts; writes; commit_ver } ->
+    handle_apply t seq safe_ts writes commit_ver
+  | Msg.Apply_hb { last_seq; safe_ts } -> handle_apply_hb t ~src last_seq safe_ts
+  | Msg.Apply_since { from_seq } -> handle_apply_since t ~src from_seq
   | Msg.Lock_reply _ | Msg.Wounded _ | Msg.Prepare_ack _ | Msg.Prepare_nack _
-  | Msg.Ro_reply _ -> ()
+  | Msg.Ro_reply _ | Msg.Ro_stale _ -> ()
 
 let service_cost t = function
   | Msg.Lock_read _ | Msg.Lock_write _ -> t.cfg.lock_cost_us
   | Msg.Prepare2pc _ -> t.cfg.prepare_cost_us
   | Msg.Commit2pc _ | Msg.Abort2pc _ -> t.cfg.commit_cost_us
-  | Msg.Ro_read _ -> t.cfg.ro_cost_us
-  | Msg.Paxos_accept _ | Msg.Paxos_ack _ | Msg.Apply _ -> t.cfg.paxos_cost_us
+  | Msg.Ro_read _ | Msg.Ro_stale _ -> t.cfg.ro_cost_us
+  | Msg.Paxos_accept _ | Msg.Paxos_ack _ | Msg.Apply _ | Msg.Apply_hb _
+  | Msg.Apply_since _ -> t.cfg.paxos_cost_us
   | Msg.Lock_reply _ | Msg.Wounded _ | Msg.Prepare_ack _ | Msg.Prepare_nack _
   | Msg.Ro_reply _ -> t.cfg.lock_cost_us
 
@@ -445,8 +522,8 @@ let busy_owner = function
   | Msg.Abort2pc { txn } | Msg.Lock_reply { txn; _ } | Msg.Wounded { txn }
   | Msg.Prepare_ack { txn; _ } | Msg.Prepare_nack { txn; _ } ->
     Some (txn.Version.ts, txn.Version.id)
-  | Msg.Ro_read _ | Msg.Ro_reply _ | Msg.Paxos_accept _ | Msg.Paxos_ack _
-  | Msg.Apply _ -> None
+  | Msg.Ro_read _ | Msg.Ro_reply _ | Msg.Ro_stale _ | Msg.Paxos_accept _
+  | Msg.Paxos_ack _ | Msg.Apply _ | Msg.Apply_hb _ | Msg.Apply_since _ -> None
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
@@ -474,8 +551,33 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
       max_commit_ts = 0;
       stats = { wounds = 0; prepares = 0; nacks = 0; ro_reads = 0; lock_waits = 0 };
       stopped = false;
+      apply_seq = 0;
+      apply_log = Hashtbl.create 256;
+      applied_seq = 0;
+      apply_buf = Hashtbl.create 64;
+      follower_safe_ts = -1;
     }
   in
+  (* Safe-time heartbeats exist only when follower reads are enabled, so
+     the default configuration's event sequence is unchanged. *)
+  if index = 0 && cfg.Config.max_staleness_us > 0 && cfg.Config.hb_interval_us > 0
+  then begin
+    let rec tick () =
+      ignore
+        (Engine.schedule t.engine ~after:cfg.Config.hb_interval_us (fun () ->
+             if t.stopped then ()
+             else begin
+               let hb =
+                 Msg.Apply_hb { last_seq = t.apply_seq; safe_ts = safe_time t }
+               in
+               Array.iteri
+                 (fun i dst -> if i <> t.index then send t dst hb)
+                 t.peers;
+               tick ()
+             end))
+    in
+    tick ()
+  end;
   Net.set_handler net node (fun ~src msg ->
       let transit_us =
         match Net.current_delivery net with
@@ -507,7 +609,8 @@ let state_view t =
     Obs.Monitor.v_replica = mon_label t;
     v_stopped = t.stopped;
     v_recovering = false;
-    v_watermark = None;
+    v_watermark =
+      (if t.follower_safe_ts >= 0 then Some (t.follower_safe_ts, 0) else None);
     v_records = Hashtbl.length t.prepared;
     v_store_keys = Hashtbl.length t.store;
     v_store_versions = versions_total;

@@ -67,6 +67,11 @@ val cpu : t -> Simnet.Cpu.t
 
 val is_leader : t -> bool
 
+val follower_safe_ts : t -> int
+(** Safe time this follower can serve snapshot reads at, derived from
+    gap-free leader applies and heartbeats ([-1] until the first one
+    lands; only advances when [Config.max_staleness_us > 0]). *)
+
 val load : t -> (string * string) list -> unit
 
 val stats : t -> stats

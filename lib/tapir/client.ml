@@ -13,14 +13,28 @@ type group_state = {
 
 type phase = Executing | Committing of group_state list | Done
 
+(* Follower-read (snapshot) state.  The snapshot is a single timestamp
+   shared by every read of the transaction, fixed adaptively by the
+   first replica that serves it ([ro_snap = -1] until then). *)
+type ro_state = {
+  mutable ro_snap : int;
+  mutable ro_stale_us : int;  (** clock − snapshot at pin time *)
+  mutable ro_saw_stale : bool;
+  mutable ro_doomed : Obs.Abort_reason.t option;
+      (** set when every redirect is exhausted; reads then resolve
+          immediately so the body still reaches [commit], which reports
+          the typed abort *)
+  ro_redirect : int array;  (** per-group replica-rotation offset *)
+}
+
 type txn = {
   id : Version.t;
   mutable reads : (string * Version.t) list;  (** reverse program order *)
   mutable read_vals : (string * string) list;
   mutable writes : (string * string) list;  (** reverse program order *)
-  mutable pending : (int * (int * (ctx -> string -> unit))) list;
-      (** seq -> (send time, continuation) *)
+  mutable pending : (int * pend) list;
   mutable next_seq : int;
+  ro : ro_state option;
   mutable phase : phase;
   mutable finished : bool;
   mutable commit_cont : (Outcome.t -> unit) option;
@@ -33,6 +47,13 @@ type txn = {
   mutable exec_us : int;
   mutable prep_us : int;
   mutable fin_us : int;
+}
+
+and pend = {
+  pd_sent : int;
+  pd_key : string;
+  mutable pd_tries : int;  (** redirects so far (follower reads) *)
+  pd_cont : ctx -> string -> unit;
 }
 
 and ctx = { c_txn : txn }
@@ -56,6 +77,8 @@ type record = {
   h_exec_us : int;
   h_prepare_us : int;
   h_finalize_us : int;
+  h_ro : bool;
+  h_staleness_us : int;
 }
 
 type t = {
@@ -63,15 +86,17 @@ type t = {
   engine : Engine.t;
   net : Msg.t Net.t;
   clock : Sim.Clock.t;
+  rng : Sim.Rng.t;
   node : Net.node;
   groups : int array array;
-  closest : Net.node array;  (** per group *)
+  closest_ix : int array;  (** per group: index of the closest replica *)
   partition : string -> int;
   mutable last_ts : int;
   txns : (Version.t, txn) Hashtbl.t;
   stats : stats;
   obs : Obs.Sink.t;
   prof : Obs.Profile.t;
+  mon : Obs.Monitor.t;
   (* Latency-decomposition state for the transaction this (closed-loop)
      client is currently driving; see Obs.Profile. *)
   mutable c_cur : txn option;
@@ -195,6 +220,11 @@ let finish t txn outcome =
            h_exec_us = txn.exec_us;
            h_prepare_us = txn.prep_us;
            h_finalize_us = txn.fin_us;
+           h_ro = (match txn.ro with Some _ -> true | None -> false);
+           h_staleness_us =
+             (match txn.ro with
+             | Some ro when ro.ro_snap >= 0 -> ro.ro_stale_us
+             | Some _ | None -> 0);
          }
      | None -> ());
     match txn.commit_cont with Some cont -> cont outcome | None -> ()
@@ -262,23 +292,134 @@ and arm_commit_timer t txn gs =
            | Committing _ | Executing | Done -> ()
          end))
 
+let deliver_read t txn (p : pend) key w_ver value seq =
+  txn.pending <- List.remove_assoc seq txn.pending;
+  txn.reads <- (key, w_ver) :: txn.reads;
+  txn.read_vals <- (key, value) :: txn.read_vals;
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:p.pd_sent
+      ~dur:(Engine.now t.engine - p.pd_sent)
+      ~pid:t.node
+      ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
+      ();
+  p.pd_cont { c_txn = txn } value
+
 let handle_read_reply t txn_id key w_ver value seq =
   match Hashtbl.find_opt t.txns txn_id with
   | None -> ()
   | Some txn -> (
     match List.assoc_opt seq txn.pending with
     | None -> ()
-    | Some (sent_us, cont) ->
-      txn.pending <- List.remove_assoc seq txn.pending;
-      txn.reads <- (key, w_ver) :: txn.reads;
-      txn.read_vals <- (key, value) :: txn.read_vals;
-      if Obs.Sink.enabled t.obs then
-        Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:sent_us
-          ~dur:(Engine.now t.engine - sent_us)
-          ~pid:t.node
-          ~args:[ ver_arg txn; ("key", Obs.Sink.S key) ]
-          ();
-      cont { c_txn = txn } value)
+    | Some p -> deliver_read t txn p key w_ver value seq)
+
+(* --- Follower reads ---------------------------------------------------- *)
+
+let ro_attempt_cap t = max (2 * Config.n_replicas t.cfg) 6
+
+(* Every redirect path is exhausted: release the outstanding reads with
+   empty values so the body's CPS chain still reaches [commit] (the
+   closed-loop driver blocks on its outcome continuation), where the
+   typed abort is reported. *)
+let ro_doom _t txn (ro : ro_state) reason =
+  if ro.ro_doomed = None && not txn.finished then begin
+    ro.ro_doomed <- Some reason;
+    let pend = List.sort (fun (a, _) (b, _) -> compare a b) txn.pending in
+    txn.pending <- [];
+    List.iter (fun (_, (p : pend)) -> p.pd_cont { c_txn = txn } "") pend
+  end
+
+let rec ro_send_read t txn (ro : ro_state) seq (p : pend) =
+  let g = t.partition p.pd_key in
+  let n = n_per_group t in
+  let dst = t.groups.(g).((t.closest_ix.(g) + ro.ro_redirect.(g)) mod n) in
+  send t dst (Msg.Ro_read { txn = txn.id; key = p.pd_key; seq; snap = ro.ro_snap });
+  let tries = p.pd_tries in
+  ignore
+    (Engine.schedule t.engine ~after:t.cfg.prepare_timeout_us (fun () ->
+         (* Unchanged [pd_tries] means no reply and no redirect landed in
+            the meantime: treat the replica as unreachable. *)
+         if
+           (not txn.finished) && ro.ro_doomed = None && p.pd_tries = tries
+           && List.mem_assoc seq txn.pending
+         then ro_redirect_read t txn ro seq p))
+
+and ro_redirect_read t txn (ro : ro_state) seq (p : pend) =
+  if (not txn.finished) && ro.ro_doomed = None then begin
+    p.pd_tries <- p.pd_tries + 1;
+    if p.pd_tries >= ro_attempt_cap t then
+      ro_doom t txn ro
+        (if ro.ro_saw_stale then Obs.Abort_reason.Stale_replica
+         else Obs.Abort_reason.Timeout)
+    else begin
+      let g = t.partition p.pd_key in
+      ro.ro_redirect.(g) <- ro.ro_redirect.(g) + 1;
+      let wait =
+        Sim.Backoff.full_jitter t.rng ~base_us:5_000 ~cap_us:160_000
+          ~attempt:p.pd_tries
+      in
+      ignore
+        (Engine.schedule t.engine ~after:wait (fun () ->
+             if
+               (not txn.finished) && ro.ro_doomed = None
+               && List.mem_assoc seq txn.pending
+             then ro_send_read t txn ro seq p))
+    end
+  end
+
+let ro_replica_label t (ro : ro_state) g =
+  Printf.sprintf "g%dr%d" g ((t.closest_ix.(g) + ro.ro_redirect.(g)) mod n_per_group t)
+
+let handle_ro_reply t txn_id key w_ver value seq snap =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.ro with
+    | None -> ()
+    | Some ro -> (
+      if txn.finished || ro.ro_doomed <> None then ()
+      else
+        match List.assoc_opt seq txn.pending with
+        | None -> ()
+        | Some p ->
+          if ro.ro_snap < 0 then begin
+            (* Pin attempt: the replica offered its applied watermark. *)
+            let stale = max 0 (Sim.Clock.read t.clock - snap) in
+            if stale > t.cfg.max_staleness_us then begin
+              ro.ro_saw_stale <- true;
+              ro_redirect_read t txn ro seq p
+            end
+            else begin
+              ro.ro_snap <- snap;
+              ro.ro_stale_us <- stale;
+              if Obs.Monitor.enabled t.mon then
+                Obs.Monitor.observe t.mon ~ts:(Engine.now t.engine)
+                  (Obs.Monitor.Ro_pin
+                     {
+                       replica = ro_replica_label t ro (t.partition key);
+                       snap = (snap, 0);
+                       wm = (0, min_int);
+                       staleness_us = stale;
+                       bound_us = t.cfg.max_staleness_us;
+                     });
+              deliver_read t txn p key w_ver value seq
+            end
+          end
+          else deliver_read t txn p key w_ver value seq))
+
+let handle_ro_stale t txn_id seq =
+  match Hashtbl.find_opt t.txns txn_id with
+  | None -> ()
+  | Some txn -> (
+    match txn.ro with
+    | None -> ()
+    | Some ro -> (
+      if txn.finished || ro.ro_doomed <> None then ()
+      else
+        match List.assoc_opt seq txn.pending with
+        | None -> ()
+        | Some p ->
+          ro.ro_saw_stale <- true;
+          ro_redirect_read t txn ro seq p))
 
 let handle_prepare_reply t txn_id group ~src vote =
   match Hashtbl.find_opt t.txns txn_id with
@@ -321,31 +462,42 @@ let handle t ~src msg =
     handle_read_reply t txn key w_ver value seq
   | Msg.Prepare_reply { txn; group; vote } -> handle_prepare_reply t txn group ~src vote
   | Msg.Finalize_reply { txn; group; vote } -> handle_finalize_reply t txn group vote
-  | Msg.Read _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Commit _ | Msg.Abort _ -> ()
+  | Msg.Ro_reply { txn; key; w_ver; value; seq; snap } ->
+    handle_ro_reply t txn key w_ver value seq snap
+  | Msg.Ro_stale { txn; seq; wm = _ } -> handle_ro_stale t txn seq
+  | Msg.Read _ | Msg.Prepare _ | Msg.Finalize _ | Msg.Commit _ | Msg.Abort _
+  | Msg.Wm_mark _ | Msg.Wm_ack _ | Msg.Wm_install _ | Msg.Ro_read _ -> ()
 
 let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
-    ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ()) ?on_finish () =
+    ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ())
+    ?(mon = Obs.Monitor.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
-  let closest =
+  let closest_ix =
     Array.map
       (fun replicas ->
-        match
-          List.find_opt (fun r -> Net.region_of net r = region) (Array.to_list replicas)
-        with
-        | Some r -> r
-        | None -> replicas.(0))
+        let ix = ref 0 and found = ref false in
+        Array.iteri
+          (fun i r ->
+            if (not !found) && Net.region_of net r = region then begin
+              found := true;
+              ix := i
+            end)
+          replicas;
+        !ix)
       groups
   in
   let t =
     {
       cfg; engine; net;
       clock = Sim.Clock.create engine rng ~max_skew:cfg.max_clock_skew_us;
-      node; groups; closest; partition;
+      rng;
+      node; groups; closest_ix; partition;
       last_ts = 0;
       txns = Hashtbl.create 16;
       stats = { begun = 0; committed = 0; aborted = 0; fast_commits = 0; slow_commits = 0 };
       obs;
       prof;
+      mon;
       c_cur = None;
       c_comps = Array.make Obs.Profile.n_cells 0;
       c_last_ev = 0;
@@ -357,7 +509,7 @@ let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
       handle t ~src msg);
   t
 
-let begin_ t body =
+let begin_with t ~ro body =
   let ts = max (Sim.Clock.read t.clock) (t.last_ts + 1) in
   t.last_ts <- ts;
   let id = Version.make ~ts ~id:t.node in
@@ -365,6 +517,7 @@ let begin_ t body =
   let txn =
     {
       id; reads = []; read_vals = []; writes = []; pending = []; next_seq = 0;
+      ro;
       phase = Executing; finished = false; commit_cont = None; slow = false;
       t_start_us = now; seg = `Exec; ph_start_us = now; exec_us = 0;
       prep_us = 0; fin_us = 0;
@@ -378,7 +531,22 @@ let begin_ t body =
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
   body { c_txn = txn }
 
-let begin_ro = begin_
+let begin_ t body = begin_with t ~ro:None body
+
+let begin_ro t body =
+  if t.cfg.max_staleness_us <= 0 then begin_ t body
+  else
+    begin_with t
+      ~ro:
+        (Some
+           {
+             ro_snap = -1;
+             ro_stale_us = 0;
+             ro_saw_stale = false;
+             ro_doomed = None;
+             ro_redirect = Array.make (Array.length t.groups) 0;
+           })
+      body
 
 let get t ctx key cont =
   let txn = ctx.c_txn in
@@ -389,17 +557,37 @@ let get t ctx key cont =
     | None -> (
       match List.assoc_opt key txn.read_vals with
       | Some v -> cont ctx v
-      | None ->
-        let seq = txn.next_seq in
-        txn.next_seq <- seq + 1;
-        txn.pending <- (seq, (Engine.now t.engine, cont)) :: txn.pending;
-        send t t.closest.(t.partition key) (Msg.Read { txn = txn.id; key; seq }))
+      | None -> (
+        match txn.ro with
+        | Some ro when ro.ro_doomed <> None -> cont ctx ""
+        | Some ro ->
+          let seq = txn.next_seq in
+          txn.next_seq <- seq + 1;
+          let p =
+            { pd_sent = Engine.now t.engine; pd_key = key; pd_tries = 0;
+              pd_cont = cont }
+          in
+          txn.pending <- (seq, p) :: txn.pending;
+          ro_send_read t txn ro seq p
+        | None ->
+          let seq = txn.next_seq in
+          txn.next_seq <- seq + 1;
+          let p =
+            { pd_sent = Engine.now t.engine; pd_key = key; pd_tries = 0;
+              pd_cont = cont }
+          in
+          txn.pending <- (seq, p) :: txn.pending;
+          let g = t.partition key in
+          send t t.groups.(g).(t.closest_ix.(g)) (Msg.Read { txn = txn.id; key; seq })))
 
 let get_for_update = get
 
 let put _t ctx key value =
   let txn = ctx.c_txn in
-  if not txn.finished then txn.writes <- (key, value) :: txn.writes;
+  (* Follower-read transactions are read-only by contract; writes are
+     dropped rather than smuggled into a validation-free commit. *)
+  if (not txn.finished) && txn.ro == None then
+    txn.writes <- (key, value) :: txn.writes;
   ctx
 
 let abort t ctx =
@@ -424,8 +612,13 @@ let abort t ctx =
         ];
     (* Nothing is prepared yet, but replicas may hold read registrations;
        an Abort message is harmless and frees any prepared state from a
-       duplicate path. *)
-    List.iter (fun g -> broadcast_group t g (Msg.Abort { txn = txn.id })) (participants txn t)
+       duplicate path.  Follower reads leave no replica state at all. *)
+    match txn.ro with
+    | Some _ -> ()
+    | None ->
+      List.iter
+        (fun g -> broadcast_group t g (Msg.Abort { txn = txn.id }))
+        (participants txn t)
   end
 
 let commit t ctx cont =
@@ -433,6 +626,14 @@ let commit t ctx cont =
   if txn.finished then ()
   else begin
     txn.commit_cont <- Some cont;
+    match txn.ro with
+    | Some ro -> (
+      (* Snapshot reads below an installed enforcement watermark are
+         final — no validation round is needed. *)
+      match ro.ro_doomed with
+      | Some reason -> finish t txn (Outcome.Aborted reason)
+      | None -> finish t txn Outcome.Committed)
+    | None ->
     let parts = participants txn t in
     match parts with
     | [] -> finish t txn Outcome.Committed

@@ -30,6 +30,10 @@ type record = {
   h_exec_us : int;
   h_prepare_us : int;
   h_finalize_us : int;
+  h_ro : bool;  (** ran on the follower-read (snapshot) path *)
+  h_staleness_us : int;
+      (** snapshot staleness at pin time (clock − snapshot); [0] for
+          read-write transactions and unpinned aborts *)
 }
 
 val create :
@@ -42,12 +46,15 @@ val create :
   partition:(string -> int) ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
+  ?mon:Obs.Monitor.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
 (** [groups.(g)] lists the replica node ids of group [g]; [partition]
     maps a key to its group index.  [prof] receives latency
-    decomposition and outcome hooks (default {!Obs.Profile.null}). *)
+    decomposition and outcome hooks (default {!Obs.Profile.null});
+    [mon] (default {!Obs.Monitor.null}) checks follower-read snapshot
+    pins against the staleness bound. *)
 
 val node : t -> Simnet.Net.node
 
@@ -61,6 +68,17 @@ val last_comps : t -> int array
 val begin_ : t -> (ctx -> unit) -> unit
 
 val begin_ro : t -> (ctx -> unit) -> unit
+(** With [Config.max_staleness_us = 0] (default), same as {!begin_}.
+    Otherwise the transaction becomes a follower read: the first read
+    adaptively pins a single snapshot timestamp at the serving
+    replica's applied enforcement watermark (closest replica first,
+    rotating through the group under capped jittered backoff when one
+    is unreachable, too stale, or lags the pinned snapshot), every
+    later read is served at that same snapshot by whichever replica of
+    the key's group has applied it, and commit needs no validation.
+    When redirects exhaust after at least one too-stale reply the
+    transaction aborts with {!Obs.Abort_reason.Stale_replica}; with
+    silence only, [Timeout]. *)
 
 val get : t -> ctx -> string -> (ctx -> string -> unit) -> unit
 

@@ -7,6 +7,8 @@ type t = {
   commit_cost_us : int;
   max_clock_skew_us : int;
   prepare_timeout_us : int;
+  max_staleness_us : int;
+  wm_interval_us : int;
 }
 
 let default =
@@ -19,6 +21,8 @@ let default =
     commit_cost_us = 10;
     max_clock_skew_us = 500;
     prepare_timeout_us = 400_000;
+    max_staleness_us = 0;
+    wm_interval_us = 25_000;
   }
 
 let n_replicas t = (2 * t.f) + 1

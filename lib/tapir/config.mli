@@ -11,6 +11,15 @@ type t = {
   commit_cost_us : int;
   max_clock_skew_us : int;
   prepare_timeout_us : int;
+  max_staleness_us : int;
+      (** follower-read staleness bound for [begin_ro] transactions.
+          [0] (default) disables both follower reads and the
+          enforcement-watermark rounds — no new messages, timers or RNG
+          draws, so seeded runs stay byte-identical *)
+  wm_interval_us : int;
+      (** period of the per-group enforcement-watermark rounds run by
+          each group's replica 0 (only active when
+          [max_staleness_us > 0]) *)
 }
 
 val default : t

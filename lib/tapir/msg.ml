@@ -15,6 +15,28 @@ type t =
   | Finalize_reply of { txn : Version.t; group : int; vote : vote }
   | Commit of { txn : Version.t; writes : (string * string) list }
   | Abort of { txn : Version.t }
+  | Wm_mark of { round : int; w : int }
+  | Wm_ack of {
+      round : int;
+      w : int;
+      ok : bool;
+      commits : (string * Version.t * string) list;
+    }
+  | Wm_install of {
+      round : int;
+      w : int;
+      commits : (string * Version.t * string) list;
+    }
+  | Ro_read of { txn : Version.t; key : string; seq : int; snap : int }
+  | Ro_reply of {
+      txn : Version.t;
+      key : string;
+      w_ver : Version.t;
+      value : string;
+      seq : int;
+      snap : int;
+    }
+  | Ro_stale of { txn : Version.t; seq : int; wm : int }
 
 let label = function
   | Read _ -> "read"
@@ -25,3 +47,9 @@ let label = function
   | Finalize_reply _ -> "finalize_reply"
   | Commit _ -> "commit"
   | Abort _ -> "abort"
+  | Wm_mark _ -> "wm_mark"
+  | Wm_ack _ -> "wm_ack"
+  | Wm_install _ -> "wm_install"
+  | Ro_read _ -> "ro_read"
+  | Ro_reply _ -> "ro_reply"
+  | Ro_stale _ -> "ro_stale"

@@ -25,5 +25,39 @@ type t =
   | Finalize_reply of { txn : Version.t; group : int; vote : vote }
   | Commit of { txn : Version.t; writes : (string * string) list }
   | Abort of { txn : Version.t }
+  | Wm_mark of { round : int; w : int }
+      (** group replica 0 opens enforcement-watermark round [round],
+          proposing watermark timestamp [w] *)
+  | Wm_ack of {
+      round : int;
+      w : int;
+      ok : bool;
+          (** [false] when a prepared-undecided transaction with
+              timestamp [<= w] blocks enforcement at this replica *)
+      commits : (string * Version.t * string) list;
+          (** cumulative: {e every} committed (key, version, value) with
+              timestamp [<= w] at this replica, so each install is
+              self-contained *)
+    }
+  | Wm_install of {
+      round : int;
+      w : int;
+      commits : (string * Version.t * string) list;
+          (** union of the [f+1] ok-acks' commit sets *)
+    }
+  | Ro_read of { txn : Version.t; key : string; seq : int; snap : int }
+      (** follower read at snapshot timestamp [snap]; [snap = -1] asks
+          the replica to pin the transaction at its applied watermark *)
+  | Ro_reply of {
+      txn : Version.t;
+      key : string;
+      w_ver : Version.t;
+      value : string;
+      seq : int;
+      snap : int;  (** the snapshot actually served *)
+    }
+  | Ro_stale of { txn : Version.t; seq : int; wm : int }
+      (** the replica's applied watermark [wm] lags the requested
+          snapshot (or it has none yet) — client redirects *)
 
 val label : t -> string

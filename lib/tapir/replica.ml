@@ -14,6 +14,13 @@ type stats = {
   mutable abort_votes : int;
 }
 
+(* Coordinator-side state of one enforcement-watermark round. *)
+type wm_round_st = {
+  wr_w : int;
+  mutable wr_ok : Net.node list;
+  mutable wr_commits : (string * Version.t * string) list;
+}
+
 type t = {
   cfg : Config.t;
   engine : Sim.Engine.t;
@@ -32,10 +39,20 @@ type t = {
   prepared_writes : (string, Version.Set.t ref) Hashtbl.t;
   stats : stats;
   mutable stopped : bool;
+  (* Enforcement watermark (follower reads; -1 = none installed).
+     [enforce_wm]: below it this replica votes abort on fresh prepares.
+     [applied_wm]: every commit with ts <= applied_wm is in [store], so
+     snapshots at or below it are complete. *)
+  mutable enforce_wm : int;
+  mutable applied_wm : int;
+  mutable peers : Net.node array;  (* group members, index order *)
+  mutable wm_round : int;
+  wm_acks : (int, wm_round_st) Hashtbl.t;
 }
 
 let node t = t.node
 let cpu t = t.cpu
+let applied_wm t = t.applied_wm
 
 let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
 let mon_label t = Printf.sprintf "g%dr%d" t.group t.index
@@ -131,6 +148,11 @@ let handle_prepare t ~src txn reads writes =
   t.stats.prepares <- t.stats.prepares + 1;
   let vote =
     if Hashtbl.mem t.prepared txn then Msg.V_commit
+    (* Watermark enforcement: once [enforce_wm] is acked, nothing below
+       it may newly prepare, so the commit set under any installed
+       watermark is final (already-prepared transactions were reported
+       as blocking and delayed that ack). *)
+    else if txn.Version.ts <= t.enforce_wm then Msg.V_abort
     else if validate t txn reads writes then begin
       Hashtbl.replace t.prepared txn { p_txn = txn; p_reads = reads; p_writes = writes };
       List.iter (fun (key, _) -> mark t.prepared_reads key txn) reads;
@@ -168,6 +190,101 @@ let handle_commit t txn writes =
              { replica = mon_label t; key; ver = vpair txn }))
     writes
 
+(* ------------------------------------------------------------------ *)
+(* Enforcement-watermark rounds (follower reads).                      *)
+(*                                                                     *)
+(* Group replica 0 periodically proposes a watermark w = now − period. *)
+(* A replica acks ok iff no prepared-undecided transaction with        *)
+(* ts <= w remains; the ack carries its full committed prefix up to w  *)
+(* (cumulative, so every install is self-contained).  After f+1        *)
+(* ok-acks the coordinator installs the union: any transaction that    *)
+(* could still commit below w either already committed at an ok-acker  *)
+(* (so it is in the union — commit quorum and ok-ackers intersect) or  *)
+(* must still gather prepare votes, and every future f+1 prepare       *)
+(* quorum hits an enforcing ok-acker that now votes abort.             *)
+(* ------------------------------------------------------------------ *)
+
+let set_peers t peers = t.peers <- peers
+
+let committed_upto t w =
+  Hashtbl.fold
+    (fun key m acc ->
+      Version.Map.fold
+        (fun v value acc ->
+          if v.Version.ts <= w && not (Version.is_zero v) then
+            (key, v, value) :: acc
+          else acc)
+        !m acc)
+    t.store []
+
+let handle_wm_mark t ~src round w =
+  let ok =
+    Hashtbl.fold (fun _ p acc -> acc && p.p_txn.Version.ts > w) t.prepared true
+  in
+  let commits = if ok then committed_upto t w else [] in
+  if ok then t.enforce_wm <- max t.enforce_wm w;
+  send t src (Msg.Wm_ack { round; w; ok; commits })
+
+let handle_wm_ack t ~src round ok commits =
+  match Hashtbl.find_opt t.wm_acks round with
+  | None -> ()
+  | Some st ->
+    if ok && not (List.mem src st.wr_ok) then begin
+      st.wr_ok <- src :: st.wr_ok;
+      st.wr_commits <- commits @ st.wr_commits;
+      if List.length st.wr_ok >= t.cfg.f + 1 then begin
+        Hashtbl.remove t.wm_acks round;
+        let install =
+          Msg.Wm_install { round; w = st.wr_w; commits = st.wr_commits }
+        in
+        Array.iter (fun dst -> send t dst install) t.peers
+      end
+    end
+
+let handle_wm_install t w commits =
+  List.iter
+    (fun (key, v, value) ->
+      let m = versions t key in
+      if not (Version.Map.mem v !m) then begin
+        m := Version.Map.add v value !m;
+        if Obs.Monitor.enabled t.mon then
+          observe t
+            (Obs.Monitor.Commit_install
+               { replica = mon_label t; key; ver = vpair v })
+      end)
+    commits;
+  t.enforce_wm <- max t.enforce_wm w;
+  t.applied_wm <- max t.applied_wm w
+
+(* Follower read at snapshot [snap] (a plain timestamp; all commits at
+   ts <= snap are included).  TAPIR never GCs committed versions, so a
+   snapshot stays servable forever once applied_wm has passed it; the
+   reported watermark for the GC-safety monitor is therefore zero. *)
+let handle_ro_read t ~src txn key seq snap =
+  let serve snap_ts =
+    let bound = Version.make ~ts:snap_ts ~id:max_int in
+    let w_ver, value =
+      match Hashtbl.find_opt t.store key with
+      | None -> (Version.zero, "")
+      | Some m -> (
+        match
+          Version.Map.find_last_opt (fun v -> Version.compare v bound <= 0) !m
+        with
+        | Some (v, value) -> (v, value)
+        | None -> (Version.zero, ""))
+    in
+    if Obs.Monitor.enabled t.mon then
+      observe t
+        (Obs.Monitor.Ro_serve
+           { replica = mon_label t; key; snap = (snap_ts, 0); wm = (0, min_int) });
+    send t src (Msg.Ro_reply { txn; key; w_ver; value; seq; snap = snap_ts })
+  in
+  if snap < 0 then
+    if t.applied_wm >= 0 then serve t.applied_wm
+    else send t src (Msg.Ro_stale { txn; seq; wm = t.applied_wm })
+  else if snap <= t.applied_wm then serve snap
+  else send t src (Msg.Ro_stale { txn; seq; wm = t.applied_wm })
+
 let handle t ~src msg =
   if t.stopped then ()
   else
@@ -190,7 +307,12 @@ let handle t ~src msg =
   | Msg.Abort { txn } ->
     observe_ir_op t "abort" false;
     unprepare t txn
-  | Msg.Read_reply _ | Msg.Prepare_reply _ | Msg.Finalize_reply _ -> ()
+  | Msg.Wm_mark { round; w } -> handle_wm_mark t ~src round w
+  | Msg.Wm_ack { round; ok; commits; _ } -> handle_wm_ack t ~src round ok commits
+  | Msg.Wm_install { w; commits; _ } -> handle_wm_install t w commits
+  | Msg.Ro_read { txn; key; seq; snap } -> handle_ro_read t ~src txn key seq snap
+  | Msg.Read_reply _ | Msg.Prepare_reply _ | Msg.Finalize_reply _
+  | Msg.Ro_reply _ | Msg.Ro_stale _ -> ()
 
 let service_cost t = function
   | Msg.Read _ -> t.cfg.read_cost_us
@@ -198,6 +320,9 @@ let service_cost t = function
   | Msg.Finalize _ | Msg.Finalize_reply _ -> t.cfg.finalize_cost_us
   | Msg.Commit _ | Msg.Abort _ -> t.cfg.commit_cost_us
   | Msg.Read_reply _ | Msg.Prepare_reply _ -> t.cfg.read_cost_us
+  | Msg.Wm_mark _ | Msg.Wm_ack _ -> t.cfg.finalize_cost_us
+  | Msg.Wm_install _ -> t.cfg.commit_cost_us
+  | Msg.Ro_read _ | Msg.Ro_reply _ | Msg.Ro_stale _ -> t.cfg.read_cost_us
 
 (* State transfer for amnesia-crash recovery.  A snapshot carries the
    committed store plus the prepared table: inheriting prepared entries
@@ -267,8 +392,11 @@ let busy_owner = function
   | Msg.Read { txn; _ } | Msg.Prepare { txn; _ } | Msg.Finalize { txn; _ }
   | Msg.Commit { txn; _ } | Msg.Abort { txn }
   | Msg.Read_reply { txn; _ } | Msg.Prepare_reply { txn; _ }
-  | Msg.Finalize_reply { txn; _ } ->
+  | Msg.Finalize_reply { txn; _ }
+  | Msg.Ro_read { txn; _ } | Msg.Ro_reply { txn; _ } | Msg.Ro_stale { txn; _ }
+    ->
     Some (txn.Version.ts, txn.Version.id)
+  | Msg.Wm_mark _ | Msg.Wm_ack _ | Msg.Wm_install _ -> None
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
@@ -284,8 +412,39 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
       prepared_writes = Hashtbl.create 256;
       stats = { prepares = 0; commit_votes = 0; abort_votes = 0 };
       stopped = false;
+      enforce_wm = -1;
+      applied_wm = -1;
+      peers = [||];
+      wm_round = 0;
+      wm_acks = Hashtbl.create 16;
     }
   in
+  (* Gated on the staleness bound: with follower reads off (the
+     default) no watermark timer exists and the event sequence is
+     byte-identical to the pre-feature behaviour. *)
+  if index = 0 && cfg.Config.max_staleness_us > 0 && cfg.Config.wm_interval_us > 0
+  then begin
+    let rec tick () =
+      ignore
+        (Sim.Engine.schedule t.engine ~after:cfg.Config.wm_interval_us
+           (fun () ->
+             if t.stopped then ()
+             else begin
+               let w = Sim.Engine.now t.engine - cfg.Config.wm_interval_us in
+               if w > 0 && Array.length t.peers > 0 then begin
+                 let round = t.wm_round in
+                 t.wm_round <- round + 1;
+                 Hashtbl.replace t.wm_acks round
+                   { wr_w = w; wr_ok = []; wr_commits = [] };
+                 Array.iter
+                   (fun dst -> send t dst (Msg.Wm_mark { round; w }))
+                   t.peers
+               end;
+               tick ()
+             end))
+    in
+    tick ()
+  end;
   Net.set_handler net node (fun ~src msg ->
       let transit_us =
         match Net.current_delivery net with
@@ -312,7 +471,8 @@ let state_view t =
     Obs.Monitor.v_replica = mon_label t;
     v_stopped = t.stopped;
     v_recovering = false;
-    v_watermark = None;
+    v_watermark =
+      (if t.applied_wm >= 0 then Some (t.applied_wm, 0) else None);
     v_records = Hashtbl.length t.prepared;
     v_store_keys = Hashtbl.length t.store;
     v_store_versions =

@@ -58,6 +58,16 @@ val node : t -> Simnet.Net.node
 
 val cpu : t -> Simnet.Cpu.t
 
+val set_peers : t -> Simnet.Net.node array -> unit
+(** Group members in index order, used by replica 0 to broadcast
+    enforcement-watermark rounds ([Wm_mark]).  Only needed when
+    [Config.max_staleness_us > 0]; with no peers set the rounds idle. *)
+
+val applied_wm : t -> int
+(** Applied enforcement watermark: every commit with timestamp at or
+    below it is present in the store ([-1] until the first install).
+    Follower reads are served at snapshots [<= applied_wm]. *)
+
 val load : t -> (string * string) list -> unit
 
 val stats : t -> stats

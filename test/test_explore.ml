@@ -59,7 +59,7 @@ let test_schedule_generate_deterministic () =
   let gen seed =
     let rng = Sim.Rng.create seed in
     Explore.Schedule.generate ~kill_restart:true ~rng ~horizon_us:250_000
-      ~n_replicas:4 ~episodes:3
+      ~n_replicas:4 ~episodes:3 ()
   in
   Alcotest.(check string) "same seed, same schedule"
     (Explore.Schedule.to_string (gen 42))
@@ -75,7 +75,7 @@ let test_schedule_generate_bracketed () =
     let rng = Sim.Rng.create seed in
     let sched =
       Explore.Schedule.generate ~kill_restart:true ~rng ~horizon_us:250_000
-        ~n_replicas:4 ~episodes:4
+        ~n_replicas:4 ~episodes:4 ()
     in
     let crash = ref 0 and recover = ref 0 and isolate = ref 0 and heal = ref 0 in
     let kill = ref 0 and restart = ref 0 in
@@ -91,6 +91,8 @@ let test_schedule_generate_bracketed () =
         | Restart _ -> incr restart
         | Isolate _ -> incr isolate
         | Heal_all -> incr heal
+        | Partition _ | Heal _ ->
+          Alcotest.fail "partition generated without partitions:true"
         | Loss p -> last_loss := p
         | Delay d -> last_delay := d)
       (Explore.Schedule.events sched);
@@ -106,7 +108,7 @@ let test_schedule_generate_bracketed () =
     let rng = Sim.Rng.create seed in
     let sched =
       Explore.Schedule.generate ~kill_restart:false ~rng ~horizon_us:250_000
-        ~n_replicas:4 ~episodes:4
+        ~n_replicas:4 ~episodes:4 ()
     in
     List.iter
       (fun { Explore.Schedule.ev; _ } ->
@@ -125,7 +127,7 @@ let test_schedule_kill_windows_disjoint () =
     let rng = Sim.Rng.create (100 + seed) in
     let sched =
       Explore.Schedule.generate ~kill_restart:true ~rng ~horizon_us:250_000
-        ~n_replicas:4 ~episodes:6
+        ~n_replicas:4 ~episodes:6 ()
     in
     let depth = ref 0 in
     List.iter

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "morty_repro"
-    (Test_sim.suites @ Test_simnet.suites @ Test_cc_types.suites @ Test_adya.suites @ Test_morty.suites @ Test_tapir.suites @ Test_spanner.suites @ Test_workload.suites @ Test_morty_units.suites @ Test_harness.suites @ Test_faults.suites @ Test_protocol_edge.suites @ Test_baselines_edge.suites @ Test_lock_properties.suites @ Test_smallbank.suites @ Test_client_units.suites @ Test_adya_oracle.suites @ Test_explore.suites @ Test_amnesia.suites @ Test_obs.suites @ Test_profile.suites @ Test_monitor.suites @ Test_orchestrate.suites)
+    (Test_sim.suites @ Test_simnet.suites @ Test_cc_types.suites @ Test_adya.suites @ Test_morty.suites @ Test_tapir.suites @ Test_spanner.suites @ Test_workload.suites @ Test_morty_units.suites @ Test_harness.suites @ Test_faults.suites @ Test_protocol_edge.suites @ Test_baselines_edge.suites @ Test_lock_properties.suites @ Test_smallbank.suites @ Test_client_units.suites @ Test_adya_oracle.suites @ Test_explore.suites @ Test_amnesia.suites @ Test_obs.suites @ Test_profile.suites @ Test_monitor.suites @ Test_orchestrate.suites @ Test_avail.suites)

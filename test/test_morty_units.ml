@@ -146,10 +146,14 @@ let test_vrecord_gc () =
   done;
   Vrecord.gc_below vr (v 8);
   let _, _, _, committed = Vrecord.stats vr in
-  (* Keeps versions 8, 9, 10 (and the newest is always retained). *)
-  Alcotest.(check int) "gc kept tail" 3 committed;
+  (* Keeps versions 8, 9, 10 plus 7: the newest committed write below
+     the watermark is what any snapshot read at or above the watermark
+     observes, so GC must retain it even when newer commits exist. *)
+  Alcotest.(check int) "gc kept tail" 4 committed;
   let r = Vrecord.latest_before vr (v 100) in
-  Alcotest.(check string) "current value survives" "10" r.r_val
+  Alcotest.(check string) "current value survives" "10" r.r_val;
+  let r = Vrecord.latest_committed_before vr (v 8) in
+  Alcotest.(check string) "watermark snapshot value survives" "7" r.r_val
 
 let test_vrecord_abort_cleanup () =
   let vr = Vrecord.create () in

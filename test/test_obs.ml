@@ -112,6 +112,7 @@ let describe : Obs.Abort_reason.t -> string = function
   | Obs.Abort_reason.Recovery_stall -> "decision lost to an amnesiac replica"
   | Obs.Abort_reason.Timeout -> "straggler timeout with no vote verdict"
   | Obs.Abort_reason.User_abort -> "application rolled back"
+  | Obs.Abort_reason.Stale_replica -> "every reachable replica was too stale"
 
 let test_taxonomy_complete () =
   Alcotest.(check int) "all lists every variant" Obs.Abort_reason.count

@@ -184,6 +184,7 @@ let mk_case ?(seed = 5) ?(clients = 4) schedule =
     c_cores = 2;
     c_warmup_us = 20_000;
     c_measure_us = 100_000;
+    c_max_staleness_us = 0;
     c_schedule = schedule;
   }
 

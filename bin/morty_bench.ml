@@ -153,6 +153,17 @@ let profile_out =
                  as single-line JSON to $(docv), and print a human summary.  \
                  With --sweep, one JSON document per line, one per point." ~docv:"FILE")
 
+let engine_stats_out =
+  Arg.(value & opt (some string) None
+       & info [ "engine-stats-out" ]
+           ~doc:"Write the run's engine-performance record (events/sec, \
+                 timer-heap counters, GC deltas, domain utilization) as \
+                 single-line JSON to $(docv), print its deterministic \
+                 summary ($(b,engine:) line) on stdout and its host summary \
+                 ($(b,engine-host:) line) on stderr.  With --sweep the \
+                 record aggregates all points.  The deterministic section \
+                 is byte-identical across hosts and --jobs values." ~docv:"FILE")
+
 let monitors =
   Arg.(value & flag
        & info [ "monitors" ]
@@ -174,7 +185,7 @@ let postmortem_out =
 let run system setup workload theta keys warehouses read_pct clients cores
     duration_ms warmup_ms seed sweep jobs kill_at_ms restart_at_ms victim
     partition_at_ms heal_at_ms partition_group max_staleness_us trace_out
-    metrics_out profile_out monitors postmortem_out =
+    metrics_out profile_out engine_stats_out monitors postmortem_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -241,6 +252,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
   let profiles = Buffer.create 256 in
   let point_idx = ref 0 in
   let events = ref 0 in
+  let engstat = ref (Obs.Engstat.zero ~label:"bench") in
   (* Worker half of a point: build private observers, run the
      experiment.  Everything it creates travels back to the main domain
      as a read-only result — with --jobs this is the only code that
@@ -269,6 +281,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
     events :=
       !events + ev.Harness.Stats.ev_timers + ev.Harness.Stats.ev_deliveries
       + ev.Harness.Stats.ev_tickers;
+    engstat := Obs.Engstat.add !engstat r.Harness.Stats.r_engstat;
     Fmt.pr "%a@." Harness.Stats.pp_result r;
     if r.Harness.Stats.r_recovery.Harness.Stats.rc_kills > 0 then
       Fmt.pr "%a@." Harness.Stats.pp_recovery r;
@@ -323,7 +336,8 @@ let run system setup workload theta keys warehouses read_pct clients cores
     | Some counts -> List.map mk counts
   in
   let jobs = if jobs = 0 then Orchestrate.Pool.default_jobs () else max 1 jobs in
-  let t0 = Unix.gettimeofday () in
+  let elapsed = Orchestrate.Report.stopwatch () in
+  let pool_domains = ref [] and pool_merge_hwm = ref 0 in
   (if jobs <= 1 then
      (* Ground-truth serial path: compute and render interleave exactly
         as they always have. *)
@@ -336,9 +350,36 @@ let run system setup workload theta keys warehouses read_pct clients cores
          ignore
            (Orchestrate.Pool.map pool
               ~on_ready:(fun _i p -> render_point p)
-              compute_point exps))
+              compute_point exps);
+         pool_domains :=
+           List.map
+             (fun (d : Orchestrate.Pool.domain_stat) ->
+               {
+                 Obs.Engstat.dl_domain = d.ds_domain;
+                 dl_tasks = d.ds_tasks;
+                 dl_steals = d.ds_steals;
+                 dl_busy_ns = d.ds_busy_ns;
+                 dl_idle_ns = d.ds_idle_ns;
+               })
+             (Orchestrate.Pool.stats pool);
+         pool_merge_hwm := Orchestrate.Pool.merge_high_water pool)
    end);
   Option.iter (fun path -> write path (Buffer.contents profiles)) profile_out;
+  (match engine_stats_out with
+  | None -> ()
+  | Some path ->
+    let es =
+      let base = Obs.Engstat.relabel !engstat "bench" in
+      if !pool_domains = [] then base
+      else
+        Obs.Engstat.with_domains base ~domains:!pool_domains
+          ~merge_high_water:!pool_merge_hwm
+    in
+    (* Deterministic section on stdout (jobs-invariant, diffable); the
+       wall/GC/utilization summary goes to stderr with the report. *)
+    Fmt.pr "%s@." (Obs.Engstat.det_line es);
+    Fmt.epr "%s@." (Obs.Engstat.host_line es);
+    write path (Obs.Engstat.to_json es));
   (* Throughput report on stderr only: stdout is the diff surface. *)
   Fmt.epr "%s@."
     (Orchestrate.Report.to_string
@@ -346,7 +387,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
          Orchestrate.Report.o_jobs = jobs;
          o_runs = List.length exps;
          o_events = !events;
-         o_wall_s = Unix.gettimeofday () -. t0;
+         o_wall_s = elapsed ();
        })
 
 let cmd =
@@ -358,6 +399,7 @@ let cmd =
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
       $ jobs $ kill_at_ms $ restart_at_ms $ victim $ partition_at_ms
       $ heal_at_ms $ partition_group $ max_staleness_us $ trace_out
-      $ metrics_out $ profile_out $ monitors $ postmortem_out)
+      $ metrics_out $ profile_out $ engine_stats_out $ monitors
+      $ postmortem_out)
 
 let () = exit (Cmd.eval cmd)

@@ -156,6 +156,18 @@ let profile_out =
                  reproducer's run) to $(docv), $(docv).2, ... in failure \
                  order." ~docv:"FILE")
 
+let engine_stats_out =
+  Arg.(value & opt (some string) None
+       & info [ "engine-stats-out" ]
+           ~doc:"Write the sweep's aggregated engine-performance record \
+                 (events/sec, timer-heap counters, GC deltas, domain \
+                 utilization) as single-line JSON to $(docv), print its \
+                 deterministic summary ($(b,engine:) line) after the SUMMARY \
+                 line and its host summary ($(b,engine-host:) line) on \
+                 stderr.  The deterministic section is byte-identical across \
+                 hosts and --jobs values; with --scaling it reflects the \
+                 first sweep only." ~docv:"FILE")
+
 let postmortem_out =
   Arg.(value & opt (some string) None
        & info [ "postmortem-out" ]
@@ -166,7 +178,7 @@ let postmortem_out =
 
 let run systems workload_names seeds seed_base schedules episodes clients cores
     measure_ms smoke no_kill partitions max_staleness_us monitors quiet jobs
-    scaling trace_out profile_out postmortem_out =
+    scaling trace_out profile_out engine_stats_out postmortem_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -254,9 +266,9 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         progress c p o
       end
     in
-    let t0 = Unix.gettimeofday () in
+    let elapsed = Orchestrate.Report.stopwatch () in
     let summary = Explore.Sweep.run ~progress ~jobs cfg in
-    (summary, Unix.gettimeofday () -. t0)
+    (summary, elapsed ())
   in
   let measured =
     List.mapi
@@ -315,6 +327,15 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         Fmt.pr "post-mortem bundle of shrunk case written to %s/@." dir)
     summary.Explore.Sweep.s_failures;
   Fmt.pr "SUMMARY %a@." Explore.Sweep.pp_summary summary;
+  (match engine_stats_out with
+  | None -> ()
+  | Some path ->
+    let es = summary.Explore.Sweep.s_engstat in
+    (* Deterministic section on stdout (jobs-invariant, diffable); the
+       wall/GC/utilization summary goes to stderr with the report. *)
+    Fmt.pr "%s@." (Obs.Engstat.det_line es);
+    Fmt.epr "%s@." (Obs.Engstat.host_line es);
+    write path (Obs.Engstat.to_json es));
   Fmt.epr "%s@." (Orchestrate.Report.to_string report);
   (match measured with
   | _ :: _ :: _ ->
@@ -336,6 +357,6 @@ let cmd =
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
       $ clients $ cores $ measure_ms $ smoke $ no_kill $ partitions
       $ max_staleness_us $ monitors $ quiet $ jobs $ scaling $ trace_out
-      $ profile_out $ postmortem_out)
+      $ profile_out $ engine_stats_out $ postmortem_out)
 
 let () = exit (Cmd.eval' cmd)

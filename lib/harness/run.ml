@@ -223,6 +223,23 @@ let events_of_engine engine =
     ev_tickers = k.Engine.k_ticker;
   }
 
+(* Close an engine-performance probe over a finished run: the engine's
+   deterministic counters plus the probe's wall/GC deltas. *)
+let engstat_of_engine probe ~label engine =
+  let k = Engine.events_by_kind engine in
+  let h = Engine.heap_stats engine in
+  Obs.Engstat.finish probe ~label ~timers:k.Engine.k_timer
+    ~deliveries:k.Engine.k_delivery ~tickers:k.Engine.k_ticker
+    ~heap:
+      {
+        Obs.Engstat.hp_pushes = h.Engine.hs_pushes;
+        hp_pops = h.Engine.hs_pops;
+        hp_cancels = h.Engine.hs_cancels;
+        hp_ghost_drains = h.Engine.hs_ghost_drains;
+        hp_max_live = h.Engine.hs_max_live;
+        hp_max_raw = h.Engine.hs_max_raw;
+      }
+
 (* Generic closed-loop driver over any system's client module. *)
 module Driver (C : Cc_types.Kv_api.S) = struct
   (* [pick rng] freshly parameterises one transaction and returns its
@@ -435,6 +452,7 @@ let morty_recovery acc replicas =
 let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
     ?(flight = Obs.Flight.null ()) e ~reexecution =
+  let probe = Obs.Engstat.start () in
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -607,6 +625,7 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
         rc_ttr_wm_us = Avail.ttr_wm_us av }
     ?avail:
       (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
+    ~engstat:(engstat_of_engine probe ~label:e.e_label engine)
     ()
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
@@ -614,6 +633,7 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
 let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
     ?(flight = Obs.Flight.null ()) e =
+  let probe = Obs.Engstat.start () in
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -850,6 +870,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ~events:(events_of_engine engine) ~recovery
     ?avail:
       (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
+    ~engstat:(engstat_of_engine probe ~label:e.e_label engine)
     ()
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
@@ -857,6 +878,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
 let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
     ?(flight = Obs.Flight.null ()) e =
+  let probe = Obs.Engstat.start () in
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
   let net = Simnet.Net.create engine (Sim.Rng.split rng) ~setup:e.e_setup () in
@@ -1084,6 +1106,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ~events:(events_of_engine engine) ~recovery
     ?avail:
       (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
+    ~engstat:(engstat_of_engine probe ~label:e.e_label engine)
     ()
 
 let run_exp ?on_txn ?faults ?obs ?prof ?mon ?flight e =

@@ -113,12 +113,16 @@ type result = {
   r_events : events;
   r_recovery : recovery;
   r_avail : avail;
+  r_engstat : Obs.Engstat.t;
 }
 
 let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     ?(msgs_per_txn = 0.) ?(events = no_events) ?(recovery = no_recovery)
-    ?(avail = no_avail) () =
+    ?(avail = no_avail) ?engstat () =
   let phase_ms p = Obs.Hist.mean t.phases.(phase_index p) /. 1000. in
+  let engstat =
+    match engstat with Some e -> e | None -> Obs.Engstat.zero ~label
+  in
   {
     r_label = label;
     r_committed = committed t;
@@ -139,6 +143,7 @@ let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     r_events = events;
     r_recovery = recovery;
     r_avail = avail;
+    r_engstat = engstat;
   }
 
 let abort_count r reason =
@@ -201,14 +206,17 @@ ab_missed_write,ab_validation_fail,ab_lock_conflict,ab_watermark_abandon,\
 ab_recovery_stall,ab_timeout,ab_user_abort,ab_stale_replica,\
 ev_timers,ev_deliveries,ev_tickers,\
 ro_committed,ro_aborted,read_avail,write_avail,stale_p99_ms,\
-ttr_write_ms,ttr_wm_ms"
+ttr_write_ms,ttr_wm_ms,\
+eng_heap_pushes,eng_heap_pops,eng_heap_cancels,eng_heap_ghost_drains,\
+eng_heap_max_live,eng_heap_max_raw"
 
 let to_csv_row r =
   let ab reason = abort_count r reason in
+  let hp = r.r_engstat.Obs.Engstat.es_det.Obs.Engstat.de_heap in
   Printf.sprintf
     "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f,%d,%d,%d,%d,%d,%d,\
 %.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
-%d,%d,%.4f,%.4f,%.3f,%.3f,%.3f"
+%d,%d,%.4f,%.4f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d"
     r.r_label r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms
     r.r_p50_latency_ms r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization
     r.r_reexecs_per_txn r.r_msgs_per_txn r.r_recovery.rc_kills
@@ -229,3 +237,6 @@ let to_csv_row r =
     r.r_avail.av_write_avail r.r_avail.av_stale_p99_ms
     (float_of_int r.r_recovery.rc_ttr_write_us /. 1000.)
     (float_of_int r.r_recovery.rc_ttr_wm_us /. 1000.)
+    hp.Obs.Engstat.hp_pushes hp.Obs.Engstat.hp_pops hp.Obs.Engstat.hp_cancels
+    hp.Obs.Engstat.hp_ghost_drains hp.Obs.Engstat.hp_max_live
+    hp.Obs.Engstat.hp_max_raw

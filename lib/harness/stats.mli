@@ -121,6 +121,10 @@ type result = {
       (** amnesia-crash accounting; {!no_recovery} when no faults ran *)
   r_avail : avail;
       (** availability accounting; {!no_avail} when follower reads off *)
+  r_engstat : Obs.Engstat.t;
+      (** engine-performance record for this run (timer-heap counters,
+          wall/GC/utilization); {!Obs.Engstat.zero} when the runner did
+          not collect one *)
 }
 
 val to_result :
@@ -133,6 +137,7 @@ val to_result :
   ?events:events ->
   ?recovery:recovery ->
   ?avail:avail ->
+  ?engstat:Obs.Engstat.t ->
   unit ->
   result
 
@@ -152,5 +157,9 @@ val pp_avail : Format.formatter -> result -> unit
 (** One-line availability counters (print when follower reads are on). *)
 
 val csv_header : string
+(** The first 17 columns (label through catchup_wait_us) are the stable
+    pre-observability schema — pinned by a golden test; new columns
+    only ever append.  The trailing [eng_heap_*] columns are the
+    deterministic timer-heap counters from {!Obs.Engstat}. *)
 
 val to_csv_row : result -> string

@@ -1,0 +1,16 @@
+(* Monotonic wall clock.  [Unix.gettimeofday] steps under NTP
+   adjustments and DST changes, which can make an elapsed-time
+   measurement negative or wildly wrong; CLOCK_MONOTONIC only ever
+   moves forward.  The stub library ships with bechamel (already a
+   baked-in dependency) and is a thin [@@noalloc] wrapper around
+   [clock_gettime(CLOCK_MONOTONIC)]. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let elapsed_ns since = max 0 (now_ns () - since)
+
+let ns_to_s ns = float_of_int ns /. 1e9
+
+let stopwatch () =
+  let t0 = now_ns () in
+  fun () -> ns_to_s (elapsed_ns t0)

@@ -1,0 +1,22 @@
+(** Monotonic wall clock for self-performance measurement.
+
+    All engine-observatory wall timing goes through this module rather
+    than [Unix.gettimeofday]: the realtime clock steps backwards under
+    NTP adjustments, which turns an elapsed-time subtraction into
+    garbage.  CLOCK_MONOTONIC is immune.
+
+    Monotonic readings are only meaningful as {e differences} within
+    one process — the epoch is arbitrary (usually boot time). *)
+
+val now_ns : unit -> int
+(** Current monotonic reading in nanoseconds.  63-bit [int] holds
+    ~146 years of nanoseconds, so overflow is not a concern. *)
+
+val elapsed_ns : int -> int
+(** [elapsed_ns t0] is [now_ns () - t0], clamped at 0. *)
+
+val ns_to_s : int -> float
+
+val stopwatch : unit -> unit -> float
+(** [stopwatch ()] starts a timer; the returned thunk gives elapsed
+    wall seconds since the start, monotonically. *)

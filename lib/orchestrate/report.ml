@@ -1,5 +1,7 @@
 type t = { o_jobs : int; o_runs : int; o_events : int; o_wall_s : float }
 
+let stopwatch () = Obs.Mclock.stopwatch ()
+
 let per_s n wall = if wall <= 0. then 0. else float_of_int n /. wall
 
 let runs_per_s t = per_s t.o_runs t.o_wall_s

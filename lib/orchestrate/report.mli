@@ -13,6 +13,11 @@ type t = {
   o_wall_s : float;  (** wall-clock seconds for the whole sweep *)
 }
 
+val stopwatch : unit -> unit -> float
+(** [stopwatch ()] starts a monotonic wall timer ({!Obs.Mclock}, immune
+    to NTP slews unlike [Unix.gettimeofday]); the returned thunk yields
+    elapsed seconds.  The one sanctioned way to fill {!o_wall_s}. *)
+
 val runs_per_s : t -> float
 
 val events_per_s : t -> float

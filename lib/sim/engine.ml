@@ -1,22 +1,54 @@
 type kind = Timer | Delivery | Ticker
 
-type event = { mutable cancelled : bool; kind : kind; action : unit -> unit }
+(* Each event is exactly one of: live (queued, will fire), cancelled
+   (queued as a ghost until it reaches the top), fired.  Tracking the
+   full state — rather than a single [cancelled] bit — lets [cancel]
+   decide whether it is retiring a live event (decrement the live
+   count) or hitting a fired/cancelled one (no-op), which is what makes
+   [pending] report live events instead of heap entries. *)
+type state = Live | Cancelled | Fired
+
+type event = {
+  mutable state : state;
+  kind : kind;
+  action : unit -> unit;
+  owner : t;  (* back-pointer so [cancel] can maintain engine counters *)
+}
+
+and t = {
+  queue : event Heap.t;
+  mutable clock : int;
+  mutable seq : int;  (* push counter; doubles as the FIFO tiebreak key *)
+  mutable fired : int;
+  mutable fired_timer : int;
+  mutable fired_delivery : int;
+  mutable fired_ticker : int;
+  (* Observatory counters: plain int increments, no allocation — the
+     hot path stays hot.  [live] is the current count of uncancelled
+     queued events; [max_live] its high-water mark (the raw high-water
+     mark lives in the heap itself). *)
+  mutable live : int;
+  mutable max_live : int;
+  mutable pops : int;
+  mutable cancels : int;
+  mutable ghost_drains : int;
+  (* Read-only tap on fired events (the flight recorder): sees the
+     dispatch time and kind, cannot reorder or cancel anything. *)
+  mutable observer : (ts:int -> kind -> unit) option;
+}
 
 type timer = event
 
 type kind_counts = { k_timer : int; k_delivery : int; k_ticker : int }
 
-type t = {
-  queue : event Heap.t;
-  mutable clock : int;
-  mutable seq : int;
-  mutable fired : int;
-  mutable fired_timer : int;
-  mutable fired_delivery : int;
-  mutable fired_ticker : int;
-  (* Read-only tap on fired events (the flight recorder): sees the
-     dispatch time and kind, cannot reorder or cancel anything. *)
-  mutable observer : (ts:int -> kind -> unit) option;
+type heap_stats = {
+  hs_pushes : int;
+  hs_pops : int;
+  hs_cancels : int;
+  hs_ghost_drains : int;
+  hs_live : int;
+  hs_max_live : int;
+  hs_max_raw : int;
 }
 
 let create () =
@@ -28,6 +60,11 @@ let create () =
     fired_timer = 0;
     fired_delivery = 0;
     fired_ticker = 0;
+    live = 0;
+    max_live = 0;
+    pops = 0;
+    cancels = 0;
+    ghost_drains = 0;
     observer = None;
   }
 
@@ -37,24 +74,38 @@ let now t = t.clock
 
 let schedule_at t ?(kind = Timer) ~at f =
   let at = max at t.clock in
-  let e = { cancelled = false; kind; action = f } in
+  let e = { state = Live; kind; action = f; owner = t } in
   Heap.push t.queue ~time:at ~seq:t.seq e;
   t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  if t.live > t.max_live then t.max_live <- t.live;
   e
 
 let schedule t ?(kind = Timer) ~after f =
   schedule_at t ~kind ~at:(t.clock + max 0 after) f
 
-let cancel e = e.cancelled <- true
+let cancel e =
+  match e.state with
+  | Live ->
+    e.state <- Cancelled;
+    e.owner.cancels <- e.owner.cancels + 1;
+    e.owner.live <- e.owner.live - 1
+  | Cancelled | Fired -> ()
 
-let pending t = Heap.length t.queue
+let pending t = t.live
+
+let raw_pending t = Heap.length t.queue
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (time, _seq, e) ->
     t.clock <- max t.clock time;
-    if not e.cancelled then begin
+    t.pops <- t.pops + 1;
+    (match e.state with
+    | Live ->
+      e.state <- Fired;
+      t.live <- t.live - 1;
       t.fired <- t.fired + 1;
       (match e.kind with
       | Timer -> t.fired_timer <- t.fired_timer + 1
@@ -64,7 +115,8 @@ let step t =
       | Some f -> f ~ts:t.clock e.kind
       | None -> ());
       e.action ()
-    end;
+    | Cancelled -> t.ghost_drains <- t.ghost_drains + 1
+    | Fired -> assert false);
     true
 
 let run t =
@@ -85,3 +137,14 @@ let events_fired t = t.fired
 
 let events_by_kind t =
   { k_timer = t.fired_timer; k_delivery = t.fired_delivery; k_ticker = t.fired_ticker }
+
+let heap_stats t =
+  {
+    hs_pushes = t.seq;
+    hs_pops = t.pops;
+    hs_cancels = t.cancels;
+    hs_ghost_drains = t.ghost_drains;
+    hs_live = t.live;
+    hs_max_live = t.max_live;
+    hs_max_raw = Heap.max_size t.queue;
+  }

@@ -36,8 +36,13 @@ val cancel : timer -> unit
     timer is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    drained). *)
+(** Number of {e live} events still queued.  Cancelled-but-undrained
+    entries (ghosts) are excluded — they occupy heap slots but will
+    never fire; see {!raw_pending} for the ghost-inclusive figure. *)
+
+val raw_pending : t -> int
+(** Number of heap entries still queued, ghosts included.
+    [raw_pending t - pending t] is the current ghost count. *)
 
 val step : t -> bool
 (** Fire the next event.  Returns [false] if the queue was empty. *)
@@ -55,6 +60,25 @@ val events_fired : t -> int
 val events_by_kind : t -> kind_counts
 (** {!events_fired} broken down by event kind, attributing simulation
     cost to timers vs. message deliveries vs. observation tickers. *)
+
+type heap_stats = {
+  hs_pushes : int;  (** events ever scheduled *)
+  hs_pops : int;  (** heap entries ever popped (live fires + ghost drains) *)
+  hs_cancels : int;  (** live events cancelled *)
+  hs_ghost_drains : int;
+      (** cancelled entries popped and discarded without firing *)
+  hs_live : int;  (** current live count (= {!pending}) *)
+  hs_max_live : int;  (** peak live count *)
+  hs_max_raw : int;  (** peak heap length, ghosts included *)
+}
+
+val heap_stats : t -> heap_stats
+(** Timer-heap operation counters since creation.  All plain int
+    increments on the scheduling path (no allocation), and a pure
+    function of the simulated schedule — deterministic across hosts
+    and worker-domain counts.  Invariants: [hs_pushes = hs_pops +
+    hs_live + undrained ghosts]; after a full drain [hs_pops =
+    hs_pushes] and [hs_ghost_drains = hs_cancels]. *)
 
 val set_observer : t -> (ts:int -> kind -> unit) -> unit
 (** Read-only tap called for every fired (non-cancelled) event just

@@ -1,10 +1,11 @@
 type 'a entry = { time : int; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = { mutable data : 'a entry array; mutable size : int; mutable max_size : int }
 
-let create () = { data = [||]; size = 0 }
+let create () = { data = [||]; size = 0; max_size = 0 }
 
 let length t = t.size
+let max_size t = t.max_size
 let is_empty t = t.size = 0
 
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
@@ -22,6 +23,7 @@ let push t ~time ~seq value =
     if t.size = 0 then t.data <- Array.make 16 e else grow t;
   t.data.(t.size) <- e;
   t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size;
   (* Sift up. *)
   let i = ref (t.size - 1) in
   while

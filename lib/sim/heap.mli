@@ -13,6 +13,11 @@ val create : unit -> 'a t
 val length : 'a t -> int
 (** Number of queued elements. *)
 
+val max_size : 'a t -> int
+(** Peak {!length} ever reached — the raw depth high-water mark used by
+    the engine-performance observatory.  Maintained by a single compare
+    per push, so it costs nothing on the hot path. *)
+
 val is_empty : 'a t -> bool
 
 val push : 'a t -> time:int -> seq:int -> 'a -> unit

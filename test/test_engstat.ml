@@ -1,0 +1,270 @@
+(* The engine performance observatory (PR 8): exact event/heap counters
+   on hand-built schedules, the live/raw pending split, aggregation
+   semantics, determinism of the record's deterministic section across
+   --jobs, and the CSV schema contract. *)
+
+open Sim
+
+let heap_of_engine e =
+  let h = Engine.heap_stats e in
+  {
+    Obs.Engstat.hp_pushes = h.Engine.hs_pushes;
+    hp_pops = h.Engine.hs_pops;
+    hp_cancels = h.Engine.hs_cancels;
+    hp_ghost_drains = h.Engine.hs_ghost_drains;
+    hp_max_live = h.Engine.hs_max_live;
+    hp_max_raw = h.Engine.hs_max_raw;
+  }
+
+let engstat_of probe ~label e =
+  let k = Engine.events_by_kind e in
+  Obs.Engstat.finish probe ~label ~timers:k.Engine.k_timer
+    ~deliveries:k.Engine.k_delivery ~tickers:k.Engine.k_ticker
+    ~heap:(heap_of_engine e)
+
+(* Hand-built schedule: 3 timers, 2 deliveries, 1 ticker; one timer
+   cancelled before it fires (drained as a ghost), one delivery
+   cancelled after it fired (no-op).  Every counter is predictable. *)
+let test_counters_exact () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let note k () = fired := k :: !fired in
+  ignore (Engine.schedule e ~kind:Engine.Timer ~after:10 (note `T1));
+  let t2 = Engine.schedule e ~kind:Engine.Timer ~after:20 (note `T2) in
+  ignore (Engine.schedule e ~kind:Engine.Timer ~after:30 (note `T3));
+  let d1 = Engine.schedule e ~kind:Engine.Delivery ~after:5 (note `D1) in
+  ignore (Engine.schedule e ~kind:Engine.Delivery ~after:15 (note `D2));
+  ignore (Engine.schedule e ~kind:Engine.Ticker ~after:25 (note `K1));
+  Alcotest.(check int) "six live" 6 (Engine.pending e);
+  Engine.cancel t2;
+  Alcotest.(check int) "five live after cancel" 5 (Engine.pending e);
+  Alcotest.(check int) "six raw" 6 (Engine.raw_pending e);
+  let probe = Obs.Engstat.start () in
+  Engine.run e;
+  Engine.cancel d1;
+  (* cancelling a fired event: no-op *)
+  let es = engstat_of probe ~label:"hand" e in
+  let d = es.Obs.Engstat.es_det in
+  Alcotest.(check int) "events" 5 d.Obs.Engstat.de_events;
+  Alcotest.(check int) "timers" 2 d.Obs.Engstat.de_timers;
+  Alcotest.(check int) "deliveries" 2 d.Obs.Engstat.de_deliveries;
+  Alcotest.(check int) "tickers" 1 d.Obs.Engstat.de_tickers;
+  let h = d.Obs.Engstat.de_heap in
+  Alcotest.(check int) "pushes" 6 h.Obs.Engstat.hp_pushes;
+  Alcotest.(check int) "pops" 6 h.Obs.Engstat.hp_pops;
+  Alcotest.(check int) "cancels" 1 h.Obs.Engstat.hp_cancels;
+  Alcotest.(check int) "ghost drains" 1 h.Obs.Engstat.hp_ghost_drains;
+  Alcotest.(check int) "max live" 6 h.Obs.Engstat.hp_max_live;
+  Alcotest.(check int) "max raw" 6 h.Obs.Engstat.hp_max_raw;
+  Alcotest.(check int) "runs" 1 d.Obs.Engstat.de_runs;
+  Alcotest.(check (list string))
+    "fire order"
+    [ "D1"; "T1"; "D2"; "K1"; "T3" ]
+    (List.rev_map
+       (function
+         | `T1 -> "T1" | `T2 -> "T2" | `T3 -> "T3"
+         | `D1 -> "D1" | `D2 -> "D2" | `K1 -> "K1")
+       !fired)
+
+(* The heap conservation law holds at every point of the lifecycle:
+   pushes = pops + live + undrained ghosts, and after a full drain
+   pops = pushes and ghost_drains = cancels. *)
+let test_heap_invariant () =
+  let e = Engine.create () in
+  let timers =
+    List.init 20 (fun i -> Engine.schedule e ~after:(10 + i) (fun () -> ()))
+  in
+  List.iteri (fun i t -> if i mod 3 = 0 then Engine.cancel t) timers;
+  let check_conservation () =
+    let h = Engine.heap_stats e in
+    let undrained_ghosts = Engine.raw_pending e - Engine.pending e in
+    Alcotest.(check int) "pushes = pops + live + ghosts"
+      h.Engine.hs_pushes
+      (h.Engine.hs_pops + h.Engine.hs_live + undrained_ghosts)
+  in
+  check_conservation ();
+  Engine.run_until e ~limit:20;
+  check_conservation ();
+  Engine.run e;
+  check_conservation ();
+  let h = Engine.heap_stats e in
+  Alcotest.(check int) "full drain: pops = pushes" h.Engine.hs_pushes
+    h.Engine.hs_pops;
+  Alcotest.(check int) "full drain: ghosts = cancels" h.Engine.hs_cancels
+    h.Engine.hs_ghost_drains;
+  Alcotest.(check int) "live zero" 0 h.Engine.hs_live
+
+(* [add]: counters sum, high-water marks take the max, the first
+   non-empty label wins; [sum] folds [add] over a list. *)
+let test_add_semantics () =
+  let mk label pushes max_live events =
+    let z = Obs.Engstat.zero ~label in
+    {
+      z with
+      Obs.Engstat.es_det =
+        {
+          z.Obs.Engstat.es_det with
+          Obs.Engstat.de_runs = 1;
+          de_events = events;
+          de_heap =
+            {
+              Obs.Engstat.zero_heap with
+              Obs.Engstat.hp_pushes = pushes;
+              hp_max_live = max_live;
+            };
+        };
+    }
+  in
+  let a = mk "a" 10 7 100 and b = mk "b" 32 5 200 in
+  let s = Obs.Engstat.add a b in
+  Alcotest.(check string) "label" "a" s.Obs.Engstat.es_label;
+  Alcotest.(check int) "runs sum" 2 s.Obs.Engstat.es_det.Obs.Engstat.de_runs;
+  Alcotest.(check int) "events sum" 300
+    s.Obs.Engstat.es_det.Obs.Engstat.de_events;
+  let h = s.Obs.Engstat.es_det.Obs.Engstat.de_heap in
+  Alcotest.(check int) "pushes sum" 42 h.Obs.Engstat.hp_pushes;
+  Alcotest.(check int) "max_live max" 7 h.Obs.Engstat.hp_max_live;
+  let s2 = Obs.Engstat.sum ~label:"agg" [ a; b ] in
+  Alcotest.(check string) "sum label" "agg" s2.Obs.Engstat.es_label;
+  Alcotest.(check int) "sum events" 300
+    s2.Obs.Engstat.es_det.Obs.Engstat.de_events
+
+(* Full-harness determinism: two identical runs produce identical CSV
+   rows (the row now carries the engine heap counters) and identical
+   deterministic `engine:` lines. *)
+let small_exp label =
+  {
+    Harness.Run.default_exp with
+    Harness.Run.e_clients = 4;
+    e_cores = 2;
+    e_warmup_us = 20_000;
+    e_measure_us = 50_000;
+    e_seed = 11;
+    e_label = label;
+  }
+
+let test_run_to_run_deterministic () =
+  let r1 = Harness.Run.run_exp (small_exp "engstat") in
+  let r2 = Harness.Run.run_exp (small_exp "engstat") in
+  Alcotest.(check string) "csv rows identical"
+    (Harness.Stats.to_csv_row r1)
+    (Harness.Stats.to_csv_row r2);
+  Alcotest.(check string) "det lines identical"
+    (Obs.Engstat.det_line r1.Harness.Stats.r_engstat)
+    (Obs.Engstat.det_line r2.Harness.Stats.r_engstat);
+  let d = r1.Harness.Stats.r_engstat.Obs.Engstat.es_det in
+  Alcotest.(check bool) "engine did work" true
+    (d.Obs.Engstat.de_events > 0
+    && d.Obs.Engstat.de_heap.Obs.Engstat.hp_pushes
+       >= d.Obs.Engstat.de_events)
+
+(* The deterministic section of a sweep's aggregated record is
+   byte-identical between the serial loop and a 4-way parallel sweep;
+   only the parallel leg attaches pool utilization. *)
+let sweep_cfg =
+  {
+    Explore.Sweep.smoke_config with
+    Explore.Sweep.systems = [ Harness.Run.Morty; Harness.Run.Tapir ];
+    seeds = [ 1 ];
+    schedules_per_seed = 1;
+    warmup_us = 20_000;
+    measure_us = 50_000;
+  }
+
+let test_det_section_jobs_invariant () =
+  let serial = Explore.Sweep.run ~jobs:1 sweep_cfg in
+  let par = Explore.Sweep.run ~jobs:4 sweep_cfg in
+  let ds = serial.Explore.Sweep.s_engstat.Obs.Engstat.es_det in
+  let dp = par.Explore.Sweep.s_engstat.Obs.Engstat.es_det in
+  Alcotest.(check bool) "det sections identical" true (ds = dp);
+  Alcotest.(check string) "det lines identical"
+    (Obs.Engstat.det_line serial.Explore.Sweep.s_engstat)
+    (Obs.Engstat.det_line par.Explore.Sweep.s_engstat);
+  Alcotest.(check int) "runs aggregated" serial.Explore.Sweep.s_runs
+    ds.Obs.Engstat.de_runs;
+  Alcotest.(check (list int))
+    "serial has no domain stats" []
+    (List.map
+       (fun d -> d.Obs.Engstat.dl_domain)
+       serial.Explore.Sweep.s_engstat.Obs.Engstat.es_host
+         .Obs.Engstat.ho_domains);
+  Alcotest.(check (list int))
+    "parallel has one entry per worker" [ 0; 1; 2; 3 ]
+    (List.map
+       (fun d -> d.Obs.Engstat.dl_domain)
+       par.Explore.Sweep.s_engstat.Obs.Engstat.es_host.Obs.Engstat.ho_domains)
+
+(* JSON: the deterministic object is the same for identical runs even
+   though the host object differs. *)
+let test_json_det_prefix () =
+  let det_part json =
+    match String.index_opt json '{' with
+    | None -> Alcotest.fail "no json"
+    | Some _ -> (
+      let marker = "\"deterministic\":" in
+      let rec find i =
+        if i + String.length marker > String.length json then
+          Alcotest.fail "no deterministic section"
+        else if String.sub json i (String.length marker) = marker then i
+        else find (i + 1)
+      in
+      let start = find 0 in
+      match String.index_from_opt json start '}' with
+      | None -> Alcotest.fail "unterminated"
+      | Some stop -> String.sub json start (stop - start + 1))
+  in
+  let r1 = Harness.Run.run_exp (small_exp "json") in
+  let r2 = Harness.Run.run_exp (small_exp "json") in
+  Alcotest.(check string) "deterministic json objects identical"
+    (det_part (Obs.Engstat.to_json r1.Harness.Stats.r_engstat))
+    (det_part (Obs.Engstat.to_json r2.Harness.Stats.r_engstat))
+
+(* Golden header: the first 17 CSV columns are the pre-observability
+   schema and must never shift; the engine columns append at the very
+   end.  A failure here means a CSV consumer contract broke. *)
+let stable_17 =
+  [
+    "label"; "committed"; "aborted"; "goodput_per_s"; "mean_latency_ms";
+    "p50_latency_ms"; "p99_latency_ms"; "commit_rate"; "cpu_utilization";
+    "reexecs_per_txn"; "msgs_per_txn"; "kills"; "restarts"; "transfer_msgs";
+    "transfer_bytes"; "catchups"; "catchup_wait_us";
+  ]
+
+let test_csv_header_golden () =
+  let cols = String.split_on_char ',' Harness.Stats.csv_header in
+  Alcotest.(check (list string))
+    "first 17 columns stable" stable_17
+    (List.filteri (fun i _ -> i < 17) cols);
+  let rec last_n n l =
+    if List.length l <= n then l else last_n n (List.tl l)
+  in
+  Alcotest.(check (list string))
+    "engine columns at the end"
+    [
+      "eng_heap_pushes"; "eng_heap_pops"; "eng_heap_cancels";
+      "eng_heap_ghost_drains"; "eng_heap_max_live"; "eng_heap_max_raw";
+    ]
+    (last_n 6 cols);
+  (* Row arity always matches the header. *)
+  let r = Harness.Run.run_exp (small_exp "golden") in
+  Alcotest.(check int) "row arity"
+    (List.length cols)
+    (List.length (String.split_on_char ',' (Harness.Stats.to_csv_row r)))
+
+let suites =
+  [
+    ( "engstat",
+      [
+        Alcotest.test_case "exact counters on hand-built schedule" `Quick
+          test_counters_exact;
+        Alcotest.test_case "heap conservation law" `Quick test_heap_invariant;
+        Alcotest.test_case "add/sum semantics" `Quick test_add_semantics;
+        Alcotest.test_case "run-to-run deterministic" `Quick
+          test_run_to_run_deterministic;
+        Alcotest.test_case "det section invariant under --jobs" `Quick
+          test_det_section_jobs_invariant;
+        Alcotest.test_case "json deterministic object stable" `Quick
+          test_json_det_prefix;
+        Alcotest.test_case "csv header golden" `Quick test_csv_header_golden;
+      ] );
+  ]

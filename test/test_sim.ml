@@ -184,11 +184,16 @@ let test_engine_pending_counts_cancelled () =
   let t1 = Engine.schedule e ~after:5 (fun () -> ()) in
   let _t2 = Engine.schedule e ~after:10 (fun () -> ()) in
   Alcotest.(check int) "two queued" 2 (Engine.pending e);
+  Alcotest.(check int) "two raw" 2 (Engine.raw_pending e);
   Engine.cancel t1;
-  (* Cancellation is lazy: the slot stays in the queue until drained. *)
-  Alcotest.(check int) "cancelled still counted" 2 (Engine.pending e);
+  (* [pending] reports live events: the cancelled one drops out
+     immediately even though its slot stays queued as a ghost until
+     drained — [raw_pending] still sees it. *)
+  Alcotest.(check int) "one live after cancel" 1 (Engine.pending e);
+  Alcotest.(check int) "ghost still queued" 2 (Engine.raw_pending e);
   Engine.run e;
-  Alcotest.(check int) "drained" 0 (Engine.pending e)
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  Alcotest.(check int) "raw drained" 0 (Engine.raw_pending e)
 
 let test_engine_cancel_idempotent () =
   let e = Engine.create () in

@@ -788,6 +788,94 @@ let bench_pr8_check path =
   else Printf.printf "bench-pr8: all metrics within tolerance of %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* PR9 lineage baseline.                                               *)
+(*                                                                     *)
+(* `bench-pr9` re-runs the PR4 point on all four systems with a causal *)
+(* lineage recorder attached and prints each run's lineage summary as  *)
+(* single-line-per-system JSON; the output is committed as             *)
+(* bench/BENCH_PR9.json.  `bench-pr9-check FILE` re-runs the point and *)
+(* compares every field EXACTLY: the summary — transaction and edge    *)
+(* counts, cascade count, cascade-depth p99/max, salvaged and lost     *)
+(* (discarded) work, hottest key — is a pure function of the simulated *)
+(* schedule, so any drift is a real change in contention behaviour,    *)
+(* not host noise.  Wired into `dune runtest` via bench-smoke.         *)
+(* ------------------------------------------------------------------ *)
+
+let pr9_exp sys =
+  { (pr4_exp sys) with
+    Run.e_label = Printf.sprintf "pr9/%s" (Run.system_name sys) }
+
+let pr9_rows () =
+  List.map
+    (fun sys ->
+      let lineage = Obs.Lineage.create ~label:(Run.system_name sys) () in
+      let _r = Run.run_exp ~lineage (pr9_exp sys) in
+      (Run.system_name sys, Obs.Lineage.summary (Obs.Lineage.records lineage)))
+    Run.all_systems
+
+let pr9_row_json (s : Obs.Lineage.summary) =
+  Printf.sprintf
+    "{\"txns\":%d,\"edges\":%d,\"cascades\":%d,\"depth_p99\":%.2f,\"depth_max\":%d,\"salvaged_us\":%d,\"lost_us\":%d,\"hot_key\":\"%s\"}"
+    s.Obs.Lineage.s_txns s.Obs.Lineage.s_edges s.Obs.Lineage.s_cascades
+    s.Obs.Lineage.s_depth_p99 s.Obs.Lineage.s_depth_max
+    s.Obs.Lineage.s_salvaged_us s.Obs.Lineage.s_lost_us
+    s.Obs.Lineage.s_hot_key
+
+let bench_pr9 () =
+  let rows = pr9_rows () in
+  print_string "{\n";
+  List.iteri
+    (fun i (name, s) ->
+      Printf.printf "\"%s\":%s%s\n" name (pr9_row_json s)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  print_string "}\n"
+
+let bench_pr9_check path =
+  let baseline =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let failures = ref 0 in
+  let report sys metric ~base ~cur ok =
+    if not ok then incr failures;
+    Printf.printf "%-6s %-8s %-16s baseline=%-10s current=%-10s (tol =)\n"
+      (if ok then "ok" else "BREACH")
+      sys metric base cur
+  in
+  let exact sys metric ~cur =
+    match pr4_baseline_field baseline ~sys ~field:metric with
+    | None -> report sys metric ~base:"<missing>" ~cur false
+    | Some raw -> report sys metric ~base:raw ~cur (raw = cur)
+  in
+  List.iter
+    (fun (sys, s) ->
+      exact sys "txns" ~cur:(string_of_int s.Obs.Lineage.s_txns);
+      exact sys "edges" ~cur:(string_of_int s.Obs.Lineage.s_edges);
+      exact sys "cascades" ~cur:(string_of_int s.Obs.Lineage.s_cascades);
+      exact sys "depth_p99"
+        ~cur:(Printf.sprintf "%.2f" s.Obs.Lineage.s_depth_p99);
+      exact sys "depth_max" ~cur:(string_of_int s.Obs.Lineage.s_depth_max);
+      exact sys "salvaged_us" ~cur:(string_of_int s.Obs.Lineage.s_salvaged_us);
+      exact sys "lost_us" ~cur:(string_of_int s.Obs.Lineage.s_lost_us);
+      exact sys "hot_key"
+        ~cur:(Printf.sprintf "\"%s\"" s.Obs.Lineage.s_hot_key))
+    (pr9_rows ());
+  if !failures > 0 then begin
+    Printf.printf
+      "bench-pr9: %d metric(s) drifted.  The lineage summary is a pure \
+       function of the simulated schedule — a breach means contention \
+       behaviour changed.  If intentional, refresh the baseline:\n\
+      \  dune exec bench/main.exe -- bench-pr9 > bench/BENCH_PR9.json\n"
+      !failures;
+    exit 1
+  end
+  else Printf.printf "bench-pr9: all metrics match %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Engine counter overhead.                                            *)
 (*                                                                     *)
 (* The observatory counters cannot be compiled out, so the overhead is *)
@@ -1048,6 +1136,9 @@ let () =
     | "bench-pr8-check" :: path :: rest ->
       bench_pr8_check path;
       go rest
+    | "bench-pr9-check" :: path :: rest ->
+      bench_pr9_check path;
+      go rest
     | t :: rest ->
       (match t with
       | "table1" -> table1 ()
@@ -1066,6 +1157,7 @@ let () =
       | "engine-overhead" -> engine_overhead ()
       | "bench-pr4" -> bench_pr4 ()
       | "bench-pr8" -> bench_pr8 ()
+      | "bench-pr9" -> bench_pr9 ()
       | "all" -> all ()
       | other -> Fmt.epr "unknown bench target %S@." other);
       go rest

@@ -153,6 +153,17 @@ let profile_out =
                  as single-line JSON to $(docv), and print a human summary.  \
                  With --sweep, one JSON document per line, one per point." ~docv:"FILE")
 
+let lineage_out =
+  Arg.(value & opt (some string) None
+       & info [ "lineage-out" ]
+           ~doc:"Write the run's causal lineage (JSONL, one transaction per \
+                 line: reads with superseding writers, re-execution triggers \
+                 with aggressor transactions, typed abort blame) to $(docv) \
+                 and print a one-line digest on stderr.  Feed the file to \
+                 $(b,morty_inspect) to explain contention.  With --sweep, \
+                 points append in order.  Stdout is byte-identical with or \
+                 without this flag." ~docv:"FILE")
+
 let engine_stats_out =
   Arg.(value & opt (some string) None
        & info [ "engine-stats-out" ]
@@ -185,7 +196,8 @@ let postmortem_out =
 let run system setup workload theta keys warehouses read_pct clients cores
     duration_ms warmup_ms seed sweep jobs kill_at_ms restart_at_ms victim
     partition_at_ms heal_at_ms partition_group max_staleness_us trace_out
-    metrics_out profile_out engine_stats_out monitors postmortem_out =
+    metrics_out profile_out lineage_out engine_stats_out monitors
+    postmortem_out =
   let e_workload =
     match workload with
     | `Retwis -> Harness.Run.Retwis { Workload.Retwis.n_keys = keys; theta }
@@ -250,6 +262,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
   in
   let monitors = monitors || postmortem_out <> None in
   let profiles = Buffer.create 256 in
+  let lineages = Buffer.create 256 in
   let point_idx = ref 0 in
   let events = ref 0 in
   let engstat = ref (Obs.Engstat.zero ~label:"bench") in
@@ -270,13 +283,18 @@ let run system setup workload theta keys warehouses read_pct clients cores
     in
     let mon = if monitors then Obs.Monitor.create () else Obs.Monitor.null () in
     let flight = if monitors then Obs.Flight.create () else Obs.Flight.null () in
-    let r = Harness.Run.run_exp ?faults ~obs ~prof ~mon ~flight e in
-    (e, obs, prof, mon, flight, r)
+    let lineage =
+      if lineage_out <> None then
+        Obs.Lineage.create ~label:e.Harness.Run.e_label ()
+      else Obs.Lineage.null ()
+    in
+    let r = Harness.Run.run_exp ?faults ~obs ~prof ~mon ~flight ~lineage e in
+    (e, obs, prof, mon, flight, lineage, r)
   in
   (* Render half: all printing and file writes, always on the calling
      domain, in submission order — so stdout and every output file are
      byte-identical whatever --jobs is. *)
-  let render_point (e, obs, prof, mon, flight, r) =
+  let render_point (e, obs, prof, mon, flight, lineage, r) =
     let ev = r.Harness.Stats.r_events in
     events :=
       !events + ev.Harness.Stats.ev_timers + ev.Harness.Stats.ev_deliveries
@@ -327,6 +345,12 @@ let run system setup workload theta keys warehouses read_pct clients cores
          JSON document per line, one per point. *)
       Buffer.add_string profiles (Obs.Profile.to_json prof);
       Fmt.pr "%a" Obs.Profile.pp_summary prof
+    end;
+    if lineage_out <> None then begin
+      Buffer.add_string lineages (Obs.Lineage.to_jsonl lineage);
+      (* Digest on stderr: stdout stays byte-identical with or without
+         the recorder (the lineage-smoke alias diffs it). *)
+      Fmt.epr "%a@." Obs.Lineage.pp_summary lineage
     end
   in
   Fmt.pr "%a@." Harness.Stats.pp_result_header ();
@@ -365,6 +389,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
          pool_merge_hwm := Orchestrate.Pool.merge_high_water pool)
    end);
   Option.iter (fun path -> write path (Buffer.contents profiles)) profile_out;
+  Option.iter (fun path -> write path (Buffer.contents lineages)) lineage_out;
   (match engine_stats_out with
   | None -> ()
   | Some path ->
@@ -399,7 +424,7 @@ let cmd =
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
       $ jobs $ kill_at_ms $ restart_at_ms $ victim $ partition_at_ms
       $ heal_at_ms $ partition_group $ max_staleness_us $ trace_out
-      $ metrics_out $ profile_out $ engine_stats_out $ monitors
+      $ metrics_out $ profile_out $ lineage_out $ engine_stats_out $ monitors
       $ postmortem_out)
 
 let () = exit (Cmd.eval cmd)

@@ -168,6 +168,15 @@ let engine_stats_out =
                  hosts and --jobs values; with --scaling it reflects the \
                  first sweep only." ~docv:"FILE")
 
+let lineage_out =
+  Arg.(value & opt (some string) None
+       & info [ "lineage-out" ]
+           ~doc:"Write each audit failure's causal lineage (JSONL, one \
+                 transaction per line: reads, re-execution triggers with \
+                 aggressors, typed abort blame — of the shrunk reproducer's \
+                 run) to $(docv), $(docv).2, ... in failure order.  Feed to \
+                 $(b,morty_inspect) to ask why a transaction aborted." ~docv:"FILE")
+
 let postmortem_out =
   Arg.(value & opt (some string) None
        & info [ "postmortem-out" ]
@@ -178,7 +187,7 @@ let postmortem_out =
 
 let run systems workload_names seeds seed_base schedules episodes clients cores
     measure_ms smoke no_kill partitions max_staleness_us monitors quiet jobs
-    scaling trace_out profile_out engine_stats_out postmortem_out =
+    scaling trace_out profile_out lineage_out engine_stats_out postmortem_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -298,7 +307,9 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
     close_out oc
   in
   List.iteri
-    (fun i { Explore.Sweep.f_original; f_shrunk; f_trace; f_profile; f_bundle } ->
+    (fun i
+         { Explore.Sweep.f_original; f_shrunk; f_trace; f_profile; f_lineage;
+           f_bundle } ->
       Fmt.pr "@.=== audit violation: %s@."
         (Explore.Audit.violation_to_string f_shrunk.Explore.Shrink.s_violation);
       Fmt.pr "original: %s@." (Explore.Case.label f_original);
@@ -319,6 +330,12 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         let path = numbered base i in
         write path f_profile;
         Fmt.pr "profile of shrunk case written to %s@." path);
+      (match lineage_out with
+      | None -> ()
+      | Some base ->
+        let path = numbered base i in
+        write path f_lineage;
+        Fmt.pr "lineage of shrunk case written to %s@." path);
       match postmortem_out with
       | None -> ()
       | Some base ->
@@ -357,6 +374,6 @@ let cmd =
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
       $ clients $ cores $ measure_ms $ smoke $ no_kill $ partitions
       $ max_staleness_us $ monitors $ quiet $ jobs $ scaling $ trace_out
-      $ profile_out $ engine_stats_out $ postmortem_out)
+      $ profile_out $ lineage_out $ engine_stats_out $ postmortem_out)
 
 let () = exit (Cmd.eval' cmd)

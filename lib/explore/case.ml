@@ -77,12 +77,13 @@ let exp_of c =
     e_max_staleness_us = c.c_max_staleness_us;
   }
 
-let run ?obs ?prof ?(mon = Obs.Monitor.null ()) ?flight c =
+let run ?obs ?prof ?(mon = Obs.Monitor.null ()) ?flight ?lineage c =
   let faults =
     if Schedule.is_empty c.c_schedule then None else Some (Schedule.apply c.c_schedule)
   in
   let result, txns =
-    Harness.Run.run_exp_audited ?faults ?obs ?prof ~mon ?flight (exp_of c)
+    Harness.Run.run_exp_audited ?faults ?obs ?prof ~mon ?flight ?lineage
+      (exp_of c)
   in
   match
     Audit.check ~expect_progress:(Schedule.is_empty c.c_schedule) txns result

@@ -40,6 +40,7 @@ val run :
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
   ?flight:Obs.Flight.t ->
+  ?lineage:Obs.Lineage.t ->
   t ->
   (Harness.Stats.result, Audit.violation) result
 (** Run the case's experiment with its fault schedule injected, audit
@@ -47,8 +48,9 @@ val run :
     and return the measured result or the audit violation.  [obs]
     collects a span trace, [prof] a critical-path profile, [mon] online
     invariant monitors (a monitor firing is reported as
-    [Audit.Monitor_violation]) and [flight] a bounded event ring of the
-    run (instrumentation is read-only, so the history is identical with
+    [Audit.Monitor_violation]), [flight] a bounded event ring of the
+    run and [lineage] the causal provenance of every transaction
+    (instrumentation is read-only, so the history is identical with
     or without them). *)
 
 val label : t -> string

@@ -41,6 +41,7 @@ type failure = {
   f_shrunk : Shrink.outcome;
   f_trace : string;
   f_profile : string;
+  f_lineage : string;
   f_bundle : Obs.Postmortem.t;
 }
 
@@ -104,13 +105,16 @@ let failure_of ?batch cfg case v =
     Shrink.minimize ~max_runs:cfg.shrink_budget ?batch ~fails:(fails_for cfg)
       case v
   in
-  let trace, profile, bundle =
+  let trace, profile, lineage, bundle =
     let sc = shrunk.Shrink.s_case in
     let sink = Obs.Sink.create ~seed:sc.Case.c_seed in
     let sprof = Obs.Profile.create ~label:(Case.label sc) () in
     let smon = Obs.Monitor.create () in
     let sflight = Obs.Flight.create () in
-    ignore (Case.run ~obs:sink ~prof:sprof ~mon:smon ~flight:sflight sc);
+    let slin = Obs.Lineage.create ~label:(Case.label sc) () in
+    ignore
+      (Case.run ~obs:sink ~prof:sprof ~mon:smon ~flight:sflight ~lineage:slin
+         sc);
     let reason =
       match shrunk.Shrink.s_violation with
       | Audit.Monitor_violation _ -> "monitor-violation"
@@ -122,13 +126,17 @@ let failure_of ?batch cfg case v =
         ~label:(Case.label sc) ~seed:sc.Case.c_seed ~mon:smon ~flight:sflight
         ~sink ~prof:sprof ()
     in
-    (Obs.Trace.to_json sink, Obs.Profile.to_json sprof, bundle)
+    ( Obs.Trace.to_json sink,
+      Obs.Profile.to_json sprof,
+      Obs.Lineage.to_jsonl slin,
+      bundle )
   in
   {
     f_original = case;
     f_shrunk = shrunk;
     f_trace = trace;
     f_profile = profile;
+    f_lineage = lineage;
     f_bundle = bundle;
   }
 

@@ -55,6 +55,10 @@ type failure = {
       (** critical-path profile JSON ({!Obs.Profile.to_json}) of the
           same deterministic re-execution: where the failing run's time
           and cycles went *)
+  f_lineage : string;
+      (** causal lineage JSONL ({!Obs.Lineage.to_jsonl}) of the same
+          re-execution — feed to [morty_inspect] to ask {e why} a
+          transaction aborted or re-executed in the failing history *)
   f_bundle : Obs.Postmortem.t;
       (** post-mortem bundle of the same re-execution (monitors and the
           flight recorder are always attached to it): violations,

@@ -385,8 +385,9 @@ let txn_of_spanner (r : Spanner.Client.record) =
    hold every durable decision, so further kills are refused.  Both
    operations are idempotent — the shrinker may drop either half of a
    Kill/Restart pair. *)
-let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon ~regions ?on_heal
-    ~replicas ~peers ~acc () =
+let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon
+    ?(lineage = Obs.Lineage.null ()) ~regions ?on_heal ~replicas ~peers ~acc ()
+    =
   let n = Array.length replicas in
   let widx i = ((i mod n) + n) mod n in
   let amnesiac () =
@@ -414,7 +415,7 @@ let morty_ops ~engine ~net ~rng ~cfg ~cores ~prof ~mon ~regions ?on_heal
       let node = Morty.Replica.node old in
       let fresh =
         Morty.Replica.create_at ~node ~cfg ~engine ~net
-          ~rng:(Sim.Rng.split rng) ~index:i ~cores ~prof ~mon ()
+          ~rng:(Sim.Rng.split rng) ~index:i ~cores ~prof ~mon ~lineage ()
       in
       Morty.Replica.set_peers fresh peers;
       replicas.(i) <- fresh;
@@ -451,7 +452,8 @@ let morty_recovery acc replicas =
 
 let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
-    ?(flight = Obs.Flight.null ()) e ~reexecution =
+    ?(flight = Obs.Flight.null ()) ?(lineage = Obs.Lineage.null ()) e
+    ~reexecution =
   let probe = Obs.Engstat.start () in
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
@@ -479,7 +481,7 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
     Array.init (Morty.Config.n_replicas cfg) (fun i ->
         Morty.Replica.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng) ~index:i
           ~region:regions.(i mod Array.length regions) ~cores:e.e_cores ~prof
-          ~mon ())
+          ~mon ~lineage ())
   in
   let peers = Array.map Morty.Replica.node replicas in
   Array.iter (fun r -> Morty.Replica.set_peers r peers) replicas;
@@ -523,7 +525,7 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
         let client =
           Morty.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
             ~region:(client_region regions i) ~replicas:peers ~obs ~prof ~mon
-            ~on_finish ()
+            ~lineage ~on_finish ()
         in
         let crng = Sim.Rng.split rng in
         let pick =
@@ -533,20 +535,31 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
             fun rng ->
               let kind = Workload.Tpcc.pick_kind rng in
               fun client rng done_ ->
+                (* Stage the label per attempt: the begin under this run
+                   thunk consumes it, and retries rerun the thunk. *)
+                Obs.Lineage.next_txn_label lineage
+                  (Workload.Tpcc.kind_name kind);
                 Morty_tpcc.run conf client rng ~home_w kind done_
           | Retwis conf ->
             let zipf = Workload.Retwis.sampler conf in
             fun rng ->
               let kind = Workload.Retwis.pick_kind rng in
-              fun client rng done_ -> Morty_retwis.run client rng zipf kind done_
+              fun client rng done_ ->
+                Obs.Lineage.next_txn_label lineage
+                  (Workload.Retwis.kind_name kind);
+                Morty_retwis.run client rng zipf kind done_
           | Ycsb conf ->
             let zipf = Workload.Ycsb.sampler conf in
-            fun _rng client rng done_ -> Morty_ycsb.run conf client rng zipf done_
+            fun _rng client rng done_ ->
+              Obs.Lineage.next_txn_label lineage "ycsb";
+              Morty_ycsb.run conf client rng zipf done_
           | Smallbank conf ->
             let zipf = Workload.Smallbank.sampler conf in
             fun rng ->
               let kind = Workload.Smallbank.pick_kind rng in
               fun client rng done_ ->
+                Obs.Lineage.next_txn_label lineage
+                  (Workload.Smallbank.kind_name kind);
                 Morty_smallbank.run conf client rng zipf kind done_
         in
         Morty_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
@@ -586,7 +599,8 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
   in
   let acc = fresh_acc () in
   inject faults
-    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~mon ~regions
+    (morty_ops ~engine ~net ~rng ~cfg ~cores:e.e_cores ~prof ~mon ~lineage
+       ~regions
        ~on_heal:(fun () -> Avail.note_heal av ~now:(Engine.now engine))
        ~replicas ~peers ~acc ());
   Engine.run_until engine ~limit:warm_end;
@@ -626,13 +640,17 @@ let run_morty ?cfg ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?avail:
       (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
     ~engstat:(engstat_of_engine probe ~label:e.e_label engine)
+    ?lineage:
+      (if Obs.Lineage.enabled lineage then
+         Some (Obs.Lineage.summary (Obs.Lineage.records lineage))
+       else None)
     ()
 
 (* --- TAPIR (e_cores single-threaded groups) -------------------------------- *)
 
 let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
-    ?(flight = Obs.Flight.null ()) e =
+    ?(flight = Obs.Flight.null ()) ?(lineage = Obs.Lineage.null ()) e =
   let probe = Obs.Engstat.start () in
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
@@ -649,7 +667,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
         Array.init (Tapir.Config.n_replicas cfg) (fun i ->
             Tapir.Replica.create ~cfg ~engine ~net ~group:g ~index:i
               ~region:regions.(i mod Array.length regions) ~cores:1 ~prof ~mon
-              ()))
+              ~lineage ()))
   in
   let group_nodes = Array.map (Array.map Tapir.Replica.node) groups in
   (* Watermark rounds (replica 0 of each group) broadcast to the group;
@@ -715,7 +733,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
       let client =
         Tapir.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
           ~region:(client_region regions i) ~groups:group_nodes ~partition
-          ~obs ~prof ~mon ~on_finish ()
+          ~obs ~prof ~mon ~lineage ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -724,20 +742,30 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
           let home_w = tpcc_home conf i in
           fun rng ->
             let kind = Workload.Tpcc.pick_kind rng in
-            fun client rng done_ -> Tapir_tpcc.run conf client rng ~home_w kind done_
+            fun client rng done_ ->
+              Obs.Lineage.next_txn_label lineage (Workload.Tpcc.kind_name kind);
+              Tapir_tpcc.run conf client rng ~home_w kind done_
         | Retwis conf ->
           let zipf = Workload.Retwis.sampler conf in
           fun rng ->
             let kind = Workload.Retwis.pick_kind rng in
-            fun client rng done_ -> Tapir_retwis.run client rng zipf kind done_
+            fun client rng done_ ->
+              Obs.Lineage.next_txn_label lineage
+                (Workload.Retwis.kind_name kind);
+              Tapir_retwis.run client rng zipf kind done_
         | Ycsb conf ->
           let zipf = Workload.Ycsb.sampler conf in
-          fun _rng client rng done_ -> Tapir_ycsb.run conf client rng zipf done_
+          fun _rng client rng done_ ->
+            Obs.Lineage.next_txn_label lineage "ycsb";
+            Tapir_ycsb.run conf client rng zipf done_
         | Smallbank conf ->
           let zipf = Workload.Smallbank.sampler conf in
           fun rng ->
             let kind = Workload.Smallbank.pick_kind rng in
-            fun client rng done_ -> Tapir_smallbank.run conf client rng zipf kind done_
+            fun client rng done_ ->
+              Obs.Lineage.next_txn_label lineage
+                (Workload.Smallbank.kind_name kind);
+              Tapir_smallbank.run conf client rng zipf kind done_
       in
       Tapir_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
         ~warm_end ~prof ~comps:(fun () -> Tapir.Client.last_comps client)
@@ -814,7 +842,7 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
       let node = Tapir.Replica.node old in
       let fresh =
         Tapir.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
-          ~cores:1 ~prof ~mon ()
+          ~cores:1 ~prof ~mon ~lineage ()
       in
       Tapir.Replica.set_peers fresh group_nodes.(g);
       groups.(g).(k) <- fresh;
@@ -871,13 +899,17 @@ let run_tapir ?(no_dist = false) ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?avail:
       (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
     ~engstat:(engstat_of_engine probe ~label:e.e_label engine)
+    ?lineage:
+      (if Obs.Lineage.enabled lineage then
+         Some (Obs.Lineage.summary (Obs.Lineage.records lineage))
+       else None)
     ()
 
 (* --- Spanner (e_cores single-threaded groups, leaders spread) -------------- *)
 
 let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
-    ?(flight = Obs.Flight.null ()) e =
+    ?(flight = Obs.Flight.null ()) ?(lineage = Obs.Lineage.null ()) e =
   let probe = Obs.Engstat.start () in
   let engine = Engine.create () in
   let rng = Sim.Rng.create e.e_seed in
@@ -893,7 +925,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
         Array.init (Spanner.Config.n_replicas cfg) (fun i ->
             Spanner.Replica.create ~cfg ~engine ~net ~group:g ~index:i
               ~region:regions.((g + i) mod Array.length regions) ~cores:1 ~prof
-              ~mon ()))
+              ~mon ~lineage ()))
   in
   Obs.Monitor.register_views mon (fun () ->
       Array.to_list groups
@@ -951,7 +983,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
       let client =
         Spanner.Client.create ~cfg ~engine ~net ~rng:(Sim.Rng.split rng)
           ~region:(client_region regions i) ~leaders ~partition
-          ~groups:group_nodes ~obs ~prof ~mon ~on_finish ()
+          ~groups:group_nodes ~obs ~prof ~mon ~lineage ~on_finish ()
       in
       let crng = Sim.Rng.split rng in
       let pick =
@@ -960,20 +992,30 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
           let home_w = tpcc_home conf i in
           fun rng ->
             let kind = Workload.Tpcc.pick_kind rng in
-            fun client rng done_ -> Spanner_tpcc.run conf client rng ~home_w kind done_
+            fun client rng done_ ->
+              Obs.Lineage.next_txn_label lineage (Workload.Tpcc.kind_name kind);
+              Spanner_tpcc.run conf client rng ~home_w kind done_
         | Retwis conf ->
           let zipf = Workload.Retwis.sampler conf in
           fun rng ->
             let kind = Workload.Retwis.pick_kind rng in
-            fun client rng done_ -> Spanner_retwis.run client rng zipf kind done_
+            fun client rng done_ ->
+              Obs.Lineage.next_txn_label lineage
+                (Workload.Retwis.kind_name kind);
+              Spanner_retwis.run client rng zipf kind done_
         | Ycsb conf ->
           let zipf = Workload.Ycsb.sampler conf in
-          fun _rng client rng done_ -> Spanner_ycsb.run conf client rng zipf done_
+          fun _rng client rng done_ ->
+            Obs.Lineage.next_txn_label lineage "ycsb";
+            Spanner_ycsb.run conf client rng zipf done_
         | Smallbank conf ->
           let zipf = Workload.Smallbank.sampler conf in
           fun rng ->
             let kind = Workload.Smallbank.pick_kind rng in
-            fun client rng done_ -> Spanner_smallbank.run conf client rng zipf kind done_
+            fun client rng done_ ->
+              Obs.Lineage.next_txn_label lineage
+                (Workload.Smallbank.kind_name kind);
+              Spanner_smallbank.run conf client rng zipf kind done_
       in
       Spanner_driver.closed_loop ~engine ~rng:crng ~client ~pick ~stats ~warm_start
         ~warm_end ~prof ~comps:(fun () -> Spanner.Client.last_comps client)
@@ -1050,7 +1092,7 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
       let node = Spanner.Replica.node old in
       let fresh =
         Spanner.Replica.create_at ~node ~cfg ~engine ~net ~group:g ~index:k
-          ~cores:1 ~prof ~mon ()
+          ~cores:1 ~prof ~mon ~lineage ()
       in
       Spanner.Replica.set_peers fresh (Array.map Spanner.Replica.node groups.(g));
       groups.(g).(k) <- fresh;
@@ -1107,26 +1149,35 @@ let run_spanner ?on_txn ?faults ?(obs = Obs.Sink.null ())
     ?avail:
       (if e.e_max_staleness_us > 0 then Some (Avail.result av) else None)
     ~engstat:(engstat_of_engine probe ~label:e.e_label engine)
+    ?lineage:
+      (if Obs.Lineage.enabled lineage then
+         Some (Obs.Lineage.summary (Obs.Lineage.records lineage))
+       else None)
     ()
 
-let run_exp ?on_txn ?faults ?obs ?prof ?mon ?flight e =
+let run_exp ?on_txn ?faults ?obs ?prof ?mon ?flight ?lineage e =
   match e.e_system with
-  | Morty -> run_morty ?on_txn ?faults ?obs ?prof ?mon ?flight e ~reexecution:true
-  | Mvtso -> run_morty ?on_txn ?faults ?obs ?prof ?mon ?flight e ~reexecution:false
-  | Tapir -> run_tapir ?on_txn ?faults ?obs ?prof ?mon ?flight e
-  | Tapir_nodist -> run_tapir ~no_dist:true ?on_txn ?faults ?obs ?prof ?mon ?flight e
-  | Spanner -> run_spanner ?on_txn ?faults ?obs ?prof ?mon ?flight e
+  | Morty ->
+    run_morty ?on_txn ?faults ?obs ?prof ?mon ?flight ?lineage e
+      ~reexecution:true
+  | Mvtso ->
+    run_morty ?on_txn ?faults ?obs ?prof ?mon ?flight ?lineage e
+      ~reexecution:false
+  | Tapir -> run_tapir ?on_txn ?faults ?obs ?prof ?mon ?flight ?lineage e
+  | Tapir_nodist ->
+    run_tapir ~no_dist:true ?on_txn ?faults ?obs ?prof ?mon ?flight ?lineage e
+  | Spanner -> run_spanner ?on_txn ?faults ?obs ?prof ?mon ?flight ?lineage e
 
-let run_exp_audited ?faults ?obs ?prof ?mon ?flight e =
+let run_exp_audited ?faults ?obs ?prof ?mon ?flight ?lineage e =
   let txns = ref [] in
   let result =
     run_exp ~on_txn:(fun t -> txns := t :: !txns) ?faults ?obs ?prof ?mon
-      ?flight e
+      ?flight ?lineage e
   in
   (result, List.rev !txns)
 
-let run_morty_with_config ?obs ?prof ?mon ?flight e cfg =
-  run_morty ~cfg ?obs ?prof ?mon ?flight e
+let run_morty_with_config ?obs ?prof ?mon ?flight ?lineage e cfg =
+  run_morty ~cfg ?obs ?prof ?mon ?flight ?lineage e
     ~reexecution:cfg.Morty.Config.reexecution
 
 let find_peak ?(runner = List.map (fun f -> f ())) mk ~client_counts =

@@ -104,6 +104,7 @@ val run_exp :
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
   ?flight:Obs.Flight.t ->
+  ?lineage:Obs.Lineage.t ->
   exp ->
   Stats.result
 (** [on_txn] receives one {!Adya.History.txn} per finished transaction
@@ -120,9 +121,14 @@ val run_exp :
     replica's and coordinator's state-transition hooks, the cluster's
     {!Obs.Monitor.state_view} source and kill incidents.  [flight]
     (default {!Obs.Flight.null}) taps engine dispatches, message traffic
-    and span openings into its bounded ring.  None of the four draws
-    randomness or alters scheduling, so enabling them never changes the
-    simulated history. *)
+    and span openings into its bounded ring.  [lineage] (default
+    {!Obs.Lineage.null}) records per-transaction causal lineage —
+    reads with superseding writers, re-execution triggers with
+    aggressors, typed abort blame — from every client {e and} replica
+    of the run; workload kind labels are staged per attempt, and the
+    run's {!Obs.Lineage.summary} lands in [Stats.r_lineage].  None of
+    the five draws randomness or alters scheduling, so enabling them
+    never changes the simulated history. *)
 
 val run_exp_audited :
   ?faults:(cluster_ops -> unit) ->
@@ -130,6 +136,7 @@ val run_exp_audited :
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
   ?flight:Obs.Flight.t ->
+  ?lineage:Obs.Lineage.t ->
   exp ->
   Stats.result * Adya.History.txn list
 (** {!run_exp} plus the recorded history, in transaction-finish order.
@@ -142,6 +149,7 @@ val run_morty_with_config :
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
   ?flight:Obs.Flight.t ->
+  ?lineage:Obs.Lineage.t ->
   exp ->
   Morty.Config.t ->
   Stats.result

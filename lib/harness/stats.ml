@@ -93,6 +93,18 @@ type events = { ev_timers : int; ev_deliveries : int; ev_tickers : int }
 
 let no_events = { ev_timers = 0; ev_deliveries = 0; ev_tickers = 0 }
 
+let no_lineage =
+  {
+    Obs.Lineage.s_txns = 0;
+    s_edges = 0;
+    s_cascades = 0;
+    s_depth_p99 = 0.;
+    s_depth_max = 0;
+    s_salvaged_us = 0;
+    s_lost_us = 0;
+    s_hot_key = "-";
+  }
+
 type result = {
   r_label : string;
   r_committed : int;
@@ -114,11 +126,12 @@ type result = {
   r_recovery : recovery;
   r_avail : avail;
   r_engstat : Obs.Engstat.t;
+  r_lineage : Obs.Lineage.summary;
 }
 
 let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     ?(msgs_per_txn = 0.) ?(events = no_events) ?(recovery = no_recovery)
-    ?(avail = no_avail) ?engstat () =
+    ?(avail = no_avail) ?engstat ?(lineage = no_lineage) () =
   let phase_ms p = Obs.Hist.mean t.phases.(phase_index p) /. 1000. in
   let engstat =
     match engstat with Some e -> e | None -> Obs.Engstat.zero ~label
@@ -144,6 +157,7 @@ let to_result t ~label ~duration_us ~cpu_utilization ~reexecs_per_txn
     r_recovery = recovery;
     r_avail = avail;
     r_engstat = engstat;
+    r_lineage = lineage;
   }
 
 let abort_count r reason =
@@ -208,15 +222,19 @@ ev_timers,ev_deliveries,ev_tickers,\
 ro_committed,ro_aborted,read_avail,write_avail,stale_p99_ms,\
 ttr_write_ms,ttr_wm_ms,\
 eng_heap_pushes,eng_heap_pops,eng_heap_cancels,eng_heap_ghost_drains,\
-eng_heap_max_live,eng_heap_max_raw"
+eng_heap_max_live,eng_heap_max_raw,\
+lin_cascades,lin_depth_p99,lin_depth_max,lin_salvaged_us,lin_lost_us,\
+lin_hot_key"
 
 let to_csv_row r =
   let ab reason = abort_count r reason in
   let hp = r.r_engstat.Obs.Engstat.es_det.Obs.Engstat.de_heap in
+  let li = r.r_lineage in
   Printf.sprintf
     "%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.4f,%.4f,%.3f,%.2f,%d,%d,%d,%d,%d,%d,\
 %.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
-%d,%d,%.4f,%.4f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d"
+%d,%d,%.4f,%.4f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,\
+%d,%.2f,%d,%d,%d,%s"
     r.r_label r.r_committed r.r_aborted r.r_goodput r.r_mean_latency_ms
     r.r_p50_latency_ms r.r_p99_latency_ms r.r_commit_rate r.r_cpu_utilization
     r.r_reexecs_per_txn r.r_msgs_per_txn r.r_recovery.rc_kills
@@ -239,4 +257,7 @@ let to_csv_row r =
     (float_of_int r.r_recovery.rc_ttr_wm_us /. 1000.)
     hp.Obs.Engstat.hp_pushes hp.Obs.Engstat.hp_pops hp.Obs.Engstat.hp_cancels
     hp.Obs.Engstat.hp_ghost_drains hp.Obs.Engstat.hp_max_live
-    hp.Obs.Engstat.hp_max_raw
+    hp.Obs.Engstat.hp_max_raw li.Obs.Lineage.s_cascades
+    li.Obs.Lineage.s_depth_p99 li.Obs.Lineage.s_depth_max
+    li.Obs.Lineage.s_salvaged_us li.Obs.Lineage.s_lost_us
+    li.Obs.Lineage.s_hot_key

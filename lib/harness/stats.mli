@@ -95,6 +95,10 @@ type events = {
 
 val no_events : events
 
+val no_lineage : Obs.Lineage.summary
+(** The all-zero lineage digest (hot key [-]) reported when the runner
+    ran without a lineage recorder. *)
+
 type result = {
   r_label : string;
   r_committed : int;
@@ -125,6 +129,9 @@ type result = {
       (** engine-performance record for this run (timer-heap counters,
           wall/GC/utilization); {!Obs.Engstat.zero} when the runner did
           not collect one *)
+  r_lineage : Obs.Lineage.summary;
+      (** lineage digest (cascade depth, salvaged/lost work, hottest
+          key); {!no_lineage} when no recorder was attached *)
 }
 
 val to_result :
@@ -138,6 +145,7 @@ val to_result :
   ?recovery:recovery ->
   ?avail:avail ->
   ?engstat:Obs.Engstat.t ->
+  ?lineage:Obs.Lineage.summary ->
   unit ->
   result
 
@@ -159,7 +167,9 @@ val pp_avail : Format.formatter -> result -> unit
 val csv_header : string
 (** The first 17 columns (label through catchup_wait_us) are the stable
     pre-observability schema — pinned by a golden test; new columns
-    only ever append.  The trailing [eng_heap_*] columns are the
-    deterministic timer-heap counters from {!Obs.Engstat}. *)
+    only ever append.  The [eng_heap_*] columns are the deterministic
+    timer-heap counters from {!Obs.Engstat}; the trailing [lin_*]
+    columns are the lineage digest (all-zero without a recorder).  The
+    authoritative column-by-column table lives in EXPERIMENTS.md. *)
 
 val to_csv_row : result -> string

@@ -132,6 +132,7 @@ type t = {
   obs : Obs.Sink.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
+  lin : Obs.Lineage.t;
   (* Critical-path attribution: the transaction the closed-loop driver
      is currently running (one at a time per client), its component
      cells, and the end of the last attributed wait interval. *)
@@ -187,6 +188,19 @@ let stale ctx = ctx.c_eid <> ctx.c_txn.eid || ctx.c_txn.finished
 (* --- Observability helpers --------------------------------------------- *)
 
 let ver_arg txn = ("ver", Obs.Sink.S (Fmt.str "%a" Version.pp txn.ver))
+(* [Version.zero] marks pre-loaded initial data: writerless, so it maps
+   to the lineage layer's v0 rather than leaking the sentinel pair. *)
+let vpair (v : Version.t) =
+  if Version.equal v Version.zero then Obs.Lineage.v0
+  else (v.Version.ts, v.Version.id)
+
+(* Deterministic flow id tying a superseded execution to its
+   re-execution in the Chrome trace: a pure function of (ver, old eid),
+   so same-seed runs emit identical arrows. *)
+let flow_id txn =
+  ((txn.ver.Version.ts land 0xFFFFF) lsl 16)
+  lor ((txn.ver.Version.id land 0xFF) lsl 8)
+  lor (txn.eid land 0xFF)
 
 let mark t txn name args =
   Obs.Sink.instant t.obs ~name ~cat:"txn" ~ts:(Engine.now t.engine) ~pid:t.node
@@ -299,6 +313,14 @@ let finish t txn outcome =
           :: [])
         ()
     end;
+    Obs.Lineage.note_finish t.lin ~ver:(vpair txn.ver)
+      ~committed:(Outcome.is_committed outcome)
+      ~reason:
+        (match Outcome.reason outcome with
+        | Some r -> Obs.Abort_reason.to_string r
+        | None -> "")
+      ~work_us:(txn.exec_us + txn.prep_us + txn.fin_us)
+      ~ts:(Engine.now t.engine);
     (match t.on_finish with
      | Some f ->
        f
@@ -467,10 +489,18 @@ and start_finalize t txn eid decision =
 
 (* --- Re-execution ------------------------------------------------------ *)
 
-and reexecute t txn idx (slot : slot) w_ver value =
+and reexecute t txn idx (slot : slot) w_ver value ~trigger =
   t.stats.reexecs <- t.stats.reexecs + 1;
   txn.reexec_count <- txn.reexec_count + 1;
   Obs.Profile.note_reexec t.prof ~key:slot.s_key;
+  (* Flow arrow source: anchored inside the execution span being
+     superseded (which close_segment below ends at [now]).  The id is a
+     pure function of (ver, superseded eid), shared with the arrow head
+     emitted after the phase switch. *)
+  let fid = flow_id txn in
+  if Obs.Sink.enabled t.obs then
+    Obs.Sink.flow t.obs ~name:"reexec" ~cat:"flow" ~ts:(Engine.now t.engine)
+      ~pid:t.node ~id:fid ~start:true ();
   Log.debug (fun m ->
       m "txn %a re-executes from read %d of %s" Version.pp txn.ver idx slot.s_key);
   (* If the current execution already entered Prepare, durably abandon it
@@ -494,13 +524,31 @@ and reexecute t txn idx (slot : slot) w_ver value =
      execute segment is labelled as a re-execution span. *)
   txn.t_reason <- None;
   txn.seg_reexec <- true;
-  if Obs.Sink.enabled t.obs then
+  if Obs.Sink.enabled t.obs then begin
     mark t txn "reexecute"
       [
         ("eid", Obs.Sink.I txn.eid);
         ("from_read", Obs.Sink.I idx);
         ("key", Obs.Sink.S slot.s_key);
       ];
+    (* Flow arrow head: lands in the fresh execution's span. *)
+    Obs.Sink.flow t.obs ~name:"reexec" ~cat:"flow" ~ts:(Engine.now t.engine)
+      ~pid:t.node ~id:fid ~start:false ()
+  end;
+  (* When the corrected version is the initial datum (the observed writer
+     aborted and the read reverts), the blame lies with the writer whose
+     disappearance triggered this re-execution — the version the slot
+     observed before the unroll below overwrites it. *)
+  let aggressor =
+    let corrected = vpair w_ver in
+    if corrected <> Obs.Lineage.v0 then corrected
+    else
+      match slot.s_reply with
+      | Some (old_ver, _) -> vpair old_ver
+      | None -> Obs.Lineage.v0
+  in
+  Obs.Lineage.note_reexec t.lin ~ver:(vpair txn.ver) ~eid:txn.eid ~trigger
+    ~key:slot.s_key ~aggressor ~ts:(Engine.now t.engine);
   (* Unroll: keep the operation prefix up to and including this read. *)
   txn.slots <-
     List.filter_map
@@ -518,10 +566,13 @@ and reexecute t txn idx (slot : slot) w_ver value =
     | op :: rest -> prefix (op :: acc) rest
   in
   txn.ops <- prefix [] txn.ops;
+  (* The corrected read is the first observation of the new execution. *)
+  Obs.Lineage.note_read t.lin ~ver:(vpair txn.ver) ~key:slot.s_key
+    ~from:(vpair w_ver) ~eid:txn.eid ~ts:(Engine.now t.engine);
   (* Resume the application from the stored continuation. *)
   slot.s_cont { c_txn = txn; c_eid = txn.eid } value
 
-and consider_reexec t txn key w_ver value =
+and consider_reexec t txn key w_ver value ~trigger =
   if
     txn.finished
     || (not t.cfg.reexecution)
@@ -553,7 +604,7 @@ and consider_reexec t txn key w_ver value =
           txn.slots
       in
       match target with
-      | Some slot -> reexecute t txn slot.s_index slot w_ver value
+      | Some slot -> reexecute t txn slot.s_index slot w_ver value ~trigger
       | None -> ()
   end
 
@@ -575,11 +626,13 @@ let handle_get_reply t for_ver key w_ver value seq =
             ~pid:t.node
             ~args:[ ver_arg txn; ("key", Obs.Sink.S slot.s_key) ]
             ();
+        Obs.Lineage.note_read t.lin ~ver:(vpair txn.ver) ~key:slot.s_key
+          ~from:(vpair w_ver) ~eid:txn.eid ~ts:(Engine.now t.engine);
         slot.s_cont { c_txn = txn; c_eid = txn.eid } value
       | Some _ | None -> (* stale or duplicate *) ())
     | None ->
       t.stats.miss_notifications <- t.stats.miss_notifications + 1;
-      consider_reexec t txn key w_ver value)
+      consider_reexec t txn key w_ver value ~trigger:Obs.Lineage.Missed_read)
 
 let handle_prepare_reply t ver eid vote missed reason ~src =
   match Hashtbl.find_opt t.txns ver with
@@ -591,7 +644,8 @@ let handle_prepare_reply t ver eid vote missed reason ~src =
     List.iter
       (fun (key, w_ver, value) ->
         t.stats.miss_notifications <- t.stats.miss_notifications + 1;
-        consider_reexec t txn key w_ver value)
+        consider_reexec t txn key w_ver value
+          ~trigger:Obs.Lineage.Stale_version)
       missed;
     (match txn.phase with
      | Preparing p when p.p_eid = eid && txn.eid = eid ->
@@ -679,6 +733,7 @@ let ro_mk_txn t ~ver ~ro =
   t.c_comps <- Array.make Obs.Profile.n_cells 0;
   t.c_last_ev <- now;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
+  Obs.Lineage.note_begin t.lin ~ver:(vpair ver) ~ts:now;
   txn
 
 (* Retire a pinned execution without recording anything: the re-pin
@@ -826,7 +881,8 @@ let handle t ~src msg =
 (* --- Public API --------------------------------------------------------- *)
 
 let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null ())
-    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) ?on_finish () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(lineage = Obs.Lineage.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest_ix =
     let n = Array.length replicas in
@@ -860,6 +916,7 @@ let create ~cfg ~engine ~net ~rng ~region ~replicas ?(obs = Obs.Sink.null ())
       obs;
       prof;
       mon;
+      lin = lineage;
       c_cur = None;
       c_comps = Array.make Obs.Profile.n_cells 0;
       c_last_ev = 0;
@@ -903,6 +960,7 @@ let begin_ t body =
   t.c_comps <- Array.make Obs.Profile.n_cells 0;
   t.c_last_ev <- now;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
+  Obs.Lineage.note_begin t.lin ~ver:(vpair ver) ~ts:now;
   body { c_txn = txn; c_eid = 0 }
 
 (* Snapshot read of a pinned follower-read transaction: all reads go to

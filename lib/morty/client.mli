@@ -61,6 +61,7 @@ val create :
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
@@ -69,7 +70,9 @@ val create :
     client's region (the first one whose region matches, else replica
     0).  [prof] receives latency decomposition, outcome and re-execution
     hooks (default {!Obs.Profile.null}); [mon] (default
-    {!Obs.Monitor.null}) checks fast-path vote consistency. *)
+    {!Obs.Monitor.null}) checks fast-path vote consistency; [lineage]
+    (default {!Obs.Lineage.null}) records per-transaction reads,
+    re-executions with trigger and aggressor, and typed finishes. *)
 
 val node : t -> Simnet.Net.node
 

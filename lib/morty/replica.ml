@@ -72,6 +72,7 @@ type t = {
   cpu : Cpu.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
+  lin : Obs.Lineage.t;
   mutable peers : int array;
   store : Mvstore.Vstore.t;
   erecord : (Version.t * int, exec_entry) Hashtbl.t;
@@ -115,7 +116,11 @@ let watermark t = t.watermark
 
 (* --- Invariant-monitor plumbing ---------------------------------------- *)
 
-let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
+(* [Version.zero] marks pre-loaded initial data: writerless, so it maps
+   to the lineage layer's v0 rather than leaking the sentinel pair. *)
+let vpair (v : Version.t) =
+  if Version.equal v Version.zero then Obs.Lineage.v0
+  else (v.Version.ts, v.Version.id)
 let mon_label t = Printf.sprintf "r%d" t.index
 
 let observe t tr =
@@ -313,7 +318,10 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
         in
         if not is_current then begin
           vote := Vote.Abandon_final;
-          blame Obs.Abort_reason.Watermark_abandon
+          blame Obs.Abort_reason.Watermark_abandon;
+          Obs.Lineage.note_conflict t.lin ~ver:(vpair ver) ~key:r.key
+            ~aggressor:Obs.Lineage.v0 ~reason:"watermark-abandon"
+            ~ts:(Engine.now t.engine)
         end
         else if Obs.Monitor.enabled t.mon then
           (* Truncation-safety carve-out taken: the monitor re-checks
@@ -342,7 +350,10 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
         vote := Vote.Abandon_final;
         blame Obs.Abort_reason.Validation_fail;
         Obs.Profile.note_conflict t.prof ~key:r.key;
-        Obs.Profile.note_abort_key t.prof ~key:r.key
+        Obs.Profile.note_abort_key t.prof ~key:r.key;
+        Obs.Lineage.note_conflict t.lin ~ver:(vpair ver) ~key:r.key
+          ~aggressor:(vpair r.r_ver) ~reason:"validation-fail"
+          ~ts:(Engine.now t.engine)
       end)
     read_set;
   (* Check 1: did our reads miss any writes? *)
@@ -356,11 +367,17 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
         blame Obs.Abort_reason.Missed_write;
         Obs.Profile.note_conflict t.prof ~key:r.key;
         Obs.Profile.note_abort_key t.prof ~key:r.key;
+        Obs.Lineage.note_conflict t.lin ~ver:(vpair ver) ~key:r.key
+          ~aggressor:(vpair m.r_ver) ~reason:"missed-write"
+          ~ts:(Engine.now t.engine);
         missed := (r.key, m.r_ver, m.r_val) :: !missed
       | Mvstore.Vrecord.Missed_uncommitted m ->
         vote := worse !vote Vote.Abandon_tentative;
         blame Obs.Abort_reason.Missed_write;
         Obs.Profile.note_conflict t.prof ~key:r.key;
+        Obs.Lineage.note_conflict t.lin ~ver:(vpair ver) ~key:r.key
+          ~aggressor:(vpair m.r_ver) ~reason:"missed-write"
+          ~ts:(Engine.now t.engine);
         missed := (r.key, m.r_ver, m.r_val) :: !missed)
     read_set;
   (* Check 2: did other transactions' validated reads miss our writes? *)
@@ -371,7 +388,10 @@ let validate t ver (read_set : Rwset.read_set) (write_set : Rwset.write_set) =
         vote := worse !vote Vote.Abandon_final;
         blame Obs.Abort_reason.Missed_write;
         Obs.Profile.note_conflict t.prof ~key:w.key;
-        Obs.Profile.note_abort_key t.prof ~key:w.key
+        Obs.Profile.note_abort_key t.prof ~key:w.key;
+        Obs.Lineage.note_conflict t.lin ~ver:(vpair ver) ~key:w.key
+          ~aggressor:Obs.Lineage.v0 ~reason:"missed-write"
+          ~ts:(Engine.now t.engine)
       end
       else if Mvstore.Vrecord.prepared_read_missing_write vr ~w_ver:ver then begin
         vote := worse !vote Vote.Abandon_tentative;
@@ -1299,13 +1319,15 @@ let schedule_truncation t =
    keep a stable address; [set_handler] atomically replaces the old
    incarnation's handler. *)
 let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
-    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(lineage = Obs.Lineage.null ()) () =
   let t =
     {
       cfg; engine; net; rng; index; node; cores;
       cpu = Cpu.create engine ~cores;
       prof;
       mon;
+      lin = lineage;
       peers = [||];
       store = Mvstore.Vstore.create ();
       erecord = Hashtbl.create 4096;
@@ -1354,9 +1376,9 @@ let create_at ~node ~cfg ~engine ~net ~rng ~index ~cores
   schedule_truncation t;
   t
 
-let create ~cfg ~engine ~net ~rng ~index ~region ~cores ?prof ?mon () =
+let create ~cfg ~engine ~net ~rng ~index ~region ~cores ?prof ?mon ?lineage () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~rng ~index ~cores
-    ?prof ?mon ()
+    ?prof ?mon ?lineage ()
 
 (* Per-replica introspection: a protocol-agnostic snapshot of this
    replica's state for monitors and post-mortem bundles. *)

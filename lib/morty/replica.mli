@@ -46,6 +46,7 @@ val create :
   cores:int ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   unit ->
   t
 (** Create replica [index] (of [2f+1]) and register it on the network.
@@ -54,7 +55,10 @@ val create :
     contention hooks; when set, replies also carry message provenance
     ({!Simnet.Net.set_send_path}) for the client-side decomposition.
     [mon] (default {!Obs.Monitor.null}) receives state-transition hooks
-    for the online invariant monitors; purely observational. *)
+    for the online invariant monitors; purely observational.  [lineage]
+    (default {!Obs.Lineage.null}) receives typed conflict records from
+    validation (key, aggressor version, reason) for the provenance
+    DAG. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -66,6 +70,7 @@ val create_at :
   cores:int ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a

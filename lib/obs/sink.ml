@@ -5,7 +5,7 @@
 
 type arg = I of int | S of string | F of float
 
-type phase = Complete | Instant
+type phase = Complete | Instant | Flow_start of int | Flow_finish of int
 
 type event = {
   ev_name : string;
@@ -77,6 +77,13 @@ let instant t ~name ~cat ~ts ~pid ?(tid = 0) ?(args = []) () =
     push t
       { ev_name = name; ev_cat = cat; ev_ph = Instant; ev_ts = ts; ev_dur = 0;
         ev_pid = pid; ev_tid = tid; ev_args = args }
+
+let flow t ~name ~cat ~ts ~pid ~id ~start ?(tid = 0) () =
+  if t.enabled then
+    push t
+      { ev_name = name; ev_cat = cat;
+        ev_ph = (if start then Flow_start id else Flow_finish id);
+        ev_ts = ts; ev_dur = 0; ev_pid = pid; ev_tid = tid; ev_args = [] }
 
 let sample t s = if t.enabled then t.samples <- s :: t.samples
 

@@ -9,7 +9,11 @@
 
 type arg = I of int | S of string | F of float
 
-type phase = Complete | Instant
+type phase = Complete | Instant | Flow_start of int | Flow_finish of int
+(** [Flow_start]/[Flow_finish] carry a flow id: Chrome-trace flow
+    events ([ph:"s"]/[ph:"f"]) binding the enclosing slices into one
+    arrow in Perfetto — used to link a re-execution span to the
+    execution it supersedes. *)
 
 type event = {
   ev_name : string;
@@ -53,6 +57,13 @@ val span :
 val instant :
   t -> name:string -> cat:string -> ts:int -> pid:int ->
   ?tid:int -> ?args:(string * arg) list -> unit -> unit
+
+val flow :
+  t -> name:string -> cat:string -> ts:int -> pid:int -> id:int ->
+  start:bool -> ?tid:int -> unit -> unit
+(** Emit one half of a flow arrow: [start:true] is the source
+    ([Flow_start]), [start:false] the destination ([Flow_finish]).
+    Both halves must share [id] and [name]/[cat]. *)
 
 val sample : t -> sample -> unit
 

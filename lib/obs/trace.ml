@@ -24,7 +24,15 @@ let add_event buf (e : Sink.event) =
   | Sink.Complete ->
     Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
     Buffer.add_string buf (string_of_int e.ev_dur)
-  | Sink.Instant -> Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\"");
+  | Sink.Instant -> Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\""
+  | Sink.Flow_start id ->
+    Buffer.add_string buf ",\"ph\":\"s\",\"id\":";
+    Buffer.add_string buf (string_of_int id)
+  | Sink.Flow_finish id ->
+    (* bp:"e" binds the arrow head to the enclosing slice, the
+       convention Perfetto expects for flow terminations. *)
+    Buffer.add_string buf ",\"ph\":\"f\",\"bp\":\"e\",\"id\":";
+    Buffer.add_string buf (string_of_int id));
   Buffer.add_string buf ",\"ts\":";
   Buffer.add_string buf (string_of_int e.ev_ts);
   Buffer.add_string buf ",\"pid\":";

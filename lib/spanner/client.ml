@@ -98,6 +98,7 @@ type t = {
   obs : Obs.Sink.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
+  lin : Obs.Lineage.t;
   (* Latency-decomposition state for the transaction this (closed-loop)
      client is currently driving; see Obs.Profile. *)
   mutable c_cur : txn option;
@@ -145,6 +146,11 @@ let profile_arrival t =
 (* --- Observability helpers --------------------------------------------- *)
 
 let ver_arg txn = ("ver", Obs.Sink.S (Fmt.str "%a" Version.pp txn.id))
+(* [Version.zero] marks pre-loaded initial data: writerless, so it maps
+   to the lineage layer's v0 rather than leaking the sentinel pair. *)
+let vpair (v : Version.t) =
+  if Version.equal v Version.zero then Obs.Lineage.v0
+  else (v.Version.ts, v.Version.id)
 
 let mark t txn name args =
   Obs.Sink.instant t.obs ~name ~cat:"txn" ~ts:(Engine.now t.engine) ~pid:t.node
@@ -194,6 +200,16 @@ let finish t txn ~ver outcome =
       ~ver:(txn.id.Version.ts, txn.id.Version.id)
       ~committed:(Outcome.is_committed outcome) ~final_eid:0;
     switch_segment t txn txn.seg;
+    (* Lineage is keyed by the begin version like the profile ledger, so
+       replica-side conflict records join up with the finish. *)
+    Obs.Lineage.note_finish t.lin ~ver:(vpair txn.id)
+      ~committed:(Outcome.is_committed outcome)
+      ~reason:
+        (match Outcome.reason outcome with
+        | Some r -> Obs.Abort_reason.to_string r
+        | None -> "")
+      ~work_us:(txn.exec_us + txn.prep_us + txn.fin_us)
+      ~ts:(Engine.now t.engine);
     Hashtbl.remove t.txns txn.id;
     if txn.ro then Hashtbl.remove t.ro_txns txn.ro_id;
     (match outcome with
@@ -262,6 +278,8 @@ let deliver_read t txn (p : pend) key w_ver value seq =
   txn.pending <- List.remove_assoc seq txn.pending;
   txn.reads <- (key, w_ver) :: txn.reads;
   txn.read_vals <- (key, value) :: txn.read_vals;
+  Obs.Lineage.note_read t.lin ~ver:(vpair txn.id) ~key ~from:(vpair w_ver)
+    ~eid:0 ~ts:(Engine.now t.engine);
   if Obs.Sink.enabled t.obs then
     Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:p.pd_sent
       ~dur:(Engine.now t.engine - p.pd_sent)
@@ -430,7 +448,7 @@ let handle t ~src:_ msg =
 
 let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
     ?groups ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ())
-    ?(mon = Obs.Monitor.null ()) ?on_finish () =
+    ?(mon = Obs.Monitor.null ()) ?(lineage = Obs.Lineage.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
   let groups =
     match groups with
@@ -466,6 +484,7 @@ let create ~cfg ~engine ~net ~rng ~region ~leaders ~partition
       obs;
       prof;
       mon;
+      lin = lineage;
       c_cur = None;
       c_comps = Array.make Obs.Profile.n_cells 0;
       c_last_ev = 0;
@@ -522,6 +541,7 @@ let begin_ t body =
   t.stats.begun <- t.stats.begun + 1;
   track t txn;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
+  Obs.Lineage.note_begin t.lin ~ver:(vpair txn.id) ~ts:txn.t_start_us;
   body { c_txn = txn }
 
 let begin_ro t body =
@@ -559,6 +579,7 @@ let begin_ro t body =
   t.stats.ro_begun <- t.stats.ro_begun + 1;
   track t txn;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [ ("ro", Obs.Sink.I 1) ];
+  Obs.Lineage.note_begin t.lin ~ver:(vpair txn.id) ~ts:txn.t_start_us;
   body { c_txn = txn }
 
 let do_get t ctx key cont ~mode =
@@ -614,6 +635,10 @@ let abort t ctx =
     Obs.Profile.note_outcome t.prof
       ~ver:(txn.id.Version.ts, txn.id.Version.id)
       ~committed:false ~final_eid:0;
+    Obs.Lineage.note_finish t.lin ~ver:(vpair txn.id) ~committed:false
+      ~reason:(Obs.Abort_reason.to_string Obs.Abort_reason.User_abort)
+      ~work_us:(txn.exec_us + txn.prep_us + txn.fin_us)
+      ~ts:(Engine.now t.engine);
     Hashtbl.remove t.txns txn.id;
     if txn.ro then Hashtbl.remove t.ro_txns txn.ro_id;
     t.stats.aborted <- t.stats.aborted + 1;

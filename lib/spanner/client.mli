@@ -53,6 +53,7 @@ val create :
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
@@ -62,7 +63,9 @@ val create :
     rotate across the whole group.  [prof] receives latency
     decomposition and outcome hooks (default {!Obs.Profile.null});
     [mon] (default {!Obs.Monitor.null}) checks snapshot pins against
-    the staleness bound. *)
+    the staleness bound; [lineage] (default {!Obs.Lineage.null})
+    records per-transaction reads and typed finishes, keyed by the
+    begin version so replica-side wound records join up. *)
 
 val node : t -> Simnet.Net.node
 

@@ -30,6 +30,7 @@ type t = {
   cpu : Cpu.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
+  lin : Obs.Lineage.t;
   mutable peers : int array;
   locks : Lock_table.t;
   store : (string, string Version.Map.t ref) Hashtbl.t;
@@ -75,7 +76,11 @@ let waiting_locks t = Lock_table.waiting t.locks
 
 (* --- Invariant-monitor plumbing ---------------------------------------- *)
 
-let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
+(* [Version.zero] marks pre-loaded initial data: writerless, so it maps
+   to the lineage layer's v0 rather than leaking the sentinel pair. *)
+let vpair (v : Version.t) =
+  if Version.equal v Version.zero then Obs.Lineage.v0
+  else (v.Version.ts, v.Version.id)
 let mon_label t = Printf.sprintf "g%dr%d" t.group t.index
 
 let observe t tr = Obs.Monitor.observe t.mon ~ts:(Engine.now t.engine) tr
@@ -248,6 +253,13 @@ and is_immune t v = Hashtbl.mem t.prepared v
 and acquire_lock t ~txn ~key ~mode =
   let status, wounded = Lock_table.acquire t.locks ~txn ~key ~mode ~is_immune:(is_immune t) in
   if wounded <> [] then Obs.Profile.note_abort_key t.prof ~key;
+  List.iter
+    (fun v ->
+      (* The acquiring transaction is the aggressor: its higher priority
+         wounds the victim's lock hold on [key]. *)
+      Obs.Lineage.note_conflict t.lin ~ver:(vpair v) ~key
+        ~aggressor:(vpair txn) ~reason:"wound" ~ts:(Engine.now t.engine))
+    wounded;
   List.iter (fun v -> wound t v) wounded;
   (match status with
    | `Granted -> observe_grant t ~txn ~key ~mode
@@ -526,7 +538,8 @@ let busy_owner = function
   | Msg.Paxos_ack _ | Msg.Apply _ | Msg.Apply_hb _ | Msg.Apply_since _ -> None
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
-    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(lineage = Obs.Lineage.null ()) () =
   let t =
     {
       cfg; engine; net;
@@ -535,6 +548,7 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
       cpu = Cpu.create engine ~cores;
       prof;
       mon;
+      lin = lineage;
       peers = [||];
       locks = Lock_table.create ();
       store = Hashtbl.create 1024;
@@ -595,9 +609,9 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
           Net.clear_send_path net));
   t
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof ?mon () =
+let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof ?mon ?lineage () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
-    ~cores ?prof ?mon ()
+    ~cores ?prof ?mon ?lineage ()
 
 (* Per-replica introspection: protocol-agnostic snapshot for monitors
    and post-mortem bundles. *)

@@ -34,6 +34,7 @@ val create :
   cores:int ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   unit ->
   t
 (** [prof] (default {!Obs.Profile.null}) receives busy-time and
@@ -41,7 +42,9 @@ val create :
     ({!Simnet.Net.set_send_path}) for the client-side decomposition.
     [mon] (default {!Obs.Monitor.null}) receives state-transition hooks
     (lock grants with holder evidence, prepared-table size, commit
-    installs); purely observational. *)
+    installs); purely observational.  [lineage] (default
+    {!Obs.Lineage.null}) receives wound records: victim, key and the
+    wounding (aggressor) transaction. *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -53,6 +56,7 @@ val create_at :
   cores:int ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a

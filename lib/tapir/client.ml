@@ -97,6 +97,7 @@ type t = {
   obs : Obs.Sink.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
+  lin : Obs.Lineage.t;
   (* Latency-decomposition state for the transaction this (closed-loop)
      client is currently driving; see Obs.Profile. *)
   mutable c_cur : txn option;
@@ -142,6 +143,11 @@ let profile_arrival t =
 (* --- Observability helpers --------------------------------------------- *)
 
 let ver_arg txn = ("ver", Obs.Sink.S (Fmt.str "%a" Version.pp txn.id))
+(* [Version.zero] marks pre-loaded initial data: writerless, so it maps
+   to the lineage layer's v0 rather than leaking the sentinel pair. *)
+let vpair (v : Version.t) =
+  if Version.equal v Version.zero then Obs.Lineage.v0
+  else (v.Version.ts, v.Version.id)
 
 let mark t txn name args =
   Obs.Sink.instant t.obs ~name ~cat:"txn" ~ts:(Engine.now t.engine) ~pid:t.node
@@ -188,6 +194,14 @@ let finish t txn outcome =
       ~ver:(txn.id.Version.ts, txn.id.Version.id)
       ~committed:(Outcome.is_committed outcome) ~final_eid:0;
     switch_segment t txn txn.seg;
+    Obs.Lineage.note_finish t.lin ~ver:(vpair txn.id)
+      ~committed:(Outcome.is_committed outcome)
+      ~reason:
+        (match Outcome.reason outcome with
+        | Some r -> Obs.Abort_reason.to_string r
+        | None -> "")
+      ~work_us:(txn.exec_us + txn.prep_us + txn.fin_us)
+      ~ts:(Engine.now t.engine);
     txn.phase <- Done;
     Hashtbl.remove t.txns txn.id;
     (match outcome with
@@ -296,6 +310,8 @@ let deliver_read t txn (p : pend) key w_ver value seq =
   txn.pending <- List.remove_assoc seq txn.pending;
   txn.reads <- (key, w_ver) :: txn.reads;
   txn.read_vals <- (key, value) :: txn.read_vals;
+  Obs.Lineage.note_read t.lin ~ver:(vpair txn.id) ~key ~from:(vpair w_ver)
+    ~eid:0 ~ts:(Engine.now t.engine);
   if Obs.Sink.enabled t.obs then
     Obs.Sink.span t.obs ~name:"read" ~cat:"op" ~ts:p.pd_sent
       ~dur:(Engine.now t.engine - p.pd_sent)
@@ -470,7 +486,7 @@ let handle t ~src msg =
 
 let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
     ?(obs = Obs.Sink.null ()) ?(prof = Obs.Profile.null ())
-    ?(mon = Obs.Monitor.null ()) ?on_finish () =
+    ?(mon = Obs.Monitor.null ()) ?(lineage = Obs.Lineage.null ()) ?on_finish () =
   let node = Net.add_node net ~region in
   let closest_ix =
     Array.map
@@ -498,6 +514,7 @@ let create ~cfg ~engine ~net ~rng ~region ~groups ~partition
       obs;
       prof;
       mon;
+      lin = lineage;
       c_cur = None;
       c_comps = Array.make Obs.Profile.n_cells 0;
       c_last_ev = 0;
@@ -529,6 +546,7 @@ let begin_with t ~ro body =
   t.c_comps <- Array.make Obs.Profile.n_cells 0;
   t.c_last_ev <- now;
   if Obs.Sink.enabled t.obs then mark t txn "begin" [];
+  Obs.Lineage.note_begin t.lin ~ver:(vpair id) ~ts:now;
   body { c_txn = txn }
 
 let begin_ t body = begin_with t ~ro:None body
@@ -602,6 +620,10 @@ let abort t ctx =
     Obs.Profile.note_outcome t.prof
       ~ver:(txn.id.Version.ts, txn.id.Version.id)
       ~committed:false ~final_eid:0;
+    Obs.Lineage.note_finish t.lin ~ver:(vpair txn.id) ~committed:false
+      ~reason:(Obs.Abort_reason.to_string Obs.Abort_reason.User_abort)
+      ~work_us:(txn.exec_us + txn.prep_us + txn.fin_us)
+      ~ts:(Engine.now t.engine);
     Hashtbl.remove t.txns txn.id;
     t.stats.aborted <- t.stats.aborted + 1;
     if Obs.Sink.enabled t.obs then

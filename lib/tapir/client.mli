@@ -47,6 +47,7 @@ val create :
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   ?on_finish:(record -> unit) ->
   unit ->
   t
@@ -54,7 +55,9 @@ val create :
     maps a key to its group index.  [prof] receives latency
     decomposition and outcome hooks (default {!Obs.Profile.null});
     [mon] (default {!Obs.Monitor.null}) checks follower-read snapshot
-    pins against the staleness bound. *)
+    pins against the staleness bound; [lineage] (default
+    {!Obs.Lineage.null}) records per-transaction reads and typed
+    finishes (TAPIR never re-executes, so no re-execution events). *)
 
 val node : t -> Simnet.Net.node
 

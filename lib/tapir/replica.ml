@@ -31,6 +31,7 @@ type t = {
   cpu : Cpu.t;
   prof : Obs.Profile.t;
   mon : Obs.Monitor.t;
+  lin : Obs.Lineage.t;
   (* Committed versions per key, newest accessible via find_last. *)
   store : (string, string Version.Map.t ref) Hashtbl.t;
   prepared : (Version.t, prepared) Hashtbl.t;
@@ -54,7 +55,11 @@ let node t = t.node
 let cpu t = t.cpu
 let applied_wm t = t.applied_wm
 
-let vpair (v : Version.t) = (v.Version.ts, v.Version.id)
+(* [Version.zero] marks pre-loaded initial data: writerless, so it maps
+   to the lineage layer's v0 rather than leaking the sentinel pair. *)
+let vpair (v : Version.t) =
+  if Version.equal v Version.zero then Obs.Lineage.v0
+  else (v.Version.ts, v.Version.id)
 let mon_label t = Printf.sprintf "g%dr%d" t.group t.index
 let observe t tr = Obs.Monitor.observe t.mon ~ts:(Sim.Engine.now t.engine) tr
 
@@ -124,23 +129,30 @@ let send t dst msg = if not t.stopped then Net.send t.net ~src:t.node ~dst msg
    prepared/committed state. *)
 let validate t txn reads writes =
   let ok = ref true in
-  let fail key =
+  let fail key ~aggressor ~reason =
     ok := false;
     Obs.Profile.note_conflict t.prof ~key;
-    Obs.Profile.note_abort_key t.prof ~key
+    Obs.Profile.note_abort_key t.prof ~key;
+    Obs.Lineage.note_conflict t.lin ~ver:(vpair txn) ~key ~aggressor ~reason
+      ~ts:(Sim.Engine.now t.engine)
   in
   List.iter
     (fun (key, r_ver) ->
       let latest_ver, _ = latest t key in
-      if not (Version.equal latest_ver r_ver) then fail key;
-      if other_holds t.prepared_writes key txn then fail key)
+      if not (Version.equal latest_ver r_ver) then
+        fail key ~aggressor:(vpair latest_ver) ~reason:"stale-read";
+      if other_holds t.prepared_writes key txn then
+        fail key ~aggressor:Obs.Lineage.v0 ~reason:"prepared-conflict")
     reads;
   List.iter
     (fun (key, _) ->
-      if other_holds t.prepared_writes key txn then fail key;
-      if other_holds t.prepared_reads key txn then fail key;
+      if other_holds t.prepared_writes key txn then
+        fail key ~aggressor:Obs.Lineage.v0 ~reason:"prepared-conflict";
+      if other_holds t.prepared_reads key txn then
+        fail key ~aggressor:Obs.Lineage.v0 ~reason:"prepared-conflict";
       let latest_ver, _ = latest t key in
-      if Version.compare latest_ver txn >= 0 then fail key)
+      if Version.compare latest_ver txn >= 0 then
+        fail key ~aggressor:(vpair latest_ver) ~reason:"write-conflict")
     writes;
   !ok
 
@@ -399,13 +411,15 @@ let busy_owner = function
   | Msg.Wm_mark _ | Msg.Wm_ack _ | Msg.Wm_install _ -> None
 
 let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
-    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ()) () =
+    ?(prof = Obs.Profile.null ()) ?(mon = Obs.Monitor.null ())
+    ?(lineage = Obs.Lineage.null ()) () =
   let t =
     {
       cfg; engine; net; group; index; node;
       cpu = Cpu.create engine ~cores;
       prof;
       mon;
+      lin = lineage;
       store = Hashtbl.create 1024;
       prepared = Hashtbl.create 256;
       prepared_reads = Hashtbl.create 256;
@@ -462,9 +476,9 @@ let create_at ~node ~cfg ~engine ~net ~group ~index ~cores
           Net.clear_send_path net));
   t
 
-let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof ?mon () =
+let create ~cfg ~engine ~net ~group ~index ~region ~cores ?prof ?mon ?lineage () =
   create_at ~node:(Net.add_node net ~region) ~cfg ~engine ~net ~group ~index
-    ~cores ?prof ?mon ()
+    ~cores ?prof ?mon ?lineage ()
 
 let state_view t =
   {

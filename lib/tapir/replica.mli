@@ -30,6 +30,7 @@ val create :
   cores:int ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   unit ->
   t
 (** [prof] (default {!Obs.Profile.null}) receives busy-time and
@@ -37,7 +38,9 @@ val create :
     ({!Simnet.Net.set_send_path}) for the client-side decomposition.
     [mon] (default {!Obs.Monitor.null}) receives state-transition hooks
     (prepared-table size, commit installs, IR operation classing);
-    purely observational. *)
+    purely observational.  [lineage] (default {!Obs.Lineage.null})
+    receives typed OCC-validation conflict records (key, aggressor
+    version, reason). *)
 
 val create_at :
   node:Simnet.Net.node ->
@@ -49,6 +52,7 @@ val create_at :
   cores:int ->
   ?prof:Obs.Profile.t ->
   ?mon:Obs.Monitor.t ->
+  ?lineage:Obs.Lineage.t ->
   unit ->
   t
 (** Like {!create}, but re-registers a fresh (amnesiac) incarnation on a

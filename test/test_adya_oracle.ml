@@ -122,6 +122,7 @@ let dummy_result ?(committed = 1) ?(rate = 1.0) () =
     r_recovery = Harness.Stats.no_recovery;
     r_avail = Harness.Stats.no_avail;
     r_engstat = Obs.Engstat.zero ~label:"test";
+    r_lineage = Harness.Stats.no_lineage;
   }
 
 let test_audit_flags_anomaly () =

@@ -2,9 +2,12 @@
    evaluation (§5), plus ablations of Morty's design choices and a
    Bechamel micro-benchmark suite for the core data structures.
 
-   Usage:  dune exec bench/main.exe [-- [--jobs N] TARGET ...]
+   Usage:  dune exec bench/main.exe [-- [FLAGS] TARGET ...]
    Targets: table1 table2 table3 fig6 fig7 fig8 fig9 headline ablation
-            micro all (default: all)
+            micro all (default: all), plus the regression gate:
+            bench-baseline (print a multi-seed run ledger) and
+            bench-check FILE (statistically gate against a committed
+            ledger).  Run `help` for the full list and flags.
 
    --jobs N fans independent experiment points across N worker domains
    (0 = recommended_domain_count - 1); every table, figure, CSV and
@@ -45,12 +48,22 @@ let measure_us =
   | Some s -> (try int_of_string s * 1000 with Failure _ -> 1_000_000)
   | None -> 1_000_000
 
-let base_exp =
+(* The seed set: every bench point derives its PRNG seed(s) from here.
+   --seed-base moves the whole set; --seeds widens the ledger's
+   replication (tables/figures always use the base seed alone, so their
+   output stays byte-stable for the default base). *)
+let seed_base = ref 42
+
+let n_seeds = ref 5
+
+let seed_set () = List.init (max 1 !n_seeds) (fun i -> !seed_base + i)
+
+let base_exp () =
   {
     Run.default_exp with
     e_warmup_us = 300_000;
     e_measure_us = measure_us;
-    e_seed = 42;
+    e_seed = !seed_base;
   }
 
 let tpcc_conf = Workload.Tpcc.default_conf
@@ -165,7 +178,7 @@ let curve ~workload ~wl_name ~clients_grid () =
               (fun n () ->
                 Run.run_exp
                   {
-                    base_exp with
+                    (base_exp ()) with
                     e_system = sys;
                     e_setup = setup;
                     e_workload = workload;
@@ -215,7 +228,7 @@ let fig8 () =
               (fun cores () ->
                 Run.run_exp
                   {
-                    base_exp with
+                    (base_exp ()) with
                     e_system = sys;
                     e_workload = Run.Retwis (retwis_conf theta);
                     e_cores = cores;
@@ -244,7 +257,7 @@ let fig9 () =
           (fun theta () ->
             Run.run_exp
               {
-                base_exp with
+                (base_exp ()) with
                 e_system = sys;
                 e_workload = Run.Retwis (retwis_conf theta);
                 e_clients = 192;
@@ -264,7 +277,7 @@ let peak sys workload label =
   Run.find_peak ~runner:par_map
     (fun n ->
       {
-        base_exp with
+        (base_exp ()) with
         e_system = sys;
         e_workload = workload;
         e_clients = n;
@@ -309,7 +322,7 @@ let ablation () =
   header ();
   let e label =
     {
-      base_exp with
+      (base_exp ()) with
       e_workload = Run.Retwis (retwis_conf 0.9);
       e_clients = 128;
       e_label = label;
@@ -361,7 +374,7 @@ let ycsb () =
           (fun read_pct () ->
             Run.run_exp
               {
-                base_exp with
+                (base_exp ()) with
                 e_system = sys;
                 e_workload =
                   Run.Ycsb { Workload.Ycsb.default_conf with read_pct };
@@ -382,7 +395,7 @@ let failover () =
   section "Failover extension: Morty goodput around a 1s replica outage (REG)";
   let e =
     {
-      base_exp with
+      (base_exp ()) with
       e_workload = Run.Retwis (retwis_conf 0.5);
       e_clients = 96;
       e_warmup_us = 0;
@@ -418,7 +431,7 @@ let smallbank () =
           (fun sys () ->
             Run.run_exp
               {
-                base_exp with
+                (base_exp ()) with
                 e_system = sys;
                 e_workload =
                   Run.Smallbank { Workload.Smallbank.default_conf with theta };
@@ -436,27 +449,41 @@ let smallbank () =
      abort-and-retry (MVTSO) outruns chained re-execution — see@.\
      EXPERIMENTS.md, known divergence 2.@." 
 
+
 (* ------------------------------------------------------------------ *)
-(* PR4 bench-regression baseline.                                      *)
+(* Run ledger: the multi-seed bench-regression artifact.               *)
 (*                                                                     *)
-(* `bench-pr4` prints headline metrics for all four systems at one     *)
-(* fixed high-contention point as single-line-per-system JSON; the     *)
-(* output is committed as bench/BENCH_PR4.json.  `bench-pr4-check      *)
-(* FILE` re-runs the same point and compares against the baseline      *)
-(* with per-metric tolerances (exit 1 on breach) — wired into          *)
-(* `dune runtest` via the bench-smoke alias.  The simulation is        *)
-(* deterministic, so a breach always means the code changed behaviour, *)
-(* never environment noise; refresh the baseline by regenerating the   *)
-(* file when the change is intentional (see EXPERIMENTS.md).           *)
+(* `bench-baseline` replicates one fixed high-contention point (the    *)
+(* contended end of Fig. 9: YCSB, 1k keys, Zipf theta 1.2, 48 clients, *)
+(* 2 cores) across the seed set on all four systems, fanned over       *)
+(* --jobs worker domains, and prints a schema-versioned run ledger     *)
+(* (Obs.Ledger) on stdout; the output is committed as                  *)
+(* bench/LEDGER.json.  Every metric is a per-seed sample array.  The   *)
+(* deterministic section (goodput, latency percentiles, commit/abort/  *)
+(* re-exec counters, engine event + heap counters, lineage digest,     *)
+(* profile fractions) is a pure function of the simulated schedule —   *)
+(* byte-identical across hosts and --jobs.  The host section           *)
+(* (events/sec, wall, GC) is machine-dependent: events/sec is gated    *)
+(* statistically (median shift beyond MORTY_BENCH_EPS_TOL, default     *)
+(* ±25%, AND Mann-Whitney significance), wall/GC are informational     *)
+(* and never compared.                                                 *)
+(*                                                                     *)
+(* `bench-check FILE` rebuilds a fresh ledger with the same seed set   *)
+(* and compares it against FILE with bootstrap confidence intervals    *)
+(* and a Bonferroni-corrected Mann-Whitney U test per metric,          *)
+(* printing a PASS/DRIFT/REGRESS attribution table.  Only REGRESS      *)
+(* (significant, CIs disjoint, shift beyond the floor) fails; DRIFT    *)
+(* is reported but never fatal.  Wired into `dune runtest` via the     *)
+(* bench-smoke alias; refresh the baseline with                        *)
+(*   dune exec bench/main.exe -- bench-baseline > bench/LEDGER.json    *)
+(* when a change is intentional (see EXPERIMENTS.md, "Statistical      *)
+(* methodology").                                                      *)
+(*                                                                     *)
+(* bench-pr4[-check], bench-pr8[-check] and bench-pr9[-check] are      *)
+(* deprecated aliases for bench-baseline / bench-check (see `help`).   *)
 (* ------------------------------------------------------------------ *)
 
-(* Fixed short configuration, independent of MORTY_BENCH_MEASURE_MS so
-   the checked-in baseline means the same thing everywhere.  The point
-   sits at the contended end of Fig. 9 (Zipf theta 1.2), where the
-   systems' profiles diverge the most: Morty salvages re-executed work
-   while the OCC/2PL baselines burn the time in abort-and-retry
-   backoff. *)
-let pr4_exp sys =
+let gate_exp sys seed =
   {
     Run.default_exp with
     e_system = sys;
@@ -466,31 +493,39 @@ let pr4_exp sys =
     e_cores = 2;
     e_warmup_us = 100_000;
     e_measure_us = 300_000;
-    e_seed = 42;
-    e_label = Printf.sprintf "pr4/%s" (Run.system_name sys);
+    e_seed = seed;
+    e_label = Printf.sprintf "ledger/%s/s%d" (Run.system_name sys) seed;
   }
 
-type pr4_row = {
-  b_goodput : float;
-  b_p50_ms : float;
-  b_p99_ms : float;
-  b_commit_rate : float;
-  b_reexecs_per_txn : float;
-  b_useful_frac : float;
-  b_salvaged_frac : float;
-  b_discarded_frac : float;
-  b_backoff_frac : float;
-  b_idle_frac : float;
-      (* client-idle share of committed latency: backoff + protocol
-         wait.  TAPIR idles in abort backoff; Spanner idles in
-         wound-wait lock queues — both show up here, which is what the
-         paper's <=17% CPU-utilization claim is about. *)
-  b_dominant : string;
-}
+let ledger_point = "ycsb-hot"
 
-let pr4_row sys =
+(* Canonical parameter string behind the manifest's config hash.  The
+   seed set is deliberately NOT part of it: comparing the same point
+   across disjoint seed sets is exactly what the statistical gate is
+   for, and must not be refused as incomparable. *)
+let ledger_config () =
+  Printf.sprintf
+    "ledger point=%s workload=ycsb:n_keys=1000,theta=1.2 clients=48 cores=2 \
+     warmup_us=100000 measure_us=300000 systems=%s"
+    ledger_point
+    (String.concat "," (List.map Run.system_name Run.all_systems))
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  | exception _ -> "unknown"
+
+(* One seed's row: the standard ledger projection of the run plus the
+   critical-path profile fractions the old PR4 baseline gated (all
+   deterministic — the profiler decomposes virtual time). *)
+let ledger_row sys seed =
   let prof = Obs.Profile.create ~label:(Run.system_name sys) () in
-  let r = Run.run_exp ~prof (pr4_exp sys) in
+  let lineage = Obs.Lineage.create ~label:(Run.system_name sys) () in
+  let r = Run.run_exp ~prof ~lineage (gate_exp sys seed) in
+  let det, host = Stats.ledger_metrics r in
   let w = Obs.Profile.waste prof in
   let frac a b = if b = 0 then 0. else float_of_int a /. float_of_int b in
   let agg = Obs.Profile.decomposition prof in
@@ -504,376 +539,104 @@ let pr4_row sys =
   in
   let backoff = comp_sum Obs.Profile.C_backoff in
   let idle = backoff + comp_sum Obs.Profile.C_proto in
-  {
-    b_goodput = r.Stats.r_goodput;
-    b_p50_ms = r.Stats.r_p50_latency_ms;
-    b_p99_ms = r.Stats.r_p99_latency_ms;
-    b_commit_rate = r.Stats.r_commit_rate;
-    b_reexecs_per_txn = r.Stats.r_reexecs_per_txn;
-    b_useful_frac = frac w.Obs.Profile.w_useful_us w.Obs.Profile.w_total_us;
-    b_salvaged_frac = frac w.Obs.Profile.w_salvaged_us w.Obs.Profile.w_total_us;
-    b_discarded_frac =
-      frac w.Obs.Profile.w_discarded_us w.Obs.Profile.w_total_us;
-    b_backoff_frac = frac backoff latency_sum;
-    b_idle_frac = frac idle latency_sum;
-    b_dominant = Obs.Profile.dominant_component prof;
-  }
-
-let pr4_row_json row =
-  Printf.sprintf
-    "{\"goodput\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"commit_rate\":%.4f,\"reexecs_per_txn\":%.3f,\"useful_frac\":%.4f,\"salvaged_frac\":%.4f,\"discarded_frac\":%.4f,\"backoff_frac\":%.4f,\"idle_frac\":%.4f,\"dominant_component\":\"%s\"}"
-    row.b_goodput row.b_p50_ms row.b_p99_ms row.b_commit_rate
-    row.b_reexecs_per_txn row.b_useful_frac row.b_salvaged_frac
-    row.b_discarded_frac row.b_backoff_frac row.b_idle_frac row.b_dominant
-
-let pr4_rows () =
-  par_map
-    (List.map (fun sys () -> (Run.system_name sys, pr4_row sys)) Run.all_systems)
-
-let bench_pr4 () =
-  let rows = pr4_rows () in
-  print_string "{\n";
-  List.iteri
-    (fun i (name, row) ->
-      Printf.printf "\"%s\":%s%s\n" name (pr4_row_json row)
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  print_string "}\n"
-
-(* Minimal extractor for the flat JSON we emit ourselves: the [sys]
-   object's text, then a field's raw token within it. *)
-let pr4_baseline_field baseline ~sys ~field =
-  let find hay needle from =
-    let hl = String.length hay and nl = String.length needle in
-    let rec go i =
-      if i + nl > hl then None
-      else if String.sub hay i nl = needle then Some (i + nl)
-      else go (i + 1)
-    in
-    go from
+  let det =
+    det
+    @ [
+        ("useful_frac", frac w.Obs.Profile.w_useful_us w.Obs.Profile.w_total_us);
+        ( "salvaged_frac",
+          frac w.Obs.Profile.w_salvaged_us w.Obs.Profile.w_total_us );
+        ( "discarded_frac",
+          frac w.Obs.Profile.w_discarded_us w.Obs.Profile.w_total_us );
+        ("backoff_frac", frac backoff latency_sum);
+        ("idle_frac", frac idle latency_sum);
+      ]
   in
-  match find baseline (Printf.sprintf "\"%s\":{" sys) 0 with
-  | None -> None
-  | Some start -> (
-    let stop =
-      match String.index_from_opt baseline start '}' with
-      | Some j -> j
-      | None -> String.length baseline
-    in
-    let obj = String.sub baseline start (stop - start) in
-    match find obj (Printf.sprintf "\"%s\":" field) 0 with
-    | None -> None
-    | Some v ->
-      let e = ref v in
-      while
-        !e < String.length obj && obj.[!e] <> ',' && obj.[!e] <> '}'
-      do
-        incr e
-      done;
-      Some (String.trim (String.sub obj v (!e - v))))
+  (det, host)
 
-let bench_pr4_check path =
-  let baseline =
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let failures = ref 0 in
-  let report sys metric ~base ~cur ~tol ok =
-    if not ok then incr failures;
-    Printf.printf "%-6s %-8s %-16s baseline=%-10s current=%-10s (tol %s)\n"
-      (if ok then "ok" else "BREACH")
-      sys metric base cur tol
-  in
-  let num sys metric ~cur ~rel_tol ~abs_tol =
-    match pr4_baseline_field baseline ~sys ~field:metric with
-    | None ->
-      report sys metric ~base:"<missing>"
-        ~cur:(Printf.sprintf "%.4f" cur)
-        ~tol:"-" false
-    | Some raw ->
-      let base = float_of_string raw in
-      let slack = Float.max (abs_tol) (rel_tol *. Float.abs base) in
-      let ok = Float.abs (cur -. base) <= slack in
-      report sys metric ~base:raw
-        ~cur:(Printf.sprintf "%.4f" cur)
-        ~tol:
-          (if rel_tol > 0. then Printf.sprintf "±%.0f%%" (100. *. rel_tol)
-           else Printf.sprintf "±%.2f" abs_tol)
-        ok
-  in
-  List.iter
-    (fun (sys, row) ->
-      num sys "goodput" ~cur:row.b_goodput ~rel_tol:0.10 ~abs_tol:5.;
-      num sys "p50_ms" ~cur:row.b_p50_ms ~rel_tol:0.20 ~abs_tol:1.;
-      num sys "p99_ms" ~cur:row.b_p99_ms ~rel_tol:0.20 ~abs_tol:2.;
-      num sys "commit_rate" ~cur:row.b_commit_rate ~rel_tol:0. ~abs_tol:0.05;
-      num sys "reexecs_per_txn" ~cur:row.b_reexecs_per_txn ~rel_tol:0.
-        ~abs_tol:0.10;
-      num sys "useful_frac" ~cur:row.b_useful_frac ~rel_tol:0. ~abs_tol:0.05;
-      num sys "salvaged_frac" ~cur:row.b_salvaged_frac ~rel_tol:0.
-        ~abs_tol:0.05;
-      num sys "discarded_frac" ~cur:row.b_discarded_frac ~rel_tol:0.
-        ~abs_tol:0.05;
-      num sys "backoff_frac" ~cur:row.b_backoff_frac ~rel_tol:0. ~abs_tol:0.05;
-      num sys "idle_frac" ~cur:row.b_idle_frac ~rel_tol:0. ~abs_tol:0.05;
-      let dom = Printf.sprintf "\"%s\"" row.b_dominant in
-      match pr4_baseline_field baseline ~sys ~field:"dominant_component" with
-      | None -> report sys "dominant" ~base:"<missing>" ~cur:dom ~tol:"=" false
-      | Some raw -> report sys "dominant" ~base:raw ~cur:dom ~tol:"=" (raw = dom))
-    (pr4_rows ());
-  if !failures > 0 then begin
-    Printf.printf
-      "bench-pr4: %d metric(s) drifted beyond tolerance.  If the change is \
-       intentional, refresh the baseline:\n\
-      \  dune exec bench/main.exe -- bench-pr4 > bench/BENCH_PR4.json\n"
-      !failures;
-    exit 1
-  end
-  else Printf.printf "bench-pr4: all metrics within tolerance of %s\n" path
-
-(* ------------------------------------------------------------------ *)
-(* PR8 engine-performance baseline.                                    *)
-(*                                                                     *)
-(* `bench-pr8` re-runs the PR4 point on all four systems and prints    *)
-(* each run's engine-performance record as single-line-per-system      *)
-(* JSON; the output is committed as bench/BENCH_PR8.json.              *)
-(* `bench-pr8-check FILE` re-runs the point and compares:              *)
-(*   - the deterministic section (event counts by kind, timer-heap     *)
-(*     counters) EXACTLY — it is a pure function of the simulated      *)
-(*     schedule, so any difference is a real behaviour change;         *)
-(*   - aggregate events/sec (all four systems summed) against the      *)
-(*     baseline's "aggregate" row at a relative tolerance (default     *)
-(*     ±15%, override with MORTY_BENCH_EPS_TOL) — it is wall-clock     *)
-(*     derived and genuinely host-dependent.  Per-system events/sec    *)
-(*     is printed for information but not gated: individual runs are   *)
-(*     tens of milliseconds and too noisy to gate one by one.          *)
-(* The four measurement runs always execute serially — even under      *)
-(* --jobs — so the gated wall-clock figures are never polluted by      *)
-(* worker-domain contention; the deterministic counters are            *)
-(* jobs-invariant either way.                                          *)
-(* Wired into `dune runtest` via the bench-smoke alias.                *)
-(* ------------------------------------------------------------------ *)
-
-let pr8_exp sys =
-  { (pr4_exp sys) with
-    Run.e_label = Printf.sprintf "pr8/%s" (Run.system_name sys) }
-
-let pr8_eps_tol =
-  match Sys.getenv_opt "MORTY_BENCH_EPS_TOL" with
-  | Some s -> (try float_of_string s with Failure _ -> 0.15)
-  | None -> 0.15
-
-(* Serial on purpose: the gated throughput figure must reflect a
-   dedicated core, not pool contention (see header comment). *)
-let pr8_rows () =
+let build_ledger () =
+  let seeds = seed_set () in
   let rows =
+    par_map
+      (List.concat_map
+         (fun sys ->
+           List.map
+             (fun seed () -> (Run.system_name sys, ledger_row sys seed))
+             seeds)
+         Run.all_systems)
+  in
+  let entries =
     List.map
       (fun sys ->
-        (Run.system_name sys, (Run.run_exp (pr8_exp sys)).Stats.r_engstat))
+        let name = Run.system_name sys in
+        (* submission preserved seed order within each system *)
+        let mine =
+          List.filter_map
+            (fun (s, row) -> if s = name then Some row else None)
+            rows
+        in
+        let names sel = match mine with r :: _ -> List.map fst (sel r) | [] -> [] in
+        let collect sel =
+          List.map
+            (fun m ->
+              (m, Array.of_list (List.map (fun r -> List.assoc m (sel r)) mine)))
+            (names sel)
+        in
+        {
+          Obs.Ledger.en_system = name;
+          en_point = ledger_point;
+          en_det = collect fst;
+          en_host = collect snd;
+        })
       Run.all_systems
   in
-  let agg =
-    Obs.Engstat.relabel
-      (List.fold_left
-         (fun acc (_, es) -> Obs.Engstat.add acc es)
-         (Obs.Engstat.zero ~label:"aggregate")
-         rows)
-      "aggregate"
-  in
-  rows @ [ ("aggregate", agg) ]
+  Obs.Ledger.make ~config:(ledger_config ()) ~seeds ~describe:(git_describe ())
+    entries
 
-let pr8_row_json es =
-  let d = es.Obs.Engstat.es_det in
-  let h = d.Obs.Engstat.de_heap in
-  let g = es.Obs.Engstat.es_host.Obs.Engstat.ho_gc in
-  Printf.sprintf
-    "{\"events\":%d,\"timers\":%d,\"deliveries\":%d,\"tickers\":%d,\"heap_pushes\":%d,\"heap_pops\":%d,\"heap_cancels\":%d,\"heap_ghost_drains\":%d,\"heap_max_live\":%d,\"heap_max_raw\":%d,\"events_per_s\":%.2f,\"wall_s\":%.3f,\"gc_minor_mwords\":%.2f,\"gc_major_mwords\":%.2f,\"minor_gcs\":%d,\"major_gcs\":%d}"
-    d.Obs.Engstat.de_events d.Obs.Engstat.de_timers d.Obs.Engstat.de_deliveries
-    d.Obs.Engstat.de_tickers h.Obs.Engstat.hp_pushes h.Obs.Engstat.hp_pops
-    h.Obs.Engstat.hp_cancels h.Obs.Engstat.hp_ghost_drains
-    h.Obs.Engstat.hp_max_live h.Obs.Engstat.hp_max_raw
-    (Obs.Engstat.events_per_s es)
-    (float_of_int es.Obs.Engstat.es_host.Obs.Engstat.ho_wall_ns /. 1e9)
-    (g.Obs.Engstat.gc_minor_words /. 1e6)
-    (g.Obs.Engstat.gc_major_words /. 1e6)
-    g.Obs.Engstat.gc_minor_collections g.Obs.Engstat.gc_major_collections
+let bench_baseline () = print_string (Obs.Ledger.to_json (build_ledger ()))
 
-let bench_pr8 () =
-  let rows = pr8_rows () in
-  print_string "{\n";
-  List.iteri
-    (fun i (name, es) ->
-      Printf.printf "\"%s\":%s%s\n" name (pr8_row_json es)
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  print_string "}\n"
+let host_tol =
+  match Sys.getenv_opt "MORTY_BENCH_EPS_TOL" with
+  | Some s -> ( try float_of_string s with Failure _ -> 0.25)
+  | None -> 0.25
 
-let bench_pr8_check path =
-  let baseline =
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let failures = ref 0 in
-  let report sys metric ~base ~cur ~tol ok =
-    if not ok then incr failures;
-    Printf.printf "%-6s %-8s %-16s baseline=%-10s current=%-10s (tol %s)\n"
-      (if ok then "ok" else "BREACH")
-      sys metric base cur tol
-  in
-  (* Deterministic counters: exact match, no tolerance. *)
-  let exact sys metric ~cur =
-    match pr4_baseline_field baseline ~sys ~field:metric with
-    | None ->
-      report sys metric ~base:"<missing>" ~cur:(string_of_int cur) ~tol:"="
-        false
-    | Some raw ->
-      report sys metric ~base:raw ~cur:(string_of_int cur) ~tol:"="
-        (int_of_string_opt raw = Some cur)
-  in
-  (* Host-section throughput: wall-clock derived, relative tolerance. *)
-  let rel sys metric ~cur ~tol =
-    match pr4_baseline_field baseline ~sys ~field:metric with
-    | None ->
-      report sys metric ~base:"<missing>"
-        ~cur:(Printf.sprintf "%.2f" cur)
-        ~tol:"-" false
-    | Some raw ->
-      let base = float_of_string raw in
-      let ok = Float.abs (cur -. base) <= tol *. Float.abs base in
-      report sys metric ~base:raw
-        ~cur:(Printf.sprintf "%.2f" cur)
-        ~tol:(Printf.sprintf "±%.0f%%" (100. *. tol))
-        ok
-  in
-  List.iter
-    (fun (sys, es) ->
-      let d = es.Obs.Engstat.es_det in
-      let h = d.Obs.Engstat.de_heap in
-      exact sys "events" ~cur:d.Obs.Engstat.de_events;
-      exact sys "timers" ~cur:d.Obs.Engstat.de_timers;
-      exact sys "deliveries" ~cur:d.Obs.Engstat.de_deliveries;
-      exact sys "tickers" ~cur:d.Obs.Engstat.de_tickers;
-      exact sys "heap_pushes" ~cur:h.Obs.Engstat.hp_pushes;
-      exact sys "heap_pops" ~cur:h.Obs.Engstat.hp_pops;
-      exact sys "heap_cancels" ~cur:h.Obs.Engstat.hp_cancels;
-      exact sys "heap_ghost_drains" ~cur:h.Obs.Engstat.hp_ghost_drains;
-      exact sys "heap_max_live" ~cur:h.Obs.Engstat.hp_max_live;
-      exact sys "heap_max_raw" ~cur:h.Obs.Engstat.hp_max_raw;
-      (* Throughput gate rides on the aggregate only; per-system
-         events/sec is informational (runs are too short to gate). *)
-      if sys = "aggregate" then
-        rel sys "events_per_s" ~cur:(Obs.Engstat.events_per_s es)
-          ~tol:pr8_eps_tol
-      else
-        Printf.printf "info   %-8s %-16s current=%.2f (not gated)\n" sys
-          "events_per_s"
-          (Obs.Engstat.events_per_s es))
-    (pr8_rows ());
-  if !failures > 0 then begin
-    Printf.printf
-      "bench-pr8: %d metric(s) drifted.  Deterministic counters must only \
-       change with an intentional behaviour change; events/sec breaches on a \
-       loaded machine can be retried or relaxed via MORTY_BENCH_EPS_TOL.  \
-       Refresh the baseline:\n\
-      \  dune exec bench/main.exe -- bench-pr8 > bench/BENCH_PR8.json\n"
-      !failures;
-    exit 1
-  end
-  else Printf.printf "bench-pr8: all metrics within tolerance of %s\n" path
+let bench_check path =
+  match Obs.Ledger.load path with
+  | Error e ->
+    Printf.eprintf "bench-check: %s: %s\n" path (Obs.Ledger.error_to_string e);
+    exit (Obs.Ledger.error_exit_code e)
+  | Ok baseline ->
+    let current = build_ledger () in
+    let c = Obs.Ledger.compare_ledgers ~host_tol ~baseline ~current () in
+    Format.printf "%a" Obs.Ledger.pp_verdict_table c;
+    if not c.Obs.Ledger.c_config_match then begin
+      Printf.printf
+        "bench-check: config hash mismatch — %s describes a different bench \
+         point.  Refresh it:\n\
+        \  dune exec bench/main.exe -- bench-baseline > bench/LEDGER.json\n"
+        path;
+      exit 1
+    end;
+    if c.Obs.Ledger.c_regressions > 0 then begin
+      Printf.printf
+        "bench-check: %d metric(s) REGRESS with statistical significance.  \
+         Ask for the full account with\n\
+        \  dune exec bin/morty_report.exe -- explain BASELINE CURRENT SYSTEM \
+         METRIC\n\
+         and refresh the baseline if the change is intentional:\n\
+        \  dune exec bench/main.exe -- bench-baseline > bench/LEDGER.json\n"
+        c.Obs.Ledger.c_regressions;
+      exit 1
+    end
+    else
+      Printf.printf "bench-check: no regressions vs %s (%d DRIFT, seed set %s)\n"
+        path c.Obs.Ledger.c_drifts
+        (if c.Obs.Ledger.c_seeds_match then "identical" else "disjoint")
 
-(* ------------------------------------------------------------------ *)
-(* PR9 lineage baseline.                                               *)
-(*                                                                     *)
-(* `bench-pr9` re-runs the PR4 point on all four systems with a causal *)
-(* lineage recorder attached and prints each run's lineage summary as  *)
-(* single-line-per-system JSON; the output is committed as             *)
-(* bench/BENCH_PR9.json.  `bench-pr9-check FILE` re-runs the point and *)
-(* compares every field EXACTLY: the summary — transaction and edge    *)
-(* counts, cascade count, cascade-depth p99/max, salvaged and lost     *)
-(* (discarded) work, hottest key — is a pure function of the simulated *)
-(* schedule, so any drift is a real change in contention behaviour,    *)
-(* not host noise.  Wired into `dune runtest` via bench-smoke.         *)
-(* ------------------------------------------------------------------ *)
-
-let pr9_exp sys =
-  { (pr4_exp sys) with
-    Run.e_label = Printf.sprintf "pr9/%s" (Run.system_name sys) }
-
-let pr9_rows () =
-  List.map
-    (fun sys ->
-      let lineage = Obs.Lineage.create ~label:(Run.system_name sys) () in
-      let _r = Run.run_exp ~lineage (pr9_exp sys) in
-      (Run.system_name sys, Obs.Lineage.summary (Obs.Lineage.records lineage)))
-    Run.all_systems
-
-let pr9_row_json (s : Obs.Lineage.summary) =
-  Printf.sprintf
-    "{\"txns\":%d,\"edges\":%d,\"cascades\":%d,\"depth_p99\":%.2f,\"depth_max\":%d,\"salvaged_us\":%d,\"lost_us\":%d,\"hot_key\":\"%s\"}"
-    s.Obs.Lineage.s_txns s.Obs.Lineage.s_edges s.Obs.Lineage.s_cascades
-    s.Obs.Lineage.s_depth_p99 s.Obs.Lineage.s_depth_max
-    s.Obs.Lineage.s_salvaged_us s.Obs.Lineage.s_lost_us
-    s.Obs.Lineage.s_hot_key
-
-let bench_pr9 () =
-  let rows = pr9_rows () in
-  print_string "{\n";
-  List.iteri
-    (fun i (name, s) ->
-      Printf.printf "\"%s\":%s%s\n" name (pr9_row_json s)
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  print_string "}\n"
-
-let bench_pr9_check path =
-  let baseline =
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let failures = ref 0 in
-  let report sys metric ~base ~cur ok =
-    if not ok then incr failures;
-    Printf.printf "%-6s %-8s %-16s baseline=%-10s current=%-10s (tol =)\n"
-      (if ok then "ok" else "BREACH")
-      sys metric base cur
-  in
-  let exact sys metric ~cur =
-    match pr4_baseline_field baseline ~sys ~field:metric with
-    | None -> report sys metric ~base:"<missing>" ~cur false
-    | Some raw -> report sys metric ~base:raw ~cur (raw = cur)
-  in
-  List.iter
-    (fun (sys, s) ->
-      exact sys "txns" ~cur:(string_of_int s.Obs.Lineage.s_txns);
-      exact sys "edges" ~cur:(string_of_int s.Obs.Lineage.s_edges);
-      exact sys "cascades" ~cur:(string_of_int s.Obs.Lineage.s_cascades);
-      exact sys "depth_p99"
-        ~cur:(Printf.sprintf "%.2f" s.Obs.Lineage.s_depth_p99);
-      exact sys "depth_max" ~cur:(string_of_int s.Obs.Lineage.s_depth_max);
-      exact sys "salvaged_us" ~cur:(string_of_int s.Obs.Lineage.s_salvaged_us);
-      exact sys "lost_us" ~cur:(string_of_int s.Obs.Lineage.s_lost_us);
-      exact sys "hot_key"
-        ~cur:(Printf.sprintf "\"%s\"" s.Obs.Lineage.s_hot_key))
-    (pr9_rows ());
-  if !failures > 0 then begin
-    Printf.printf
-      "bench-pr9: %d metric(s) drifted.  The lineage summary is a pure \
-       function of the simulated schedule — a breach means contention \
-       behaviour changed.  If intentional, refresh the baseline:\n\
-      \  dune exec bench/main.exe -- bench-pr9 > bench/BENCH_PR9.json\n"
-      !failures;
-    exit 1
-  end
-  else Printf.printf "bench-pr9: all metrics match %s\n" path
+let deprecated old target =
+  Fmt.epr
+    "%s is deprecated: the per-PR baselines were unified into the run ledger \
+     (bench/LEDGER.json).  Running `%s` instead; see `help`.@."
+    old target
 
 (* ------------------------------------------------------------------ *)
 (* Engine counter overhead.                                            *)
@@ -1101,14 +864,43 @@ let all () =
   failover ();
   micro ()
 
-(* Strip --jobs N / --jobs=N and --engine-stats-out PATH from the argv
-   target list, setting the matching globals; everything else
-   dispatches as before. *)
+let usage () =
+  print_string
+    "usage: dune exec bench/main.exe [-- [FLAGS] TARGET ...]\n\n\
+     targets:\n\
+    \  table1 table2 table3 fig6 fig7 fig8 fig9 headline ablation\n\
+    \  ycsb smallbank failover micro engine-overhead all (default: all)\n\
+    \  bench-baseline      print a multi-seed run ledger (commit as\n\
+    \                      bench/LEDGER.json)\n\
+    \  bench-check FILE    rebuild the ledger and statistically gate it\n\
+    \                      against FILE (exit 1 on REGRESS)\n\
+    \  help                this text\n\n\
+     flags:\n\
+    \  --jobs N               fan points over N worker domains (0 = auto)\n\
+    \  --seeds N              ledger seed-set size (default 5)\n\
+    \  --seed-base N          first seed of the set (default 42; also the\n\
+    \                         seed of every table/figure point)\n\
+    \  --engine-stats-out P   write the engine-performance JSON to P\n\n\
+     deprecated (one-PR grace aliases; will be removed):\n\
+    \  bench-pr4 | bench-pr8 | bench-pr9            -> bench-baseline\n\
+    \  bench-pr4-check P | bench-pr8-check P |\n\
+    \  bench-pr9-check P                            -> bench-check \
+     bench/LEDGER.json\n"
+
+(* Strip --jobs N / --jobs=N, --seeds N, --seed-base N and
+   --engine-stats-out PATH from the argv target list, setting the
+   matching globals; everything else dispatches as before. *)
 let rec parse_flags acc = function
   | [] -> List.rev acc
   | "--jobs" :: n :: rest -> set_jobs n; parse_flags acc rest
   | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
     set_jobs (String.sub arg 7 (String.length arg - 7));
+    parse_flags acc rest
+  | "--seeds" :: n :: rest ->
+    set_int "--seeds" n_seeds n;
+    parse_flags acc rest
+  | "--seed-base" :: n :: rest ->
+    set_int "--seed-base" seed_base n;
     parse_flags acc rest
   | "--engine-stats-out" :: path :: rest ->
     engine_stats_out := Some path;
@@ -1126,18 +918,25 @@ and set_jobs s =
   | Some n -> jobs := max 1 n
   | None -> Fmt.epr "bad --jobs value %S (want an integer)@." s
 
+and set_int flag r s =
+  match int_of_string_opt s with
+  | Some n -> r := n
+  | None -> Fmt.epr "bad %s value %S (want an integer)@." flag s
+
 let () =
   let elapsed = Orchestrate.Report.stopwatch () in
   let rec go = function
     | [] -> ()
-    | "bench-pr4-check" :: path :: rest ->
-      bench_pr4_check path;
+    | "bench-check" :: path :: rest ->
+      bench_check path;
       go rest
-    | "bench-pr8-check" :: path :: rest ->
-      bench_pr8_check path;
-      go rest
-    | "bench-pr9-check" :: path :: rest ->
-      bench_pr9_check path;
+    | "bench-check" :: [] ->
+      Fmt.epr "bench-check needs a baseline path (see `help`)@.";
+      exit 2
+    | (("bench-pr4-check" | "bench-pr8-check" | "bench-pr9-check") as old)
+      :: _path :: rest ->
+      deprecated old "bench-check bench/LEDGER.json";
+      bench_check "bench/LEDGER.json";
       go rest
     | t :: rest ->
       (match t with
@@ -1155,11 +954,15 @@ let () =
       | "failover" -> failover ()
       | "micro" -> micro ()
       | "engine-overhead" -> engine_overhead ()
-      | "bench-pr4" -> bench_pr4 ()
-      | "bench-pr8" -> bench_pr8 ()
-      | "bench-pr9" -> bench_pr9 ()
+      | "bench-baseline" -> bench_baseline ()
+      | ("bench-pr4" | "bench-pr8" | "bench-pr9") as old ->
+        deprecated old "bench-baseline";
+        bench_baseline ()
+      | "help" | "--help" | "-h" -> usage ()
       | "all" -> all ()
-      | other -> Fmt.epr "unknown bench target %S@." other);
+      | other ->
+        Fmt.epr "unknown bench target %S (see `help`)@." other;
+        exit 2);
       go rest
   in
   let targets =

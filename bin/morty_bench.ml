@@ -175,6 +175,15 @@ let engine_stats_out =
                  record aggregates all points.  The deterministic section \
                  is byte-identical across hosts and --jobs values." ~docv:"FILE")
 
+let ledger_out =
+  Arg.(value & opt (some string) None
+       & info [ "ledger-out" ]
+           ~doc:"Write the run as a schema-versioned run ledger (one entry \
+                 per point, single-seed samples) to $(docv).  Feed the file \
+                 to $(b,morty_report) to compare runs statistically or plot \
+                 metric trajectories.  Stdout is byte-identical with or \
+                 without this flag." ~docv:"FILE")
+
 let monitors =
   Arg.(value & flag
        & info [ "monitors" ]
@@ -196,7 +205,7 @@ let postmortem_out =
 let run system setup workload theta keys warehouses read_pct clients cores
     duration_ms warmup_ms seed sweep jobs kill_at_ms restart_at_ms victim
     partition_at_ms heal_at_ms partition_group max_staleness_us trace_out
-    metrics_out profile_out lineage_out engine_stats_out monitors
+    metrics_out profile_out lineage_out engine_stats_out ledger_out monitors
     postmortem_out =
   let e_workload =
     match workload with
@@ -263,6 +272,7 @@ let run system setup workload theta keys warehouses read_pct clients cores
   let monitors = monitors || postmortem_out <> None in
   let profiles = Buffer.create 256 in
   let lineages = Buffer.create 256 in
+  let ledger_rows = ref [] in
   let point_idx = ref 0 in
   let events = ref 0 in
   let engstat = ref (Obs.Engstat.zero ~label:"bench") in
@@ -351,6 +361,12 @@ let run system setup workload theta keys warehouses read_pct clients cores
       (* Digest on stderr: stdout stays byte-identical with or without
          the recorder (the lineage-smoke alias diffs it). *)
       Fmt.epr "%a@." Obs.Lineage.pp_summary lineage
+    end;
+    if ledger_out <> None then begin
+      let det, host = Harness.Stats.ledger_metrics r in
+      ledger_rows :=
+        (Printf.sprintf "c=%d" e.Harness.Run.e_clients, det, host)
+        :: !ledger_rows
     end
   in
   Fmt.pr "%a@." Harness.Stats.pp_result_header ();
@@ -390,6 +406,42 @@ let run system setup workload theta keys warehouses read_pct clients cores
    end);
   Option.iter (fun path -> write path (Buffer.contents profiles)) profile_out;
   Option.iter (fun path -> write path (Buffer.contents lineages)) lineage_out;
+  (match ledger_out with
+  | None -> ()
+  | Some path ->
+    (* One entry per sweep point, single-seed sample arrays.  Points
+       accumulated in render order = submission order, so the artifact
+       is byte-identical whatever --jobs is. *)
+    let sys_name = Harness.Run.system_name system in
+    let entries =
+      List.rev_map
+        (fun (point, det, host) ->
+          {
+            Obs.Ledger.en_system = sys_name;
+            en_point = point;
+            en_det = List.map (fun (m, v) -> (m, [| v |])) det;
+            en_host = List.map (fun (m, v) -> (m, [| v |])) host;
+          })
+        !ledger_rows
+    in
+    let config =
+      Printf.sprintf
+        "morty_bench system=%s setup=%s workload=%s clients=%s cores=%d \
+         duration_ms=%d warmup_ms=%d"
+        sys_name
+        (Simnet.Latency.setup_name setup)
+        (match workload with
+        | `Retwis -> Printf.sprintf "retwis:keys=%d,theta=%g" keys theta
+        | `Tpcc -> Printf.sprintf "tpcc:warehouses=%d" warehouses
+        | `Ycsb ->
+          Printf.sprintf "ycsb:keys=%d,theta=%g,read_pct=%d" keys theta read_pct
+        | `Smallbank -> Printf.sprintf "smallbank:theta=%g" theta)
+        (match sweep with
+        | None -> string_of_int clients
+        | Some counts -> String.concat "," (List.map string_of_int counts))
+        cores duration_ms warmup_ms
+    in
+    write path (Obs.Ledger.to_json (Obs.Ledger.make ~config ~seeds:[ seed ] entries)));
   (match engine_stats_out with
   | None -> ()
   | Some path ->
@@ -424,7 +476,7 @@ let cmd =
       $ read_pct $ clients $ cores $ duration_ms $ warmup_ms $ seed $ sweep
       $ jobs $ kill_at_ms $ restart_at_ms $ victim $ partition_at_ms
       $ heal_at_ms $ partition_group $ max_staleness_us $ trace_out
-      $ metrics_out $ profile_out $ lineage_out $ engine_stats_out $ monitors
-      $ postmortem_out)
+      $ metrics_out $ profile_out $ lineage_out $ engine_stats_out $ ledger_out
+      $ monitors $ postmortem_out)
 
 let () = exit (Cmd.eval cmd)

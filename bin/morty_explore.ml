@@ -185,9 +185,21 @@ let postmortem_out =
                  profile, metrics) to directory $(docv), $(docv).2, ... in \
                  failure order, next to the printed reproducer." ~docv:"DIR")
 
+let ledger_out =
+  Arg.(value & opt (some string) None
+       & info [ "ledger-out" ]
+           ~doc:"Write the sweep's passing runs as a schema-versioned run \
+                 ledger to $(docv): one entry per system, every metric a \
+                 sample array across the system's runs (seeds x schedules, \
+                 submission order).  Feed the file to $(b,morty_report) to \
+                 compare sweeps statistically.  Stdout is byte-identical \
+                 with or without this flag; with --scaling it reflects the \
+                 first sweep only." ~docv:"FILE")
+
 let run systems workload_names seeds seed_base schedules episodes clients cores
     measure_ms smoke no_kill partitions max_staleness_us monitors quiet jobs
-    scaling trace_out profile_out lineage_out engine_stats_out postmortem_out =
+    scaling trace_out profile_out lineage_out engine_stats_out ledger_out
+    postmortem_out =
   let measure_us = if smoke then 200_000 else measure_ms * 1000 in
   let cfg =
     {
@@ -268,10 +280,24 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
         + ev.Harness.Stats.ev_tickers
     | Error _ -> ()
   in
+  (* Per-system ledger rows, in submission order (the progress callback
+     fires in submission order whatever --jobs is, so the artifact is
+     deterministic). *)
+  let ledger_rows = ref [] in
+  let collect_ledger case _prof outcome =
+    match outcome with
+    | Ok r when ledger_out <> None ->
+      let det, host = Harness.Stats.ledger_metrics r in
+      ledger_rows :=
+        (Harness.Run.system_name case.Explore.Case.c_system, det, host)
+        :: !ledger_rows
+    | Ok _ | Error _ -> ()
+  in
   let timed_sweep ~jobs ~transcript =
     let progress c p o =
       if transcript then begin
         count_events c p o;
+        collect_ledger c p o;
         progress c p o
       end
     in
@@ -353,6 +379,53 @@ let run systems workload_names seeds seed_base schedules episodes clients cores
     Fmt.pr "%s@." (Obs.Engstat.det_line es);
     Fmt.epr "%s@." (Obs.Engstat.host_line es);
     write path (Obs.Engstat.to_json es));
+  (match ledger_out with
+  | None -> ()
+  | Some path ->
+    let rows = List.rev !ledger_rows in
+    let entries =
+      List.filter_map
+        (fun sys ->
+          let name = Harness.Run.system_name sys in
+          let mine =
+            List.filter_map
+              (fun (s, det, host) -> if s = name then Some (det, host) else None)
+              rows
+          in
+          match mine with
+          | [] -> None
+          | first :: _ ->
+            let collect sel =
+              List.map
+                (fun (m, _) ->
+                  ( m,
+                    Array.of_list
+                      (List.map (fun row -> List.assoc m (sel row)) mine) ))
+                (sel first)
+            in
+            Some
+              {
+                Obs.Ledger.en_system = name;
+                en_point = String.concat "," workload_names;
+                en_det = collect fst;
+                en_host = collect snd;
+              })
+        systems
+    in
+    let config =
+      Printf.sprintf
+        "morty_explore workloads=%s schedules=%d episodes=%d clients=%d \
+         cores=%d measure_us=%d kill_restart=%b partitions=%b \
+         max_staleness_us=%d systems=%s"
+        (String.concat "," workload_names)
+        cfg.Explore.Sweep.schedules_per_seed cfg.Explore.Sweep.episodes clients
+        cores measure_us cfg.Explore.Sweep.kill_restart
+        cfg.Explore.Sweep.partitions cfg.Explore.Sweep.max_staleness_us
+        (String.concat "," (List.map Harness.Run.system_name systems))
+    in
+    write path
+      (Obs.Ledger.to_json
+         (Obs.Ledger.make ~config ~seeds:cfg.Explore.Sweep.seeds entries)));
   Fmt.epr "%s@." (Orchestrate.Report.to_string report);
   (match measured with
   | _ :: _ :: _ ->
@@ -374,6 +447,7 @@ let cmd =
       const run $ systems $ workloads $ seeds $ seed_base $ schedules $ episodes
       $ clients $ cores $ measure_ms $ smoke $ no_kill $ partitions
       $ max_staleness_us $ monitors $ quiet $ jobs $ scaling $ trace_out
-      $ profile_out $ lineage_out $ engine_stats_out $ postmortem_out)
+      $ profile_out $ lineage_out $ engine_stats_out $ ledger_out
+      $ postmortem_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,7 +16,9 @@ let usage () =
     "usage: morty_inspect explain FILE TXN   (TXN like 'v(ts,id)' or 'ts,id')\n\
     \       morty_inspect hot-keys FILE [N]\n\
     \       morty_inspect cascades FILE\n\
-    \       morty_inspect diff FILE_A FILE_B";
+    \       morty_inspect diff FILE_A FILE_B\n\
+     exit codes: 0 ok, 1 malformed artifact, 2 usage, 3 missing file,\n\
+    \            4 empty artifact (no lineage records)";
   exit 2
 
 let read_file path =
@@ -24,10 +26,14 @@ let read_file path =
   | s -> s
   | exception Sys_error msg ->
     Printf.eprintf "morty_inspect: %s\n" msg;
-    exit 1
+    exit 3
 
 let load path =
   match Obs.Lineage.parse_jsonl (read_file path) with
+  | [] ->
+    Printf.eprintf "morty_inspect: %s: empty artifact (no lineage records)\n"
+      path;
+    exit 4
   | recs -> recs
   | exception Failure msg ->
     Printf.eprintf "morty_inspect: %s: %s\n" path msg;

@@ -152,6 +152,16 @@ val to_result :
 val abort_count : result -> Obs.Abort_reason.t -> int
 (** Counter for one taxonomy entry (0 if absent). *)
 
+val ledger_metrics : result -> (string * float) list * (string * float) list
+(** The run-ledger projection of a result: [(det, host)] metric lists
+    for one seed's run, in the fixed order {!Obs.Ledger} commits them.
+    [det] (goodput, latency percentiles, commit/abort/re-exec counters,
+    engine event + heap counters, lineage digest) is a pure function of
+    the simulated schedule — byte-identical across hosts and [--jobs].
+    [host] (events/sec, wall seconds, GC counters) is machine-dependent
+    and only ever gated statistically.  Lineage fields are all zero
+    when the run had no recorder attached. *)
+
 val pp_result_header : Format.formatter -> unit -> unit
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,166 @@
+(* Pure, deterministic statistics over float-array samples.  No
+   dependency on Sim: the bootstrap keeps its own splitmix64 so obs
+   stays a leaf library and the resampling stream is pinned here,
+   independent of any simulator RNG evolution. *)
+
+type summary = { n : int; mean : float; sd : float; min : float; max : float }
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = 0.; sd = 0.; min = 0.; max = 0. }
+  else begin
+    (* Welford: numerically stable one-pass mean/variance. *)
+    let mean = ref 0. and m2 = ref 0. in
+    let mn = ref xs.(0) and mx = ref xs.(0) in
+    Array.iteri
+      (fun i x ->
+        let k = float_of_int (i + 1) in
+        let d = x -. !mean in
+        mean := !mean +. (d /. k);
+        m2 := !m2 +. (d *. (x -. !mean));
+        if x < !mn then mn := x;
+        if x > !mx then mx := x)
+      xs;
+    let sd = if n < 2 then 0. else sqrt (!m2 /. float_of_int (n - 1)) in
+    { n; mean = !mean; sd; min = !mn; max = !mx }
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    let p = Float.max 0. (Float.min 1. p) in
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then s.(lo)
+    else
+      let frac = pos -. float_of_int lo in
+      s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+  end
+
+let median xs = percentile xs 0.5
+
+(* --- splitmix64: the bootstrap's private resampling stream --------- *)
+
+let sm64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound) by 64->high-bits rejection-free multiply;
+   bound here is a sample size (tiny), so modulo bias from taking the
+   low 30 bits is ~2^-30 per draw — irrelevant for CI purposes and
+   identical on every host. *)
+let sm64_below state bound =
+  Int64.to_int (Int64.logand (sm64_next state) 0x3FFFFFFFL) mod bound
+
+let seed_of_name name =
+  (* FNV-1a 64, folded to a non-negative OCaml int. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let bootstrap_ci ?(resamples = 1000) ?(level = 0.95) ~seed xs =
+  let n = Array.length xs in
+  if n = 0 then (0., 0.)
+  else if n = 1 then (xs.(0), xs.(0))
+  else begin
+    let state = ref (Int64.of_int seed) in
+    (* Warm the stream: splitmix64 scrambles even tiny seeds in one
+       step, but skipping the first output decorrelates seed k from
+       seed k+1's first draw. *)
+    ignore (sm64_next state);
+    let means = Array.make resamples 0. in
+    for b = 0 to resamples - 1 do
+      let acc = ref 0. in
+      for _ = 1 to n do
+        acc := !acc +. xs.(sm64_below state n)
+      done;
+      means.(b) <- !acc /. float_of_int n
+    done;
+    let alpha = (1. -. level) /. 2. in
+    (percentile means alpha, percentile means (1. -. alpha))
+  end
+
+(* --- Mann–Whitney U ------------------------------------------------ *)
+
+(* Abramowitz & Stegun 7.1.26: erf via a 5-term rational polynomial,
+   |error| < 1.5e-7 — plenty for a gating p-bound and bit-stable. *)
+let erf x =
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (p *. x)) in
+  let y =
+    1.
+    -. ((((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t) +. a1)
+       *. t *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf z = 0.5 *. (1. +. erf (z /. sqrt 2.))
+
+type utest = { u : float; z : float; p : float; r : float }
+
+let mann_whitney a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  if n1 = 0 || n2 = 0 then { u = 0.; z = 0.; p = 1.; r = 0. }
+  else begin
+    let n = n1 + n2 in
+    let tagged =
+      Array.append
+        (Array.map (fun x -> (x, true)) a)
+        (Array.map (fun x -> (x, false)) b)
+    in
+    Array.sort (fun (x, _) (y, _) -> compare x y) tagged;
+    (* Midranks over tie groups, accumulating rank-sum of sample a and
+       the tie correction term sum(t^3 - t). *)
+    let r1 = ref 0. and tie_term = ref 0. in
+    let i = ref 0 in
+    while !i < n do
+      let j = ref !i in
+      while !j < n && fst tagged.(!j) = fst tagged.(!i) do incr j done;
+      let t = !j - !i in
+      (* ranks are 1-based: group spans ranks (i+1) .. j *)
+      let midrank = float_of_int (!i + 1 + !j) /. 2. in
+      for k = !i to !j - 1 do
+        if snd tagged.(k) then r1 := !r1 +. midrank
+      done;
+      let tf = float_of_int t in
+      tie_term := !tie_term +. ((tf *. tf *. tf) -. tf);
+      i := !j
+    done;
+    let n1f = float_of_int n1 and n2f = float_of_int n2 in
+    let nf = float_of_int n in
+    let u = !r1 -. (n1f *. (n1f +. 1.) /. 2.) in
+    let mu = n1f *. n2f /. 2. in
+    let var =
+      n1f *. n2f /. 12.
+      *. (nf +. 1. -. (!tie_term /. (nf *. (nf -. 1.))))
+    in
+    let r = (2. *. u /. (n1f *. n2f)) -. 1. in
+    if var <= 0. then { u; z = 0.; p = 1.; r }
+    else begin
+      let sigma = sqrt var in
+      (* Continuity correction toward the mean. *)
+      let num = Float.max 0. (Float.abs (u -. mu) -. 0.5) in
+      let z = num /. sigma in
+      let p = Float.max 0. (Float.min 1. (2. *. (1. -. normal_cdf z))) in
+      { u; z = (if u >= mu then z else -.z); p; r }
+    end
+  end

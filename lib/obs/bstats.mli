@@ -1,0 +1,72 @@
+(** Bench statistics: streaming summary stats, seeded percentile
+    bootstrap confidence intervals, and a Mann–Whitney U test with a
+    rank-biserial effect size.
+
+    Everything here is pure OCaml over [float array] samples and fully
+    deterministic: the bootstrap resampler is driven by an internal
+    splitmix64 generator seeded by the caller, percentiles interpolate
+    linearly, and the U test's p-value uses the tie-corrected normal
+    approximation with continuity correction — identical bits on every
+    host.  This is the numerical footing of the run ledger
+    ({!Ledger}): multi-seed bench samples replace single-seed
+    hand-tolerance gates. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  sd : float;  (** sample standard deviation (n-1); 0. when n < 2 *)
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Welford one-pass accumulation; all-zero summary for [[||]]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,1]: sorts a copy and interpolates
+    linearly between order statistics.  0. for [[||]]. *)
+
+val median : float array -> float
+
+(** {1 Bootstrap confidence intervals} *)
+
+val bootstrap_ci :
+  ?resamples:int -> ?level:float -> seed:int -> float array -> float * float
+(** Percentile-bootstrap confidence interval for the {e mean}:
+    [resamples] (default 1000) resamples of size [n] drawn with
+    replacement by a splitmix64 stream seeded with [seed], each
+    averaged; the interval is the [(1-level)/2 .. (1+level)/2]
+    percentile span (default [level] 0.95).  Degenerate inputs
+    collapse: [[||]] gives [(0., 0.)] and a single sample gives
+    [(x, x)].  Deterministic: same seed and samples, same interval,
+    on any host. *)
+
+val seed_of_name : string -> int
+(** FNV-1a hash of a metric name, folded to a non-negative [int] — the
+    conventional per-metric bootstrap seed, so every host resamples a
+    given metric identically without coordinating. *)
+
+(** {1 Mann–Whitney U} *)
+
+type utest = {
+  u : float;  (** U statistic of the {e first} sample (pairs where a > b,
+                  ties counted half) *)
+  z : float;  (** tie-corrected normal approximation with continuity
+                  correction; 0. when the variance degenerates *)
+  p : float;  (** two-sided p bound from [z]; 1. when untestable
+                  (either sample empty, or everything tied) *)
+  r : float;
+      (** rank-biserial effect size [2*U/(n1*n2) - 1] in [-1, 1]:
+          -1 when every a < every b, +1 when every a > every b, 0 when
+          stochastically equal *)
+}
+
+val mann_whitney : float array -> float array -> utest
+(** Midrank handling for ties; the normal approximation is a bound,
+    not an exact tail probability — at the ledger's seed-set sizes
+    (4–10 per side) it is conservative enough for gating and, being
+    closed-form, bit-stable across hosts. *)
+
+val normal_cdf : float -> float
+(** Φ(z) via the Abramowitz–Stegun 7.1.26 erf approximation (|error|
+    < 1.5e-7) — exposed for the golden tests. *)

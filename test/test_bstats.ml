@@ -1,0 +1,158 @@
+(* Bench statistics: golden summary stats, deterministic bootstrap
+   confidence intervals, and hand-checked Mann-Whitney U values — the
+   numerical footing of the run-ledger regression gate. *)
+
+let feq ?(eps = 1e-9) name expect got =
+  Alcotest.(check (float eps)) name expect got
+
+(* --- summarize / percentile --------------------------------------------- *)
+
+let test_summary_golden () =
+  (* [2;4;4;4;5;5;7;9]: the textbook example — mean 5, population sd 2,
+     sample sd sqrt(32/7). *)
+  let s = Obs.Bstats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check int) "n" 8 s.Obs.Bstats.n;
+  feq "mean" 5. s.Obs.Bstats.mean;
+  feq ~eps:1e-9 "sd" (sqrt (32. /. 7.)) s.Obs.Bstats.sd;
+  feq "min" 2. s.Obs.Bstats.min;
+  feq "max" 9. s.Obs.Bstats.max
+
+let test_summary_degenerate () =
+  let z = Obs.Bstats.summarize [||] in
+  Alcotest.(check int) "empty n" 0 z.Obs.Bstats.n;
+  feq "empty mean" 0. z.Obs.Bstats.mean;
+  let one = Obs.Bstats.summarize [| 3.5 |] in
+  feq "single mean" 3.5 one.Obs.Bstats.mean;
+  feq "single sd" 0. one.Obs.Bstats.sd
+
+let test_percentile () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  feq "p0 = min" 1. (Obs.Bstats.percentile xs 0.);
+  feq "p100 = max" 5. (Obs.Bstats.percentile xs 1.);
+  feq "median" 3. (Obs.Bstats.median xs);
+  (* rank = p*(n-1): p25 of 1..5 interpolates to 2. *)
+  feq "p25" 2. (Obs.Bstats.percentile xs 0.25);
+  feq "p87.5 interpolates" 4.5 (Obs.Bstats.percentile xs 0.875);
+  (* unsorted input must not be mutated *)
+  Alcotest.(check bool) "input untouched" true (xs = [| 5.; 1.; 3.; 2.; 4. |])
+
+(* --- bootstrap ----------------------------------------------------------- *)
+
+let test_bootstrap_deterministic () =
+  let xs = [| 10.; 12.; 9.; 11.; 13. |] in
+  let a = Obs.Bstats.bootstrap_ci ~seed:7 xs in
+  let b = Obs.Bstats.bootstrap_ci ~seed:7 xs in
+  Alcotest.(check bool) "same seed, same interval" true (a = b);
+  (* Different seeds draw different resample streams; with few
+     resamples the interval endpoints must move for at least one of a
+     handful of seeds (with 1000 they may happen to coincide). *)
+  let tiny s = Obs.Bstats.bootstrap_ci ~resamples:25 ~seed:s xs in
+  let base = tiny 7 in
+  Alcotest.(check bool) "seed drives the resampling" true
+    (List.exists (fun s -> tiny s <> base) [ 8; 9; 10; 11; 12 ])
+
+let test_bootstrap_sane () =
+  let xs = [| 10.; 12.; 9.; 11.; 13. |] in
+  let lo, hi = Obs.Bstats.bootstrap_ci ~seed:7 xs in
+  let s = Obs.Bstats.summarize xs in
+  Alcotest.(check bool) "lo <= hi" true (lo <= hi);
+  Alcotest.(check bool) "contains the mean" true
+    (lo <= s.Obs.Bstats.mean && s.Obs.Bstats.mean <= hi);
+  Alcotest.(check bool) "within sample range" true
+    (lo >= s.Obs.Bstats.min && hi <= s.Obs.Bstats.max);
+  (* A wider level gives a no-narrower interval. *)
+  let lo99, hi99 = Obs.Bstats.bootstrap_ci ~seed:7 ~level:0.99 xs in
+  Alcotest.(check bool) "99% contains 95%" true (lo99 <= lo && hi99 >= hi)
+
+let test_bootstrap_degenerate () =
+  Alcotest.(check bool) "empty" true
+    (Obs.Bstats.bootstrap_ci ~seed:1 [||] = (0., 0.));
+  Alcotest.(check bool) "singleton" true
+    (Obs.Bstats.bootstrap_ci ~seed:1 [| 4.2 |] = (4.2, 4.2));
+  Alcotest.(check bool) "constant samples collapse" true
+    (Obs.Bstats.bootstrap_ci ~seed:1 [| 2.; 2.; 2. |] = (2., 2.))
+
+let test_seed_of_name () =
+  Alcotest.(check bool) "stable" true
+    (Obs.Bstats.seed_of_name "morty.goodput"
+    = Obs.Bstats.seed_of_name "morty.goodput");
+  Alcotest.(check bool) "distinct" true
+    (Obs.Bstats.seed_of_name "morty.goodput"
+    <> Obs.Bstats.seed_of_name "mvtso.goodput");
+  Alcotest.(check bool) "non-negative" true
+    (Obs.Bstats.seed_of_name "anything" >= 0)
+
+(* --- normal CDF ---------------------------------------------------------- *)
+
+let test_normal_cdf () =
+  (* Abramowitz-Stegun 7.1.26 is good to |err| < 1.5e-7. *)
+  feq ~eps:1e-6 "Phi(0)" 0.5 (Obs.Bstats.normal_cdf 0.);
+  feq ~eps:1e-5 "Phi(1.96)" 0.975 (Obs.Bstats.normal_cdf 1.96);
+  feq ~eps:1e-5 "Phi(-1.96)" 0.025 (Obs.Bstats.normal_cdf (-1.96));
+  feq ~eps:1e-6 "Phi(1)" 0.841345 (Obs.Bstats.normal_cdf 1.)
+
+(* --- Mann-Whitney -------------------------------------------------------- *)
+
+let test_mw_separated () =
+  (* Every a below every b: U = 0, complete separation, r = -1.
+     Normal approximation with continuity correction:
+     mu = 4.5, sigma = sqrt(9*7/12), z = -(4-0.5)/sigma, p ~ 0.0809. *)
+  let t = Obs.Bstats.mann_whitney [| 1.; 2.; 3. |] [| 4.; 5.; 6. |] in
+  feq "u" 0. t.Obs.Bstats.u;
+  feq "r" (-1.) t.Obs.Bstats.r;
+  feq ~eps:1e-3 "p" 0.0809 t.Obs.Bstats.p;
+  let t' = Obs.Bstats.mann_whitney [| 4.; 5.; 6. |] [| 1.; 2.; 3. |] in
+  feq "u flipped" 9. t'.Obs.Bstats.u;
+  feq "r flipped" 1. t'.Obs.Bstats.r;
+  feq ~eps:1e-12 "p symmetric" t.Obs.Bstats.p t'.Obs.Bstats.p
+
+let test_mw_ties () =
+  (* All tied: U = n1*n2/2 by midranks, variance degenerates, p = 1. *)
+  let t = Obs.Bstats.mann_whitney [| 5.; 5.; 5. |] [| 5.; 5.; 5. |] in
+  feq "u half" 4.5 t.Obs.Bstats.u;
+  feq "r zero" 0. t.Obs.Bstats.r;
+  feq "p one" 1. t.Obs.Bstats.p
+
+let test_mw_empty () =
+  let t = Obs.Bstats.mann_whitney [||] [| 1.; 2. |] in
+  feq "p untestable" 1. t.Obs.Bstats.p;
+  let t' = Obs.Bstats.mann_whitney [| 1.; 2. |] [||] in
+  feq "p untestable'" 1. t'.Obs.Bstats.p
+
+let test_mw_overlapping () =
+  (* Interleaved samples: no significance, small effect. *)
+  let t = Obs.Bstats.mann_whitney [| 1.; 3.; 5.; 7. |] [| 2.; 4.; 6.; 8. |] in
+  Alcotest.(check bool) "p not small" true (t.Obs.Bstats.p > 0.3);
+  Alcotest.(check bool) "effect small" true (Float.abs t.Obs.Bstats.r < 0.5)
+
+let test_mw_five_v_five () =
+  (* The ledger's default shape: 5 seeds a side, fully separated.
+     U = 25, mu = 12.5, sigma = sqrt(25*11/12), z = 12/sigma ~ 2.507,
+     two-sided p ~ 0.0122. *)
+  let a = [| 1.; 2.; 3.; 4.; 5. |] and b = [| 6.; 7.; 8.; 9.; 10. |] in
+  let t = Obs.Bstats.mann_whitney a b in
+  feq "u" 0. t.Obs.Bstats.u;
+  feq "r" (-1.) t.Obs.Bstats.r;
+  feq ~eps:1e-3 "p" 0.0122 t.Obs.Bstats.p
+
+let suites =
+  [
+    ( "bstats",
+      [
+        Alcotest.test_case "summary golden" `Quick test_summary_golden;
+        Alcotest.test_case "summary degenerate" `Quick test_summary_degenerate;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "bootstrap deterministic" `Quick
+          test_bootstrap_deterministic;
+        Alcotest.test_case "bootstrap sane" `Quick test_bootstrap_sane;
+        Alcotest.test_case "bootstrap degenerate" `Quick
+          test_bootstrap_degenerate;
+        Alcotest.test_case "seed of name" `Quick test_seed_of_name;
+        Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+        Alcotest.test_case "mw separated" `Quick test_mw_separated;
+        Alcotest.test_case "mw ties" `Quick test_mw_ties;
+        Alcotest.test_case "mw empty" `Quick test_mw_empty;
+        Alcotest.test_case "mw overlapping" `Quick test_mw_overlapping;
+        Alcotest.test_case "mw 5v5 separated" `Quick test_mw_five_v_five;
+      ] );
+  ]
